@@ -1,0 +1,188 @@
+package pciesim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (§VI). Each benchmark runs the corresponding
+// experiment and reports the headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the reproduced series next to the harness cost. The dd blocks
+// run 64x scaled by default (see Options); cmd/ddbench regenerates the
+// curves at any scale, including the paper's full 64-512 MiB blocks.
+
+func benchOptions() Options {
+	return Options{Scale: 64, BlockMB: []int{64, 128, 256, 512}}
+}
+
+func reportSeries(b *testing.B, fig Figure) {
+	for _, s := range fig.Series {
+		p := s.Points[len(s.Points)-1]
+		b.ReportMetric(p.Gbps, s.Label+"_Gbps")
+		if p.ReplayPct > 0.05 {
+			b.ReportMetric(p.ReplayPct, s.Label+"_replay%")
+		}
+	}
+}
+
+// BenchmarkFig9a regenerates Fig 9(a): dd throughput, physical
+// reference vs simulated platform across switch latencies.
+func BenchmarkFig9a(b *testing.B) {
+	var fig Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = RunFig9a(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, fig)
+}
+
+// BenchmarkFig9b regenerates Fig 9(b): link width sweep.
+func BenchmarkFig9b(b *testing.B) {
+	var fig Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = RunFig9b(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, fig)
+}
+
+// BenchmarkFig9c regenerates Fig 9(c): replay buffer sweep at x8.
+func BenchmarkFig9c(b *testing.B) {
+	var fig Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = RunFig9c(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, fig)
+}
+
+// BenchmarkFig9d regenerates Fig 9(d): port buffer sweep at x8.
+func BenchmarkFig9d(b *testing.B) {
+	var fig Figure
+	var err error
+	for i := 0; i < b.N; i++ {
+		fig, err = RunFig9d(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, fig)
+}
+
+// BenchmarkTableII regenerates Table II: MMIO read latency vs root
+// complex latency.
+func BenchmarkTableII(b *testing.B) {
+	var rows []TableIIRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = RunTableII()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MMIOLatencyNs, fmt.Sprintf("rc%dns_mmio_ns", r.RCLatencyNs))
+	}
+}
+
+// BenchmarkSimulatorEventRate measures the raw simulation speed of the
+// full platform under the dd workload — the harness cost metric.
+func BenchmarkSimulatorEventRate(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	var simSeconds float64
+	for i := 0; i < b.N; i++ {
+		s := New(DefaultConfig())
+		if _, err := s.RunDD(1 << 20); err != nil {
+			b.Fatal(err)
+		}
+		events += s.Eng.Fired()
+		simSeconds += s.Eng.Now().Seconds()
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(simSeconds/b.Elapsed().Seconds(), "simsec/s")
+}
+
+// BenchmarkLinkSaturation measures a single link's modeled throughput
+// under a saturating DMA write stream for each generation and width —
+// the microbenchmark behind Table I's overhead accounting.
+func BenchmarkLinkSaturation(b *testing.B) {
+	for _, gen := range []Generation{Gen1, Gen2, Gen3} {
+		for _, w := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%v_x%d", gen, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					cfg := DefaultConfig()
+					cfg.Gen = gen
+					cfg.UplinkWidth = w
+					cfg.DiskLinkWidth = w
+					s := New(cfg)
+					if _, err := s.RunDD(256 << 10); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationPostedWrites contrasts the paper's non-posted write
+// model with the posted-write extension it names as future work.
+func BenchmarkAblationPostedWrites(b *testing.B) {
+	for _, posted := range []bool{false, true} {
+		name := "nonposted"
+		if posted {
+			name = "posted"
+		}
+		b.Run(name, func(b *testing.B) {
+			var gbps float64
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultConfig()
+				cfg.DD.StartupOverhead /= 64
+				cfg.Disk.PostedWrites = posted
+				s := New(cfg)
+				res, err := s.RunDD(1 << 20)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gbps = res.ThroughputGbps()
+			}
+			b.ReportMetric(gbps, "Gbps")
+		})
+	}
+}
+
+// BenchmarkAblationErrorRate sweeps injected TLP corruption on the
+// disk link, measuring the NAK/replay protocol's overhead curve.
+func BenchmarkAblationErrorRate(b *testing.B) {
+	for _, rate := range []float64{0, 0.001, 0.01, 0.05} {
+		b.Run(fmt.Sprintf("err%.3f", rate), func(b *testing.B) {
+			var gbps float64
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultConfig()
+				cfg.DD.StartupOverhead /= 64
+				cfg.DiskLinkErrorRate = rate
+				cfg.Seed = 11
+				s := New(cfg)
+				res, err := s.RunDD(1 << 20)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gbps = res.ThroughputGbps()
+			}
+			b.ReportMetric(gbps, "Gbps")
+		})
+	}
+}

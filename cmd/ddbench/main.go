@@ -1,0 +1,70 @@
+// Command ddbench regenerates the dd-throughput figures of the paper's
+// evaluation (Fig 9(a)-(d)) and prints Table I.
+//
+// Usage:
+//
+//	ddbench [-fig 9a|9b|9c|9d|all] [-scale N] [-csv] [-table1]
+//
+// -scale divides the paper's 64-512 MiB block sizes (and dd's fixed
+// startup overhead) by N; 1 reproduces the full-size experiment, the
+// default 16 runs in a couple of minutes with an identical curve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pciesim"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 9a, 9b, 9c, 9d or all")
+	scale := flag.Int("scale", 16, "divide the paper's block sizes by this factor")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	table1 := flag.Bool("table1", false, "also print Table I (protocol overheads)")
+	flag.Parse()
+
+	if *table1 {
+		printTableI()
+	}
+
+	opt := pciesim.Options{Scale: *scale}
+	runners := map[string]func(pciesim.Options) (pciesim.Figure, error){
+		"9a": pciesim.RunFig9a,
+		"9b": pciesim.RunFig9b,
+		"9c": pciesim.RunFig9c,
+		"9d": pciesim.RunFig9d,
+	}
+	order := []string{"9a", "9b", "9c", "9d"}
+
+	selected := order
+	if *fig != "all" {
+		if _, ok := runners[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "ddbench: unknown figure %q\n", *fig)
+			os.Exit(2)
+		}
+		selected = []string{*fig}
+	}
+	for _, id := range selected {
+		result, err := runners[id](opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(result.CSV())
+		} else {
+			fmt.Println(result.Format())
+		}
+	}
+}
+
+func printTableI() {
+	fmt.Println("Table I — transaction, data link, and physical layer overheads")
+	fmt.Printf("%-14s %-50s %s\n", "Overhead", "Type of Overhead", "Packet Type")
+	for _, r := range pciesim.TableI() {
+		fmt.Printf("%-14s %-50s %s\n", r.Overhead, r.Type, r.PacketType)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,277 @@
+package pciesim
+
+import (
+	"fmt"
+	"strings"
+
+	"pciesim/internal/pcie"
+	"pciesim/internal/sim"
+)
+
+// Options scales the evaluation workloads. The paper transfers single
+// dd blocks of 64-512 MiB; Scale divides both the block sizes and dd's
+// fixed startup overhead by the same factor, which leaves the reported
+// throughput curve mathematically unchanged (throughput depends only on
+// their ratio plus per-sector terms) while cutting simulation time.
+type Options struct {
+	// Scale divides the paper's block sizes; 1 reproduces them at full
+	// size. DefaultOptions uses 16 (4-32 MiB blocks).
+	Scale int
+	// BlockMB overrides the block-size sweep (pre-scaling); defaults to
+	// the paper's {64, 128, 256, 512}.
+	BlockMB []int
+}
+
+// DefaultOptions returns the 16x-scaled workload.
+func DefaultOptions() Options { return Options{Scale: 16} }
+
+func (o Options) normalize() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if len(o.BlockMB) == 0 {
+		o.BlockMB = []int{64, 128, 256, 512}
+	}
+	return o
+}
+
+func (o Options) scaledConfig(base Config) Config {
+	base.DD.StartupOverhead /= sim.Tick(o.Scale)
+	return base
+}
+
+func (o Options) blockBytes(mb int) uint64 { return uint64(mb) << 20 / uint64(o.Scale) }
+
+// Point is one measurement in a figure series.
+type Point struct {
+	// X is the block size in (unscaled) MiB.
+	X int
+	// Gbps is the dd-reported throughput.
+	Gbps float64
+	// ReplayPct and TimeoutPct are the protocol-health metrics on the
+	// congested upstream link (0 where not applicable).
+	ReplayPct  float64
+	TimeoutPct float64
+}
+
+// Series is one configuration's sweep across block sizes.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is the result of regenerating one figure.
+type Figure struct {
+	ID     string
+	Title  string
+	Series []Series
+}
+
+// runSweep evaluates one configuration across the block sizes.
+func runSweep(label string, cfg Config, opt Options) (Series, error) {
+	s := Series{Label: label}
+	for _, mb := range opt.BlockMB {
+		sys := New(cfg)
+		res, err := sys.RunDD(opt.blockBytes(mb))
+		if err != nil {
+			return Series{}, fmt.Errorf("%s @%dMB: %w", label, mb, err)
+		}
+		// Congestion metrics: take the worst upstream direction across
+		// the two links on the disk's DMA path.
+		disk := sys.DiskLink.Down().Stats()
+		up := sys.Uplink.Down().Stats()
+		replay := disk.ReplayRate()
+		if r := up.ReplayRate(); r > replay {
+			replay = r
+		}
+		timeout := disk.TimeoutRate()
+		if r := up.TimeoutRate(); r > timeout {
+			timeout = r
+		}
+		s.Points = append(s.Points, Point{
+			X:          mb,
+			Gbps:       res.ThroughputGbps(),
+			ReplayPct:  replay * 100,
+			TimeoutPct: timeout * 100,
+		})
+	}
+	return s, nil
+}
+
+// RunFig9a regenerates Fig 9(a): dd throughput on the physical
+// reference versus the simulated platform with switch latencies of 50,
+// 100 and 150 ns.
+func RunFig9a(opt Options) (Figure, error) {
+	opt = opt.normalize()
+	fig := Figure{ID: "fig9a", Title: "dd throughput: phys vs simulated, switch latency sweep"}
+
+	physCfg := DefaultPhysConfig()
+	physCfg.StartupOverhead /= sim.Tick(opt.Scale)
+	physSeries := Series{Label: "phys"}
+	for _, mb := range opt.BlockMB {
+		physSeries.Points = append(physSeries.Points, Point{
+			X:    mb,
+			Gbps: physCfg.DDThroughputGbps(opt.blockBytes(mb)),
+		})
+	}
+	fig.Series = append(fig.Series, physSeries)
+
+	for _, lat := range []sim.Tick{50, 100, 150} {
+		cfg := opt.scaledConfig(DefaultConfig())
+		cfg.SwitchLatency = lat * sim.Nanosecond
+		s, err := runSweep(fmt.Sprintf("L%dns", lat), cfg, opt)
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// RunFig9b regenerates Fig 9(b): every link in the fabric swept across
+// widths x1/x2/x4/x8.
+func RunFig9b(opt Options) (Figure, error) {
+	opt = opt.normalize()
+	fig := Figure{ID: "fig9b", Title: "dd throughput vs PCI-Express link width"}
+	for _, w := range []int{1, 2, 4, 8} {
+		cfg := opt.scaledConfig(DefaultConfig())
+		cfg.UplinkWidth = w
+		cfg.DiskLinkWidth = w
+		s, err := runSweep(fmt.Sprintf("x%d", w), cfg, opt)
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// RunFig9c regenerates Fig 9(c): x8 links with replay buffer sizes 1-4.
+func RunFig9c(opt Options) (Figure, error) {
+	opt = opt.normalize()
+	fig := Figure{ID: "fig9c", Title: "x8 dd throughput vs replay buffer size"}
+	for _, rb := range []int{1, 2, 3, 4} {
+		cfg := opt.scaledConfig(DefaultConfig())
+		cfg.UplinkWidth = 8
+		cfg.DiskLinkWidth = 8
+		cfg.ReplayBufferSize = rb
+		s, err := runSweep(fmt.Sprintf("rb%d", rb), cfg, opt)
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// RunFig9d regenerates Fig 9(d): x8 links with switch/root port buffer
+// sizes 16-28.
+func RunFig9d(opt Options) (Figure, error) {
+	opt = opt.normalize()
+	fig := Figure{ID: "fig9d", Title: "x8 dd throughput vs switch/root port buffer size"}
+	for _, pb := range []int{16, 20, 24, 28} {
+		cfg := opt.scaledConfig(DefaultConfig())
+		cfg.UplinkWidth = 8
+		cfg.DiskLinkWidth = 8
+		cfg.PortBufferSize = pb
+		s, err := runSweep(fmt.Sprintf("pb%d", pb), cfg, opt)
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// TableIIRow pairs a root complex latency with the measured MMIO read
+// latency.
+type TableIIRow struct {
+	RCLatencyNs   int
+	MMIOLatencyNs float64
+}
+
+// RunTableII regenerates Table II: the 4-byte NIC register read latency
+// as the root complex latency sweeps 50-150 ns.
+func RunTableII() ([]TableIIRow, error) {
+	var rows []TableIIRow
+	for _, lat := range []int{50, 75, 100, 125, 150} {
+		cfg := DefaultConfig()
+		cfg.RootComplexLatency = sim.Tick(lat) * sim.Nanosecond
+		sys := New(cfg)
+		res, err := sys.MMIOProbe(64)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TableIIRow{RCLatencyNs: lat, MMIOLatencyNs: res.Avg().Nanoseconds()})
+	}
+	return rows, nil
+}
+
+// TableIRow describes one overhead entry of Table I.
+type TableIRow struct {
+	Overhead   string
+	Type       string
+	PacketType string
+}
+
+// TableI returns the protocol overhead model (Table I), read back from
+// the live configuration rather than restated.
+func TableI() []TableIRow {
+	o := pcie.DefaultOverheads()
+	n2, d2 := Gen2.EncodingOverhead()
+	n3, d3 := Gen3.EncodingOverhead()
+	return []TableIRow{
+		{fmt.Sprintf("%dB", o.TLPHeader), "TLP header", "TLP"},
+		{fmt.Sprintf("%dB", o.SeqNum), "sequence number appended by data link layer", "TLP"},
+		{fmt.Sprintf("%dB", o.LCRC), "Link CRC appended by data link layer", "TLP"},
+		{fmt.Sprintf("%dB", o.Framing), "Framing symbols appended by Physical Layer", "TLP and DLLP"},
+		{fmt.Sprintf("%d/%d-%d/%d", d2, n2, d3, n3), "Overhead caused by 8b/10b or 128b/130b encoding", "TLP and DLLP"},
+	}
+}
+
+// Format renders the figure as an aligned text table.
+func (f Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-10s", "block(MB)")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%12s", s.Label)
+	}
+	b.WriteString("\n")
+	for i, p := range f.Series[0].Points {
+		fmt.Fprintf(&b, "%-10d", p.X)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, "%12.3f", s.Points[i].Gbps)
+		}
+		b.WriteString("\n")
+	}
+	// Protocol-health footer (last block size), where meaningful.
+	var health []string
+	for _, s := range f.Series {
+		last := s.Points[len(s.Points)-1]
+		if last.ReplayPct > 0.05 || last.TimeoutPct > 0.05 {
+			health = append(health, fmt.Sprintf("%s: replay %.1f%%, timeout %.1f%%",
+				s.Label, last.ReplayPct, last.TimeoutPct))
+		}
+	}
+	if len(health) > 0 {
+		fmt.Fprintf(&b, "congested upstream link: %s\n", strings.Join(health, "; "))
+	}
+	return b.String()
+}
+
+// CSV renders the figure as comma-separated values with one row per
+// (series, block size) pair.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("figure,series,block_mb,gbps,replay_pct,timeout_pct\n")
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%s,%s,%d,%.4f,%.2f,%.2f\n", f.ID, s.Label, p.X, p.Gbps, p.ReplayPct, p.TimeoutPct)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,227 @@
+package pciesim
+
+import (
+	"strings"
+	"testing"
+)
+
+// Shape assertions for the reproduced evaluation: these encode the
+// qualitative claims of §VI-B (who wins, orderings, where effects
+// appear), not absolute numbers. They run at 64x scale to stay fast;
+// the bench harness and cmd/ddbench regenerate the full curves.
+
+func testOptions() Options {
+	return Options{Scale: 64, BlockMB: []int{64, 256}}
+}
+
+func lastGbps(s Series) float64 { return s.Points[len(s.Points)-1].Gbps }
+
+func TestFig9aShape(t *testing.T) {
+	fig, err := RunFig9a(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("%d series, want phys + 3 switch latencies", len(fig.Series))
+	}
+	phys, l50, l150 := fig.Series[0], fig.Series[1], fig.Series[3]
+
+	// The simulated platform tracks the physical reference from below:
+	// "the performance of our IDE disk is within 80%~90% of the Intel
+	// p3700 SSD... and more importantly, it follows the same trend".
+	for i := range phys.Points {
+		ratio := l150.Points[i].Gbps / phys.Points[i].Gbps
+		if ratio < 0.6 || ratio > 1.0 {
+			t.Errorf("sim/phys ratio at %dMB = %.2f, want within (0.6, 1.0)", phys.Points[i].X, ratio)
+		}
+	}
+	// Throughput grows with block size in every series (startup
+	// overhead amortizes).
+	for _, s := range fig.Series {
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Gbps <= s.Points[i-1].Gbps {
+				t.Errorf("series %s not monotone in block size", s.Label)
+			}
+		}
+	}
+	// Lower switch latency helps, but only slightly ("accounts for ~3%
+	// of the total throughput").
+	gain := lastGbps(l50)/lastGbps(l150) - 1
+	if gain <= 0 {
+		t.Error("50ns switch must beat 150ns")
+	}
+	if gain > 0.10 {
+		t.Errorf("switch latency gain %.1f%% too large; paper reports ~3%%", gain*100)
+	}
+}
+
+func TestFig9bShape(t *testing.T) {
+	fig, err := RunFig9b(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, x2, x4, x8 := fig.Series[0], fig.Series[1], fig.Series[2], fig.Series[3]
+
+	// "We observe a 1.67x increase in the throughput when increasing
+	// the link width from x1 to x2" — sublinear because OS overhead
+	// does not scale.
+	r12 := lastGbps(x2) / lastGbps(x1)
+	if r12 < 1.4 || r12 > 1.9 {
+		t.Errorf("x2/x1 = %.2f, want ~1.67", r12)
+	}
+	// "We have a smaller increase... from x2 to x4."
+	r24 := lastGbps(x4) / lastGbps(x2)
+	if r24 >= r12 {
+		t.Errorf("x4/x2 = %.2f must be below x2/x1 = %.2f", r24, r12)
+	}
+	// x8 congests: double-digit replay rate on the congested upstream
+	// link where x2/x4 are clean (paper: 27% vs almost zero).
+	if p := x8.Points[len(x8.Points)-1]; p.ReplayPct < 10 {
+		t.Errorf("x8 replay = %.1f%%, want double digits", p.ReplayPct)
+	}
+	for _, s := range []Series{x1, x2, x4} {
+		if p := s.Points[len(s.Points)-1]; p.ReplayPct > 1 {
+			t.Errorf("%s replay = %.1f%%, want ~0", s.Label, p.ReplayPct)
+		}
+	}
+	// The x8 congestion collapse: x8 gains almost nothing over x4
+	// (the paper measures an outright drop; see EXPERIMENTS.md for the
+	// residual deviation).
+	r48 := lastGbps(x8) / lastGbps(x4)
+	if r48 > 1.15 {
+		t.Errorf("x8/x4 = %.2f; congestion must flatten the scaling", r48)
+	}
+}
+
+func TestFig9cShape(t *testing.T) {
+	fig, err := RunFig9c(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb1, rb2, rb3, rb4 := fig.Series[0], fig.Series[1], fig.Series[2], fig.Series[3]
+	// Source throttling: replay buffers 1-2 keep the link healthy.
+	for _, s := range []Series{rb1, rb2} {
+		if p := s.Points[len(s.Points)-1]; p.TimeoutPct > 1 {
+			t.Errorf("%s timeout = %.1f%%, want ~0 (source throttling)", s.Label, p.TimeoutPct)
+		}
+	}
+	// Deeper replay buffers overrun the port buffers and time out.
+	for _, s := range []Series{rb3, rb4} {
+		if p := s.Points[len(s.Points)-1]; p.ReplayPct < 5 {
+			t.Errorf("%s replay = %.1f%%, want significant", s.Label, p.ReplayPct)
+		}
+	}
+	// rb=1 pays for its tiny window with real throughput.
+	if lastGbps(rb1) >= lastGbps(rb2) {
+		t.Error("rb1 must be slower than rb2 (window of one)")
+	}
+}
+
+func TestFig9dShape(t *testing.T) {
+	fig, err := RunFig9d(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb16 := fig.Series[0]
+	pb28 := fig.Series[3]
+	// Bigger port buffers monotonically reduce the replay pressure
+	// (paper: timeouts 27% -> 20% -> 0 -> 0).
+	prev := 1e9
+	for _, s := range fig.Series {
+		p := s.Points[len(s.Points)-1]
+		if p.ReplayPct > prev+0.5 {
+			t.Errorf("replay %% not non-increasing at %s: %.1f after %.1f", s.Label, p.ReplayPct, prev)
+		}
+		prev = p.ReplayPct
+	}
+	if a, b := pb16.Points[len(pb16.Points)-1], pb28.Points[len(pb28.Points)-1]; b.ReplayPct >= a.ReplayPct {
+		t.Errorf("pb28 replay %.1f%% must be below pb16's %.1f%%", b.ReplayPct, a.ReplayPct)
+	}
+	if lastGbps(pb28) < lastGbps(pb16)*0.99 {
+		t.Error("bigger buffers must not hurt throughput")
+	}
+}
+
+func TestTableIIShape(t *testing.T) {
+	rows, err := RunTableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{318, 358, 398, 438, 517} // the paper's Table II
+	if len(rows) != len(want) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, row := range rows {
+		// Within 10% of the paper's absolute numbers.
+		lo, hi := want[i]*0.9, want[i]*1.1
+		if row.MMIOLatencyNs < lo || row.MMIOLatencyNs > hi {
+			t.Errorf("rc=%dns: MMIO %.0fns, paper %.0fns (want within 10%%)",
+				row.RCLatencyNs, row.MMIOLatencyNs, want[i])
+		}
+		// Every 25ns of RC latency must cost more than 25ns of MMIO
+		// latency (request and response both cross the RC).
+		if i > 0 {
+			delta := row.MMIOLatencyNs - rows[i-1].MMIOLatencyNs
+			if delta <= 25 {
+				t.Errorf("step %d: +%.0fns per +25ns RC latency, want > 25", i, delta)
+			}
+		}
+	}
+}
+
+func TestTableIContents(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	if rows[0].Overhead != "12B" || rows[1].Overhead != "2B" ||
+		rows[2].Overhead != "4B" || rows[3].Overhead != "2B" {
+		t.Errorf("overhead bytes wrong: %+v", rows)
+	}
+	if rows[4].Overhead != "8/10-128/130" {
+		t.Errorf("encoding row = %q", rows[4].Overhead)
+	}
+	for _, r := range rows[:3] {
+		if r.PacketType != "TLP" {
+			t.Errorf("%s applies to %q, want TLP", r.Type, r.PacketType)
+		}
+	}
+	for _, r := range rows[3:] {
+		if r.PacketType != "TLP and DLLP" {
+			t.Errorf("%s applies to %q", r.Type, r.PacketType)
+		}
+	}
+}
+
+func TestDeviceLevelSectorThroughput(t *testing.T) {
+	// §VI-B: "If we remove the OS overheads and make our measurements
+	// at the gem5 device level, each sector (4KB) of the IDE disk is
+	// transferred with a throughput of 3.072 Gbps over our PCI-Express
+	// link." Our device-level number for a Gen2 x1 link must land close
+	// to the 3.05 Gb/s protocol bound.
+	s := New(DefaultConfig())
+	if _, err := s.RunDD(512 << 10); err != nil {
+		t.Fatal(err)
+	}
+	window := s.Disk.DMAWindow() // spans the final 128 KiB command
+	sectors := 32.0
+	gbps := sectors * 4096 * 8 / window.Seconds() / 1e9
+	if gbps < 2.4 || gbps > 3.1 {
+		t.Errorf("device-level sector throughput = %.3f Gb/s, want ~2.7-3.0 (paper: 3.072)", gbps)
+	}
+}
+
+func TestFigureFormatting(t *testing.T) {
+	fig := Figure{
+		ID: "t", Title: "x",
+		Series: []Series{{Label: "a", Points: []Point{{X: 64, Gbps: 1.5, ReplayPct: 2}}}},
+	}
+	txt := fig.Format()
+	if !strings.Contains(txt, "block(MB)") || !strings.Contains(txt, "1.500") {
+		t.Errorf("Format output:\n%s", txt)
+	}
+	csv := fig.CSV()
+	if !strings.Contains(csv, "t,a,64,1.5000,2.00,0.00") {
+		t.Errorf("CSV output:\n%s", csv)
+	}
+}

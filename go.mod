@@ -1,0 +1,3 @@
+module pciesim
+
+go 1.22

@@ -1,0 +1,115 @@
+// Package bridge implements the gem5 bridge that connects the on-chip
+// MemBus to the off-chip IOBus (§III): a slave device on one crossbar
+// and a master on the other, with bounded request and response queues
+// and a fixed forwarding delay in each direction. The paper builds its
+// root complex and switch on exactly this component; here it also backs
+// them (see internal/pcie).
+package bridge
+
+import (
+	"pciesim/internal/mem"
+	"pciesim/internal/sim"
+)
+
+// Config parameterizes a bridge.
+type Config struct {
+	// Delay is the forwarding latency applied in both directions.
+	Delay sim.Tick
+	// ReqDepth and RespDepth bound the two queues; 0 means unbounded.
+	ReqDepth  int
+	RespDepth int
+	// Ranges is the address window the bridge accepts on its slave side
+	// and forwards to its master side.
+	Ranges mem.RangeList
+}
+
+// Bridge forwards requests from its slave port to its master port and
+// responses the other way.
+type Bridge struct {
+	eng  *sim.Engine
+	name string
+	cfg  Config
+
+	slave  *mem.SlavePort
+	master *mem.MasterPort
+
+	reqQ  *mem.SendQueue
+	respQ *mem.SendQueue
+
+	reqRetryPending  bool
+	respRetryPending bool
+}
+
+// New creates a bridge.
+func New(eng *sim.Engine, name string, cfg Config) *Bridge {
+	b := &Bridge{eng: eng, name: name, cfg: cfg}
+	b.slave = mem.NewSlavePort(name+".slave", (*bridgeSlave)(b))
+	b.master = mem.NewMasterPort(name+".master", (*bridgeMaster)(b))
+	b.reqQ = mem.NewSendQueue(eng, name+".reqq", cfg.ReqDepth, func(p *mem.Packet) bool {
+		return b.master.SendTimingReq(p)
+	})
+	b.reqQ.OnFree(func() {
+		if b.reqRetryPending {
+			b.reqRetryPending = false
+			b.slave.SendReqRetry()
+		}
+	})
+	b.respQ = mem.NewSendQueue(eng, name+".respq", cfg.RespDepth, func(p *mem.Packet) bool {
+		return b.slave.SendTimingResp(p)
+	})
+	b.respQ.OnFree(func() {
+		if b.respRetryPending {
+			b.respRetryPending = false
+			b.master.SendRespRetry()
+		}
+	})
+	return b
+}
+
+// SlavePort returns the port facing the requestors' crossbar.
+func (b *Bridge) SlavePort() *mem.SlavePort { return b.slave }
+
+// MasterPort returns the port facing the completers' crossbar.
+func (b *Bridge) MasterPort() *mem.MasterPort { return b.master }
+
+// QueueStats exposes the request-queue counters for tests and reports.
+func (b *Bridge) QueueStats() (reqPushed, reqSent, reqRefused uint64, reqMaxDepth int) {
+	pushed, sent, refused, maxDepth := b.reqQ.Stats()
+	return pushed, sent, refused, maxDepth
+}
+
+// bridgeSlave is the SlaveOwner face of the bridge.
+type bridgeSlave Bridge
+
+func (b *bridgeSlave) br() *Bridge { return (*Bridge)(b) }
+
+func (b *bridgeSlave) RecvTimingReq(_ *mem.SlavePort, pkt *mem.Packet) bool {
+	br := b.br()
+	if br.reqQ.Full() {
+		br.reqRetryPending = true
+		return false
+	}
+	br.reqQ.Push(pkt, br.eng.Now()+br.cfg.Delay)
+	return true
+}
+
+func (b *bridgeSlave) RecvRespRetry(*mem.SlavePort) { b.br().respQ.RetryReceived() }
+
+func (b *bridgeSlave) AddrRanges(*mem.SlavePort) mem.RangeList { return b.br().cfg.Ranges }
+
+// bridgeMaster is the MasterOwner face of the bridge.
+type bridgeMaster Bridge
+
+func (b *bridgeMaster) br() *Bridge { return (*Bridge)(b) }
+
+func (b *bridgeMaster) RecvTimingResp(_ *mem.MasterPort, pkt *mem.Packet) bool {
+	br := b.br()
+	if br.respQ.Full() {
+		br.respRetryPending = true
+		return false
+	}
+	br.respQ.Push(pkt, br.eng.Now()+br.cfg.Delay)
+	return true
+}
+
+func (b *bridgeMaster) RecvReqRetry(*mem.MasterPort) { b.br().reqQ.RetryReceived() }

@@ -1,0 +1,95 @@
+package bridge
+
+import (
+	"testing"
+
+	"pciesim/internal/mem"
+	"pciesim/internal/sim"
+	"pciesim/internal/testdev"
+)
+
+func TestBridgeForwardsWithDelay(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, "br", Config{Delay: 25 * sim.Nanosecond, Ranges: mem.RangeList{mem.Span(0, 1<<30)}})
+	req := testdev.NewRequester(eng, "cpu")
+	dev := testdev.NewResponder(eng, "dev", mem.RangeList{mem.Span(0, 1<<30)}, 100*sim.Nanosecond, 0)
+	mem.Connect(req.Port(), b.SlavePort())
+	mem.Connect(b.MasterPort(), dev.Port())
+	req.Read(0x1000, 4)
+	eng.Run()
+	// 25ns forward + 100ns device + 25ns back.
+	if got := req.Completions[0].Latency(); got != 150*sim.Nanosecond {
+		t.Errorf("round trip %v, want 150ns", got)
+	}
+}
+
+func TestBridgeAdvertisesConfiguredRanges(t *testing.T) {
+	eng := sim.NewEngine()
+	want := mem.RangeList{mem.Span(0x2f000000, 0x80000000)}
+	b := New(eng, "br", Config{Ranges: want})
+	if got := b.SlavePort().Ranges(); len(got) != 1 || got[0] != want[0] {
+		t.Errorf("Ranges = %v, want %v", got, want)
+	}
+}
+
+func TestBridgeBoundedQueuesBackpressure(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, "br", Config{
+		Delay:     10 * sim.Nanosecond,
+		ReqDepth:  2,
+		RespDepth: 2,
+		Ranges:    mem.RangeList{mem.Span(0, 1<<20)},
+	})
+	req := testdev.NewRequester(eng, "cpu")
+	dev := testdev.NewResponder(eng, "dev", mem.RangeList{mem.Span(0, 1<<20)}, 500*sim.Nanosecond, 0)
+	dev.RefuseRequests = 4
+	mem.Connect(req.Port(), b.SlavePort())
+	mem.Connect(b.MasterPort(), dev.Port())
+	for i := 0; i < 10; i++ {
+		req.Write(uint64(i*64), 64)
+	}
+	eng.Run()
+	if len(req.Completions) != 10 {
+		t.Fatalf("%d completions, want 10", len(req.Completions))
+	}
+	_, _, refused, maxDepth := b.QueueStats()
+	if maxDepth > 2 {
+		t.Errorf("request queue exceeded its bound: depth %d", maxDepth)
+	}
+	_ = refused // refusals may or may not occur depending on timing; depth is the invariant
+}
+
+func TestBridgeResponseRefusalRetried(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, "br", Config{Delay: sim.Nanosecond, RespDepth: 1, Ranges: mem.RangeList{mem.Span(0, 1<<20)}})
+	req := testdev.NewRequester(eng, "cpu")
+	req.RefuseResponses = 3
+	dev := testdev.NewResponder(eng, "dev", mem.RangeList{mem.Span(0, 1<<20)}, sim.Nanosecond, 0)
+	mem.Connect(req.Port(), b.SlavePort())
+	mem.Connect(b.MasterPort(), dev.Port())
+	for i := 0; i < 6; i++ {
+		req.Read(uint64(i*4), 4)
+	}
+	eng.Run()
+	if len(req.Completions) != 6 {
+		t.Fatalf("%d completions, want 6", len(req.Completions))
+	}
+}
+
+func TestBridgePreservesOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, "br", Config{Delay: 5 * sim.Nanosecond, ReqDepth: 4, Ranges: mem.RangeList{mem.Span(0, 1<<20)}})
+	req := testdev.NewRequester(eng, "cpu")
+	dev := testdev.NewResponder(eng, "dev", mem.RangeList{mem.Span(0, 1<<20)}, 10*sim.Nanosecond, 0)
+	mem.Connect(req.Port(), b.SlavePort())
+	mem.Connect(b.MasterPort(), dev.Port())
+	for i := 0; i < 16; i++ {
+		req.Write(uint64(i)*64, 64)
+	}
+	eng.Run()
+	for i, p := range dev.Received {
+		if p.Addr != uint64(i)*64 {
+			t.Fatalf("packet %d has addr %#x, want %#x (order broken)", i, p.Addr, uint64(i)*64)
+		}
+	}
+}

@@ -1,0 +1,482 @@
+package devices
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"pciesim/internal/mem"
+	"pciesim/internal/memctrl"
+	"pciesim/internal/pci"
+	"pciesim/internal/pcie"
+	"pciesim/internal/sim"
+	"pciesim/internal/testdev"
+)
+
+// --- DMA engine ---
+
+func TestDMAEngineChunking(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDMAEngine(eng, "dma", 64)
+	m := memctrl.New(eng, "mem", mem.Range(0, 1<<30), memctrl.Config{Latency: 10 * sim.Nanosecond})
+	mem.Connect(d.Port(), m.Port())
+	done := false
+	d.Write(0x1000, 4096, nil, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("transfer did not complete")
+	}
+	_, chunks, bytes := d.Stats()
+	if chunks != 64 || bytes != 4096 {
+		t.Errorf("chunks=%d bytes=%d, want 64/4096", chunks, bytes)
+	}
+}
+
+func TestDMAEngineUnalignedEdges(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDMAEngine(eng, "dma", 64)
+	m := memctrl.New(eng, "mem", mem.Range(0, 1<<30), memctrl.Config{})
+	mem.Connect(d.Port(), m.Port())
+	d.Write(0x1030, 100, nil, nil) // 0x1030..0x1094: 16 + 64 + 20
+	eng.Run()
+	_, chunks, _ := d.Stats()
+	if chunks != 3 {
+		t.Errorf("chunks = %d, want 3 (line-aligned split)", chunks)
+	}
+	_, writes, _, bw, _ := m.Stats()
+	if writes != 3 || bw != 100 {
+		t.Errorf("memory writes=%d bytes=%d", writes, bw)
+	}
+}
+
+func TestDMAEngineBarrierBetweenTransfers(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDMAEngine(eng, "dma", 64)
+	// Slow memory, so chunk responses straggle.
+	m := memctrl.New(eng, "mem", mem.Range(0, 1<<30), memctrl.Config{Latency: sim.Microsecond, MaxOutstanding: 4})
+	mem.Connect(d.Port(), m.Port())
+	var order []int
+	d.Write(0x0000, 256, nil, func() { order = append(order, 1) })
+	d.Write(0x1000, 256, nil, func() { order = append(order, 2) })
+	eng.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("transfer completion order %v", order)
+	}
+}
+
+func TestDMAEngineDataMoves(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDMAEngine(eng, "dma", 64)
+	m := memctrl.New(eng, "mem", mem.Range(0, 1<<30), memctrl.Config{})
+	mem.Connect(d.Port(), m.Port())
+	src := make([]byte, 200)
+	for i := range src {
+		src[i] = byte(i * 3)
+	}
+	d.Write(0x2000, 200, src, nil)
+	dst := make([]byte, 200)
+	d.Read(0x2000, 200, dst, nil)
+	eng.Run()
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("byte %d: %d != %d", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestDMAEngineThroughLinkBackpressure(t *testing.T) {
+	// DMA through a Gen2 x1 link with replay buffer 4: the engine must
+	// respect link throttling and still finish.
+	eng := sim.NewEngine()
+	l := pcie.NewLink(eng, "link", pcie.DefaultLinkConfig())
+	d := NewDMAEngine(eng, "dma", 64)
+	m := memctrl.New(eng, "mem", mem.Range(0, 1<<30), memctrl.Config{Latency: 50 * sim.Nanosecond})
+	mem.Connect(d.Port(), l.Down().SlavePort())
+	mem.Connect(l.Up().MasterPort(), m.Port())
+	done := false
+	start := eng.Now()
+	d.Write(0x0, 4096, nil, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("DMA through link did not complete")
+	}
+	// 64 chunks x 168ns wire time is the floor.
+	if eng.Now()-start < 64*168*sim.Nanosecond {
+		t.Errorf("completed impossibly fast: %v", eng.Now()-start)
+	}
+	up := l.Down().Stats()
+	if up.Throttled == 0 {
+		t.Error("expected replay-buffer throttling with an unbounded chunk stream")
+	}
+}
+
+// --- disk ---
+
+type diskRig struct {
+	eng  *sim.Engine
+	disk *Disk
+	cpu  *testdev.Requester
+	m    *memctrl.Memory
+	intr int
+}
+
+// newDiskRig wires cpu -> disk PIO and disk DMA -> memory directly.
+func newDiskRig(cfg DiskConfig) *diskRig {
+	eng := sim.NewEngine()
+	r := &diskRig{eng: eng}
+	r.disk = NewDisk(eng, "disk", cfg)
+	r.disk.BAR0().SetAddr(0x40000000)
+	r.disk.OnInterrupt = func() { r.intr++ }
+	r.cpu = testdev.NewRequester(eng, "cpu")
+	mem.Connect(r.cpu.Port(), r.disk.PIOPort())
+	r.m = memctrl.New(eng, "mem", mem.Range(0x8000_0000, 1<<30), memctrl.Config{Latency: 20 * sim.Nanosecond})
+	mem.Connect(r.disk.DMAPort(), r.m.Port())
+	return r
+}
+
+func (r *diskRig) writeReg(off int, v uint32) {
+	buf := make([]byte, 4)
+	binary.LittleEndian.PutUint32(buf, v)
+	r.cpu.WriteData(0x40000000+uint64(off), buf)
+}
+
+func (r *diskRig) readReg(t *testing.T, off int) uint32 {
+	t.Helper()
+	buf := make([]byte, 4)
+	r.cpu.ReadData(0x40000000+uint64(off), buf)
+	r.eng.Run()
+	return binary.LittleEndian.Uint32(buf)
+}
+
+func (r *diskRig) issueRead(lba uint64, sectors uint32, buf uint64) {
+	r.writeReg(DiskRegSecCount, sectors)
+	r.writeReg(DiskRegLBALo, uint32(lba))
+	r.writeReg(DiskRegLBAHi, uint32(lba>>32))
+	r.writeReg(DiskRegBufLo, uint32(buf))
+	r.writeReg(DiskRegBufHi, uint32(buf>>32))
+	r.writeReg(DiskRegCommand, DiskCmdReadDMA)
+}
+
+func TestDiskConfigSpaceIdentity(t *testing.T) {
+	d := NewDisk(sim.NewEngine(), "disk", DefaultDiskConfig())
+	cs := d.ConfigSpace()
+	if cs.ConfigRead(pci.RegVendorID, 2) != pci.VendorIntel {
+		t.Error("vendor")
+	}
+	if cs.ConfigRead(pci.RegClassCode+2, 1) != 0x01 {
+		t.Error("class must be storage")
+	}
+	if pci.FindCapability(cs, pci.CapIDPCIExpress) == 0 {
+		t.Error("disk must expose a PCIe capability")
+	}
+}
+
+func TestDiskReadDMACommand(t *testing.T) {
+	r := newDiskRig(DefaultDiskConfig())
+	r.issueRead(0, 4, 0x8000_0000)
+	r.eng.Run()
+	if r.intr != 1 {
+		t.Fatalf("interrupts = %d, want 1", r.intr)
+	}
+	if got := r.readReg(t, DiskRegStatus); got&DiskStatusDone == 0 {
+		t.Errorf("status = %#x, want done", got)
+	}
+	_, sectors := r.disk.Stats()
+	if sectors != 4 {
+		t.Errorf("sectors = %d", sectors)
+	}
+	_, memWrites, _, bw, _ := r.m.Stats()
+	if memWrites != 4*4096/64 || bw != 4*4096 {
+		t.Errorf("memory writes=%d bytes=%d", memWrites, bw)
+	}
+	if got := r.readReg(t, DiskRegIntr); got != 1 {
+		t.Errorf("intr status = %d", got)
+	}
+	r.writeReg(DiskRegIntr, 1)
+	r.eng.Run()
+	if got := r.readReg(t, DiskRegIntr); got != 0 {
+		t.Error("interrupt did not clear on write-1")
+	}
+}
+
+func TestDiskWriteDMACommand(t *testing.T) {
+	r := newDiskRig(DefaultDiskConfig())
+	r.writeReg(DiskRegSecCount, 2)
+	r.writeReg(DiskRegBufLo, 0x8000_0000)
+	r.writeReg(DiskRegCommand, DiskCmdWriteDMA)
+	r.eng.Run()
+	reads, _, br, _, _ := r.m.Stats()
+	if reads != 2*4096/64 || br != 2*4096 {
+		t.Errorf("memory reads=%d bytes=%d", reads, br)
+	}
+	if r.intr != 1 {
+		t.Error("write command must interrupt on completion")
+	}
+}
+
+func TestDiskMediaPipelineOverlapsDMA(t *testing.T) {
+	cfg := DefaultDiskConfig()
+	cfg.AccessLatency = sim.Microsecond
+	r := newDiskRig(cfg)
+	start := r.eng.Now()
+	r.issueRead(0, 8, 0x8000_0000)
+	r.eng.Run()
+	elapsed := r.eng.Now() - start
+	// Serialized it would take >= 8 * (1us media + DMA); pipelined, the
+	// total is roughly first-media + 8*DMA. Direct-wired DMA of a
+	// sector is fast, so the run must take well under 8us+overheads if
+	// media fetches overlap... it must at least beat full serialization
+	// of media stages: 8us + 8*DMA. Conservatively require < 11us.
+	if elapsed > 11*sim.Microsecond {
+		t.Errorf("command took %v; media accesses do not pipeline with DMA", elapsed)
+	}
+}
+
+func TestDiskBusyRejectsSecondCommand(t *testing.T) {
+	r := newDiskRig(DefaultDiskConfig())
+	r.issueRead(0, 64, 0x8000_0000)
+	r.writeReg(DiskRegCommand, DiskCmdReadDMA) // while busy
+	r.eng.Run()
+	if got := r.readReg(t, DiskRegStatus); got&DiskStatusErr == 0 {
+		t.Errorf("status = %#x, want error bit for overlapping command", got)
+	}
+}
+
+func TestDiskZeroSectorCommandCompletesImmediately(t *testing.T) {
+	r := newDiskRig(DefaultDiskConfig())
+	r.writeReg(DiskRegSecCount, 0)
+	r.writeReg(DiskRegCommand, DiskCmdReadDMA)
+	r.eng.Run()
+	if r.intr != 1 {
+		t.Error("zero-sector command must complete and interrupt")
+	}
+}
+
+func TestDiskUnknownCommandErrors(t *testing.T) {
+	r := newDiskRig(DefaultDiskConfig())
+	r.writeReg(DiskRegSecCount, 1)
+	r.writeReg(DiskRegCommand, 0x99)
+	r.eng.Run()
+	if got := r.readReg(t, DiskRegStatus); got&DiskStatusErr == 0 {
+		t.Errorf("status = %#x, want error", got)
+	}
+}
+
+// --- NIC ---
+
+type nicRig struct {
+	eng  *sim.Engine
+	nic  *NIC
+	cpu  *testdev.Requester
+	m    *memctrl.Memory
+	intr int
+}
+
+func newNICRig() *nicRig {
+	eng := sim.NewEngine()
+	r := &nicRig{eng: eng}
+	r.nic = NewNIC(eng, "nic", DefaultNICConfig())
+	r.nic.BAR0().SetAddr(0x40100000)
+	r.nic.OnInterrupt = func() { r.intr++ }
+	r.cpu = testdev.NewRequester(eng, "cpu")
+	mem.Connect(r.cpu.Port(), r.nic.PIOPort())
+	r.m = memctrl.New(eng, "mem", mem.Range(0x8000_0000, 1<<30), memctrl.Config{Latency: 20 * sim.Nanosecond})
+	mem.Connect(r.nic.DMAPort(), r.m.Port())
+	return r
+}
+
+func (r *nicRig) writeReg(off int, v uint32) {
+	buf := make([]byte, 4)
+	binary.LittleEndian.PutUint32(buf, v)
+	r.cpu.WriteData(0x40100000+uint64(off), buf)
+}
+
+func (r *nicRig) readReg(t *testing.T, off int) uint32 {
+	t.Helper()
+	buf := make([]byte, 4)
+	r.cpu.ReadData(0x40100000+uint64(off), buf)
+	r.eng.Run()
+	return binary.LittleEndian.Uint32(buf)
+}
+
+func TestNICConfigMatchesPaper(t *testing.T) {
+	n := NewNIC(sim.NewEngine(), "nic", DefaultNICConfig())
+	cs := n.ConfigSpace()
+	if got := cs.ConfigRead(pci.RegDeviceID, 2); got != pci.Device82574L {
+		t.Errorf("device ID = %#x, want 0x10d3 (e1000e probe trigger)", got)
+	}
+	chain := pci.CapabilityChain(cs)
+	want := []uint8{pci.CapIDPowerManagement, pci.CapIDMSI, pci.CapIDPCIExpress, pci.CapIDMSIX}
+	if len(chain) != 4 {
+		t.Fatalf("capability chain %v", chain)
+	}
+	for i := range want {
+		if chain[i] != want[i] {
+			t.Fatalf("capability chain %v, want PM->MSI->PCIe->MSI-X", chain)
+		}
+	}
+	ext := pci.WalkExtendedCapabilities(cs)
+	if len(ext) != 2 || ext[0] != pci.ExtCapIDAER || ext[1] != pci.ExtCapIDSerialNumber {
+		t.Errorf("extended capabilities = %v", ext)
+	}
+}
+
+func TestNICStatusRegisterRead(t *testing.T) {
+	r := newNICRig()
+	if got := r.readReg(t, NICRegStatus); got != 0x3 {
+		t.Errorf("STATUS = %#x, want link-up/full-duplex", got)
+	}
+}
+
+func TestNICMMIOLatency(t *testing.T) {
+	r := newNICRig()
+	buf := make([]byte, 4)
+	r.cpu.ReadData(0x40100000+NICRegStatus, buf)
+	r.eng.Run()
+	if got := r.cpu.Completions[0].Latency(); got != 150*sim.Nanosecond {
+		t.Errorf("direct MMIO read = %v, want the 150ns PIO latency", got)
+	}
+}
+
+func TestNICTransmitRing(t *testing.T) {
+	r := newNICRig()
+	// Build a 4-descriptor ring at 0x8000_0000 with one 1500-byte frame.
+	desc := make([]byte, NICDescSize)
+	binary.LittleEndian.PutUint64(desc, 0x8000_4000) // buffer address
+	binary.LittleEndian.PutUint16(desc[8:], 1500)
+	r.m.WriteFunctional(0x8000_0000, desc)
+
+	r.writeReg(NICRegTDBAL, 0x8000_0000)
+	r.writeReg(NICRegTDBAH, 0)
+	r.writeReg(NICRegTDLEN, 4*NICDescSize)
+	r.writeReg(NICRegIMS, NICIntTxDone)
+	r.writeReg(NICRegTDT, 1) // doorbell
+	r.eng.Run()
+
+	tx, txb, _ := r.nic.Stats()
+	if tx != 1 || txb != 1500 {
+		t.Fatalf("tx = %d frames %d bytes", tx, txb)
+	}
+	if r.intr != 1 {
+		t.Error("TX completion must raise the (masked-in) interrupt")
+	}
+	if got := r.readReg(t, NICRegTDH); got != 1 {
+		t.Errorf("TDH = %d, want 1", got)
+	}
+	// ICR is read-to-clear.
+	if got := r.readReg(t, NICRegICR); got&NICIntTxDone == 0 {
+		t.Error("ICR should report TX done")
+	}
+	if got := r.readReg(t, NICRegICR); got != 0 {
+		t.Error("ICR must clear on read")
+	}
+}
+
+func TestNICInterruptMasking(t *testing.T) {
+	r := newNICRig()
+	desc := make([]byte, NICDescSize)
+	binary.LittleEndian.PutUint64(desc, 0x8000_4000)
+	binary.LittleEndian.PutUint16(desc[8:], 64)
+	r.m.WriteFunctional(0x8000_0000, desc)
+	r.writeReg(NICRegTDBAL, 0x8000_0000)
+	r.writeReg(NICRegTDLEN, 4*NICDescSize)
+	// IMS left at 0: interrupt masked.
+	r.writeReg(NICRegTDT, 1)
+	r.eng.Run()
+	if r.intr != 0 {
+		t.Error("masked interrupt must not fire")
+	}
+	tx, _, _ := r.nic.Stats()
+	if tx != 1 {
+		t.Error("frame must still transmit")
+	}
+}
+
+func TestNICRxInjection(t *testing.T) {
+	r := newNICRig()
+	// RX ring with 4 descriptors; buffers at 0x8001_0000.
+	for i := 0; i < 4; i++ {
+		desc := make([]byte, NICDescSize)
+		binary.LittleEndian.PutUint64(desc, uint64(0x8001_0000+i*2048))
+		r.m.WriteFunctional(uint64(0x8000_2000+i*NICDescSize), desc)
+	}
+	r.writeReg(NICRegRDBAL, 0x8000_2000)
+	r.writeReg(NICRegRDLEN, 4*NICDescSize)
+	r.writeReg(NICRegRDT, 3)
+	r.writeReg(NICRegIMS, NICIntRx)
+	r.eng.Run()
+	r.nic.InjectRxFrame(512)
+	r.eng.Run()
+	_, _, rx := r.nic.Stats()
+	if rx != 1 {
+		t.Fatalf("rx frames = %d", rx)
+	}
+	if r.intr != 1 {
+		t.Error("RX must interrupt")
+	}
+	if got := r.readReg(t, NICRegRDH); got != 1 {
+		t.Errorf("RDH = %d", got)
+	}
+}
+
+func TestNICRxDropWithoutResources(t *testing.T) {
+	r := newNICRig()
+	r.nic.InjectRxFrame(512) // no ring programmed
+	r.eng.Run()
+	_, _, rx := r.nic.Stats()
+	if rx != 0 {
+		t.Error("frame must drop without RX resources")
+	}
+}
+
+// --- posted writes (the paper's §VI-B ablation) ---
+
+func TestDMAEnginePostedWritesNeedNoResponses(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDMAEngine(eng, "dma", 64)
+	d.PostedWrites = true
+	m := memctrl.New(eng, "mem", mem.Range(0, 1<<30), memctrl.Config{Latency: sim.Microsecond})
+	mem.Connect(d.Port(), m.Port())
+	var doneAt sim.Tick
+	d.Write(0x0, 256, nil, func() { doneAt = eng.Now() })
+	eng.Run()
+	// Completion at final acceptance, not after the 1us memory latency.
+	if doneAt >= sim.Microsecond {
+		t.Errorf("posted transfer completed at %v; must not wait for memory", doneAt)
+	}
+	_, writes, _, bw, _ := m.Stats()
+	if writes != 4 || bw != 256 {
+		t.Errorf("memory saw %d writes / %d bytes", writes, bw)
+	}
+}
+
+func TestDMAEnginePostedOrderingPreserved(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDMAEngine(eng, "dma", 64)
+	d.PostedWrites = true
+	m := memctrl.New(eng, "mem", mem.Range(0, 1<<30), memctrl.Config{Latency: 100 * sim.Nanosecond, MaxOutstanding: 2})
+	mem.Connect(d.Port(), m.Port())
+	var order []int
+	d.Write(0x0000, 256, nil, func() { order = append(order, 1) })
+	d.Read(0x1000, 128, nil, func() { order = append(order, 2) }) // reads stay non-posted
+	d.Write(0x2000, 128, nil, func() { order = append(order, 3) })
+	eng.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestDiskPostedWritesSpeedUpSectorTransfer(t *testing.T) {
+	run := func(posted bool) sim.Tick {
+		cfg := DefaultDiskConfig()
+		cfg.PostedWrites = posted
+		r := newDiskRig(cfg)
+		r.issueRead(0, 8, 0x8000_0000)
+		r.eng.Run()
+		return r.disk.DMAWindow()
+	}
+	nonPosted := run(false)
+	posted := run(true)
+	if posted >= nonPosted {
+		t.Errorf("posted window %v not faster than non-posted %v", posted, nonPosted)
+	}
+}

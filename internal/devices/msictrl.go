@@ -1,0 +1,91 @@
+package devices
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pciesim/internal/mem"
+	"pciesim/internal/sim"
+)
+
+// MSIController is a message-signaled-interrupt frame (in the spirit of
+// an ARM GICv2m frame): a memory-mapped doorbell page that turns
+// inbound posted writes into interrupt vectors. It extends the modeled
+// platform beyond the paper, whose gem5 baseline "has no support for
+// PM, MSI and MSI-X" and therefore forces drivers onto legacy INTx.
+type MSIController struct {
+	eng  *sim.Engine
+	name string
+	rng  mem.AddrRange
+
+	port  *mem.SlavePort
+	respQ *mem.SendQueue
+
+	// Latency is the doorbell decode latency.
+	Latency sim.Tick
+	// OnMSI receives each delivered vector (the written data value).
+	OnMSI func(vector uint32)
+
+	delivered uint64
+}
+
+// NewMSIController creates a frame claiming the given range.
+func NewMSIController(eng *sim.Engine, name string, rng mem.AddrRange) *MSIController {
+	m := &MSIController{eng: eng, name: name, rng: rng, Latency: 20 * sim.Nanosecond}
+	m.port = mem.NewSlavePort(name+".port", m)
+	m.respQ = mem.NewSendQueue(eng, name+".respq", 0, func(p *mem.Packet) bool {
+		return m.port.SendTimingResp(p)
+	})
+	return m
+}
+
+// Port returns the slave port (wired to the MemBus).
+func (m *MSIController) Port() *mem.SlavePort { return m.port }
+
+// Range returns the claimed doorbell range.
+func (m *MSIController) Range() mem.AddrRange { return m.rng }
+
+// Delivered returns the number of MSIs raised.
+func (m *MSIController) Delivered() uint64 { return m.delivered }
+
+// RecvTimingReq implements mem.SlaveOwner: decode the vector and raise.
+func (m *MSIController) RecvTimingReq(_ *mem.SlavePort, pkt *mem.Packet) bool {
+	if !m.rng.Contains(pkt.Addr) {
+		panic(fmt.Sprintf("msictrl %s: %v outside %v", m.name, pkt, m.rng))
+	}
+	switch pkt.Cmd {
+	case mem.WriteReq:
+		var vector uint32
+		if pkt.Data != nil {
+			var buf [4]byte
+			copy(buf[:], pkt.Data)
+			vector = binary.LittleEndian.Uint32(buf[:])
+		}
+		m.delivered++
+		if m.OnMSI != nil {
+			v := vector
+			m.eng.Schedule(m.name+".deliver", m.Latency, func() { m.OnMSI(v) })
+		}
+	case mem.ReadReq:
+		// Reads of the frame return zero (identification registers are
+		// not modeled).
+		if pkt.Data != nil {
+			for i := range pkt.Data {
+				pkt.Data[i] = 0
+			}
+		}
+	}
+	if pkt.Posted {
+		return true
+	}
+	m.respQ.Push(pkt.MakeResponse(), m.eng.Now()+m.Latency)
+	return true
+}
+
+// RecvRespRetry implements mem.SlaveOwner.
+func (m *MSIController) RecvRespRetry(*mem.SlavePort) { m.respQ.RetryReceived() }
+
+// AddrRanges implements mem.RangeProvider.
+func (m *MSIController) AddrRanges(*mem.SlavePort) mem.RangeList {
+	return mem.RangeList{m.rng}
+}

@@ -1,0 +1,328 @@
+package devices
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pciesim/internal/mem"
+	"pciesim/internal/pci"
+	"pciesim/internal/sim"
+)
+
+// NIC register offsets within BAR0, a subset of the Intel 8254x/82574
+// register file large enough for a driver model to bring the device up
+// and run descriptor-ring DMA.
+const (
+	NICRegCtrl   = 0x0000 // device control
+	NICRegStatus = 0x0008 // device status (the Table II MMIO probe target)
+	NICRegICR    = 0x00c0 // interrupt cause, read-to-clear
+	NICRegIMS    = 0x00d0 // interrupt mask set
+	NICRegIMC    = 0x00d8 // interrupt mask clear
+	NICRegTDBAL  = 0x3800 // TX descriptor base low
+	NICRegTDBAH  = 0x3804
+	NICRegTDLEN  = 0x3808 // ring size in bytes
+	NICRegTDH    = 0x3810 // head (device-owned)
+	NICRegTDT    = 0x3818 // tail (driver-owned doorbell)
+	NICRegRDBAL  = 0x2800
+	NICRegRDBAH  = 0x2804
+	NICRegRDLEN  = 0x2808
+	NICRegRDH    = 0x2810
+	NICRegRDT    = 0x2818
+)
+
+// Interrupt cause bits.
+const (
+	NICIntTxDone = 1 << 0
+	NICIntRx     = 1 << 7
+)
+
+// NICDescSize is the descriptor size of the 8254x family.
+const NICDescSize = 16
+
+// NICConfig parameterizes the controller.
+type NICConfig struct {
+	// PIOLatency is the MMIO register service time.
+	PIOLatency sim.Tick
+	// ChunkSize is the DMA payload size (cache line).
+	ChunkSize int
+	// BARSize is the register BAR size (128 KiB on the 82574).
+	BARSize uint64
+	// WireBps, when non-zero, serializes transmitted frames at this
+	// line rate (e.g. 1e9 for gigabit); zero transmits instantly.
+	WireBps float64
+	// MSICapable builds the MSI capability with a functional enable
+	// bit; when the driver programs and enables it, interrupts leave
+	// the device as posted message writes through the fabric instead
+	// of the legacy INTx callback.
+	MSICapable bool
+}
+
+// DefaultNICConfig returns an 82574-like configuration.
+func DefaultNICConfig() NICConfig {
+	return NICConfig{
+		PIOLatency: 150 * sim.Nanosecond,
+		ChunkSize:  64,
+		BARSize:    128 * 1024,
+		WireBps:    1e9,
+	}
+}
+
+// txDescriptor mirrors the legacy 8254x transmit descriptor layout:
+// 8-byte buffer address, 2-byte length (the model ignores the command
+// and status fields' finer points beyond descriptor-done).
+type txDescriptor struct {
+	Addr   uint64
+	Length int
+}
+
+// NIC is the 8254x-pcie model of §IV: the gem5 8254x device model
+// "with certain changes" so the e1000e driver for the PCI-Express
+// 82574L detects and configures it. Its configuration space carries
+// the capability chain of the 82574 datasheet — PM, MSI, PCI-Express,
+// MSI-X, in that order — with PM/MSI/MSI-X inert so the driver falls
+// back to a legacy interrupt handler.
+type NIC struct {
+	eng  *sim.Engine
+	name string
+	cfg  NICConfig
+
+	config *pci.ConfigSpace
+	pio    *mem.SlavePort
+	dma    *DMAEngine
+	respQ  *mem.SendQueue
+
+	regs   map[int]uint32
+	icr    uint32
+	ims    uint32
+	msiCap int
+
+	txBusy bool
+
+	// OnInterrupt is the legacy INTx line.
+	OnInterrupt func()
+	// OnTransmit observes frames leaving the model (frame payloads are
+	// not simulated; the length is).
+	OnTransmit func(length int)
+
+	// Stats.
+	txFrames, txBytes uint64
+	rxFrames          uint64
+}
+
+// NewNIC builds the device and its §IV configuration space.
+func NewNIC(eng *sim.Engine, name string, cfg NICConfig) *NIC {
+	n := &NIC{eng: eng, name: name, cfg: cfg, regs: make(map[int]uint32)}
+	n.config = pci.NewType0Space(name+".config", pci.Ident{
+		VendorID: pci.VendorIntel,
+		// "We set the Device ID register in the 8254x-pcie
+		// configuration header to 0x10D3 to invoke the probe function
+		// of the e1000e driver."
+		DeviceID:     pci.Device82574L,
+		ClassCode:    pci.ClassNetworkEthernet,
+		RevisionID:   0x00,
+		InterruptPin: 1,
+	})
+	n.config.AttachBAR(0, pci.NewMemBAR(cfg.BARSize))
+	n.config.AttachBAR(2, pci.NewIOBAR(32))
+	// Capability chain order per the 82574 datasheet: PM -> MSI ->
+	// PCIe -> MSI-X (§IV).
+	pci.AddPowerManagementCap(n.config)
+	if cfg.MSICapable {
+		n.msiCap = pci.AddMSICapRW(n.config)
+	} else {
+		pci.AddMSICap(n.config)
+	}
+	pci.AddPCIeCap(n.config, pci.PCIeCapConfig{
+		PortType: pci.PCIePortEndpoint, LinkSpeed: pci.LinkSpeedGen2, LinkWidth: 1,
+	})
+	pci.AddMSIXCap(n.config, 5)
+	// R3 extended capabilities: AER and a device serial number.
+	pci.AddExtendedCapability(n.config, pci.ExtCapIDAER, 1, 0x48)
+	pci.AddExtendedCapability(n.config, pci.ExtCapIDSerialNumber, 1, 0x0c)
+
+	n.pio = mem.NewSlavePort(name+".pio", (*nicPIO)(n))
+	n.respQ = mem.NewSendQueue(eng, name+".respq", 0, func(p *mem.Packet) bool {
+		return n.pio.SendTimingResp(p)
+	})
+	n.dma = NewDMAEngine(eng, name, cfg.ChunkSize)
+	// Device status: link up (bit 1), full duplex (bit 0).
+	n.regs[NICRegStatus] = 0x3
+	return n
+}
+
+// ConfigSpace returns the configuration space for host registration.
+func (n *NIC) ConfigSpace() *pci.ConfigSpace { return n.config }
+
+// PIOPort returns the MMIO slave port.
+func (n *NIC) PIOPort() *mem.SlavePort { return n.pio }
+
+// DMAPort returns the DMA master port.
+func (n *NIC) DMAPort() *mem.MasterPort { return n.dma.Port() }
+
+// BAR0 returns the register BAR.
+func (n *NIC) BAR0() *pci.BAR { return n.config.BARAt(0) }
+
+// Stats returns (frames transmitted, payload bytes transmitted, frames
+// received).
+func (n *NIC) Stats() (txFrames, txBytes, rxFrames uint64) {
+	return n.txFrames, n.txBytes, n.rxFrames
+}
+
+// nicPIO adapts NIC to mem.SlaveOwner.
+type nicPIO NIC
+
+func (o *nicPIO) n() *NIC { return (*NIC)(o) }
+
+func (o *nicPIO) RecvTimingReq(_ *mem.SlavePort, pkt *mem.Packet) bool {
+	n := o.n()
+	bar := n.BAR0()
+	if bar.Addr() == 0 || pkt.Addr < bar.Addr() || pkt.Addr >= bar.Addr()+n.cfg.BARSize {
+		panic(fmt.Sprintf("devices %s: PIO %v outside BAR0 (%#x)", n.name, pkt, bar.Addr()))
+	}
+	off := int(pkt.Addr - bar.Addr())
+	switch pkt.Cmd {
+	case mem.ReadReq:
+		v := n.regRead(off)
+		if pkt.Data == nil {
+			pkt.Data = make([]byte, pkt.Size)
+		}
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], v)
+		copy(pkt.Data, buf[:pkt.Size])
+	case mem.WriteReq:
+		var buf [4]byte
+		copy(buf[:pkt.Size], pkt.Data)
+		n.regWrite(off, binary.LittleEndian.Uint32(buf[:]))
+	}
+	n.respQ.Push(pkt.MakeResponse(), n.eng.Now()+n.cfg.PIOLatency)
+	return true
+}
+
+func (o *nicPIO) RecvRespRetry(*mem.SlavePort) { o.n().respQ.RetryReceived() }
+
+func (o *nicPIO) AddrRanges(*mem.SlavePort) mem.RangeList {
+	n := o.n()
+	if n.BAR0().Addr() == 0 {
+		return nil
+	}
+	return mem.RangeList{mem.Range(n.BAR0().Addr(), n.cfg.BARSize)}
+}
+
+func (n *NIC) regRead(off int) uint32 {
+	if off == NICRegICR {
+		// Read-to-clear.
+		v := n.icr
+		n.icr = 0
+		return v
+	}
+	return n.regs[off]
+}
+
+func (n *NIC) regWrite(off int, v uint32) {
+	switch off {
+	case NICRegIMS:
+		n.ims |= v
+		return
+	case NICRegIMC:
+		n.ims &^= v
+		return
+	case NICRegICR:
+		n.icr &^= v
+		return
+	}
+	n.regs[off] = v
+	if off == NICRegTDT {
+		n.pumpTx()
+	}
+}
+
+// pumpTx walks the transmit ring from head to tail: fetch descriptor by
+// DMA, fetch the frame buffer by DMA, "transmit", advance head,
+// interrupt.
+func (n *NIC) pumpTx() {
+	if n.txBusy {
+		return
+	}
+	head, tail := n.regs[NICRegTDH], n.regs[NICRegTDT]
+	ringLen := n.regs[NICRegTDLEN] / NICDescSize
+	if ringLen == 0 || head == tail {
+		return
+	}
+	n.txBusy = true
+	base := uint64(n.regs[NICRegTDBAH])<<32 | uint64(n.regs[NICRegTDBAL])
+	descAddr := base + uint64(head)*NICDescSize
+	descBuf := make([]byte, NICDescSize)
+	n.dma.Read(descAddr, NICDescSize, descBuf, func() {
+		desc := txDescriptor{
+			Addr:   binary.LittleEndian.Uint64(descBuf),
+			Length: int(binary.LittleEndian.Uint16(descBuf[8:])),
+		}
+		if desc.Length == 0 {
+			desc.Length = 64 // minimum frame
+		}
+		n.dma.Read(desc.Addr, desc.Length, nil, func() {
+			n.transmitFrame(desc.Length)
+		})
+	})
+}
+
+func (n *NIC) transmitFrame(length int) {
+	var wireTime sim.Tick
+	if n.cfg.WireBps > 0 {
+		wireTime = sim.Tick(float64(length*8) / n.cfg.WireBps * float64(sim.Second))
+	}
+	n.eng.Schedule(n.name+".txdone", wireTime, func() {
+		n.txFrames++
+		n.txBytes += uint64(length)
+		if n.OnTransmit != nil {
+			n.OnTransmit(length)
+		}
+		head := n.regs[NICRegTDH]
+		ringLen := n.regs[NICRegTDLEN] / NICDescSize
+		n.regs[NICRegTDH] = (head + 1) % ringLen
+		n.txBusy = false
+		n.raise(NICIntTxDone)
+		n.pumpTx()
+	})
+}
+
+// InjectRxFrame models an arriving frame: it is DMA-written into the
+// next receive buffer (the driver model pre-programs the RX ring) and
+// raises an RX interrupt.
+func (n *NIC) InjectRxFrame(length int) {
+	head := n.regs[NICRegRDH]
+	ringLen := n.regs[NICRegRDLEN] / NICDescSize
+	if ringLen == 0 || (head+1)%ringLen == n.regs[NICRegRDT] {
+		return // no RX resources; frame dropped
+	}
+	base := uint64(n.regs[NICRegRDBAH])<<32 | uint64(n.regs[NICRegRDBAL])
+	descAddr := base + uint64(head)*NICDescSize
+	descBuf := make([]byte, NICDescSize)
+	n.dma.Read(descAddr, NICDescSize, descBuf, func() {
+		bufAddr := binary.LittleEndian.Uint64(descBuf)
+		n.dma.Write(bufAddr, length, nil, func() {
+			n.rxFrames++
+			n.regs[NICRegRDH] = (head + 1) % ringLen
+			n.raise(NICIntRx)
+		})
+	})
+}
+
+func (n *NIC) raise(cause uint32) {
+	n.icr |= cause
+	if n.icr&n.ims == 0 {
+		return
+	}
+	if n.msiCap != 0 && n.config.Word(n.msiCap+2)&1 == 1 {
+		// MSI enabled: signal by a posted message write through the
+		// fabric, ordered behind any in-flight DMA.
+		addr := uint64(n.config.Dword(n.msiCap + 4))
+		data := make([]byte, 4)
+		binary.LittleEndian.PutUint32(data, uint32(n.config.Word(n.msiCap+8)))
+		n.dma.WritePosted(addr, 4, data, nil)
+		return
+	}
+	if n.OnInterrupt != nil {
+		n.OnInterrupt()
+	}
+}

@@ -1,0 +1,91 @@
+package kernel
+
+import (
+	"errors"
+
+	"pciesim/internal/devices"
+	"pciesim/internal/pci"
+)
+
+// DiskHandle is the bound-device state of the block driver.
+type DiskHandle struct {
+	Dev  *FoundDevice
+	BAR0 uint64
+	IRQ  int
+	// Done is signaled by the interrupt handler on command completion.
+	Done *Waiter
+	// SectorSize is the device transfer unit.
+	SectorSize int
+}
+
+// DiskDriver binds the simplified IDE/ATA-DMA storage device and
+// exposes synchronous sector transfers to workloads.
+type DiskDriver struct {
+	Handle *DiskHandle
+}
+
+// Name implements Driver.
+func (d *DiskDriver) Name() string { return "pciesim-blk" }
+
+// Table implements Driver.
+func (d *DiskDriver) Table() []DeviceID {
+	return []DeviceID{{Vendor: pci.VendorIntel, Device: 0x2922}}
+}
+
+// Probe implements Driver.
+func (d *DiskDriver) Probe(t *Task, k *Kernel, dev *FoundDevice) error {
+	if len(dev.BARs) == 0 || dev.BARs[0].IsIO {
+		return errors.New("blk: BAR0 must be a memory BAR")
+	}
+	h := &DiskHandle{
+		Dev:        dev,
+		BAR0:       dev.BARs[0].Addr,
+		IRQ:        dev.IRQ,
+		Done:       NewWaiter("disk.done"),
+		SectorSize: 4096,
+	}
+	k.CPU.RegisterIRQ(dev.IRQ, func() { h.Done.Signal() })
+	k.SetBusMaster(t, dev.BDF)
+	d.Handle = h
+	return nil
+}
+
+// reg returns the MMIO address of a disk register.
+func (h *DiskHandle) reg(off int) uint64 { return h.BAR0 + uint64(off) }
+
+// Transfer issues one DMA command for count sectors and blocks until
+// the completion interrupt. write selects the direction (memory ->
+// device). The register programming, the completion interrupt, and the
+// final status read and interrupt acknowledgment are all timing MMIO
+// transactions through the PCI-Express fabric.
+func (h *DiskHandle) Transfer(t *Task, write bool, lba uint64, count uint32, bufAddr uint64) error {
+	t.Write32(h.reg(devices.DiskRegSecCount), count)
+	t.Write32(h.reg(devices.DiskRegLBALo), uint32(lba))
+	t.Write32(h.reg(devices.DiskRegLBAHi), uint32(lba>>32))
+	t.Write32(h.reg(devices.DiskRegBufLo), uint32(bufAddr))
+	t.Write32(h.reg(devices.DiskRegBufHi), uint32(bufAddr>>32))
+	cmd := uint32(devices.DiskCmdReadDMA)
+	if write {
+		cmd = devices.DiskCmdWriteDMA
+	}
+	t.Write32(h.reg(devices.DiskRegCommand), cmd)
+	t.Wait(h.Done)
+	// Interrupt bottom half: acknowledge and check status.
+	t.Write32(h.reg(devices.DiskRegIntr), 1)
+	status := t.Read32(h.reg(devices.DiskRegStatus))
+	if status&devices.DiskStatusErr != 0 {
+		return errors.New("blk: device reported an error")
+	}
+	return nil
+}
+
+// ReadSectors transfers count sectors from the device into memory at
+// bufAddr.
+func (h *DiskHandle) ReadSectors(t *Task, lba uint64, count uint32, bufAddr uint64) error {
+	return h.Transfer(t, false, lba, count, bufAddr)
+}
+
+// WriteSectors transfers count sectors from memory to the device.
+func (h *DiskHandle) WriteSectors(t *Task, lba uint64, count uint32, bufAddr uint64) error {
+	return h.Transfer(t, true, lba, count, bufAddr)
+}

@@ -1,0 +1,138 @@
+package kernel
+
+import (
+	"fmt"
+
+	"pciesim/internal/sim"
+)
+
+// DDConfig parameterizes the dd workload model of §VI-A: "dd simply
+// floods the storage device with read/write accesses... we only
+// transfer a single block of data at a time, with a block size varied
+// between 64MB and 512MB. We run dd with direct IO to avoid the page
+// cache lookup overhead."
+//
+// The overhead knobs stand in for the Linux kernel the paper boots on
+// gem5; they are calibrated once (see system.DefaultCalibration) and
+// then held fixed across every experiment.
+type DDConfig struct {
+	// BlockBytes is dd's bs= value; a single block is transferred.
+	BlockBytes uint64
+	// RequestBytes is the block-layer request size the transfer is
+	// split into (max_sectors_kb; 128 KiB by default).
+	RequestBytes int
+	// BufAddr is the DRAM address of dd's O_DIRECT user buffer.
+	BufAddr uint64
+
+	// StartupOverhead models process start, open(2), and allocation —
+	// the fixed cost amortized by larger block sizes.
+	StartupOverhead sim.Tick
+	// PerRequestOverhead models the syscall, block layer, and driver
+	// submission path per request.
+	PerRequestOverhead sim.Tick
+	// PerSectorOverhead models per-4KiB completion work (bio/page
+	// accounting under O_DIRECT).
+	PerSectorOverhead sim.Tick
+	// InterruptOverhead models the IRQ path and context switch per
+	// request completion.
+	InterruptOverhead sim.Tick
+}
+
+// DDResult reports one dd run.
+type DDResult struct {
+	Bytes    uint64
+	Requests int
+	Elapsed  sim.Tick
+}
+
+// ThroughputGbps is the number dd prints: bytes over wall time.
+func (r DDResult) ThroughputGbps() float64 {
+	if r.Elapsed == 0 {
+		return 0
+	}
+	return float64(r.Bytes) * 8 / r.Elapsed.Seconds() / 1e9
+}
+
+// String implements fmt.Stringer.
+func (r DDResult) String() string {
+	return fmt.Sprintf("%d bytes in %v (%.3f Gb/s, %d requests)",
+		r.Bytes, r.Elapsed, r.ThroughputGbps(), r.Requests)
+}
+
+// RunDD models `dd if=/dev/disk of=/dev/zero bs=<block> count=1
+// iflag=direct`: the block is split into block-layer requests, each
+// submitted to the disk as one DMA command; the task burns the
+// configured CPU overheads around the hardware interactions exactly
+// where a real kernel would.
+func RunDD(t *Task, h *DiskHandle, cfg DDConfig) (DDResult, error) {
+	if cfg.RequestBytes == 0 {
+		cfg.RequestBytes = 128 * 1024
+	}
+	if cfg.BlockBytes == 0 {
+		cfg.BlockBytes = 64 << 20
+	}
+	secSize := uint64(h.SectorSize)
+	start := t.Now()
+	t.Delay(cfg.StartupOverhead)
+
+	var moved uint64
+	var requests int
+	lba := uint64(0)
+	for moved < cfg.BlockBytes {
+		n := uint64(cfg.RequestBytes)
+		if n > cfg.BlockBytes-moved {
+			n = cfg.BlockBytes - moved
+		}
+		sectors := (n + secSize - 1) / secSize
+
+		// Submission path.
+		t.Delay(cfg.PerRequestOverhead)
+		if err := h.ReadSectors(t, lba, uint32(sectors), cfg.BufAddr+(moved%(64<<20))); err != nil {
+			return DDResult{}, err
+		}
+		// Completion path: IRQ exit plus per-page bio completion work.
+		t.Delay(cfg.InterruptOverhead + cfg.PerSectorOverhead*sim.Tick(sectors))
+
+		moved += sectors * secSize
+		lba += sectors
+		requests++
+	}
+	return DDResult{Bytes: moved, Requests: requests, Elapsed: t.Now() - start}, nil
+}
+
+// MMIOProbeResult reports the §VI kernel-module register-read
+// experiment (Table II).
+type MMIOProbeResult struct {
+	Samples int
+	Total   sim.Tick
+	Min     sim.Tick
+	Max     sim.Tick
+}
+
+// Avg returns the mean access latency.
+func (r MMIOProbeResult) Avg() sim.Tick {
+	if r.Samples == 0 {
+		return 0
+	}
+	return r.Total / sim.Tick(r.Samples)
+}
+
+// MMIOProbe performs n back-to-back 4-byte MMIO reads of addr and
+// measures each round trip: "We create a kernel module and measure the
+// time taken to access a location in the NIC memory space" (§VI-B).
+func MMIOProbe(t *Task, addr uint64, n int) MMIOProbeResult {
+	res := MMIOProbeResult{Samples: n, Min: sim.MaxTick}
+	for i := 0; i < n; i++ {
+		before := t.Now()
+		t.Read32(addr)
+		lat := t.Now() - before
+		res.Total += lat
+		if lat < res.Min {
+			res.Min = lat
+		}
+		if lat > res.Max {
+			res.Max = lat
+		}
+	}
+	return res
+}

@@ -1,0 +1,205 @@
+package kernel
+
+import (
+	"fmt"
+
+	"pciesim/internal/pci"
+)
+
+// DeviceID is one entry of a driver's module device table: "A device
+// driver exposes a Module Device Table to the kernel, which lists the
+// Vendor ID and Device ID of all the devices supported by that driver"
+// (§IV).
+type DeviceID struct {
+	Vendor uint16
+	Device uint16
+}
+
+// Driver is the kernel-side driver contract.
+type Driver interface {
+	// Name identifies the driver in diagnostics.
+	Name() string
+	// Table returns the module device table used for matching.
+	Table() []DeviceID
+	// Probe binds the driver to a matched device; it runs in task
+	// context and may issue configuration and MMIO transactions.
+	Probe(t *Task, k *Kernel, dev *FoundDevice) error
+}
+
+// Kernel ties the CPU model, enumeration, and the driver registry
+// together.
+type Kernel struct {
+	CPU  *CPU
+	Enum EnumConfig
+
+	// MSITarget is the physical address of the platform's MSI doorbell
+	// frame; zero means the platform offers no message-signaled
+	// interrupts (the paper's gem5 baseline).
+	MSITarget uint64
+
+	nextMSIVector int
+
+	drivers []Driver
+	// Topo is the device tree discovered by Boot.
+	Topo *Topology
+	// Bound maps probed devices to their drivers.
+	Bound map[*FoundDevice]Driver
+}
+
+// New creates a kernel around a CPU with the default ARM platform
+// enumeration config.
+func New(cpu *CPU) *Kernel {
+	return &Kernel{CPU: cpu, Enum: DefaultEnumConfig(), Bound: make(map[*FoundDevice]Driver)}
+}
+
+// RegisterDriver adds a driver to the registry (insmod).
+func (k *Kernel) RegisterDriver(d Driver) { k.drivers = append(k.drivers, d) }
+
+// Boot enumerates the hierarchy and probes matching drivers, in task
+// context.
+func (k *Kernel) Boot(t *Task) error {
+	k.Topo = Enumerate(t, k.Enum)
+	for _, dev := range k.Topo.Endpoints() {
+		for _, drv := range k.drivers {
+			if !matches(drv, dev) {
+				continue
+			}
+			if err := drv.Probe(t, k, dev); err != nil {
+				return fmt.Errorf("kernel: %s probe of %v: %w", drv.Name(), dev.BDF, err)
+			}
+			k.Bound[dev] = drv
+			break
+		}
+	}
+	return nil
+}
+
+func matches(d Driver, dev *FoundDevice) bool {
+	for _, id := range d.Table() {
+		if id.Vendor == dev.VendorID && id.Device == dev.DeviceID {
+			return true
+		}
+	}
+	return false
+}
+
+// --- configuration space helpers (task context) ---
+
+// CfgAddr returns the ECAM address of a register.
+func (k *Kernel) CfgAddr(bdf pci.BDF, reg int) uint64 {
+	return k.Enum.ECAMBase + bdf.ECAMOffset() + uint64(reg)
+}
+
+// CfgRead8/16/32 and CfgWrite* issue timing configuration accesses.
+func (k *Kernel) CfgRead8(t *Task, bdf pci.BDF, reg int) uint8 {
+	return t.Read8(k.CfgAddr(bdf, reg))
+}
+
+// CfgRead16 reads a 16-bit configuration register.
+func (k *Kernel) CfgRead16(t *Task, bdf pci.BDF, reg int) uint16 {
+	return t.Read16(k.CfgAddr(bdf, reg))
+}
+
+// CfgRead32 reads a 32-bit configuration register.
+func (k *Kernel) CfgRead32(t *Task, bdf pci.BDF, reg int) uint32 {
+	return t.Read32(k.CfgAddr(bdf, reg))
+}
+
+// CfgWrite16 writes a 16-bit configuration register.
+func (k *Kernel) CfgWrite16(t *Task, bdf pci.BDF, reg int, v uint16) {
+	t.Write16(k.CfgAddr(bdf, reg), v)
+}
+
+// CfgWrite32 writes a 32-bit configuration register.
+func (k *Kernel) CfgWrite32(t *Task, bdf pci.BDF, reg int, v uint32) {
+	t.Write32(k.CfgAddr(bdf, reg), v)
+}
+
+// FindCapability walks the device's capability chain with timing
+// configuration reads — the walk a real driver performs (§IV).
+func (k *Kernel) FindCapability(t *Task, bdf pci.BDF, id uint8) int {
+	status := k.CfgRead16(t, bdf, pci.RegStatus)
+	if status&pci.StatusCapList == 0 {
+		return 0
+	}
+	ptr := int(k.CfgRead8(t, bdf, pci.RegCapPtr)) &^ 3
+	for hops := 0; ptr >= 0x40 && hops < 48; hops++ {
+		if k.CfgRead8(t, bdf, ptr) == id {
+			return ptr
+		}
+		ptr = int(k.CfgRead8(t, bdf, ptr+1)) &^ 3
+	}
+	return 0
+}
+
+// SetBusMaster sets the command register's bus-master bit
+// (pci_set_master).
+func (k *Kernel) SetBusMaster(t *Task, bdf pci.BDF) {
+	cmd := k.CfgRead16(t, bdf, pci.RegCommand)
+	k.CfgWrite16(t, bdf, pci.RegCommand, cmd|pci.CmdBusMaster)
+}
+
+// TryEnableMSI attempts to enable MSI and reports whether the enable
+// bit stuck. On the modeled devices it never does — "the device driver
+// is forced to register a legacy interrupt handler instead of MSI or
+// MSI-X" (§IV).
+func (k *Kernel) TryEnableMSI(t *Task, bdf pci.BDF) bool {
+	off := k.FindCapability(t, bdf, pci.CapIDMSI)
+	if off == 0 {
+		return false
+	}
+	ctl := k.CfgRead16(t, bdf, off+2)
+	k.CfgWrite16(t, bdf, off+2, ctl|1)
+	return k.CfgRead16(t, bdf, off+2)&1 != 0
+}
+
+// SetupMSI programs and enables message-signaled interrupts for the
+// device: allocate a vector, write the platform doorbell address and
+// the vector into the MSI capability, set the enable bit, and verify
+// it stuck. The handler is registered on the vector's interrupt line.
+// It returns (0, false) when the platform or device cannot do MSI.
+func (k *Kernel) SetupMSI(t *Task, bdf pci.BDF, handler func()) (vector int, ok bool) {
+	if k.MSITarget == 0 {
+		return 0, false
+	}
+	off := k.FindCapability(t, bdf, pci.CapIDMSI)
+	if off == 0 {
+		return 0, false
+	}
+	if k.nextMSIVector == 0 {
+		k.nextMSIVector = 64 // above the legacy INTx lines
+	}
+	vector = k.nextMSIVector
+	k.CfgWrite32(t, bdf, off+4, uint32(k.MSITarget))
+	k.CfgWrite16(t, bdf, off+8, uint16(vector))
+	ctl := k.CfgRead16(t, bdf, off+2)
+	k.CfgWrite16(t, bdf, off+2, ctl|1)
+	if k.CfgRead16(t, bdf, off+2)&1 == 0 {
+		return 0, false // enable did not stick: the §IV disabled device
+	}
+	k.nextMSIVector++
+	k.CPU.RegisterIRQ(vector, handler)
+	return vector, true
+}
+
+// TryEnableMSIX mirrors TryEnableMSI for MSI-X.
+func (k *Kernel) TryEnableMSIX(t *Task, bdf pci.BDF) bool {
+	off := k.FindCapability(t, bdf, pci.CapIDMSIX)
+	if off == 0 {
+		return false
+	}
+	ctl := k.CfgRead16(t, bdf, off+2)
+	k.CfgWrite16(t, bdf, off+2, ctl|0x8000)
+	return k.CfgRead16(t, bdf, off+2)&0x8000 != 0
+}
+
+// PCIeLinkInfo reads the negotiated link speed and width from the
+// PCI-Express capability (zeroes if the capability is absent).
+func (k *Kernel) PCIeLinkInfo(t *Task, bdf pci.BDF) (speed, width uint8) {
+	off := k.FindCapability(t, bdf, pci.CapIDPCIExpress)
+	if off == 0 {
+		return 0, 0
+	}
+	ls := k.CfgRead16(t, bdf, off+pci.PCIeLinkStatusOffset)
+	return uint8(ls & 0xf), uint8(ls>>4) & 0x3f
+}

@@ -1,0 +1,267 @@
+package kernel
+
+import (
+	"fmt"
+
+	"pciesim/internal/mem"
+	"pciesim/internal/pci"
+)
+
+// EnumConfig parameterizes the enumeration software.
+type EnumConfig struct {
+	// ECAMBase is the configuration window base (0x30000000 on the
+	// modeled ARM platform).
+	ECAMBase uint64
+	// MemWindow is the MMIO address pool BARs and bridge windows are
+	// carved from (0x40000000..0x80000000).
+	MemWindow mem.AddrRange
+	// IOWindow is the port-I/O pool (0x2f000000..0x2fffffff).
+	IOWindow mem.AddrRange
+	// BridgeAlign is the memory-window granularity of a type-1 header
+	// (1 MiB: the registers hold address bits 31:20).
+	BridgeAlign uint64
+	// IOAlign is the I/O-window granularity (4 KiB).
+	IOAlign uint64
+	// FirstIRQ numbers the legacy interrupt lines handed to endpoints.
+	FirstIRQ int
+}
+
+// DefaultEnumConfig matches the paper's ARM Vexpress_GEM5_V1 memory map
+// (§III).
+func DefaultEnumConfig() EnumConfig {
+	return EnumConfig{
+		ECAMBase:    0x30000000,
+		MemWindow:   mem.Span(0x40000000, 0x80000000),
+		IOWindow:    mem.Span(0x2f000000, 0x30000000),
+		BridgeAlign: 1 << 20,
+		IOAlign:     1 << 12,
+		FirstIRQ:    32,
+	}
+}
+
+// FoundBAR records one sized-and-assigned base address register.
+type FoundBAR struct {
+	Index int
+	Addr  uint64
+	Size  uint64
+	IsIO  bool
+}
+
+// FoundDevice is one function discovered by enumeration.
+type FoundDevice struct {
+	BDF        pci.BDF
+	VendorID   uint16
+	DeviceID   uint16
+	ClassCode  uint32
+	HeaderType uint8
+	IsBridge   bool
+	BARs       []FoundBAR
+
+	// Bridge-only fields.
+	Secondary   uint8
+	Subordinate uint8
+	Children    []*FoundDevice
+
+	// Endpoint-only fields.
+	IRQ int
+}
+
+// Topology is the result of an enumeration pass.
+type Topology struct {
+	// Root holds the devices found on bus 0.
+	Root []*FoundDevice
+	// All lists every function in DFS discovery order.
+	All []*FoundDevice
+	// Buses is the number of buses assigned (highest bus number + 1).
+	Buses int
+}
+
+// FindByID returns the first device matching vendor/device, or nil.
+func (tp *Topology) FindByID(vendor, device uint16) *FoundDevice {
+	for _, d := range tp.All {
+		if d.VendorID == vendor && d.DeviceID == device {
+			return d
+		}
+	}
+	return nil
+}
+
+// Endpoints returns all non-bridge functions in discovery order.
+func (tp *Topology) Endpoints() []*FoundDevice {
+	var out []*FoundDevice
+	for _, d := range tp.All {
+		if !d.IsBridge {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// enumerator carries the DFS state.
+type enumerator struct {
+	t       *Task
+	cfg     EnumConfig
+	nextBus uint8
+	memCur  uint64
+	ioCur   uint64
+	nextIRQ int
+	topo    *Topology
+}
+
+// Enumerate performs the full PCI discovery pass the paper's kernel
+// performs at boot (§II-A): a depth-first search over buses, reading
+// vendor/device IDs, sizing and assigning BARs with the all-ones
+// handshake, assigning bus numbers to bridges, programming their
+// memory and I/O windows bottom-up, and enabling the devices. Every
+// register access is a timing configuration transaction through the
+// fabric and PCI host.
+func Enumerate(t *Task, cfg EnumConfig) *Topology {
+	e := &enumerator{
+		t:       t,
+		cfg:     cfg,
+		nextBus: 1,
+		memCur:  cfg.MemWindow.Start,
+		ioCur:   cfg.IOWindow.Start,
+		nextIRQ: cfg.FirstIRQ,
+		topo:    &Topology{},
+	}
+	e.topo.Root = e.scanBus(0)
+	e.topo.Buses = int(e.nextBus)
+	return e.topo
+}
+
+func (e *enumerator) cfgAddr(bdf pci.BDF, reg int) uint64 {
+	return e.cfg.ECAMBase + bdf.ECAMOffset() + uint64(reg)
+}
+
+func (e *enumerator) scanBus(bus uint8) []*FoundDevice {
+	var found []*FoundDevice
+	for dev := uint8(0); dev < 32; dev++ {
+		bdf := pci.NewBDF(bus, dev, 0)
+		vendor := e.t.Read16(e.cfgAddr(bdf, pci.RegVendorID))
+		if vendor == 0xffff {
+			continue // all-ones: nobody home (§III)
+		}
+		d := &FoundDevice{
+			BDF:      bdf,
+			VendorID: vendor,
+			DeviceID: e.t.Read16(e.cfgAddr(bdf, pci.RegDeviceID)),
+		}
+		d.ClassCode = uint32(e.t.Read8(e.cfgAddr(bdf, pci.RegClassCode))) |
+			uint32(e.t.Read8(e.cfgAddr(bdf, pci.RegClassCode+1)))<<8 |
+			uint32(e.t.Read8(e.cfgAddr(bdf, pci.RegClassCode+2)))<<16
+		d.HeaderType = e.t.Read8(e.cfgAddr(bdf, pci.RegHeaderType))
+		d.IsBridge = d.HeaderType&pci.HeaderTypeTypeMask == pci.HeaderType1
+
+		e.topo.All = append(e.topo.All, d) // DFS preorder
+		if d.IsBridge {
+			e.scanBridge(d)
+		} else {
+			e.sizeAndAssignBARs(d, 6)
+			d.IRQ = e.nextIRQ
+			e.nextIRQ++
+			e.t.Write8(e.cfgAddr(bdf, pci.RegIntLine), uint8(d.IRQ))
+			// Enable memory/I-O decoding; drivers turn on bus
+			// mastering themselves (pci_set_master).
+			e.t.Write16(e.cfgAddr(bdf, pci.RegCommand), pci.CmdMemEnable|pci.CmdIOEnable)
+		}
+		found = append(found, d)
+	}
+	return found
+}
+
+// scanBridge assigns bus numbers, recurses, and programs the windows.
+func (e *enumerator) scanBridge(d *FoundDevice) {
+	bdf := d.BDF
+	sec := e.nextBus
+	e.nextBus++
+	e.t.Write8(e.cfgAddr(bdf, pci.RegPrimaryBus), bdf.Bus)
+	e.t.Write8(e.cfgAddr(bdf, pci.RegSecondaryBus), sec)
+	// Open the subordinate range while scanning below.
+	e.t.Write8(e.cfgAddr(bdf, pci.RegSubordinateBus), 0xff)
+
+	memStart := alignUp(e.memCur, e.cfg.BridgeAlign)
+	ioStart := alignUp(e.ioCur, e.cfg.IOAlign)
+	e.memCur = memStart
+	e.ioCur = ioStart
+
+	d.Children = e.scanBus(sec)
+
+	sub := e.nextBus - 1
+	e.t.Write8(e.cfgAddr(bdf, pci.RegSubordinateBus), sub)
+	d.Secondary = sec
+	d.Subordinate = sub
+
+	// Program the decoded windows bottom-up.
+	memEnd := alignUp(e.memCur, e.cfg.BridgeAlign)
+	if memEnd > memStart {
+		e.t.Write16(e.cfgAddr(bdf, pci.RegMemBase), uint16(memStart>>16)&0xfff0)
+		e.t.Write16(e.cfgAddr(bdf, pci.RegMemLimit), uint16((memEnd-1)>>16)&0xfff0)
+		e.memCur = memEnd
+	} else {
+		// Closed window: base above limit.
+		e.t.Write16(e.cfgAddr(bdf, pci.RegMemBase), 0xfff0)
+		e.t.Write16(e.cfgAddr(bdf, pci.RegMemLimit), 0x0000)
+	}
+	ioEnd := alignUp(e.ioCur, e.cfg.IOAlign)
+	if ioEnd > ioStart {
+		// 32-bit I/O window: bits 15:12 in base/limit, 31:16 in the
+		// upper registers (§V-A's ARM platform layout).
+		e.t.Write8(e.cfgAddr(bdf, pci.RegIOBase), uint8(ioStart>>8)&0xf0)
+		e.t.Write8(e.cfgAddr(bdf, pci.RegIOLimit), uint8((ioEnd-1)>>8)&0xf0)
+		e.t.Write16(e.cfgAddr(bdf, pci.RegIOBaseUpper), uint16(ioStart>>16))
+		e.t.Write16(e.cfgAddr(bdf, pci.RegIOLimitUpper), uint16((ioEnd-1)>>16))
+		e.ioCur = ioEnd
+	} else {
+		e.t.Write8(e.cfgAddr(bdf, pci.RegIOBase), 0xf0)
+		e.t.Write8(e.cfgAddr(bdf, pci.RegIOLimit), 0x00)
+		e.t.Write16(e.cfgAddr(bdf, pci.RegIOBaseUpper), 0xffff)
+		e.t.Write16(e.cfgAddr(bdf, pci.RegIOLimitUpper), 0x0000)
+	}
+	// Forward transactions and let downstream devices master the bus.
+	e.t.Write16(e.cfgAddr(bdf, pci.RegCommand), pci.CmdMemEnable|pci.CmdIOEnable|pci.CmdBusMaster)
+}
+
+// sizeAndAssignBARs runs the all-ones sizing handshake on each BAR and
+// assigns addresses from the enumeration pools.
+func (e *enumerator) sizeAndAssignBARs(d *FoundDevice, count int) {
+	for i := 0; i < count; i++ {
+		reg := pci.RegBAR0 + 4*i
+		addr := e.cfgAddr(d.BDF, reg)
+		e.t.Write32(addr, 0xffffffff)
+		v := e.t.Read32(addr)
+		if v == 0 {
+			continue // unimplemented
+		}
+		isIO := v&1 == 1
+		var size uint64
+		if isIO {
+			size = uint64(^(v &^ 0x3)) + 1
+		} else {
+			size = uint64(^(v &^ 0xf)) + 1
+		}
+		var assigned uint64
+		if isIO {
+			assigned = alignUp(e.ioCur, size)
+			if assigned+size > e.cfg.IOWindow.End {
+				panic(fmt.Sprintf("kernel: I/O pool exhausted assigning %v BAR%d", d.BDF, i))
+			}
+			e.ioCur = assigned + size
+		} else {
+			assigned = alignUp(e.memCur, size)
+			if assigned+size > e.cfg.MemWindow.End {
+				panic(fmt.Sprintf("kernel: MMIO pool exhausted assigning %v BAR%d", d.BDF, i))
+			}
+			e.memCur = assigned + size
+		}
+		e.t.Write32(addr, uint32(assigned))
+		d.BARs = append(d.BARs, FoundBAR{Index: i, Addr: assigned, Size: size, IsIO: isIO})
+	}
+}
+
+func alignUp(v, align uint64) uint64 {
+	if align == 0 {
+		return v
+	}
+	return (v + align - 1) &^ (align - 1)
+}

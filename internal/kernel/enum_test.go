@@ -1,0 +1,245 @@
+package kernel
+
+import (
+	"testing"
+
+	"pciesim/internal/mem"
+	"pciesim/internal/pci"
+	"pciesim/internal/sim"
+)
+
+// enumRig wires a CPU directly to a PCI host and pre-registers a small
+// hierarchy of bare configuration spaces:
+//
+//	bus 0: dev0 = endpoint A (two BARs), dev1 = bridge
+//	bus 1 (behind the bridge): dev0 = endpoint B
+type enumRig struct {
+	eng    *sim.Engine
+	cpu    *CPU
+	host   *pci.Host
+	epA    *pci.ConfigSpace
+	bridge *pci.ConfigSpace
+	epB    *pci.ConfigSpace
+}
+
+func newEnumRig() *enumRig {
+	r := &enumRig{eng: sim.NewEngine()}
+	r.cpu = NewCPU(r.eng, "cpu")
+	r.host = pci.NewHost(r.eng, "host", pci.HostConfig{
+		ECAMWindow: mem.Range(0x30000000, 256<<20),
+		Latency:    50 * sim.Nanosecond,
+	})
+	mem.Connect(r.cpu.Port(), r.host.Port())
+
+	r.epA = pci.NewType0Space("epA", pci.Ident{VendorID: 0x1111, DeviceID: 0x0001, InterruptPin: 1})
+	r.epA.AttachBAR(0, pci.NewMemBAR(64*1024))
+	r.epA.AttachBAR(1, pci.NewIOBAR(256))
+	r.host.Register(pci.NewBDF(0, 0, 0), r.epA)
+
+	r.bridge = pci.NewType1Space("br", pci.Ident{VendorID: 0x1111, DeviceID: 0x0002, ClassCode: pci.ClassBridgePCI})
+	r.host.Register(pci.NewBDF(0, 1, 0), r.bridge)
+
+	r.epB = pci.NewType0Space("epB", pci.Ident{VendorID: 0x1111, DeviceID: 0x0003, InterruptPin: 1})
+	r.epB.AttachBAR(0, pci.NewMemBAR(1<<20))
+	r.host.Register(pci.NewBDF(1, 0, 0), r.epB)
+	return r
+}
+
+func (r *enumRig) enumerate(t *testing.T) *Topology {
+	t.Helper()
+	var topo *Topology
+	task := r.cpu.Spawn("enum", 0, func(tk *Task) {
+		topo = Enumerate(tk, DefaultEnumConfig())
+	})
+	r.eng.Run()
+	if !task.Done() {
+		t.Fatal("enumeration wedged")
+	}
+	return topo
+}
+
+func TestEnumerateDiscoversAll(t *testing.T) {
+	r := newEnumRig()
+	topo := r.enumerate(t)
+	if len(topo.All) != 3 {
+		t.Fatalf("found %d functions, want 3", len(topo.All))
+	}
+	if len(topo.Root) != 2 {
+		t.Fatalf("bus 0 has %d functions, want 2", len(topo.Root))
+	}
+	br := topo.FindByID(0x1111, 0x0002)
+	if br == nil || !br.IsBridge {
+		t.Fatal("bridge not identified")
+	}
+	if len(br.Children) != 1 || br.Children[0].DeviceID != 0x0003 {
+		t.Fatal("bridge children wrong")
+	}
+	if br.Secondary != 1 || br.Subordinate != 1 {
+		t.Errorf("bridge buses %d/%d, want 1/1", br.Secondary, br.Subordinate)
+	}
+	if topo.Buses != 2 {
+		t.Errorf("buses = %d", topo.Buses)
+	}
+}
+
+func TestEnumerateBARAssignment(t *testing.T) {
+	r := newEnumRig()
+	topo := r.enumerate(t)
+	a := topo.FindByID(0x1111, 0x0001)
+	if len(a.BARs) != 2 {
+		t.Fatalf("epA has %d BARs, want 2", len(a.BARs))
+	}
+	memBAR, ioBAR := a.BARs[0], a.BARs[1]
+	if memBAR.IsIO || !ioBAR.IsIO {
+		t.Fatal("BAR kinds wrong")
+	}
+	if memBAR.Size != 64*1024 || ioBAR.Size != 256 {
+		t.Errorf("sizes %#x/%#x", memBAR.Size, ioBAR.Size)
+	}
+	if memBAR.Addr%memBAR.Size != 0 {
+		t.Errorf("mem BAR %#x not naturally aligned", memBAR.Addr)
+	}
+	cfg := DefaultEnumConfig()
+	if !cfg.MemWindow.Contains(memBAR.Addr) {
+		t.Errorf("mem BAR %#x outside platform window", memBAR.Addr)
+	}
+	if !cfg.IOWindow.Contains(ioBAR.Addr) {
+		t.Errorf("I/O BAR %#x outside platform I/O window", ioBAR.Addr)
+	}
+	// The device must have been programmed, not just recorded.
+	if got := r.epA.BARAt(0).Addr(); got != memBAR.Addr {
+		t.Errorf("device BAR register %#x, recorded %#x", got, memBAR.Addr)
+	}
+}
+
+func TestEnumerateBridgeWindowsCoverChildren(t *testing.T) {
+	r := newEnumRig()
+	topo := r.enumerate(t)
+	b := topo.FindByID(0x1111, 0x0003).BARs[0]
+	base, limit := pci.BridgeMemWindow(r.bridge)
+	if !pci.WindowEnabled(base, limit) {
+		t.Fatal("bridge memory window not programmed")
+	}
+	if b.Addr < base || b.Addr+b.Size-1 > limit {
+		t.Errorf("child BAR %#x+%#x outside bridge window %#x..%#x", b.Addr, b.Size, base, limit)
+	}
+	// The bridge window must not overlap the sibling endpoint's BAR.
+	a := topo.FindByID(0x1111, 0x0001).BARs[0]
+	if a.Addr >= base && a.Addr <= limit {
+		t.Errorf("sibling BAR %#x inside bridge window %#x..%#x", a.Addr, base, limit)
+	}
+	// Bus-number registers must match the discovered topology.
+	pri, sec, sub := pci.BridgeBusNumbers(r.bridge)
+	if pri != 0 || sec != 1 || sub != 1 {
+		t.Errorf("bridge bus regs %d/%d/%d", pri, sec, sub)
+	}
+	// I/O window with no downstream I/O BARs must decode closed.
+	iob, iol := pci.BridgeIOWindow(r.bridge)
+	if pci.WindowEnabled(iob, iol) {
+		t.Errorf("empty I/O window decodes open: %#x..%#x", iob, iol)
+	}
+}
+
+func TestEnumerateEnablesDevices(t *testing.T) {
+	r := newEnumRig()
+	r.enumerate(t)
+	if r.epA.Word(pci.RegCommand)&pci.CmdMemEnable == 0 {
+		t.Error("endpoint memory decoding not enabled")
+	}
+	cmd := r.bridge.Word(pci.RegCommand)
+	if cmd&pci.CmdBusMaster == 0 || cmd&pci.CmdMemEnable == 0 {
+		t.Error("bridge forwarding/mastering not enabled")
+	}
+}
+
+func TestEnumerateAssignsDistinctIRQs(t *testing.T) {
+	r := newEnumRig()
+	topo := r.enumerate(t)
+	eps := topo.Endpoints()
+	if len(eps) != 2 {
+		t.Fatal("want two endpoints")
+	}
+	if eps[0].IRQ == eps[1].IRQ {
+		t.Error("endpoints share an IRQ line")
+	}
+	if got := r.epA.Byte(pci.RegIntLine); int(got) != eps[0].IRQ {
+		t.Errorf("interrupt line register %d, recorded %d", got, eps[0].IRQ)
+	}
+}
+
+func TestEnumerateEmptyBusTerminates(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := NewCPU(eng, "cpu")
+	host := pci.NewHost(eng, "host", pci.HostConfig{ECAMWindow: mem.Range(0x30000000, 256<<20)})
+	mem.Connect(cpu.Port(), host.Port())
+	var topo *Topology
+	cpu.Spawn("enum", 0, func(tk *Task) { topo = Enumerate(tk, DefaultEnumConfig()) })
+	eng.Run()
+	if topo == nil || len(topo.All) != 0 {
+		t.Fatal("empty system must enumerate to nothing")
+	}
+}
+
+func TestDriverTableMatching(t *testing.T) {
+	r := newEnumRig()
+	k := New(r.cpu)
+	bound := false
+	k.RegisterDriver(&stubDriver{
+		table: []DeviceID{{0x1111, 0x0003}},
+		probe: func(*Task, *Kernel, *FoundDevice) error { bound = true; return nil },
+	})
+	var err error
+	r.cpu.Spawn("boot", 0, func(tk *Task) { err = k.Boot(tk) })
+	r.eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bound {
+		t.Error("driver with matching table entry did not probe")
+	}
+	if len(k.Bound) != 1 {
+		t.Errorf("%d devices bound, want 1 (no match for epA)", len(k.Bound))
+	}
+}
+
+type stubDriver struct {
+	table []DeviceID
+	probe func(*Task, *Kernel, *FoundDevice) error
+}
+
+func (d *stubDriver) Name() string      { return "stub" }
+func (d *stubDriver) Table() []DeviceID { return d.table }
+func (d *stubDriver) Probe(t *Task, k *Kernel, dev *FoundDevice) error {
+	return d.probe(t, k, dev)
+}
+
+func TestKernelCapabilityHelpers(t *testing.T) {
+	r := newEnumRig()
+	// Give epA a full §IV capability chain.
+	pci.AddPowerManagementCap(r.epA)
+	pci.AddMSICap(r.epA)
+	pci.AddPCIeCap(r.epA, pci.PCIeCapConfig{PortType: pci.PCIePortEndpoint, LinkSpeed: pci.LinkSpeedGen2, LinkWidth: 4})
+	k := New(r.cpu)
+	var msi, found bool
+	var speed, width uint8
+	r.cpu.Spawn("t", 0, func(tk *Task) {
+		bdf := pci.NewBDF(0, 0, 0)
+		found = k.FindCapability(tk, bdf, pci.CapIDPCIExpress) != 0
+		msi = k.TryEnableMSI(tk, bdf)
+		speed, width = k.PCIeLinkInfo(tk, bdf)
+		k.SetBusMaster(tk, bdf)
+	})
+	r.eng.Run()
+	if !found {
+		t.Error("PCIe capability not found through timing config reads")
+	}
+	if msi {
+		t.Error("MSI enable must not stick (§IV)")
+	}
+	if speed != pci.LinkSpeedGen2 || width != 4 {
+		t.Errorf("link info %d/%d", speed, width)
+	}
+	if r.epA.Word(pci.RegCommand)&pci.CmdBusMaster == 0 {
+		t.Error("SetBusMaster did not take")
+	}
+}

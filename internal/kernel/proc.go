@@ -1,0 +1,172 @@
+// Package kernel models the software side of the paper's experiments:
+// the enumeration software that discovers and configures the PCI(e)
+// hierarchy (§II-A, §IV), a device-driver layer with a module device
+// table and capability-chain probing (§IV), and the I/O workloads of
+// §VI — dd block reads and the kernel-module MMIO latency probe.
+//
+// The paper runs a full Linux kernel on gem5's out-of-order ARM core
+// and attributes part of its throughput gap to "OS overheads in gem5
+// for setting up the transfer". This package substitutes a calibrated
+// OS model: kernel code runs as a deterministic coroutine that issues
+// real timing transactions into the simulated fabric and burns
+// explicit, configurable CPU-overhead delays between them.
+package kernel
+
+import (
+	"fmt"
+
+	"pciesim/internal/sim"
+)
+
+// opKind enumerates what a kernel task can ask of the simulator.
+type opKind int
+
+const (
+	opDone opKind = iota
+	opRead
+	opWrite
+	opDelay
+	opWait
+)
+
+type procReq struct {
+	kind   opKind
+	addr   uint64
+	size   int
+	value  uint32
+	delay  sim.Tick
+	waiter *Waiter
+}
+
+// Task is the handle kernel code uses to interact with simulated time
+// and hardware. Kernel code runs on its own goroutine but in strict
+// rendezvous with the simulation: exactly one of (simulator, task) runs
+// at any instant, so execution is deterministic and data-race-free.
+type Task struct {
+	name   string
+	cpu    *CPU
+	toSim  chan procReq
+	toProc chan uint32
+	done   bool
+}
+
+// Read32 performs a timing read of 1, 2 or 4 bytes at addr through the
+// CPU port and returns the (little-endian) value.
+func (t *Task) read(addr uint64, size int) uint32 {
+	t.toSim <- procReq{kind: opRead, addr: addr, size: size}
+	return <-t.toProc
+}
+
+// Read32 reads a 32-bit value.
+func (t *Task) Read32(addr uint64) uint32 { return t.read(addr, 4) }
+
+// Read16 reads a 16-bit value.
+func (t *Task) Read16(addr uint64) uint16 { return uint16(t.read(addr, 2)) }
+
+// Read8 reads an 8-bit value.
+func (t *Task) Read8(addr uint64) uint8 { return uint8(t.read(addr, 1)) }
+
+func (t *Task) write(addr uint64, size int, v uint32) {
+	t.toSim <- procReq{kind: opWrite, addr: addr, size: size, value: v}
+	<-t.toProc
+}
+
+// Write32 performs a timing write of a 32-bit value.
+func (t *Task) Write32(addr uint64, v uint32) { t.write(addr, 4, v) }
+
+// Write16 writes a 16-bit value.
+func (t *Task) Write16(addr uint64, v uint16) { t.write(addr, 2, uint32(v)) }
+
+// Write8 writes an 8-bit value.
+func (t *Task) Write8(addr uint64, v uint8) { t.write(addr, 1, uint32(v)) }
+
+// Delay burns d of simulated CPU time (the OS-overhead model).
+func (t *Task) Delay(d sim.Tick) {
+	if d == 0 {
+		return
+	}
+	t.toSim <- procReq{kind: opDelay, delay: d}
+	<-t.toProc
+}
+
+// Wait blocks the task until the waiter is signaled (typically from an
+// interrupt handler). A signal that arrived before Wait is consumed
+// immediately.
+func (t *Task) Wait(w *Waiter) {
+	t.toSim <- procReq{kind: opWait, waiter: w}
+	<-t.toProc
+}
+
+// Now returns the current simulated time. It costs no simulated time.
+func (t *Task) Now() sim.Tick { return t.cpu.eng.Now() }
+
+// Waiter is a one-slot condition used to hand interrupt completions to
+// a waiting task.
+type Waiter struct {
+	name     string
+	signaled bool
+	parked   *Task
+}
+
+// NewWaiter creates a named waiter.
+func NewWaiter(name string) *Waiter { return &Waiter{name: name} }
+
+// Signal wakes the parked task, or latches if none is waiting. It must
+// be called from simulation (event) context.
+func (w *Waiter) Signal() {
+	if w.parked != nil {
+		t := w.parked
+		w.parked = nil
+		t.cpu.resume(t, 0)
+		return
+	}
+	w.signaled = true
+}
+
+// Spawn starts kernel code at the given simulated time offset. The
+// returned Task is also passed to fn; fn runs to completion in
+// rendezvous with the engine.
+func (c *CPU) Spawn(name string, after sim.Tick, fn func(*Task)) *Task {
+	t := &Task{name: name, cpu: c, toSim: make(chan procReq), toProc: make(chan uint32)}
+	c.eng.Schedule(name+".start", after, func() {
+		go func() {
+			fn(t)
+			t.toSim <- procReq{kind: opDone}
+		}()
+		c.dispatch(t, <-t.toSim)
+	})
+	return t
+}
+
+// Done reports whether the task has finished.
+func (t *Task) Done() bool { return t.done }
+
+// resume delivers a value to the blocked task and services its next
+// request. It must be called from simulation context; it returns once
+// the task blocks again (or finishes).
+func (c *CPU) resume(t *Task, v uint32) {
+	t.toProc <- v
+	c.dispatch(t, <-t.toSim)
+}
+
+func (c *CPU) dispatch(t *Task, req procReq) {
+	switch req.kind {
+	case opDone:
+		t.done = true
+	case opRead, opWrite:
+		c.issue(t, req)
+	case opDelay:
+		c.eng.Schedule(t.name+".delay", req.delay, func() { c.resume(t, 0) })
+	case opWait:
+		w := req.waiter
+		if w.signaled {
+			w.signaled = false
+			c.eng.Schedule(t.name+".waitok", 0, func() { c.resume(t, 0) })
+			return
+		}
+		if w.parked != nil {
+			panic(fmt.Sprintf("kernel: waiter %q already has task %q parked", w.name, w.parked.name))
+		}
+		w.parked = t
+	}
+}

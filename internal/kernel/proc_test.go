@@ -1,0 +1,211 @@
+package kernel
+
+import (
+	"testing"
+
+	"pciesim/internal/mem"
+	"pciesim/internal/memctrl"
+	"pciesim/internal/sim"
+	"pciesim/internal/testdev"
+)
+
+// newCPURig wires a CPU straight to a memory.
+func newCPURig() (*sim.Engine, *CPU, *memctrl.Memory) {
+	eng := sim.NewEngine()
+	cpu := NewCPU(eng, "cpu")
+	m := memctrl.New(eng, "mem", mem.Range(0, 1<<30), memctrl.Config{Latency: 100 * sim.Nanosecond})
+	mem.Connect(cpu.Port(), m.Port())
+	return eng, cpu, m
+}
+
+func TestTaskReadWriteRoundTrip(t *testing.T) {
+	eng, cpu, _ := newCPURig()
+	var got uint32
+	task := cpu.Spawn("t", 0, func(t *Task) {
+		t.Write32(0x1000, 0xdeadbeef)
+		got = t.Read32(0x1000)
+	})
+	eng.Run()
+	if !task.Done() {
+		t.Fatal("task did not finish")
+	}
+	if got != 0xdeadbeef {
+		t.Errorf("read back %#x", got)
+	}
+}
+
+func TestTaskSubWordAccess(t *testing.T) {
+	eng, cpu, _ := newCPURig()
+	var w uint16
+	var b uint8
+	merged := uint32(0)
+	cpu.Spawn("t", 0, func(tk *Task) {
+		tk.Write32(0x2000, 0x11223344)
+		w = tk.Read16(0x2000)
+		b = tk.Read8(0x2003)
+		tk.Write8(0x2000, 0xff)
+		merged = tk.Read32(0x2000)
+	})
+	eng.Run()
+	if w != 0x3344 || b != 0x11 {
+		t.Errorf("w=%#x b=%#x", w, b)
+	}
+	if merged != 0x112233ff {
+		t.Errorf("byte write did not merge: %#x", merged)
+	}
+}
+
+func TestTaskOpsAdvanceSimulatedTime(t *testing.T) {
+	eng, cpu, _ := newCPURig()
+	var t0, t1, t2 sim.Tick
+	cpu.Spawn("t", 0, func(t *Task) {
+		t0 = t.Now()
+		t.Read32(0x0) // 100ns memory latency
+		t1 = t.Now()
+		t.Delay(5 * sim.Microsecond)
+		t2 = t.Now()
+	})
+	eng.Run()
+	if t1-t0 != 100*sim.Nanosecond {
+		t.Errorf("read took %v", t1-t0)
+	}
+	if t2-t1 != 5*sim.Microsecond {
+		t.Errorf("delay took %v", t2-t1)
+	}
+}
+
+func TestTaskSpawnDelay(t *testing.T) {
+	eng, cpu, _ := newCPURig()
+	var started sim.Tick
+	cpu.Spawn("t", 3*sim.Microsecond, func(t *Task) { started = t.Now() })
+	eng.Run()
+	if started != 3*sim.Microsecond {
+		t.Errorf("task started at %v", started)
+	}
+}
+
+func TestWaiterSignalAfterWait(t *testing.T) {
+	eng, cpu, _ := newCPURig()
+	w := NewWaiter("w")
+	var resumed sim.Tick
+	cpu.Spawn("t", 0, func(t *Task) {
+		t.Wait(w)
+		resumed = t.Now()
+	})
+	eng.Schedule("signal", 7*sim.Microsecond, w.Signal)
+	eng.Run()
+	if resumed != 7*sim.Microsecond {
+		t.Errorf("resumed at %v, want 7us", resumed)
+	}
+}
+
+func TestWaiterSignalBeforeWait(t *testing.T) {
+	eng, cpu, _ := newCPURig()
+	w := NewWaiter("w")
+	done := false
+	cpu.Spawn("t", sim.Microsecond, func(t *Task) {
+		// Signal fired at t=0, before this task even starts; the latch
+		// must hold it.
+		t.Wait(w)
+		done = true
+	})
+	eng.Schedule("early", 0, w.Signal)
+	eng.Run()
+	if !done {
+		t.Fatal("latched signal lost")
+	}
+}
+
+func TestTwoTasksInterleave(t *testing.T) {
+	eng, cpu, _ := newCPURig()
+	var order []string
+	cpu.Spawn("a", 0, func(t *Task) {
+		t.Delay(100)
+		order = append(order, "a1")
+		t.Delay(300)
+		order = append(order, "a2")
+	})
+	cpu.Spawn("b", 0, func(t *Task) {
+		t.Delay(200)
+		order = append(order, "b1")
+	})
+	eng.Run()
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestCPURetriesRefusedRequests(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := NewCPU(eng, "cpu")
+	resp := testdev.NewResponder(eng, "dev", nil, 10*sim.Nanosecond, 0)
+	resp.RefuseRequests = 3
+	mem.Connect(cpu.Port(), resp.Port())
+	n := 0
+	cpu.Spawn("t", 0, func(t *Task) {
+		for i := 0; i < 5; i++ {
+			t.Read32(uint64(i * 4))
+			n++
+		}
+	})
+	eng.Run()
+	if n != 5 {
+		t.Errorf("completed %d reads, want 5 despite refusals", n)
+	}
+}
+
+func TestIRQDispatch(t *testing.T) {
+	eng, cpu, _ := newCPURig()
+	cpu.IRQLatency = 500 * sim.Nanosecond
+	var at sim.Tick
+	cpu.RegisterIRQ(32, func() { at = eng.Now() })
+	eng.Schedule("dev", sim.Microsecond, func() { cpu.TriggerIRQ(32) })
+	cpu.TriggerIRQ(99) // unhandled: must not panic
+	eng.Run()
+	if at != sim.Microsecond+500*sim.Nanosecond {
+		t.Errorf("handler ran at %v", at)
+	}
+	_, _, irqs := cpu.Stats()
+	if irqs != 2 {
+		t.Errorf("irq count = %d", irqs)
+	}
+}
+
+func TestIRQDoubleRegisterPanics(t *testing.T) {
+	_, cpu, _ := newCPURig()
+	cpu.RegisterIRQ(5, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	cpu.RegisterIRQ(5, func() {})
+}
+
+func TestDDResultMath(t *testing.T) {
+	r := DDResult{Bytes: 1 << 30, Elapsed: sim.Second, Requests: 8192}
+	if got := r.ThroughputGbps(); got < 8.58 || got > 8.6 {
+		t.Errorf("1GiB/s = %.3f Gb/s, want ~8.59", got)
+	}
+	var zero DDResult
+	if zero.ThroughputGbps() != 0 {
+		t.Error("zero elapsed must not divide by zero")
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestMMIOProbeResultMath(t *testing.T) {
+	r := MMIOProbeResult{Samples: 4, Total: 400, Min: 90, Max: 110}
+	if r.Avg() != 100 {
+		t.Errorf("avg = %v", r.Avg())
+	}
+	var zero MMIOProbeResult
+	if zero.Avg() != 0 {
+		t.Error("zero samples must not divide by zero")
+	}
+}

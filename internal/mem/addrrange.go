@@ -1,0 +1,149 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AddrRange is a half-open interval [Start, End) of physical addresses.
+// Slaves register the ranges they respond to; crossbars, bridges and the
+// PCIe routing components forward packets by matching Addr against the
+// registered ranges, exactly as gem5's address-range routing does.
+type AddrRange struct {
+	Start uint64
+	End   uint64 // exclusive
+}
+
+// Range constructs [start, start+size).
+func Range(start, size uint64) AddrRange { return AddrRange{Start: start, End: start + size} }
+
+// Span constructs [start, end).
+func Span(start, end uint64) AddrRange { return AddrRange{Start: start, End: end} }
+
+// Valid reports whether the range is non-empty and well formed.
+func (r AddrRange) Valid() bool { return r.Start < r.End }
+
+// Size returns the number of bytes covered.
+func (r AddrRange) Size() uint64 {
+	if !r.Valid() {
+		return 0
+	}
+	return r.End - r.Start
+}
+
+// Contains reports whether addr lies inside the range.
+func (r AddrRange) Contains(addr uint64) bool { return addr >= r.Start && addr < r.End }
+
+// ContainsRange reports whether other lies entirely inside r. An empty
+// other is contained in anything.
+func (r AddrRange) ContainsRange(other AddrRange) bool {
+	if !other.Valid() {
+		return true
+	}
+	return r.Valid() && other.Start >= r.Start && other.End <= r.End
+}
+
+// Overlaps reports whether the two ranges share at least one address.
+func (r AddrRange) Overlaps(other AddrRange) bool {
+	return r.Valid() && other.Valid() && r.Start < other.End && other.Start < r.End
+}
+
+// Intersect returns the common sub-range; the result is invalid when the
+// ranges are disjoint.
+func (r AddrRange) Intersect(other AddrRange) AddrRange {
+	out := AddrRange{Start: max64(r.Start, other.Start), End: min64(r.End, other.End)}
+	if !out.Valid() {
+		return AddrRange{}
+	}
+	return out
+}
+
+// Offset returns addr's offset from the start of the range. It panics if
+// addr is outside the range.
+func (r AddrRange) Offset(addr uint64) uint64 {
+	if !r.Contains(addr) {
+		panic(fmt.Sprintf("mem: %#x outside %v", addr, r))
+	}
+	return addr - r.Start
+}
+
+// String implements fmt.Stringer.
+func (r AddrRange) String() string {
+	return fmt.Sprintf("[%#x:%#x)", r.Start, r.End)
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RangeList is an ordered collection of ranges with the queries the
+// routing components need.
+type RangeList []AddrRange
+
+// Contains reports whether any member range contains addr.
+func (l RangeList) Contains(addr uint64) bool {
+	for _, r := range l {
+		if r.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsRange reports whether some single member contains the range.
+func (l RangeList) ContainsRange(r AddrRange) bool {
+	for _, m := range l {
+		if m.ContainsRange(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// Overlaps reports whether any member overlaps r.
+func (l RangeList) Overlaps(r AddrRange) bool {
+	for _, m := range l {
+		if m.Overlaps(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// Normalize sorts the ranges, drops invalid entries, and merges adjacent
+// or overlapping members.
+func (l RangeList) Normalize() RangeList {
+	out := make(RangeList, 0, len(l))
+	for _, r := range l {
+		if r.Valid() {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	merged := out[:0]
+	for _, r := range out {
+		if n := len(merged); n > 0 && r.Start <= merged[n-1].End {
+			if r.End > merged[n-1].End {
+				merged[n-1].End = r.End
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+	return merged
+}
+
+// Union returns the normalized union of the two lists.
+func (l RangeList) Union(other RangeList) RangeList {
+	return append(append(RangeList{}, l...), other...).Normalize()
+}

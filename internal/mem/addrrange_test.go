@@ -1,0 +1,169 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrRangeBasics(t *testing.T) {
+	r := Range(0x1000, 0x100)
+	if !r.Valid() || r.Size() != 0x100 || r.Start != 0x1000 || r.End != 0x1100 {
+		t.Fatalf("Range built %v", r)
+	}
+	if !r.Contains(0x1000) || !r.Contains(0x10ff) {
+		t.Error("range should contain its endpoints-1")
+	}
+	if r.Contains(0xfff) || r.Contains(0x1100) {
+		t.Error("range should be half-open")
+	}
+	if r.Offset(0x1080) != 0x80 {
+		t.Error("bad Offset")
+	}
+	empty := Span(5, 5)
+	if empty.Valid() || empty.Size() != 0 {
+		t.Error("empty span should be invalid with size 0")
+	}
+}
+
+func TestAddrRangeOffsetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Offset outside range should panic")
+		}
+	}()
+	Range(0, 16).Offset(16)
+}
+
+func TestAddrRangeContainsRange(t *testing.T) {
+	outer := Span(0x1000, 0x2000)
+	if !outer.ContainsRange(Span(0x1000, 0x2000)) {
+		t.Error("range contains itself")
+	}
+	if !outer.ContainsRange(Span(0x1800, 0x1900)) {
+		t.Error("range contains interior")
+	}
+	if outer.ContainsRange(Span(0x0800, 0x1800)) || outer.ContainsRange(Span(0x1800, 0x2800)) {
+		t.Error("partial overlap is not containment")
+	}
+	if !outer.ContainsRange(AddrRange{}) {
+		t.Error("empty range is contained in anything")
+	}
+}
+
+func TestAddrRangeOverlapsIntersect(t *testing.T) {
+	a := Span(0x1000, 0x2000)
+	b := Span(0x1800, 0x2800)
+	c := Span(0x2000, 0x3000)
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("adjacent half-open ranges do not overlap")
+	}
+	got := a.Intersect(b)
+	if got.Start != 0x1800 || got.End != 0x2000 {
+		t.Errorf("Intersect = %v", got)
+	}
+	if a.Intersect(c).Valid() {
+		t.Error("disjoint intersect should be invalid")
+	}
+}
+
+func TestRangeListQueries(t *testing.T) {
+	l := RangeList{Span(0x1000, 0x2000), Span(0x4000, 0x5000)}
+	if !l.Contains(0x1500) || !l.Contains(0x4000) {
+		t.Error("list membership")
+	}
+	if l.Contains(0x3000) {
+		t.Error("gap should not be contained")
+	}
+	if !l.ContainsRange(Span(0x4100, 0x4200)) {
+		t.Error("subrange of member")
+	}
+	if l.ContainsRange(Span(0x1800, 0x4200)) {
+		t.Error("spanning the gap is not contained")
+	}
+	if !l.Overlaps(Span(0x1f00, 0x3000)) {
+		t.Error("overlap with first member")
+	}
+	if l.Overlaps(Span(0x2000, 0x4000)) {
+		t.Error("gap does not overlap")
+	}
+}
+
+func TestRangeListNormalize(t *testing.T) {
+	l := RangeList{
+		Span(0x3000, 0x4000),
+		Span(0x1000, 0x2000),
+		AddrRange{},          // dropped
+		Span(0x2000, 0x3000), // adjacent: merges with both neighbours
+		Span(0x8000, 0x9000),
+		Span(0x8800, 0x8900), // nested: absorbed
+	}
+	n := l.Normalize()
+	if len(n) != 2 {
+		t.Fatalf("Normalize produced %v", n)
+	}
+	if n[0] != Span(0x1000, 0x4000) || n[1] != Span(0x8000, 0x9000) {
+		t.Errorf("Normalize = %v", n)
+	}
+}
+
+func TestRangeListUnion(t *testing.T) {
+	a := RangeList{Span(0, 10)}
+	b := RangeList{Span(5, 20), Span(30, 40)}
+	u := a.Union(b)
+	if len(u) != 2 || u[0] != Span(0, 20) || u[1] != Span(30, 40) {
+		t.Errorf("Union = %v", u)
+	}
+}
+
+// Property: intersection is commutative, contained in both operands, and
+// non-empty exactly when the ranges overlap.
+func TestAddrRangeIntersectionProperties(t *testing.T) {
+	f := func(s1, l1, s2, l2 uint16) bool {
+		a := Range(uint64(s1), uint64(l1))
+		b := Range(uint64(s2), uint64(l2))
+		i1, i2 := a.Intersect(b), b.Intersect(a)
+		if i1 != i2 {
+			return false
+		}
+		if i1.Valid() != a.Overlaps(b) {
+			return false
+		}
+		if i1.Valid() && (!a.ContainsRange(i1) || !b.ContainsRange(i1)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after Normalize, members are sorted, disjoint, and
+// membership of any address is preserved.
+func TestRangeListNormalizeProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var l RangeList
+		for i := 0; i+1 < len(raw); i += 2 {
+			l = append(l, Range(uint64(raw[i]), uint64(raw[i+1]%64)))
+		}
+		n := l.Normalize()
+		for i := 1; i < len(n); i++ {
+			if n[i-1].End >= n[i].Start { // must be disjoint and non-adjacent
+				return false
+			}
+		}
+		// Sampled membership equivalence.
+		for probe := uint64(0); probe < 1<<16; probe += 97 {
+			if l.Contains(probe) != n.Contains(probe) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

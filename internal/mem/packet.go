@@ -1,0 +1,193 @@
+// Package mem provides the memory-system substrate the PCIe models are
+// built on: request/response packets, address ranges, and the two-sided
+// timing port protocol with retry-based backpressure.
+//
+// The design mirrors the gem5 memory system that the paper targets. All
+// transactions — CPU loads/stores, configuration accesses, MMIO, and
+// device DMA — are Packets transported through ports. The paper's link
+// model deliberately reuses these packets as its transaction layer
+// packets (TLPs): "we use gem5 request and response packets as TLPs and
+// do not introduce another packet type" (§V-C).
+package mem
+
+import "fmt"
+
+// Cmd identifies the kind of memory transaction a packet carries.
+type Cmd uint8
+
+// Packet commands. Requests travel from masters toward slaves; responses
+// travel the opposite way along the same path.
+const (
+	InvalidCmd Cmd = iota
+	ReadReq
+	ReadResp
+	WriteReq
+	WriteResp
+)
+
+// String implements fmt.Stringer.
+func (c Cmd) String() string {
+	switch c {
+	case ReadReq:
+		return "ReadReq"
+	case ReadResp:
+		return "ReadResp"
+	case WriteReq:
+		return "WriteReq"
+	case WriteResp:
+		return "WriteResp"
+	default:
+		return fmt.Sprintf("Cmd(%d)", uint8(c))
+	}
+}
+
+// IsRequest reports whether the command is a request.
+func (c Cmd) IsRequest() bool { return c == ReadReq || c == WriteReq }
+
+// IsResponse reports whether the command is a response.
+func (c Cmd) IsResponse() bool { return c == ReadResp || c == WriteResp }
+
+// IsRead reports whether the command moves data toward the requestor.
+func (c Cmd) IsRead() bool { return c == ReadReq || c == ReadResp }
+
+// IsWrite reports whether the command moves data toward the completer.
+func (c Cmd) IsWrite() bool { return c == WriteReq || c == WriteResp }
+
+// NeedsResponse reports whether a completer must answer the request.
+// Like the paper's gem5 model — and unlike real PCIe — writes are
+// non-posted: every write request receives a write response. The paper
+// calls this out as one source of its bandwidth gap versus hardware.
+func (c Cmd) NeedsResponse() bool { return c.IsRequest() }
+
+// ResponseFor returns the response command matching a request command.
+func (c Cmd) ResponseFor() Cmd {
+	switch c {
+	case ReadReq:
+		return ReadResp
+	case WriteReq:
+		return WriteResp
+	default:
+		panic(fmt.Sprintf("mem: no response command for %v", c))
+	}
+}
+
+// NoBus is the initial value of Packet.BusNum: "we create a PCI bus
+// number field in the packet class, and initialize it to -1" (§V-A).
+const NoBus = -1
+
+// Packet is one memory transaction. A request packet travels from its
+// requestor to the completer identified by Addr; the completer turns it
+// into a response (see MakeResponse) that retraces the path.
+//
+// Packets are mutated in place as they move: components that need
+// per-hop state push onto the route stack on the request path and pop it
+// on the response path, exactly like gem5 crossbars track their ingress
+// port.
+type Packet struct {
+	// ID is a unique (per Allocator) packet identity, stable across the
+	// request/response transformation. It exists for tracing and for
+	// requestors that juggle multiple outstanding transactions.
+	ID uint64
+
+	Cmd  Cmd
+	Addr uint64
+	// Size is the number of bytes read or written. For the PCIe models
+	// it doubles as the TLP payload size: writes carry Size bytes of
+	// payload, read requests carry none, read responses carry Size.
+	Size int
+
+	// Data optionally carries the payload. Timing models in this
+	// repository move sizes, not bytes, on the hot path; Data is
+	// populated for configuration/MMIO traffic where values matter.
+	Data []byte
+
+	// BusNum is the PCI bus number field the paper adds to the gem5
+	// packet class for routing completions back through the PCI-Express
+	// fabric. It starts at NoBus and is stamped by the first root
+	// complex or switch slave port the request enters (§V-A).
+	BusNum int
+
+	// Posted marks a write that needs no completion, like a real
+	// PCI-Express memory-write TLP. The paper's gem5 model does not
+	// support posted writes and names that as a bandwidth limiter
+	// (§VI-B); the flag exists to quantify exactly that ablation.
+	// Completers drop posted requests after applying them instead of
+	// generating a response.
+	Posted bool
+
+	// Context is an opaque tag owned by the original requestor; the
+	// interconnect carries it through untouched.
+	Context any
+
+	route []routeHop
+}
+
+type routeHop struct {
+	owner any
+	port  int
+}
+
+// NewPacket builds a request packet. Most callers go through an
+// Allocator so IDs stay unique; NewPacket itself is for tests.
+func NewPacket(cmd Cmd, addr uint64, size int) *Packet {
+	return &Packet{Cmd: cmd, Addr: addr, Size: size, BusNum: NoBus}
+}
+
+// Allocator hands out packets with unique IDs. It is a value type owned
+// by whichever component originates traffic (CPU model, DMA engines).
+type Allocator struct {
+	next uint64
+}
+
+// NewRequest allocates a request packet with the next free ID.
+func (a *Allocator) NewRequest(cmd Cmd, addr uint64, size int) *Packet {
+	if !cmd.IsRequest() {
+		panic(fmt.Sprintf("mem: NewRequest with %v", cmd))
+	}
+	a.next++
+	return &Packet{ID: a.next, Cmd: cmd, Addr: addr, Size: size, BusNum: NoBus}
+}
+
+// MakeResponse converts the request packet into its response in place.
+// Identity, address, size, bus number, route stack and context are
+// preserved so the response can retrace the request path.
+func (p *Packet) MakeResponse() *Packet {
+	if !p.Cmd.IsRequest() {
+		panic(fmt.Sprintf("mem: MakeResponse on %v", p.Cmd))
+	}
+	p.Cmd = p.Cmd.ResponseFor()
+	return p
+}
+
+// PushRoute records that the packet entered through port index port of
+// the given component. The matching PopRoute on the response path
+// returns the index.
+func (p *Packet) PushRoute(owner any, port int) {
+	p.route = append(p.route, routeHop{owner, port})
+}
+
+// PopRoute removes and returns the port recorded by the most recent
+// PushRoute. The owner must match; a mismatch means a component forgot
+// to pop its hop and would misroute every response after it, so it
+// panics immediately instead.
+func (p *Packet) PopRoute(owner any) int {
+	if len(p.route) == 0 {
+		panic(fmt.Sprintf("mem: PopRoute(%T) on packet %d with empty route", owner, p.ID))
+	}
+	hop := p.route[len(p.route)-1]
+	if hop.owner != owner {
+		panic(fmt.Sprintf("mem: PopRoute owner mismatch on packet %d: have %T, want %T",
+			p.ID, owner, hop.owner))
+	}
+	p.route = p.route[:len(p.route)-1]
+	return hop.port
+}
+
+// RouteDepth returns the number of un-popped hops; zero on a response
+// means the packet is back at its requestor.
+func (p *Packet) RouteDepth() int { return len(p.route) }
+
+// String implements fmt.Stringer for trace output.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt#%d %v addr=%#x size=%d bus=%d", p.ID, p.Cmd, p.Addr, p.Size, p.BusNum)
+}

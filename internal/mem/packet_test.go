@@ -1,0 +1,170 @@
+package mem
+
+import "testing"
+
+func TestCmdPredicates(t *testing.T) {
+	cases := []struct {
+		cmd                            Cmd
+		isReq, isResp, isRead, isWrite bool
+	}{
+		{ReadReq, true, false, true, false},
+		{ReadResp, false, true, true, false},
+		{WriteReq, true, false, false, true},
+		{WriteResp, false, true, false, true},
+	}
+	for _, c := range cases {
+		if c.cmd.IsRequest() != c.isReq {
+			t.Errorf("%v.IsRequest() = %v", c.cmd, !c.isReq)
+		}
+		if c.cmd.IsResponse() != c.isResp {
+			t.Errorf("%v.IsResponse() = %v", c.cmd, !c.isResp)
+		}
+		if c.cmd.IsRead() != c.isRead {
+			t.Errorf("%v.IsRead() = %v", c.cmd, !c.isRead)
+		}
+		if c.cmd.IsWrite() != c.isWrite {
+			t.Errorf("%v.IsWrite() = %v", c.cmd, !c.isWrite)
+		}
+	}
+}
+
+func TestCmdResponseFor(t *testing.T) {
+	if ReadReq.ResponseFor() != ReadResp {
+		t.Error("ReadReq response should be ReadResp")
+	}
+	if WriteReq.ResponseFor() != WriteResp {
+		t.Error("WriteReq response should be WriteResp")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ResponseFor on a response should panic")
+		}
+	}()
+	_ = ReadResp.ResponseFor()
+}
+
+func TestCmdNeedsResponse(t *testing.T) {
+	// The paper's model is non-posted: every request, including writes,
+	// gets a response (§VI-B discusses the resulting bandwidth cost).
+	if !WriteReq.NeedsResponse() {
+		t.Error("writes are non-posted in this model")
+	}
+	if !ReadReq.NeedsResponse() {
+		t.Error("reads need responses")
+	}
+	if WriteResp.NeedsResponse() || ReadResp.NeedsResponse() {
+		t.Error("responses never need responses")
+	}
+}
+
+func TestCmdString(t *testing.T) {
+	if ReadReq.String() != "ReadReq" || WriteResp.String() != "WriteResp" {
+		t.Error("unexpected Cmd string")
+	}
+	if Cmd(99).String() != "Cmd(99)" {
+		t.Errorf("unknown cmd string = %q", Cmd(99).String())
+	}
+}
+
+func TestAllocatorUniqueIDs(t *testing.T) {
+	var a Allocator
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		p := a.NewRequest(ReadReq, 0x1000, 64)
+		if seen[p.ID] {
+			t.Fatalf("duplicate packet ID %d", p.ID)
+		}
+		seen[p.ID] = true
+		if p.BusNum != NoBus {
+			t.Fatalf("new packet BusNum = %d, want NoBus", p.BusNum)
+		}
+	}
+}
+
+func TestAllocatorRejectsResponses(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRequest(ReadResp) should panic")
+		}
+	}()
+	var a Allocator
+	a.NewRequest(ReadResp, 0, 4)
+}
+
+func TestMakeResponsePreservesIdentity(t *testing.T) {
+	var a Allocator
+	p := a.NewRequest(WriteReq, 0x4000_0000, 64)
+	p.BusNum = 2
+	p.Context = "tag"
+	p.PushRoute("xbar", 3)
+	id := p.ID
+	p.MakeResponse()
+	if p.Cmd != WriteResp {
+		t.Errorf("Cmd = %v, want WriteResp", p.Cmd)
+	}
+	if p.ID != id || p.Addr != 0x4000_0000 || p.Size != 64 || p.BusNum != 2 || p.Context != "tag" {
+		t.Error("MakeResponse must preserve identity fields")
+	}
+	if p.RouteDepth() != 1 {
+		t.Error("MakeResponse must preserve the route stack")
+	}
+}
+
+func TestMakeResponseOnResponsePanics(t *testing.T) {
+	p := NewPacket(ReadReq, 0, 4)
+	p.MakeResponse()
+	defer func() {
+		if recover() == nil {
+			t.Error("double MakeResponse should panic")
+		}
+	}()
+	p.MakeResponse()
+}
+
+func TestRouteStackLIFO(t *testing.T) {
+	p := NewPacket(ReadReq, 0x1000, 4)
+	a, b := "first", "second"
+	p.PushRoute(a, 1)
+	p.PushRoute(b, 7)
+	if p.RouteDepth() != 2 {
+		t.Fatalf("depth = %d, want 2", p.RouteDepth())
+	}
+	if got := p.PopRoute(b); got != 7 {
+		t.Errorf("PopRoute = %d, want 7", got)
+	}
+	if got := p.PopRoute(a); got != 1 {
+		t.Errorf("PopRoute = %d, want 1", got)
+	}
+	if p.RouteDepth() != 0 {
+		t.Errorf("depth = %d, want 0", p.RouteDepth())
+	}
+}
+
+func TestRouteStackOwnerMismatchPanics(t *testing.T) {
+	p := NewPacket(ReadReq, 0x1000, 4)
+	p.PushRoute("owner-a", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("PopRoute with wrong owner should panic")
+		}
+	}()
+	p.PopRoute("owner-b")
+}
+
+func TestRouteStackEmptyPopPanics(t *testing.T) {
+	p := NewPacket(ReadReq, 0x1000, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("PopRoute on empty stack should panic")
+		}
+	}()
+	p.PopRoute("anyone")
+}
+
+func TestPacketString(t *testing.T) {
+	p := NewPacket(WriteReq, 0x2f000000, 64)
+	s := p.String()
+	if s == "" {
+		t.Error("empty packet string")
+	}
+}

@@ -1,0 +1,164 @@
+package mem
+
+import "fmt"
+
+// The timing port protocol, after gem5 (§III of the paper):
+//
+//   - A MasterPort sends requests and receives responses.
+//   - A SlavePort receives requests and sends responses.
+//   - Every send can be refused (the Recv* hook returns false). A
+//     refusing receiver owes the sender exactly one retry notification
+//     (SendReqRetry / SendRespRetry) once it can make progress again;
+//     the sender then re-attempts its send.
+//
+// Refusal-plus-retry is the only backpressure mechanism in the system,
+// and it is the one the paper's link model leans on: "If the connected
+// master or slave ports refuse to accept the TLP, the receiving
+// interface does not increment the receiving sequence number and the
+// sender retransmits the packets in its replay buffer after a timeout."
+
+// MasterOwner is implemented by components that own a MasterPort.
+type MasterOwner interface {
+	// RecvTimingResp delivers a response to the owner. Returning false
+	// refuses it; the owner will get RecvRespRetry via the port later.
+	RecvTimingResp(port *MasterPort, pkt *Packet) bool
+	// RecvReqRetry tells the owner a previously refused request may now
+	// be retried.
+	RecvReqRetry(port *MasterPort)
+}
+
+// SlaveOwner is implemented by components that own a SlavePort.
+type SlaveOwner interface {
+	// RecvTimingReq delivers a request to the owner. Returning false
+	// refuses it; the owner will get RecvReqRetry via the port later.
+	RecvTimingReq(port *SlavePort, pkt *Packet) bool
+	// RecvRespRetry tells the owner a previously refused response may
+	// now be retried.
+	RecvRespRetry(port *SlavePort)
+}
+
+// RangeProvider is optionally implemented by slave owners whose address
+// ranges are discoverable (crossbars query it when wiring).
+type RangeProvider interface {
+	AddrRanges(port *SlavePort) RangeList
+}
+
+// MasterPort is the request-sending half of a connection.
+type MasterPort struct {
+	name  string
+	owner MasterOwner
+	peer  *SlavePort
+
+	// waitingForRetry is diagnostic state: true between a refused send
+	// and the matching retry notification.
+	waitingForRetry bool
+}
+
+// NewMasterPort creates a master port owned by owner.
+func NewMasterPort(name string, owner MasterOwner) *MasterPort {
+	return &MasterPort{name: name, owner: owner}
+}
+
+// Name returns the port's diagnostic name.
+func (p *MasterPort) Name() string { return p.name }
+
+// Peer returns the connected slave port, or nil.
+func (p *MasterPort) Peer() *SlavePort { return p.peer }
+
+// Connected reports whether the port has a peer.
+func (p *MasterPort) Connected() bool { return p.peer != nil }
+
+// SendTimingReq offers pkt to the connected slave. It returns false if
+// the slave refused; the refusal obligates the slave to call
+// SendReqRetry later.
+func (p *MasterPort) SendTimingReq(pkt *Packet) bool {
+	if p.peer == nil {
+		panic(fmt.Sprintf("mem: SendTimingReq on unconnected port %q", p.name))
+	}
+	if !pkt.Cmd.IsRequest() {
+		panic(fmt.Sprintf("mem: SendTimingReq with %v on %q", pkt.Cmd, p.name))
+	}
+	ok := p.peer.owner.RecvTimingReq(p.peer, pkt)
+	p.waitingForRetry = !ok
+	return ok
+}
+
+// SendRespRetry notifies the slave that a previously refused response
+// may be retried.
+func (p *MasterPort) SendRespRetry() {
+	if p.peer == nil {
+		panic(fmt.Sprintf("mem: SendRespRetry on unconnected port %q", p.name))
+	}
+	p.peer.owner.RecvRespRetry(p.peer)
+}
+
+// SlavePort is the request-receiving half of a connection.
+type SlavePort struct {
+	name  string
+	owner SlaveOwner
+	peer  *MasterPort
+
+	waitingForRetry bool
+}
+
+// NewSlavePort creates a slave port owned by owner.
+func NewSlavePort(name string, owner SlaveOwner) *SlavePort {
+	return &SlavePort{name: name, owner: owner}
+}
+
+// Name returns the port's diagnostic name.
+func (p *SlavePort) Name() string { return p.name }
+
+// Peer returns the connected master port, or nil.
+func (p *SlavePort) Peer() *MasterPort { return p.peer }
+
+// Connected reports whether the port has a peer.
+func (p *SlavePort) Connected() bool { return p.peer != nil }
+
+// SendTimingResp offers a response to the connected master. It returns
+// false if the master refused; the refusal obligates the master to call
+// SendRespRetry later.
+func (p *SlavePort) SendTimingResp(pkt *Packet) bool {
+	if p.peer == nil {
+		panic(fmt.Sprintf("mem: SendTimingResp on unconnected port %q", p.name))
+	}
+	if !pkt.Cmd.IsResponse() {
+		panic(fmt.Sprintf("mem: SendTimingResp with %v on %q", pkt.Cmd, p.name))
+	}
+	ok := p.peer.owner.RecvTimingResp(p.peer, pkt)
+	p.waitingForRetry = !ok
+	return ok
+}
+
+// SendReqRetry notifies the master that a previously refused request may
+// be retried.
+func (p *SlavePort) SendReqRetry() {
+	if p.peer == nil {
+		panic(fmt.Sprintf("mem: SendReqRetry on unconnected port %q", p.name))
+	}
+	p.peer.owner.RecvReqRetry(p.peer)
+}
+
+// Ranges queries the owner's advertised address ranges, if any.
+func (p *SlavePort) Ranges() RangeList {
+	if rp, ok := p.owner.(RangeProvider); ok {
+		return rp.AddrRanges(p)
+	}
+	return nil
+}
+
+// Connect pairs a master port with a slave port. Both must be
+// unconnected; topology is fixed at construction time.
+func Connect(m *MasterPort, s *SlavePort) {
+	if m == nil || s == nil {
+		panic("mem: Connect with nil port")
+	}
+	if m.peer != nil {
+		panic(fmt.Sprintf("mem: master port %q already connected to %q", m.name, m.peer.name))
+	}
+	if s.peer != nil {
+		panic(fmt.Sprintf("mem: slave port %q already connected to %q", s.name, s.peer.name))
+	}
+	m.peer = s
+	s.peer = m
+}

@@ -1,0 +1,267 @@
+package mem
+
+import (
+	"testing"
+
+	"pciesim/internal/sim"
+)
+
+// mockSlave accepts or refuses requests on demand and records traffic.
+type mockSlave struct {
+	port     *SlavePort
+	accept   bool
+	received []*Packet
+	retries  int
+	ranges   RangeList
+}
+
+func newMockSlave(name string) *mockSlave {
+	s := &mockSlave{accept: true}
+	s.port = NewSlavePort(name, s)
+	return s
+}
+
+func (s *mockSlave) RecvTimingReq(_ *SlavePort, pkt *Packet) bool {
+	if !s.accept {
+		return false
+	}
+	s.received = append(s.received, pkt)
+	return true
+}
+func (s *mockSlave) RecvRespRetry(*SlavePort)        { s.retries++ }
+func (s *mockSlave) AddrRanges(*SlavePort) RangeList { return s.ranges }
+
+// mockMaster mirrors mockSlave for the response direction.
+type mockMaster struct {
+	port     *MasterPort
+	accept   bool
+	received []*Packet
+	retries  int
+}
+
+func newMockMaster(name string) *mockMaster {
+	m := &mockMaster{accept: true}
+	m.port = NewMasterPort(name, m)
+	return m
+}
+
+func (m *mockMaster) RecvTimingResp(_ *MasterPort, pkt *Packet) bool {
+	if !m.accept {
+		return false
+	}
+	m.received = append(m.received, pkt)
+	return true
+}
+func (m *mockMaster) RecvReqRetry(*MasterPort) { m.retries++ }
+
+func TestConnectPairsPorts(t *testing.T) {
+	m, s := newMockMaster("m"), newMockSlave("s")
+	Connect(m.port, s.port)
+	if m.port.Peer() != s.port || s.port.Peer() != m.port {
+		t.Fatal("peers not set")
+	}
+	if !m.port.Connected() || !s.port.Connected() {
+		t.Fatal("Connected() should be true")
+	}
+}
+
+func TestConnectTwicePanics(t *testing.T) {
+	m, s := newMockMaster("m"), newMockSlave("s")
+	Connect(m.port, s.port)
+	s2 := newMockSlave("s2")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-connecting a connected port should panic")
+		}
+	}()
+	Connect(m.port, s2.port)
+}
+
+func TestSendTimingReqDelivery(t *testing.T) {
+	m, s := newMockMaster("m"), newMockSlave("s")
+	Connect(m.port, s.port)
+	pkt := NewPacket(ReadReq, 0x100, 4)
+	if !m.port.SendTimingReq(pkt) {
+		t.Fatal("accepting slave refused")
+	}
+	if len(s.received) != 1 || s.received[0] != pkt {
+		t.Fatal("packet not delivered")
+	}
+}
+
+func TestRefusalAndRetryFlow(t *testing.T) {
+	m, s := newMockMaster("m"), newMockSlave("s")
+	Connect(m.port, s.port)
+	s.accept = false
+	pkt := NewPacket(WriteReq, 0x100, 64)
+	if m.port.SendTimingReq(pkt) {
+		t.Fatal("refusing slave accepted")
+	}
+	// Slave later frees space and must notify the master.
+	s.accept = true
+	s.port.SendReqRetry()
+	if m.retries != 1 {
+		t.Fatalf("master saw %d retries, want 1", m.retries)
+	}
+	if !m.port.SendTimingReq(pkt) {
+		t.Fatal("retried send refused")
+	}
+}
+
+func TestResponsePathAndRetry(t *testing.T) {
+	m, s := newMockMaster("m"), newMockSlave("s")
+	Connect(m.port, s.port)
+	resp := NewPacket(ReadReq, 0x100, 4).MakeResponse()
+	m.accept = false
+	if s.port.SendTimingResp(resp) {
+		t.Fatal("refusing master accepted")
+	}
+	m.accept = true
+	m.port.SendRespRetry()
+	if s.retries != 1 {
+		t.Fatalf("slave saw %d retries, want 1", s.retries)
+	}
+	if !s.port.SendTimingResp(resp) {
+		t.Fatal("retried response refused")
+	}
+	if len(m.received) != 1 {
+		t.Fatal("response not delivered")
+	}
+}
+
+func TestSendWrongDirectionPanics(t *testing.T) {
+	m, s := newMockMaster("m"), newMockSlave("s")
+	Connect(m.port, s.port)
+	t.Run("response via SendTimingReq", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic")
+			}
+		}()
+		m.port.SendTimingReq(NewPacket(ReadReq, 0, 4).MakeResponse())
+	})
+	t.Run("request via SendTimingResp", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic")
+			}
+		}()
+		s.port.SendTimingResp(NewPacket(ReadReq, 0, 4))
+	})
+}
+
+func TestUnconnectedSendPanics(t *testing.T) {
+	m := newMockMaster("m")
+	defer func() {
+		if recover() == nil {
+			t.Error("send on unconnected port should panic")
+		}
+	}()
+	m.port.SendTimingReq(NewPacket(ReadReq, 0, 4))
+}
+
+func TestSlavePortRanges(t *testing.T) {
+	s := newMockSlave("s")
+	s.ranges = RangeList{Span(0x1000, 0x2000)}
+	got := s.port.Ranges()
+	if len(got) != 1 || got[0] != Span(0x1000, 0x2000) {
+		t.Errorf("Ranges = %v", got)
+	}
+}
+
+func TestSendQueueDeliversInOrderWithDelay(t *testing.T) {
+	eng := sim.NewEngine()
+	var delivered []uint64
+	var deliveredAt []sim.Tick
+	q := NewSendQueue(eng, "q", 0, func(p *Packet) bool {
+		delivered = append(delivered, p.Addr)
+		deliveredAt = append(deliveredAt, eng.Now())
+		return true
+	})
+	q.Push(NewPacket(ReadReq, 1, 4), 100)
+	q.Push(NewPacket(ReadReq, 2, 4), 50) // later entry, earlier ready: still FIFO
+	q.Push(NewPacket(ReadReq, 3, 4), 200)
+	eng.Run()
+	if len(delivered) != 3 || delivered[0] != 1 || delivered[1] != 2 || delivered[2] != 3 {
+		t.Fatalf("delivered %v, want FIFO order", delivered)
+	}
+	if deliveredAt[0] != 100 || deliveredAt[1] != 100 || deliveredAt[2] != 200 {
+		t.Errorf("delivery times %v, want [100 100 200]", deliveredAt)
+	}
+}
+
+func TestSendQueueCapacityAndOnFree(t *testing.T) {
+	eng := sim.NewEngine()
+	sink := func(*Packet) bool { return true }
+	q := NewSendQueue(eng, "q", 2, sink)
+	freed := 0
+	q.OnFree(func() { freed++ })
+	if !q.Push(NewPacket(ReadReq, 1, 4), 10) || !q.Push(NewPacket(ReadReq, 2, 4), 10) {
+		t.Fatal("pushes under capacity refused")
+	}
+	if !q.Full() {
+		t.Fatal("queue should be full at capacity")
+	}
+	if q.Push(NewPacket(ReadReq, 3, 4), 10) {
+		t.Fatal("push over capacity accepted")
+	}
+	eng.Run()
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d", q.Len())
+	}
+	if freed != 1 {
+		t.Errorf("onFree ran %d times, want 1 (only the full->not-full edge)", freed)
+	}
+	pushed, sent, refusals, maxDepth := q.Stats()
+	if pushed != 2 || sent != 2 || refusals != 1 || maxDepth != 2 {
+		t.Errorf("stats = %d %d %d %d", pushed, sent, refusals, maxDepth)
+	}
+}
+
+func TestSendQueueBlocksOnRefusalUntilRetry(t *testing.T) {
+	eng := sim.NewEngine()
+	accept := false
+	var delivered int
+	q := NewSendQueue(eng, "q", 0, func(*Packet) bool {
+		if !accept {
+			return false
+		}
+		delivered++
+		return true
+	})
+	q.Push(NewPacket(ReadReq, 1, 4), 0)
+	q.Push(NewPacket(ReadReq, 2, 4), 0)
+	eng.Run()
+	if delivered != 0 {
+		t.Fatal("delivered despite refusals")
+	}
+	// Peer signals space; queue should resume and drain fully.
+	accept = true
+	q.RetryReceived()
+	eng.Run()
+	if delivered != 2 {
+		t.Fatalf("delivered %d after retry, want 2", delivered)
+	}
+}
+
+func TestSendQueueRetryWithoutBlockIsNoop(t *testing.T) {
+	eng := sim.NewEngine()
+	q := NewSendQueue(eng, "q", 0, func(*Packet) bool { return true })
+	q.RetryReceived() // must not panic or schedule anything
+	if eng.Pending() != 0 {
+		t.Error("spurious event scheduled")
+	}
+}
+
+func TestSendQueuePastReadyTimeClamped(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Schedule("advance", 1000, func() {})
+	eng.Run()
+	var at sim.Tick
+	q := NewSendQueue(eng, "q", 0, func(*Packet) bool { at = eng.Now(); return true })
+	q.Push(NewPacket(ReadReq, 1, 4), 5) // readyAt in the past
+	eng.Run()
+	if at != 1000 {
+		t.Errorf("delivered at %v, want clamped to now (1000)", at)
+	}
+}

@@ -1,0 +1,145 @@
+package mem
+
+import (
+	"fmt"
+
+	"pciesim/internal/sim"
+)
+
+// SendQueue is a bounded FIFO of packets that become eligible to leave
+// at individual ready times, used as the egress stage of every queueing
+// component (bridge queues, crossbar layers, root-complex and switch
+// port buffers). It encapsulates the fiddly part of the timing protocol:
+// sending the head when it becomes ready, going quiescent on a refusal,
+// and resuming when the peer's retry notification arrives.
+type SendQueue struct {
+	eng  *sim.Engine
+	name string
+
+	// capacity is the maximum number of queued packets; 0 means
+	// unbounded. This is the paper's "port buffer size" knob in the
+	// root complex and switch experiments (Fig 9(d)).
+	capacity int
+
+	// send makes one attempt to pass a packet on; it returns false on
+	// refusal, after which the owner must eventually call RetryReceived.
+	send func(*Packet) bool
+
+	// onFree, if set, runs whenever a packet leaves a previously full
+	// queue — the hook owners use to issue their own upstream retries.
+	onFree func()
+
+	entries []sendEntry
+	sendEv  *sim.Event
+	blocked bool // head was refused; waiting for peer retry
+
+	// Stats.
+	pushed   uint64
+	sent     uint64
+	refusals uint64
+	maxDepth int
+}
+
+type sendEntry struct {
+	pkt     *Packet
+	readyAt sim.Tick
+}
+
+// NewSendQueue creates a queue. capacity 0 means unbounded.
+func NewSendQueue(eng *sim.Engine, name string, capacity int, send func(*Packet) bool) *SendQueue {
+	q := &SendQueue{eng: eng, name: name, capacity: capacity, send: send}
+	q.sendEv = eng.NewEvent(name+".send", q.trySend)
+	return q
+}
+
+// OnFree registers the space-freed hook.
+func (q *SendQueue) OnFree(fn func()) { q.onFree = fn }
+
+// Len returns the current occupancy.
+func (q *SendQueue) Len() int { return len(q.entries) }
+
+// Full reports whether another Push would exceed capacity.
+func (q *SendQueue) Full() bool { return q.capacity > 0 && len(q.entries) >= q.capacity }
+
+// Capacity returns the configured bound (0 = unbounded).
+func (q *SendQueue) Capacity() int { return q.capacity }
+
+// Push enqueues pkt to become sendable at readyAt. It returns false,
+// without queueing, when the queue is full — the caller then refuses its
+// own ingress and relies on OnFree to know when to retry.
+func (q *SendQueue) Push(pkt *Packet, readyAt sim.Tick) bool {
+	if q.Full() {
+		q.refusals++
+		return false
+	}
+	if readyAt < q.eng.Now() {
+		readyAt = q.eng.Now()
+	}
+	q.entries = append(q.entries, sendEntry{pkt, readyAt})
+	if len(q.entries) > q.maxDepth {
+		q.maxDepth = len(q.entries)
+	}
+	q.pushed++
+	q.schedule()
+	return true
+}
+
+// RetryReceived must be called by the owner when the downstream peer
+// signals that a refused send may be re-attempted.
+func (q *SendQueue) RetryReceived() {
+	if !q.blocked {
+		return
+	}
+	q.blocked = false
+	q.schedule()
+}
+
+// Stats returns (packets pushed, packets sent, pushes refused for lack
+// of space, high-water occupancy).
+func (q *SendQueue) Stats() (pushed, sent, refusals uint64, maxDepth int) {
+	return q.pushed, q.sent, q.refusals, q.maxDepth
+}
+
+func (q *SendQueue) schedule() {
+	if q.blocked || len(q.entries) == 0 || q.sendEv.Scheduled() {
+		return
+	}
+	when := q.entries[0].readyAt
+	if when < q.eng.Now() {
+		when = q.eng.Now()
+	}
+	q.eng.ScheduleEvent(q.sendEv, when, sim.PriorityDefault)
+}
+
+func (q *SendQueue) trySend() {
+	if q.blocked || len(q.entries) == 0 {
+		return
+	}
+	head := q.entries[0]
+	if head.readyAt > q.eng.Now() {
+		q.schedule()
+		return
+	}
+	if !q.send(head.pkt) {
+		// Refused: stay quiescent until RetryReceived.
+		q.blocked = true
+		return
+	}
+	// Fullness is sampled after the send: a reentrant push during the
+	// send can fill the queue, and that full->not-full edge on the pop
+	// below must still fire onFree.
+	wasFull := q.Full()
+	q.sent++
+	copy(q.entries, q.entries[1:])
+	q.entries[len(q.entries)-1] = sendEntry{}
+	q.entries = q.entries[:len(q.entries)-1]
+	if wasFull && q.onFree != nil {
+		q.onFree()
+	}
+	q.schedule()
+}
+
+// String summarizes the queue state for debugging.
+func (q *SendQueue) String() string {
+	return fmt.Sprintf("%s[%d/%d blocked=%v]", q.name, len(q.entries), q.capacity, q.blocked)
+}

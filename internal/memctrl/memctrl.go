@@ -1,0 +1,165 @@
+// Package memctrl provides a simple main-memory controller: fixed access
+// latency, a per-byte transfer cost, and a bounded number of outstanding
+// accesses. It stands in for gem5's DRAM controller at the top of the
+// memory tree; for the paper's I/O experiments only its service rate
+// matters, since the PCI-Express fabric is the intended bottleneck.
+package memctrl
+
+import (
+	"fmt"
+
+	"pciesim/internal/mem"
+	"pciesim/internal/sim"
+)
+
+// Config parameterizes the controller.
+type Config struct {
+	// Latency is the fixed access latency applied to every request.
+	Latency sim.Tick
+	// PerByte is the additional occupancy per byte, modeling channel
+	// bandwidth (e.g. ~78 ps/B for a 12.8 GB/s DDR channel).
+	PerByte sim.Tick
+	// MaxOutstanding bounds concurrently serviced requests; further
+	// requests are refused until responses drain. 0 means unbounded.
+	MaxOutstanding int
+}
+
+// Memory is the controller plus its backing store. The store is sparse
+// and only materializes pages that are actually written with data, so
+// timing-only traffic (the common case) costs nothing.
+type Memory struct {
+	eng  *sim.Engine
+	name string
+	cfg  Config
+	rng  mem.AddrRange
+
+	port       *mem.SlavePort
+	respQ      *mem.SendQueue
+	nextFree   sim.Tick
+	needsRetry bool
+
+	pages map[uint64]*[pageSize]byte
+
+	// Stats.
+	reads, writes   uint64
+	bytesRead       uint64
+	bytesWritten    uint64
+	refusedRequests uint64
+}
+
+const pageSize = 4096
+
+// New creates a memory claiming the given address range.
+func New(eng *sim.Engine, name string, rng mem.AddrRange, cfg Config) *Memory {
+	m := &Memory{eng: eng, name: name, cfg: cfg, rng: rng, pages: make(map[uint64]*[pageSize]byte)}
+	m.port = mem.NewSlavePort(name+".port", m)
+	m.respQ = mem.NewSendQueue(eng, name+".respq", cfg.MaxOutstanding, func(p *mem.Packet) bool {
+		return m.port.SendTimingResp(p)
+	})
+	m.respQ.OnFree(func() {
+		if m.needsRetry {
+			m.needsRetry = false
+			m.port.SendReqRetry()
+		}
+	})
+	return m
+}
+
+// Port returns the slave port to connect to a crossbar master port.
+func (m *Memory) Port() *mem.SlavePort { return m.port }
+
+// Range returns the claimed address range.
+func (m *Memory) Range() mem.AddrRange { return m.rng }
+
+// RecvTimingReq services a request after the configured latency.
+func (m *Memory) RecvTimingReq(_ *mem.SlavePort, pkt *mem.Packet) bool {
+	if !m.rng.Contains(pkt.Addr) {
+		panic(fmt.Sprintf("memctrl %s: %v outside %v", m.name, pkt, m.rng))
+	}
+	if m.respQ.Full() {
+		m.needsRetry = true
+		m.refusedRequests++
+		return false
+	}
+	switch {
+	case pkt.Cmd.IsRead():
+		m.reads++
+		m.bytesRead += uint64(pkt.Size)
+		if pkt.Data != nil {
+			m.read(pkt.Addr, pkt.Data)
+		}
+	case pkt.Cmd.IsWrite():
+		m.writes++
+		m.bytesWritten += uint64(pkt.Size)
+		if pkt.Data != nil {
+			m.write(pkt.Addr, pkt.Data)
+		}
+	}
+	ready := m.eng.Now() + m.cfg.Latency
+	if m.nextFree > ready {
+		ready = m.nextFree
+	}
+	m.nextFree = ready + m.cfg.PerByte*sim.Tick(pkt.Size)
+	if pkt.Posted {
+		// Posted write: consumed here, no completion.
+		return true
+	}
+	m.respQ.Push(pkt.MakeResponse(), ready)
+	return true
+}
+
+// RecvRespRetry resumes response delivery after an upstream refusal.
+func (m *Memory) RecvRespRetry(*mem.SlavePort) { m.respQ.RetryReceived() }
+
+// AddrRanges advertises the claimed range.
+func (m *Memory) AddrRanges(*mem.SlavePort) mem.RangeList { return mem.RangeList{m.rng} }
+
+// Stats returns cumulative access counters.
+func (m *Memory) Stats() (reads, writes, bytesRead, bytesWritten, refused uint64) {
+	return m.reads, m.writes, m.bytesRead, m.bytesWritten, m.refusedRequests
+}
+
+// WriteFunctional writes data at addr immediately, without timing. Used
+// by test fixtures and loaders.
+func (m *Memory) WriteFunctional(addr uint64, data []byte) { m.write(addr, data) }
+
+// ReadFunctional reads len(buf) bytes at addr immediately.
+func (m *Memory) ReadFunctional(addr uint64, buf []byte) { m.read(addr, buf) }
+
+func (m *Memory) write(addr uint64, data []byte) {
+	off := addr - m.rng.Start
+	for i := 0; i < len(data); {
+		page, po := off/pageSize, off%pageSize
+		p := m.pages[page]
+		if p == nil {
+			p = new([pageSize]byte)
+			m.pages[page] = p
+		}
+		n := copy(p[po:], data[i:])
+		i += n
+		off += uint64(n)
+	}
+}
+
+func (m *Memory) read(addr uint64, buf []byte) {
+	off := addr - m.rng.Start
+	for i := 0; i < len(buf); {
+		page, po := off/pageSize, off%pageSize
+		p := m.pages[page]
+		var n int
+		if p == nil {
+			end := i + int(pageSize-po)
+			if end > len(buf) {
+				end = len(buf)
+			}
+			for j := i; j < end; j++ {
+				buf[j] = 0
+			}
+			n = end - i
+		} else {
+			n = copy(buf[i:], p[po:])
+		}
+		i += n
+		off += uint64(n)
+	}
+}

@@ -1,0 +1,154 @@
+package memctrl
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"pciesim/internal/mem"
+	"pciesim/internal/sim"
+	"pciesim/internal/testdev"
+)
+
+func build(eng *sim.Engine, cfg Config) (*Memory, *testdev.Requester) {
+	m := New(eng, "dram", mem.Range(0x8000_0000, 1<<30), cfg)
+	req := testdev.NewRequester(eng, "cpu")
+	mem.Connect(req.Port(), m.Port())
+	return m, req
+}
+
+func TestMemoryLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	_, req := build(eng, Config{Latency: 50 * sim.Nanosecond})
+	req.Read(0x8000_0000, 64)
+	eng.Run()
+	if got := req.Completions[0].Latency(); got != 50*sim.Nanosecond {
+		t.Errorf("latency %v, want 50ns", got)
+	}
+}
+
+func TestMemoryBandwidthSerializes(t *testing.T) {
+	eng := sim.NewEngine()
+	_, req := build(eng, Config{Latency: 10 * sim.Nanosecond, PerByte: 100}) // 6.4ns per 64B
+	req.Write(0x8000_0000, 64)
+	req.Write(0x8000_0040, 64)
+	eng.Run()
+	gap := req.Completions[1].Done - req.Completions[0].Done
+	if gap != 6400 {
+		t.Errorf("inter-completion gap %v, want 6.4ns", gap)
+	}
+}
+
+func TestMemoryOutstandingLimit(t *testing.T) {
+	eng := sim.NewEngine()
+	m, req := build(eng, Config{Latency: 100 * sim.Nanosecond, MaxOutstanding: 2})
+	for i := 0; i < 8; i++ {
+		req.Read(0x8000_0000+uint64(i*64), 64)
+	}
+	eng.Run()
+	if len(req.Completions) != 8 {
+		t.Fatalf("%d completions, want 8", len(req.Completions))
+	}
+	_, _, _, _, refused := m.Stats()
+	if refused == 0 {
+		t.Error("expected refusals with MaxOutstanding=2 and 8 same-cycle requests")
+	}
+}
+
+func TestMemoryDataReadBack(t *testing.T) {
+	eng := sim.NewEngine()
+	_, req := build(eng, Config{Latency: sim.Nanosecond})
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	req.WriteData(0x8000_1000, payload)
+	buf := make([]byte, 8)
+	req.ReadData(0x8000_1000, buf)
+	eng.Run()
+	if !bytes.Equal(buf, payload) {
+		t.Errorf("read back %v, want %v", buf, payload)
+	}
+}
+
+func TestMemoryUnwrittenReadsZero(t *testing.T) {
+	eng := sim.NewEngine()
+	_, req := build(eng, Config{})
+	buf := []byte{0xff, 0xff, 0xff, 0xff}
+	req.ReadData(0x8100_0000, buf)
+	eng.Run()
+	if !bytes.Equal(buf, []byte{0, 0, 0, 0}) {
+		t.Errorf("unwritten memory read %v, want zeros", buf)
+	}
+}
+
+func TestMemoryCrossPageAccess(t *testing.T) {
+	eng := sim.NewEngine()
+	m, req := build(eng, Config{})
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	// Straddles the 4 KB page boundary.
+	req.WriteData(0x8000_0000+4096-50, data)
+	buf := make([]byte, 100)
+	req.ReadData(0x8000_0000+4096-50, buf)
+	eng.Run()
+	if !bytes.Equal(buf, data) {
+		t.Error("cross-page write/read mismatch")
+	}
+	reads, writes, br, bw, _ := m.Stats()
+	if reads != 1 || writes != 1 || br != 100 || bw != 100 {
+		t.Errorf("stats = %d %d %d %d", reads, writes, br, bw)
+	}
+}
+
+func TestMemoryFunctionalAccess(t *testing.T) {
+	eng := sim.NewEngine()
+	m, _ := build(eng, Config{})
+	m.WriteFunctional(0x8000_2000, []byte{0xaa, 0xbb})
+	buf := make([]byte, 2)
+	m.ReadFunctional(0x8000_2000, buf)
+	if buf[0] != 0xaa || buf[1] != 0xbb {
+		t.Errorf("functional read %v", buf)
+	}
+}
+
+func TestMemoryOutOfRangePanics(t *testing.T) {
+	eng := sim.NewEngine()
+	_, req := build(eng, Config{})
+	req.Read(0x1000, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range access should panic")
+		}
+	}()
+	eng.Run()
+}
+
+// Property: any sequence of writes followed by reads behaves like a flat
+// byte array (the sparse page store is transparent).
+func TestMemoryStoreProperty(t *testing.T) {
+	f := func(ops []struct {
+		Off  uint16
+		Data []byte
+	}) bool {
+		eng := sim.NewEngine()
+		m := New(eng, "dram", mem.Range(0, 1<<20), Config{})
+		shadow := make([]byte, 1<<17)
+		for _, op := range ops {
+			if len(op.Data) == 0 {
+				continue
+			}
+			data := op.Data
+			if len(data) > 1<<10 {
+				data = data[:1<<10]
+			}
+			m.WriteFunctional(uint64(op.Off), data)
+			copy(shadow[op.Off:], data)
+		}
+		buf := make([]byte, 1<<17)
+		m.ReadFunctional(0, buf)
+		return bytes.Equal(buf, shadow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

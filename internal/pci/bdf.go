@@ -1,0 +1,53 @@
+// Package pci implements PCI/PCI-Express configuration machinery: the
+// bus/device/function identity, ECAM configuration addressing, 4 KiB
+// per-function configuration spaces with type-0 (endpoint) and type-1
+// (bridge) headers, the PCI/PCI-Express capability chain, and the PCI
+// host that routes configuration transactions to registered functions.
+//
+// This is the substrate §IV of the paper builds on: it is what lets the
+// (modeled) enumeration software and device driver detect and configure
+// PCI-Express devices "regardless of the physical layer organization".
+package pci
+
+import "fmt"
+
+// BDF identifies a PCI function: bus (8 bits), device (5 bits),
+// function (3 bits).
+type BDF struct {
+	Bus  uint8
+	Dev  uint8 // 0..31
+	Func uint8 // 0..7
+}
+
+// NewBDF constructs a BDF, panicking on out-of-range device/function
+// numbers (they would alias another function's config space).
+func NewBDF(bus, dev, fn uint8) BDF {
+	if dev > 31 {
+		panic(fmt.Sprintf("pci: device number %d out of range", dev))
+	}
+	if fn > 7 {
+		panic(fmt.Sprintf("pci: function number %d out of range", fn))
+	}
+	return BDF{Bus: bus, Dev: dev, Func: fn}
+}
+
+// String formats as the conventional bb:dd.f.
+func (b BDF) String() string { return fmt.Sprintf("%02x:%02x.%d", b.Bus, b.Dev, b.Func) }
+
+// ECAMOffset returns the function's offset inside the ECAM window:
+// bus<<20 | device<<15 | function<<12, giving each function 4 KiB of
+// configuration space (§III: gem5's PCI host maps 256 MiB at
+// 0x30000000 this way).
+func (b BDF) ECAMOffset() uint64 {
+	return uint64(b.Bus)<<20 | uint64(b.Dev)<<15 | uint64(b.Func)<<12
+}
+
+// BDFFromECAM decodes an offset inside the ECAM window back into the
+// function identity and the register offset within its space.
+func BDFFromECAM(off uint64) (BDF, int) {
+	return BDF{
+		Bus:  uint8(off >> 20),
+		Dev:  uint8(off>>15) & 0x1f,
+		Func: uint8(off>>12) & 0x7,
+	}, int(off & 0xfff)
+}

@@ -1,0 +1,280 @@
+package pci
+
+import "fmt"
+
+// Capability IDs (PCI/PCI-Express capability space, region R2).
+const (
+	CapIDPowerManagement = 0x01
+	CapIDMSI             = 0x05
+	CapIDPCIExpress      = 0x10
+	CapIDMSIX            = 0x11
+)
+
+// Extended capability IDs (PCI-Express extended space, region R3).
+const (
+	ExtCapIDAER          = 0x0001
+	ExtCapIDSerialNumber = 0x0003
+)
+
+// PCI-Express device/port types, encoded in bits 7:4 of the PCI-Express
+// Capabilities Register (the paper configures these to present VP2Ps as
+// root ports or switch ports to the enumeration software).
+const (
+	PCIePortEndpoint         = 0x0
+	PCIePortRootPort         = 0x4
+	PCIePortSwitchUpstream   = 0x5
+	PCIePortSwitchDownstream = 0x6
+)
+
+// Link speed codes in the Link Capabilities register.
+const (
+	LinkSpeedGen1 = 1 // 2.5 GT/s
+	LinkSpeedGen2 = 2 // 5 GT/s
+	LinkSpeedGen3 = 3 // 8 GT/s
+)
+
+// Offsets within the PCI-Express capability structure (paper Fig. 5).
+const (
+	PCIeCapRegOffset     = 0x00 // 16-bit, after the id/next header bytes at +2
+	PCIeDevCapOffset     = 0x04
+	PCIeDevCtlOffset     = 0x08
+	PCIeDevStatusOffset  = 0x0a
+	PCIeLinkCapOffset    = 0x0c
+	PCIeLinkCtlOffset    = 0x10
+	PCIeLinkStatusOffset = 0x12
+	PCIeSlotCapOffset    = 0x14
+	PCIeSlotCtlOffset    = 0x18
+	PCIeSlotStatusOffset = 0x1a
+	PCIeRootCtlOffset    = 0x1c
+	PCIeRootStatusOffset = 0x20
+	pcieCapSize          = 0x24
+)
+
+// capAllocBase is where capability structures are placed. 0x40 is the
+// first free byte after the standard header; the paper's NIC places its
+// chain here (PM → MSI → PCIe → MSI-X).
+const capAllocBase = 0x40
+
+// AddCapability appends a capability structure of the given byte size to
+// the space's capability chain and returns its offset. The first
+// capability sets the header's capability pointer and the status
+// register's capability-list bit.
+func AddCapability(c *ConfigSpace, id uint8, size int) int {
+	if size < 2 {
+		panic("pci: capability smaller than its own header")
+	}
+	cur := &c.caps
+	if cur.nextFree == 0 {
+		cur.nextFree = capAllocBase
+	}
+	off := (cur.nextFree + 3) &^ 3 // dword-align
+	if off+size > 0x100 {
+		panic(fmt.Sprintf("pci %s: capability chain overflows the 256B space", c.Name()))
+	}
+	c.SetByte(off, id)
+	c.SetByte(off+1, 0)
+	if cur.lastNext == 0 {
+		c.SetByte(RegCapPtr, uint8(off))
+		c.SetWord(RegStatus, c.Word(RegStatus)|StatusCapList)
+	} else {
+		c.SetByte(cur.lastNext, uint8(off))
+	}
+	cur.lastNext = off + 1
+	cur.nextFree = off + size
+	return off
+}
+
+// AddPowerManagementCap appends a PM capability. Per the paper the
+// capability is present but inert: gem5 has no PM support, so the
+// power-state bits are read-only and the device stays in D0.
+func AddPowerManagementCap(c *ConfigSpace) int {
+	off := AddCapability(c, CapIDPowerManagement, 8)
+	c.SetWord(off+2, 0x0003) // PM spec version 1.2, no PME support
+	// PMCSR at off+4 stays read-only zero: D0, PME disabled.
+	return off
+}
+
+// AddMSICap appends an MSI capability whose enable bit is read-only
+// zero — "we disable these capabilities by appropriately setting
+// register values... the device driver is forced to register a legacy
+// interrupt handler instead of MSI or MSI-X".
+func AddMSICap(c *ConfigSpace) int {
+	off := AddCapability(c, CapIDMSI, 14)
+	c.SetWord(off+2, 0x0000) // message control: enable bit 0, read-only
+	// Address/data registers writable so the driver can program them
+	// even though the enable never sticks.
+	c.MakeWritable(off+4, 8)
+	c.SetWriteMask(off+2, 0x00)
+	c.SetWriteMask(off+3, 0x00)
+	return off
+}
+
+// AddMSICapRW appends an MSI capability whose enable bit software CAN
+// set — the platform extension beyond the paper's gem5 baseline. The
+// 32-bit message address lives at +4 and the 16-bit message data at +8.
+func AddMSICapRW(c *ConfigSpace) int {
+	off := AddMSICap(c)
+	c.SetWriteMask(off+2, 0x01) // enable bit writable
+	return off
+}
+
+// AddMSIXCap appends an MSI-X capability with its enable bit read-only
+// zero, mirroring the MSI treatment.
+func AddMSIXCap(c *ConfigSpace, tableSize uint16) int {
+	off := AddCapability(c, CapIDMSIX, 12)
+	c.SetWord(off+2, tableSize-1) // message control: table size N-1, enable RO 0
+	c.SetDword(off+4, 0x0)        // table offset/BIR
+	c.SetDword(off+8, 0x0)        // PBA offset/BIR
+	return off
+}
+
+// PCIeCapConfig parameterizes the PCI-Express capability structure.
+type PCIeCapConfig struct {
+	PortType  uint8 // PCIePort*
+	LinkSpeed uint8 // LinkSpeed*
+	LinkWidth uint8 // number of lanes
+	// SlotImplemented marks ports connected to a slot (region C2 in
+	// Fig. 5 is only implemented by such ports).
+	SlotImplemented bool
+}
+
+// AddPCIeCap appends the PCI-Express capability structure of Fig. 5.
+// Every PCI-Express function implements region C1; ports attached to a
+// slot add C2 (slot registers); root ports add C3 (root registers).
+// Returns the capability's offset.
+func AddPCIeCap(c *ConfigSpace, cfg PCIeCapConfig) int {
+	size := PCIeSlotCapOffset // C1 only
+	if cfg.SlotImplemented {
+		size = PCIeRootCtlOffset // C1+C2
+	}
+	if cfg.PortType == PCIePortRootPort {
+		size = pcieCapSize // C1+C2+C3
+	}
+	off := AddCapability(c, CapIDPCIExpress, size)
+
+	// PCI-Express Capabilities Register: version 2, port type, slot.
+	capReg := uint16(2) | uint16(cfg.PortType)<<4
+	if cfg.SlotImplemented {
+		capReg |= 1 << 8
+	}
+	c.SetWord(off+2, capReg)
+
+	// Device Capabilities: max payload 128B (encoding 0).
+	c.SetDword(off+PCIeDevCapOffset, 0)
+	c.MakeWritable(off+PCIeDevCtlOffset, 2)
+
+	// Link Capabilities: speed, width, port number 0.
+	linkCap := uint32(cfg.LinkSpeed&0xf) | uint32(cfg.LinkWidth&0x3f)<<4
+	c.SetDword(off+PCIeLinkCapOffset, linkCap)
+	c.MakeWritable(off+PCIeLinkCtlOffset, 2)
+	// Link Status: current speed and width mirror the capabilities.
+	c.SetWord(off+PCIeLinkStatusOffset, uint16(cfg.LinkSpeed&0xf)|uint16(cfg.LinkWidth&0x3f)<<4)
+
+	if size > PCIeSlotCapOffset {
+		c.MakeWritable(off+PCIeSlotCtlOffset, 2)
+	}
+	if size > PCIeRootCtlOffset {
+		c.MakeWritable(off+PCIeRootCtlOffset, 2)
+	}
+	return off
+}
+
+// ParsePCIeCap decodes the capability's port type, link speed and width
+// from a configuration space, given the capability's offset.
+func ParsePCIeCap(c *ConfigSpace, off int) (portType, speed, width uint8) {
+	capReg := c.Word(off + 2)
+	linkCap := c.Dword(off + PCIeLinkCapOffset)
+	return uint8(capReg>>4) & 0xf, uint8(linkCap & 0xf), uint8(linkCap>>4) & 0x3f
+}
+
+// FindCapability walks the capability chain for the given ID and
+// returns its offset, or 0 if absent. This is the walk device drivers
+// perform.
+func FindCapability(c ConfigAccessor, id uint8) int {
+	status := c.ConfigRead(RegStatus, 2)
+	if status&StatusCapList == 0 {
+		return 0
+	}
+	ptr := int(c.ConfigRead(RegCapPtr, 1)) &^ 3
+	for hops := 0; ptr >= capAllocBase && hops < 48; hops++ {
+		if int(c.ConfigRead(ptr, 1)) == int(id) {
+			return ptr
+		}
+		ptr = int(c.ConfigRead(ptr+1, 1)) &^ 3
+	}
+	return 0
+}
+
+// CapabilityChain returns the IDs in chain order, as a driver would see
+// them.
+func CapabilityChain(c ConfigAccessor) []uint8 {
+	var ids []uint8
+	status := c.ConfigRead(RegStatus, 2)
+	if status&StatusCapList == 0 {
+		return nil
+	}
+	ptr := int(c.ConfigRead(RegCapPtr, 1)) &^ 3
+	for hops := 0; ptr >= capAllocBase && hops < 48; hops++ {
+		ids = append(ids, uint8(c.ConfigRead(ptr, 1)))
+		ptr = int(c.ConfigRead(ptr+1, 1)) &^ 3
+	}
+	return ids
+}
+
+// extCapBase is where PCI-Express extended capabilities begin: "a
+// PCI-Express device can implement extended capability structures
+// starting from offset 0x100 of the configuration space (R3)".
+const extCapBase = 0x100
+
+// AddExtendedCapability appends an extended capability header (16-bit
+// ID, 4-bit version, 12-bit next pointer) plus size-4 body bytes and
+// returns its offset.
+func AddExtendedCapability(c *ConfigSpace, id uint16, version uint8, size int) int {
+	if size < 4 {
+		panic("pci: extended capability smaller than its header")
+	}
+	cur := &c.caps
+	var off int
+	if cur.extTail == 0 {
+		off = extCapBase
+	} else {
+		prev := c.Dword(cur.extTail)
+		// Place after the previous capability; patch its next pointer.
+		off = (cur.nextFreeExt() + 3) &^ 3
+		c.SetDword(cur.extTail, prev|uint32(off)<<20)
+	}
+	if off+size > ConfigSpaceSize {
+		panic(fmt.Sprintf("pci %s: extended capability overflows the 4KB space", c.Name()))
+	}
+	c.SetDword(off, uint32(id)|uint32(version&0xf)<<16)
+	cur.extTail = off
+	cur.extSize = size
+	return off
+}
+
+func (cur *capCursor) nextFreeExt() int { return cur.extTail + cur.extSize }
+
+// capCursor tracks the capability allocation point and chain tails of a
+// configuration space.
+type capCursor struct {
+	nextFree int
+	lastNext int // offset of the "next capability pointer" byte to patch
+	extTail  int // offset of the last extended capability header
+	extSize  int // size of the last extended capability
+}
+
+// WalkExtendedCapabilities returns the extended capability IDs in chain
+// order. A device without an R3 region (first dword zero) returns nil.
+func WalkExtendedCapabilities(c ConfigAccessor) []uint16 {
+	var ids []uint16
+	off := extCapBase
+	for hops := 0; off != 0 && hops < 64; hops++ {
+		hdr := c.ConfigRead(off, 4)
+		if hdr == 0 || hdr == InvalidData {
+			break
+		}
+		ids = append(ids, uint16(hdr))
+		off = int(hdr >> 20)
+	}
+	return ids
+}

@@ -1,0 +1,165 @@
+package pci
+
+import "testing"
+
+// buildNICSpace replicates the paper's 8254x-pcie capability layout:
+// capability pointer → PM → MSI → PCIe → MSI-X (§IV).
+func buildNICSpace() *ConfigSpace {
+	c := NewType0Space("nic", Ident{VendorID: VendorIntel, DeviceID: Device82574L, InterruptPin: 1})
+	AddPowerManagementCap(c)
+	AddMSICap(c)
+	AddPCIeCap(c, PCIeCapConfig{PortType: PCIePortEndpoint, LinkSpeed: LinkSpeedGen2, LinkWidth: 1})
+	AddMSIXCap(c, 5)
+	return c
+}
+
+func TestCapabilityChainOrder(t *testing.T) {
+	c := buildNICSpace()
+	got := CapabilityChain(c)
+	want := []uint8{CapIDPowerManagement, CapIDMSI, CapIDPCIExpress, CapIDMSIX}
+	if len(got) != len(want) {
+		t.Fatalf("chain = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chain = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCapabilityListBitSet(t *testing.T) {
+	c := buildNICSpace()
+	if c.ConfigRead(RegStatus, 2)&StatusCapList == 0 {
+		t.Error("status bit 4 (capability list) must be set")
+	}
+	if c.ConfigRead(RegCapPtr, 1) == 0 {
+		t.Error("capability pointer must be set")
+	}
+}
+
+func TestFindCapability(t *testing.T) {
+	c := buildNICSpace()
+	if off := FindCapability(c, CapIDPCIExpress); off == 0 {
+		t.Error("PCIe capability not found")
+	} else if c.ConfigRead(off, 1) != CapIDPCIExpress {
+		t.Error("returned offset does not hold the PCIe cap ID")
+	}
+	if FindCapability(c, 0x42) != 0 {
+		t.Error("absent capability must return 0")
+	}
+	empty := NewType0Space("bare", Ident{VendorID: 1, DeviceID: 2})
+	if FindCapability(empty, CapIDMSI) != 0 {
+		t.Error("device without a chain must return 0")
+	}
+	if CapabilityChain(empty) != nil {
+		t.Error("device without a chain must return nil")
+	}
+}
+
+func TestMSIDisabledEnableBitStuckAtZero(t *testing.T) {
+	c := buildNICSpace()
+	off := FindCapability(c, CapIDMSI)
+	// The driver tries to enable MSI: bit 0 of message control.
+	c.ConfigWrite(off+2, 2, 0x0001)
+	if got := c.ConfigRead(off+2, 2); got&1 != 0 {
+		t.Errorf("MSI enable stuck: control = %#x — the paper disables MSI so the "+
+			"driver falls back to legacy interrupts", got)
+	}
+	// Address/data remain programmable.
+	c.ConfigWrite(off+4, 4, 0xfee00000)
+	if got := c.ConfigRead(off+4, 4); got != 0xfee00000 {
+		t.Errorf("MSI address not writable: %#x", got)
+	}
+}
+
+func TestMSIXDisabled(t *testing.T) {
+	c := buildNICSpace()
+	off := FindCapability(c, CapIDMSIX)
+	c.ConfigWrite(off+2, 2, 0x8000) // try to set enable (bit 15)
+	if got := c.ConfigRead(off+2, 2); got&0x8000 != 0 {
+		t.Errorf("MSI-X enable stuck: %#x", got)
+	}
+	if got := c.ConfigRead(off+2, 2) & 0x7ff; got != 4 {
+		t.Errorf("MSI-X table size field = %d, want 4 (N-1 for 5 vectors)", got)
+	}
+}
+
+func TestPMCapabilityInert(t *testing.T) {
+	c := buildNICSpace()
+	off := FindCapability(c, CapIDPowerManagement)
+	c.ConfigWrite(off+4, 2, 0x0003) // try to enter D3
+	if got := c.ConfigRead(off+4, 2) & 3; got != 0 {
+		t.Errorf("power state moved to D%d; PM must be inert", got)
+	}
+}
+
+func TestPCIeCapEndpointVsRootPort(t *testing.T) {
+	ep := NewType0Space("ep", Ident{VendorID: 1, DeviceID: 2})
+	epOff := AddPCIeCap(ep, PCIeCapConfig{PortType: PCIePortEndpoint, LinkSpeed: LinkSpeedGen2, LinkWidth: 4})
+	pt, speed, width := ParsePCIeCap(ep, epOff)
+	if pt != PCIePortEndpoint || speed != LinkSpeedGen2 || width != 4 {
+		t.Errorf("endpoint cap = type %d speed %d width %d", pt, speed, width)
+	}
+
+	rp := NewType1Space("rp", Ident{VendorID: VendorIntel, DeviceID: DeviceWildcatPort0})
+	rpOff := AddPCIeCap(rp, PCIeCapConfig{
+		PortType: PCIePortRootPort, LinkSpeed: LinkSpeedGen3, LinkWidth: 8, SlotImplemented: true,
+	})
+	pt, speed, width = ParsePCIeCap(rp, rpOff)
+	if pt != PCIePortRootPort || speed != LinkSpeedGen3 || width != 8 {
+		t.Errorf("root port cap = type %d speed %d width %d", pt, speed, width)
+	}
+	// Slot implemented bit.
+	if rp.ConfigRead(rpOff+2, 2)&(1<<8) == 0 {
+		t.Error("slot implemented bit missing")
+	}
+	// Root ports implement the root control register region (C3).
+	rp.ConfigWrite(rpOff+PCIeRootCtlOffset, 2, 0x1)
+	if rp.ConfigRead(rpOff+PCIeRootCtlOffset, 2) != 0x1 {
+		t.Error("root control must be writable on a root port")
+	}
+}
+
+func TestSwitchPortTypes(t *testing.T) {
+	up := NewType1Space("up", Ident{VendorID: VendorIntel})
+	upOff := AddPCIeCap(up, PCIeCapConfig{PortType: PCIePortSwitchUpstream, LinkSpeed: LinkSpeedGen2, LinkWidth: 4})
+	pt, _, _ := ParsePCIeCap(up, upOff)
+	if pt != PCIePortSwitchUpstream {
+		t.Errorf("upstream port type = %d", pt)
+	}
+	down := NewType1Space("down", Ident{VendorID: VendorIntel})
+	dnOff := AddPCIeCap(down, PCIeCapConfig{PortType: PCIePortSwitchDownstream, LinkSpeed: LinkSpeedGen2, LinkWidth: 1, SlotImplemented: true})
+	pt, _, _ = ParsePCIeCap(down, dnOff)
+	if pt != PCIePortSwitchDownstream {
+		t.Errorf("downstream port type = %d", pt)
+	}
+}
+
+func TestExtendedCapabilityChain(t *testing.T) {
+	c := buildNICSpace()
+	AddExtendedCapability(c, ExtCapIDAER, 1, 0x48)
+	AddExtendedCapability(c, ExtCapIDSerialNumber, 1, 0x0c)
+	ids := WalkExtendedCapabilities(c)
+	if len(ids) != 2 || ids[0] != ExtCapIDAER || ids[1] != ExtCapIDSerialNumber {
+		t.Errorf("extended chain = %v", ids)
+	}
+}
+
+func TestExtendedCapabilityAbsent(t *testing.T) {
+	c := buildNICSpace()
+	if ids := WalkExtendedCapabilities(c); ids != nil {
+		t.Errorf("no R3 region expected, got %v", ids)
+	}
+}
+
+func TestCapabilityOverflowPanics(t *testing.T) {
+	c := NewType0Space("t", Ident{VendorID: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflowing the 256B capability region should panic")
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		AddCapability(c, uint8(i+1), 16)
+	}
+}

@@ -1,0 +1,299 @@
+package pci
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ConfigSpaceSize is the PCI-Express configuration space size per
+// function: 4 KiB (a plain PCI function only architecturally defines the
+// first 256 B — regions R1+R2 in the paper's Figure 4; R3 is the
+// PCI-Express extended space).
+const ConfigSpaceSize = 4096
+
+// Standard configuration header register offsets (type 0 and type 1
+// share the first 0x10 bytes).
+const (
+	RegVendorID   = 0x00 // 16-bit
+	RegDeviceID   = 0x02 // 16-bit
+	RegCommand    = 0x04 // 16-bit
+	RegStatus     = 0x06 // 16-bit
+	RegRevisionID = 0x08
+	RegClassCode  = 0x09 // 24-bit
+	RegCacheLine  = 0x0c
+	RegLatTimer   = 0x0d
+	RegHeaderType = 0x0e
+	RegBIST       = 0x0f
+	RegBAR0       = 0x10
+	RegCapPtr     = 0x34
+	RegIntLine    = 0x3c
+	RegIntPin     = 0x3d
+)
+
+// Type 1 (PCI-to-PCI bridge) header registers, per the paper's Fig. 7.
+const (
+	RegPrimaryBus     = 0x18
+	RegSecondaryBus   = 0x19
+	RegSubordinateBus = 0x1a
+	RegSecLatTimer    = 0x1b
+	RegIOBase         = 0x1c
+	RegIOLimit        = 0x1d
+	RegSecStatus      = 0x1e // 16-bit
+	RegMemBase        = 0x20 // 16-bit
+	RegMemLimit       = 0x22 // 16-bit
+	RegPrefBase       = 0x24 // 16-bit
+	RegPrefLimit      = 0x26 // 16-bit
+	RegPrefBaseUpper  = 0x28 // 32-bit
+	RegPrefLimitUpper = 0x2c // 32-bit
+	RegIOBaseUpper    = 0x30 // 16-bit
+	RegIOLimitUpper   = 0x32 // 16-bit
+	RegBridgeControl  = 0x3e // 16-bit
+)
+
+// Command register bits.
+const (
+	CmdIOEnable    = 1 << 0 // respond to I/O space accesses
+	CmdMemEnable   = 1 << 1 // respond to memory space accesses
+	CmdBusMaster   = 1 << 2 // may issue DMA (act as requestor)
+	CmdIntxDisable = 1 << 10
+)
+
+// Status register bits.
+const (
+	StatusCapList = 1 << 4 // capability list present (paper: "All the
+	// bits except the 4th bit are set to 0")
+)
+
+// Header types.
+const (
+	HeaderType0        = 0x00 // endpoint
+	HeaderType1        = 0x01 // PCI-to-PCI bridge
+	HeaderMultiFunc    = 0x80
+	HeaderTypeTypeMask = 0x7f
+)
+
+// InvalidData is what a configuration read of a non-existent function
+// returns: "a configuration response packet with its data field set to
+// 1's represents an attempted access to a non-existent device" (§III).
+const InvalidData = 0xffffffff
+
+// ConfigAccessor is anything that exposes a configuration space: devices
+// and the virtual PCI-to-PCI bridges of root complexes and switches.
+type ConfigAccessor interface {
+	ConfigRead(offset, size int) uint32
+	ConfigWrite(offset, size int, value uint32)
+}
+
+// ConfigSpace is a 4 KiB configuration register file with per-bit write
+// masks, BAR sizing semantics, and a write-notification hook. It
+// implements ConfigAccessor.
+type ConfigSpace struct {
+	name  string
+	data  [ConfigSpaceSize]byte
+	wmask [ConfigSpaceSize]byte
+
+	bars [6]*BAR
+	caps capCursor
+
+	// OnWrite, if set, is invoked after every configuration write; the
+	// owning model uses it to react to programming (a bridge re-deriving
+	// its routing windows, a device observing its command register).
+	OnWrite func(offset, size int, value uint32)
+}
+
+// NewConfigSpace returns an all-zero, all-read-only space.
+func NewConfigSpace(name string) *ConfigSpace {
+	return &ConfigSpace{name: name}
+}
+
+// Name returns the diagnostic name.
+func (c *ConfigSpace) Name() string { return c.name }
+
+// --- initialization-time raw accessors (used by header builders) ---
+
+// SetByte sets an initial register value without touching write masks.
+func (c *ConfigSpace) SetByte(off int, v uint8) { c.data[off] = v }
+
+// SetWord sets a 16-bit little-endian initial value.
+func (c *ConfigSpace) SetWord(off int, v uint16) {
+	binary.LittleEndian.PutUint16(c.data[off:], v)
+}
+
+// SetDword sets a 32-bit little-endian initial value.
+func (c *ConfigSpace) SetDword(off int, v uint32) {
+	binary.LittleEndian.PutUint32(c.data[off:], v)
+}
+
+// Byte returns the current raw value of a byte register.
+func (c *ConfigSpace) Byte(off int) uint8 { return c.data[off] }
+
+// Word returns the current raw value of a 16-bit register.
+func (c *ConfigSpace) Word(off int) uint16 { return binary.LittleEndian.Uint16(c.data[off:]) }
+
+// Dword returns the current raw value of a 32-bit register.
+func (c *ConfigSpace) Dword(off int) uint32 { return binary.LittleEndian.Uint32(c.data[off:]) }
+
+// MakeWritable marks [off, off+n) as fully software-writable.
+func (c *ConfigSpace) MakeWritable(off, n int) {
+	for i := 0; i < n; i++ {
+		c.wmask[off+i] = 0xff
+	}
+}
+
+// SetWriteMask sets the writable-bit mask for a single byte.
+func (c *ConfigSpace) SetWriteMask(off int, mask uint8) { c.wmask[off] = mask }
+
+// AttachBAR installs a BAR at index 0..5 (base address registers live at
+// 0x10 + 4*index). The BAR intercepts reads/writes of its dword.
+func (c *ConfigSpace) AttachBAR(index int, b *BAR) {
+	if index < 0 || index > 5 {
+		panic(fmt.Sprintf("pci: BAR index %d out of range", index))
+	}
+	c.bars[index] = b
+}
+
+// BARAt returns the BAR installed at index, or nil.
+func (c *ConfigSpace) BARAt(index int) *BAR { return c.bars[index] }
+
+func (c *ConfigSpace) barForOffset(off int) (*BAR, bool) {
+	if off < RegBAR0 || off >= RegBAR0+24 {
+		return nil, false
+	}
+	idx := (off - RegBAR0) / 4
+	b := c.bars[idx]
+	return b, b != nil
+}
+
+// ConfigRead implements ConfigAccessor. size must be 1, 2 or 4 and the
+// access must not cross a dword boundary (per the PCI specification).
+func (c *ConfigSpace) ConfigRead(offset, size int) uint32 {
+	c.checkAccess(offset, size)
+	if b, ok := c.barForOffset(offset &^ 3); ok {
+		word := b.Read()
+		shift := uint(offset&3) * 8
+		return (word >> shift) & sizeMask(size)
+	}
+	var v uint32
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint32(c.data[offset+i])
+	}
+	return v
+}
+
+// ConfigWrite implements ConfigAccessor, honoring per-bit write masks
+// and BAR sizing semantics.
+func (c *ConfigSpace) ConfigWrite(offset, size int, value uint32) {
+	c.checkAccess(offset, size)
+	if b, ok := c.barForOffset(offset &^ 3); ok {
+		// Sub-dword BAR writes are rare; merge into the full register.
+		shift := uint(offset&3) * 8
+		mask := sizeMask(size) << shift
+		merged := (b.Read() &^ mask) | ((value << shift) & mask)
+		b.Write(merged)
+	} else {
+		for i := 0; i < size; i++ {
+			m := c.wmask[offset+i]
+			nb := uint8(value >> (8 * uint(i)))
+			c.data[offset+i] = (c.data[offset+i] &^ m) | (nb & m)
+		}
+	}
+	if c.OnWrite != nil {
+		c.OnWrite(offset, size, value)
+	}
+}
+
+func (c *ConfigSpace) checkAccess(offset, size int) {
+	if size != 1 && size != 2 && size != 4 {
+		panic(fmt.Sprintf("pci %s: config access size %d", c.name, size))
+	}
+	if offset < 0 || offset+size > ConfigSpaceSize {
+		panic(fmt.Sprintf("pci %s: config access at %#x+%d out of range", c.name, offset, size))
+	}
+	if offset/4 != (offset+size-1)/4 {
+		panic(fmt.Sprintf("pci %s: config access at %#x+%d crosses a dword", c.name, offset, size))
+	}
+}
+
+func sizeMask(size int) uint32 {
+	switch size {
+	case 1:
+		return 0xff
+	case 2:
+		return 0xffff
+	default:
+		return 0xffffffff
+	}
+}
+
+// BAR models one base address register. Writing all-ones and reading
+// back reveals the size (the classic BIOS sizing handshake); writing an
+// address programs the decoder.
+type BAR struct {
+	// Size is the window size in bytes; it must be a power of two.
+	// Size 0 means the BAR is unimplemented and reads as hardwired 0
+	// (the paper's VP2Ps: "Set to 0 to indicate that the VP2P does not
+	// implement memory-mapped registers of its own").
+	Size uint64
+	// IsIO marks an I/O-space BAR (bit 0 set in the register).
+	IsIO bool
+
+	addr uint64
+}
+
+// NewMemBAR returns a 32-bit non-prefetchable memory BAR of the given
+// power-of-two size.
+func NewMemBAR(size uint64) *BAR {
+	checkBARSize(size)
+	return &BAR{Size: size}
+}
+
+// NewIOBAR returns an I/O-space BAR of the given power-of-two size.
+func NewIOBAR(size uint64) *BAR {
+	checkBARSize(size)
+	return &BAR{Size: size, IsIO: true}
+}
+
+func checkBARSize(size uint64) {
+	if size != 0 && size&(size-1) != 0 {
+		panic(fmt.Sprintf("pci: BAR size %#x not a power of two", size))
+	}
+}
+
+func (b *BAR) flags() uint32 {
+	if b.IsIO {
+		return 0x1
+	}
+	return 0x0 // 32-bit, non-prefetchable memory
+}
+
+func (b *BAR) addrMask() uint32 {
+	if b.IsIO {
+		return ^uint32(3)
+	}
+	return ^uint32(0xf)
+}
+
+// Read returns the architectural register value.
+func (b *BAR) Read() uint32 {
+	if b.Size == 0 {
+		return 0
+	}
+	return (uint32(b.addr) & b.addrMask()) | b.flags()
+}
+
+// Write stores an address into the BAR; address bits below the window
+// size are hardwired to zero, which is what makes the sizing handshake
+// (write 0xffffffff, read back ^(size-1)|flags) work.
+func (b *BAR) Write(v uint32) {
+	if b.Size == 0 {
+		return
+	}
+	b.addr = uint64(v) & uint64(b.addrMask()) &^ (b.Size - 1)
+}
+
+// Addr returns the currently programmed base address.
+func (b *BAR) Addr() uint64 { return b.addr }
+
+// SetAddr programs the base address directly (used by enumeration
+// software once it has chosen an assignment).
+func (b *BAR) SetAddr(a uint64) { b.addr = a &^ (b.Size - 1) }

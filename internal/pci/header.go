@@ -1,0 +1,139 @@
+package pci
+
+// Ident collects the identity registers shared by endpoint and bridge
+// headers.
+type Ident struct {
+	VendorID   uint16
+	DeviceID   uint16
+	ClassCode  uint32 // 24-bit class/subclass/prog-if
+	RevisionID uint8
+	// InterruptPin is 0 for none, 1..4 for INTA..INTD.
+	InterruptPin uint8
+}
+
+// Well-known identity values used by the reproduction (§IV, §V-A).
+const (
+	VendorIntel = 0x8086
+
+	// Device82574L is the Intel 82574L GbE controller. The paper sets
+	// the 8254x-pcie model's device ID to 0x10D3 "to invoke the probe
+	// function of the e1000e driver".
+	Device82574L = 0x10d3
+
+	// DeviceWildcatPort0..2 are the Intel Wildcat Point chipset root
+	// port IDs the paper programs into its three VP2Ps.
+	DeviceWildcatPort0 = 0x9c90
+	DeviceWildcatPort1 = 0x9c92
+	DeviceWildcatPort2 = 0x9c94
+
+	// ClassNetworkEthernet / ClassBridgePCI are standard class codes.
+	ClassNetworkEthernet = 0x020000
+	ClassBridgePCI       = 0x060400
+	ClassStorageIDE      = 0x010180
+)
+
+// NewType0Space builds an endpoint (header type 0) configuration space:
+// region R1 of the paper's Figure 4, ready for capabilities (R2/R3) and
+// BARs to be attached.
+func NewType0Space(name string, id Ident) *ConfigSpace {
+	c := NewConfigSpace(name)
+	c.SetWord(RegVendorID, id.VendorID)
+	c.SetWord(RegDeviceID, id.DeviceID)
+	c.SetByte(RegRevisionID, id.RevisionID)
+	c.SetByte(RegClassCode, uint8(id.ClassCode))
+	c.SetByte(RegClassCode+1, uint8(id.ClassCode>>8))
+	c.SetByte(RegClassCode+2, uint8(id.ClassCode>>16))
+	c.SetByte(RegHeaderType, HeaderType0)
+	c.SetByte(RegIntPin, id.InterruptPin)
+
+	// Software-writable registers.
+	c.SetWriteMask(RegCommand, uint8(CmdIOEnable|CmdMemEnable|CmdBusMaster))
+	c.SetWriteMask(RegCommand+1, uint8(CmdIntxDisable>>8))
+	c.MakeWritable(RegCacheLine, 1)
+	c.MakeWritable(RegLatTimer, 1)
+	c.MakeWritable(RegIntLine, 1)
+	return c
+}
+
+// NewType1Space builds a PCI-to-PCI bridge (header type 1) configuration
+// space laid out per the paper's Figure 7, with the bus number, I/O,
+// memory and prefetchable window registers software-writable and
+// initialized to zero as §V-A prescribes.
+func NewType1Space(name string, id Ident) *ConfigSpace {
+	c := NewConfigSpace(name)
+	c.SetWord(RegVendorID, id.VendorID)
+	c.SetWord(RegDeviceID, id.DeviceID)
+	c.SetByte(RegRevisionID, id.RevisionID)
+	c.SetByte(RegClassCode, uint8(id.ClassCode))
+	c.SetByte(RegClassCode+1, uint8(id.ClassCode>>8))
+	c.SetByte(RegClassCode+2, uint8(id.ClassCode>>16))
+	c.SetByte(RegHeaderType, HeaderType1)
+	c.SetByte(RegIntPin, id.InterruptPin)
+
+	c.SetWriteMask(RegCommand, uint8(CmdIOEnable|CmdMemEnable|CmdBusMaster))
+	c.SetWriteMask(RegCommand+1, uint8(CmdIntxDisable>>8))
+	c.MakeWritable(RegCacheLine, 1)
+	c.MakeWritable(RegIntLine, 1)
+
+	// Bus number registers: "These are configured by software and we
+	// initialize them to 0s."
+	c.MakeWritable(RegPrimaryBus, 3)
+
+	// I/O window. The ARM platform's PCI I/O window lives at
+	// 0x2f000000, above 16 bits, so the upper registers are implemented
+	// too ("we utilize both I/O Base Upper and I/O Limit Upper").
+	c.MakeWritable(RegIOBase, 2)
+	c.SetByte(RegIOBase, 0x01) // 32-bit I/O addressing supported
+	c.SetByte(RegIOLimit, 0x01)
+	c.SetWriteMask(RegIOBase, 0xf0) // low nibble is the capability field
+	c.SetWriteMask(RegIOLimit, 0xf0)
+	c.MakeWritable(RegIOBaseUpper, 4)
+
+	// Memory (MMIO) window.
+	c.MakeWritable(RegMemBase, 4)
+	c.SetWriteMask(RegMemBase, 0xf0) // bits 3:0 read-only zero
+	c.SetWriteMask(RegMemLimit+0, 0xf0)
+	c.SetWriteMask(RegMemBase+1, 0xff)
+	c.SetWriteMask(RegMemLimit+1, 0xff)
+
+	// Prefetchable window (unused by the platform but implemented).
+	c.MakeWritable(RegPrefBase, 4)
+	c.SetWriteMask(RegPrefBase, 0xf0)
+	c.SetWriteMask(RegPrefLimit, 0xf0)
+	c.MakeWritable(RegPrefBaseUpper, 8)
+
+	c.MakeWritable(RegBridgeControl, 2)
+
+	// Type 1 headers only have BARs 0 and 1; the VP2Ps leave them
+	// unimplemented (read as zero).
+	c.AttachBAR(0, NewMemBAR(0))
+	c.AttachBAR(1, NewMemBAR(0))
+	return c
+}
+
+// BridgeBusNumbers reads the three bus number registers.
+func BridgeBusNumbers(c *ConfigSpace) (primary, secondary, subordinate uint8) {
+	return c.Byte(RegPrimaryBus), c.Byte(RegSecondaryBus), c.Byte(RegSubordinateBus)
+}
+
+// BridgeIOWindow decodes the bridge's I/O base/limit window, including
+// the 32-bit upper registers, into an address range. The decoded base
+// uses bits 15:12 from the base register and 31:16 from the upper
+// register; the limit's low 12 bits read as 0xfff.
+func BridgeIOWindow(c *ConfigSpace) (base, limit uint64) {
+	base = uint64(c.Byte(RegIOBase)&0xf0)<<8 | uint64(c.Word(RegIOBaseUpper))<<16
+	limit = uint64(c.Byte(RegIOLimit)&0xf0)<<8 | uint64(c.Word(RegIOLimitUpper))<<16 | 0xfff
+	return base, limit
+}
+
+// BridgeMemWindow decodes the bridge's memory base/limit window. The
+// registers hold bits 31:20; the limit's low 20 bits read as 0xfffff.
+func BridgeMemWindow(c *ConfigSpace) (base, limit uint64) {
+	base = uint64(c.Word(RegMemBase)&0xfff0) << 16
+	limit = uint64(c.Word(RegMemLimit)&0xfff0)<<16 | 0xfffff
+	return base, limit
+}
+
+// WindowEnabled reports whether a decoded base/limit pair describes a
+// non-empty window (hardware treats base > limit as "closed").
+func WindowEnabled(base, limit uint64) bool { return base <= limit && limit != 0 }

@@ -1,0 +1,178 @@
+package pci
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"pciesim/internal/mem"
+	"pciesim/internal/sim"
+)
+
+// HostConfig parameterizes the PCI host.
+type HostConfig struct {
+	// ECAMWindow is the configuration space window the host claims
+	// (0x30000000 + 256 MiB on the modeled ARM platform).
+	ECAMWindow mem.AddrRange
+	// Latency is the config access service latency.
+	Latency sim.Tick
+}
+
+// Host models gem5's PCI Host (§III): a functional host-to-PCI bridge
+// that claims the entire ECAM window. Every PCI function in the system
+// — endpoints and the virtual PCI-to-PCI bridges of the root complex
+// and switches — registers its configuration space here under its BDF.
+// Configuration requests are decoded and forwarded to the matching
+// function; requests to absent functions complete with all-ones data,
+// which is how enumeration software discovers emptiness.
+type Host struct {
+	eng  *sim.Engine
+	name string
+	cfg  HostConfig
+
+	port  *mem.SlavePort
+	respQ *mem.SendQueue
+
+	devices map[BDF]ConfigAccessor
+
+	// Stats.
+	reads, writes, misses uint64
+}
+
+// NewHost creates a PCI host.
+func NewHost(eng *sim.Engine, name string, cfg HostConfig) *Host {
+	if !cfg.ECAMWindow.Valid() {
+		panic("pci: host needs a valid ECAM window")
+	}
+	h := &Host{eng: eng, name: name, cfg: cfg, devices: make(map[BDF]ConfigAccessor)}
+	h.port = mem.NewSlavePort(name+".pio", h)
+	h.respQ = mem.NewSendQueue(eng, name+".respq", 0, func(p *mem.Packet) bool {
+		return h.port.SendTimingResp(p)
+	})
+	return h
+}
+
+// Port returns the host's slave port (wired to the I/O bus).
+func (h *Host) Port() *mem.SlavePort { return h.port }
+
+// Window returns the claimed ECAM range.
+func (h *Host) Window() mem.AddrRange { return h.cfg.ECAMWindow }
+
+// Register binds a configuration space to a BDF. Registering the same
+// BDF twice is a wiring bug and panics.
+func (h *Host) Register(bdf BDF, dev ConfigAccessor) {
+	if _, dup := h.devices[bdf]; dup {
+		panic(fmt.Sprintf("pci %s: BDF %v registered twice", h.name, bdf))
+	}
+	h.devices[bdf] = dev
+}
+
+// Lookup returns the function registered at bdf, if any.
+func (h *Host) Lookup(bdf BDF) (ConfigAccessor, bool) {
+	d, ok := h.devices[bdf]
+	return d, ok
+}
+
+// Functions lists all registered BDFs in ascending order — handy for
+// lspci-style tools.
+func (h *Host) Functions() []BDF {
+	out := make([]BDF, 0, len(h.devices))
+	for bdf := range h.devices {
+		out = append(out, bdf)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Bus != b.Bus {
+			return a.Bus < b.Bus
+		}
+		if a.Dev != b.Dev {
+			return a.Dev < b.Dev
+		}
+		return a.Func < b.Func
+	})
+	return out
+}
+
+// RecvTimingReq implements mem.SlaveOwner: decode, access, respond.
+func (h *Host) RecvTimingReq(_ *mem.SlavePort, pkt *mem.Packet) bool {
+	if !h.cfg.ECAMWindow.Contains(pkt.Addr) {
+		panic(fmt.Sprintf("pci %s: %v outside ECAM window %v", h.name, pkt, h.cfg.ECAMWindow))
+	}
+	bdf, reg := BDFFromECAM(h.cfg.ECAMWindow.Offset(pkt.Addr))
+	dev, ok := h.devices[bdf]
+	switch pkt.Cmd {
+	case mem.ReadReq:
+		h.reads++
+		var v uint32
+		if ok {
+			v = dev.ConfigRead(reg, pkt.Size)
+		} else {
+			h.misses++
+			v = InvalidData // all-ones: no such function
+		}
+		putValue(pkt, v)
+	case mem.WriteReq:
+		h.writes++
+		if ok {
+			dev.ConfigWrite(reg, pkt.Size, getValue(pkt))
+		}
+		// Writes to absent functions are silently dropped, as on
+		// hardware.
+	default:
+		panic(fmt.Sprintf("pci %s: unexpected %v", h.name, pkt))
+	}
+	h.respQ.Push(pkt.MakeResponse(), h.eng.Now()+h.cfg.Latency)
+	return true
+}
+
+// RecvRespRetry implements mem.SlaveOwner.
+func (h *Host) RecvRespRetry(*mem.SlavePort) { h.respQ.RetryReceived() }
+
+// AddrRanges implements mem.RangeProvider: the host claims the whole
+// ECAM window.
+func (h *Host) AddrRanges(*mem.SlavePort) mem.RangeList {
+	return mem.RangeList{h.cfg.ECAMWindow}
+}
+
+// Stats returns (config reads, config writes, accesses to absent
+// functions).
+func (h *Host) Stats() (reads, writes, misses uint64) { return h.reads, h.writes, h.misses }
+
+// ReadConfig performs an immediate (functional) configuration read,
+// for tools and tests.
+func (h *Host) ReadConfig(bdf BDF, reg, size int) uint32 {
+	if dev, ok := h.devices[bdf]; ok {
+		return dev.ConfigRead(reg, size)
+	}
+	return InvalidData & sizeMask(size)
+}
+
+// WriteConfig performs an immediate (functional) configuration write.
+func (h *Host) WriteConfig(bdf BDF, reg, size int, v uint32) {
+	if dev, ok := h.devices[bdf]; ok {
+		dev.ConfigWrite(reg, size, v)
+	}
+}
+
+// putValue stores a little-endian value into the packet's data buffer,
+// allocating it when absent.
+func putValue(pkt *mem.Packet, v uint32) {
+	if pkt.Data == nil {
+		pkt.Data = make([]byte, pkt.Size)
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	copy(pkt.Data, buf[:pkt.Size])
+}
+
+// getValue extracts the little-endian value a request packet carries.
+func getValue(pkt *mem.Packet) uint32 {
+	var buf [4]byte
+	copy(buf[:pkt.Size], pkt.Data)
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+// Value reads the little-endian payload of a completed read response.
+func Value(pkt *mem.Packet) uint32 {
+	return getValue(pkt)
+}

@@ -1,0 +1,137 @@
+package pci
+
+import (
+	"testing"
+
+	"pciesim/internal/mem"
+	"pciesim/internal/sim"
+	"pciesim/internal/testdev"
+)
+
+const ecamBase = 0x30000000
+
+func newHostRig() (*sim.Engine, *Host, *testdev.Requester) {
+	eng := sim.NewEngine()
+	h := NewHost(eng, "pcihost", HostConfig{
+		ECAMWindow: mem.Range(ecamBase, 256<<20),
+		Latency:    50 * sim.Nanosecond,
+	})
+	req := testdev.NewRequester(eng, "cpu")
+	mem.Connect(req.Port(), h.Port())
+	return eng, h, req
+}
+
+func TestHostRoutesConfigToRegisteredDevice(t *testing.T) {
+	eng, h, req := newHostRig()
+	nic := NewType0Space("nic", Ident{VendorID: VendorIntel, DeviceID: Device82574L})
+	h.Register(NewBDF(1, 0, 0), nic)
+
+	addr := uint64(ecamBase) + NewBDF(1, 0, 0).ECAMOffset() + RegVendorID
+	buf := make([]byte, 4)
+	req.ReadData(addr, buf)
+	eng.Run()
+	if got := Value(req.Completions[0].Pkt); got != uint32(Device82574L)<<16|VendorIntel {
+		t.Errorf("vendor/device dword = %#x", got)
+	}
+}
+
+func TestHostAbsentFunctionReadsAllOnes(t *testing.T) {
+	eng, _, req := newHostRig()
+	addr := uint64(ecamBase) + NewBDF(3, 7, 0).ECAMOffset()
+	buf := make([]byte, 4)
+	req.ReadData(addr, buf)
+	eng.Run()
+	if got := Value(req.Completions[0].Pkt); got != InvalidData {
+		t.Errorf("absent function read = %#x, want all ones", got)
+	}
+}
+
+func TestHostWriteReachesDevice(t *testing.T) {
+	eng, h, req := newHostRig()
+	nic := NewType0Space("nic", Ident{VendorID: VendorIntel, DeviceID: Device82574L})
+	h.Register(NewBDF(0, 2, 0), nic)
+	addr := uint64(ecamBase) + NewBDF(0, 2, 0).ECAMOffset() + RegCommand
+	req.WriteData(addr, []byte{CmdMemEnable | CmdBusMaster, 0})
+	eng.Run()
+	if got := nic.ConfigRead(RegCommand, 2); got != CmdMemEnable|CmdBusMaster {
+		t.Errorf("command after timing write = %#x", got)
+	}
+}
+
+func TestHostWriteToAbsentFunctionCompletes(t *testing.T) {
+	eng, _, req := newHostRig()
+	addr := uint64(ecamBase) + NewBDF(9, 0, 0).ECAMOffset()
+	req.WriteData(addr, []byte{1, 2, 3, 4})
+	eng.Run()
+	if len(req.Completions) != 1 {
+		t.Fatal("write to absent function must still complete")
+	}
+}
+
+func TestHostLatency(t *testing.T) {
+	eng, h, req := newHostRig()
+	h.Register(NewBDF(0, 0, 0), NewType0Space("d", Ident{VendorID: 1}))
+	buf := make([]byte, 2)
+	req.ReadData(ecamBase, buf)
+	eng.Run()
+	if got := req.Completions[0].Latency(); got != 50*sim.Nanosecond {
+		t.Errorf("config latency %v, want 50ns", got)
+	}
+}
+
+func TestHostDoubleRegisterPanics(t *testing.T) {
+	_, h, _ := newHostRig()
+	h.Register(NewBDF(0, 1, 0), NewConfigSpace("a"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate BDF should panic")
+		}
+	}()
+	h.Register(NewBDF(0, 1, 0), NewConfigSpace("b"))
+}
+
+func TestHostFunctionsSorted(t *testing.T) {
+	_, h, _ := newHostRig()
+	h.Register(NewBDF(2, 0, 0), NewConfigSpace("c"))
+	h.Register(NewBDF(0, 3, 1), NewConfigSpace("a2"))
+	h.Register(NewBDF(0, 3, 0), NewConfigSpace("a"))
+	h.Register(NewBDF(1, 0, 0), NewConfigSpace("b"))
+	fns := h.Functions()
+	want := []BDF{NewBDF(0, 3, 0), NewBDF(0, 3, 1), NewBDF(1, 0, 0), NewBDF(2, 0, 0)}
+	for i := range want {
+		if fns[i] != want[i] {
+			t.Fatalf("Functions() = %v", fns)
+		}
+	}
+}
+
+func TestHostFunctionalAccess(t *testing.T) {
+	_, h, _ := newHostRig()
+	d := NewType0Space("d", Ident{VendorID: 0x1234, DeviceID: 0x5678})
+	h.Register(NewBDF(4, 0, 0), d)
+	if got := h.ReadConfig(NewBDF(4, 0, 0), RegVendorID, 2); got != 0x1234 {
+		t.Errorf("functional read = %#x", got)
+	}
+	if got := h.ReadConfig(NewBDF(5, 0, 0), RegVendorID, 2); got != 0xffff {
+		t.Errorf("functional read of absent = %#x, want 0xffff", got)
+	}
+	h.WriteConfig(NewBDF(4, 0, 0), RegIntLine, 1, 0x20)
+	if got := h.ReadConfig(NewBDF(4, 0, 0), RegIntLine, 1); got != 0x20 {
+		t.Errorf("functional write lost: %#x", got)
+	}
+	h.WriteConfig(NewBDF(5, 0, 0), RegIntLine, 1, 0x20) // must not panic
+}
+
+func TestHostStats(t *testing.T) {
+	eng, h, req := newHostRig()
+	h.Register(NewBDF(0, 0, 0), NewConfigSpace("d"))
+	buf := make([]byte, 4)
+	req.ReadData(ecamBase, buf)
+	req.ReadData(ecamBase+uint64(NewBDF(8, 0, 0).ECAMOffset()), make([]byte, 4))
+	req.WriteData(ecamBase+4, []byte{0, 0})
+	eng.Run()
+	r, w, m := h.Stats()
+	if r != 2 || w != 1 || m != 1 {
+		t.Errorf("stats = %d reads %d writes %d misses", r, w, m)
+	}
+}

@@ -1,0 +1,508 @@
+package pcie
+
+import (
+	"fmt"
+
+	"pciesim/internal/mem"
+	"pciesim/internal/sim"
+)
+
+// LinkConfig parameterizes a PCI-Express link.
+type LinkConfig struct {
+	// Gen selects the signaling rate and encoding.
+	Gen Generation
+	// Width is the lane count (1..32).
+	Width int
+	// PropDelay is the propagation delay of the physical medium, added
+	// after serialization.
+	PropDelay sim.Tick
+	// ReplayBufferSize bounds unacknowledged TLPs per interface. The
+	// paper's validated configuration uses 4 — "enough TLP pcie-pkts
+	// until the next ACK arrives based on the ack factor" — and sweeps
+	// 1..4 in Fig 9(c).
+	ReplayBufferSize int
+	// MaxPayload is the maximum TLP payload (the modeled cache line
+	// size); it enters the replay-timeout formula.
+	MaxPayload int
+	// Overheads is the Table I byte-overhead model.
+	Overheads Overheads
+	// ErrorRate injects TLP corruption with the given probability per
+	// transmission attempt, exercising the NAK path. Zero for the
+	// validation experiments.
+	ErrorRate float64
+	// Seed seeds the fault-injection generator.
+	Seed uint64
+}
+
+// DefaultLinkConfig returns the paper's baseline: Gen2 x1, replay
+// buffer of 4, 64-byte max payload, Table I overheads.
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{
+		Gen:              Gen2,
+		Width:            1,
+		PropDelay:        sim.Nanosecond,
+		ReplayBufferSize: 4,
+		MaxPayload:       64,
+		Overheads:        DefaultOverheads(),
+	}
+}
+
+func (c *LinkConfig) applyDefaults() {
+	if c.Gen == 0 {
+		c.Gen = Gen2
+	}
+	if c.Width == 0 {
+		c.Width = 1
+	}
+	if c.ReplayBufferSize == 0 {
+		c.ReplayBufferSize = 4
+	}
+	if c.MaxPayload == 0 {
+		c.MaxPayload = 64
+	}
+	if c.Overheads == (Overheads{}) {
+		c.Overheads = DefaultOverheads()
+	}
+	if c.Width < 1 || c.Width > 32 {
+		panic(fmt.Sprintf("pcie: link width %d out of range (1..32)", c.Width))
+	}
+}
+
+// Link is a full-duplex PCI-Express link: "two unidirectional links,
+// one used for transmitting packets upstream (toward the root complex),
+// and one used for transmitting packets downstream" (§V-C). Each end is
+// an Interface with the full TX/RX data-link-layer state of Fig 8.
+type Link struct {
+	eng  *sim.Engine
+	name string
+	cfg  LinkConfig
+
+	up   *Interface // the end wired to the upstream component (root/switch port)
+	down *Interface // the end wired to the downstream component (device/switch)
+}
+
+// NewLink creates a link.
+func NewLink(eng *sim.Engine, name string, cfg LinkConfig) *Link {
+	cfg.applyDefaults()
+	l := &Link{eng: eng, name: name, cfg: cfg}
+	l.up = newInterface(l, name+".up", cfg.Seed*2+1)
+	l.down = newInterface(l, name+".down", cfg.Seed*2+2)
+	l.up.peer = l.down
+	l.down.peer = l.up
+	return l
+}
+
+// Up returns the interface to wire to the upstream component.
+func (l *Link) Up() *Interface { return l.up }
+
+// Down returns the interface to wire to the downstream component.
+func (l *Link) Down() *Interface { return l.down }
+
+// Config returns the link's (defaulted) configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// ReplayTimeout returns the link's replay timer interval.
+func (l *Link) ReplayTimeout() sim.Tick {
+	return ReplayTimeout(l.cfg.Gen, l.cfg.Width, l.cfg.MaxPayload, l.cfg.Overheads)
+}
+
+// AckPeriod returns the link's ACK batching timer interval.
+func (l *Link) AckPeriod() sim.Tick {
+	return AckPeriodClamped(l.cfg.Gen, l.cfg.Width, l.cfg.MaxPayload, l.cfg.Overheads)
+}
+
+// AckPeriodClamped is AckTimerPeriod floored at one symbol time so
+// degenerate configurations cannot arm a zero-period timer.
+func AckPeriodClamped(g Generation, width, maxPayload int, o Overheads) sim.Tick {
+	p := AckTimerPeriod(g, width, maxPayload, o)
+	if st := g.SymbolTime(); p < st {
+		p = st
+	}
+	return p
+}
+
+// LinkStats counts per-interface protocol events.
+type LinkStats struct {
+	TLPsAccepted   uint64 // TLPs taken from the local component
+	TLPsTx         uint64 // TLP transmissions, including replays
+	ReplaysTx      uint64 // retransmitted TLPs
+	Timeouts       uint64 // replay-timer expirations
+	AcksTx         uint64
+	NaksTx         uint64
+	AcksRx         uint64
+	NaksRx         uint64
+	TLPsDelivered  uint64 // handed to the local component successfully
+	DeliveryRefuse uint64 // local component refused; TLP dropped for replay
+	Discarded      uint64 // out-of-sequence arrivals dropped
+	CRCErrors      uint64 // corrupted TLPs caught by the receiver
+	Throttled      uint64 // local sends refused because the replay buffer was full
+}
+
+// ReplayRate returns the fraction of TLP transmissions that were
+// replays — the paper's "27% of the transmitted packets experience
+// replay" metric for Fig 9(b).
+func (s LinkStats) ReplayRate() float64 {
+	if s.TLPsTx == 0 {
+		return 0
+	}
+	return float64(s.ReplaysTx) / float64(s.TLPsTx)
+}
+
+// TimeoutRate returns timeouts as a fraction of TLPs accepted for
+// transmission — the Fig 9(c)/(d) metric.
+func (s LinkStats) TimeoutRate() float64 {
+	if s.TLPsAccepted == 0 {
+		return 0
+	}
+	return float64(s.Timeouts) / float64(s.TLPsAccepted)
+}
+
+// Interface is one end of a link: Fig 8's TX logic (replay buffer,
+// sending sequence number, replay timer) plus RX logic (receiving
+// sequence number, ACK timer).
+type Interface struct {
+	link *Link
+	name string
+	peer *Interface
+
+	slave  *mem.SlavePort  // local component sends requests here
+	master *mem.MasterPort // local component receives requests here
+
+	// --- TX state ---
+	sendSeq   uint64 // next sequence number to assign (first TLP gets 1)
+	replayBuf []*PciePkt
+	freshQ    []*PciePkt
+	replayQ   []*PciePkt
+	ackPend   bool
+	nakPend   bool
+	nakSeq    uint64
+	busyUntil sim.Tick
+	txEv      *sim.Event
+	replayTmr *sim.Event
+
+	reqRetryPending  bool
+	respRetryPending bool
+
+	// --- RX state ---
+	recvSeq       uint64 // next expected sequence number
+	lastDelivered uint64 // highest delivered, pending ACK
+	ackTmr        *sim.Event
+	ackArmed      bool
+
+	rng   *sim.Rand
+	stats LinkStats
+}
+
+func newInterface(l *Link, name string, seed uint64) *Interface {
+	i := &Interface{link: l, name: name, sendSeq: 1, recvSeq: 1, rng: sim.NewRand(seed)}
+	i.slave = mem.NewSlavePort(name+".slave", (*ifaceSlave)(i))
+	i.master = mem.NewMasterPort(name+".master", (*ifaceMaster)(i))
+	i.txEv = l.eng.NewEvent(name+".tx", i.txFire)
+	i.replayTmr = l.eng.NewEvent(name+".replayTimer", i.replayTimeout)
+	i.ackTmr = l.eng.NewEvent(name+".ackTimer", i.ackTimerFire)
+	return i
+}
+
+// SlavePort returns the port the local component's master (request)
+// side connects to.
+func (i *Interface) SlavePort() *mem.SlavePort { return i.slave }
+
+// MasterPort returns the port the local component's slave (completer)
+// side connects to.
+func (i *Interface) MasterPort() *mem.MasterPort { return i.master }
+
+// Stats returns a copy of the interface counters.
+func (i *Interface) Stats() LinkStats { return i.stats }
+
+// Name returns the interface's diagnostic name.
+func (i *Interface) Name() string { return i.name }
+
+// --- transaction-layer admission -----------------------------------
+
+// admit accepts a TLP from the local component if the replay buffer has
+// space: "the interfaces transmit TLPs as long as their replay buffer
+// has space. Once the replay buffer is filled up due to not receiving
+// ACKs, the packet transmission is throttled" (§V-C).
+func (i *Interface) admit(tlp *mem.Packet) bool {
+	if len(i.replayBuf) >= i.link.cfg.ReplayBufferSize {
+		i.stats.Throttled++
+		return false
+	}
+	pp := &PciePkt{Kind: KindTLP, Seq: i.sendSeq, TLP: tlp}
+	i.sendSeq++
+	i.replayBuf = append(i.replayBuf, pp)
+	i.freshQ = append(i.freshQ, pp)
+	i.stats.TLPsAccepted++
+	i.scheduleTx()
+	return true
+}
+
+// ifaceSlave adapts the interface to mem.SlaveOwner (local requests in,
+// local responses out).
+type ifaceSlave Interface
+
+func (o *ifaceSlave) i() *Interface { return (*Interface)(o) }
+
+func (o *ifaceSlave) RecvTimingReq(_ *mem.SlavePort, pkt *mem.Packet) bool {
+	i := o.i()
+	if !i.admit(pkt) {
+		i.reqRetryPending = true
+		return false
+	}
+	return true
+}
+
+// RecvRespRetry: the local component refused an inbound response
+// earlier and now has space. The TLP was dropped for replay, so the
+// notification needs no action — the replay timer redelivers.
+func (o *ifaceSlave) RecvRespRetry(*mem.SlavePort) {}
+
+// AddrRanges: a link is transparent; routing is done by the components.
+func (o *ifaceSlave) AddrRanges(*mem.SlavePort) mem.RangeList { return nil }
+
+// ifaceMaster adapts the interface to mem.MasterOwner (local responses
+// in, local requests out).
+type ifaceMaster Interface
+
+func (o *ifaceMaster) i() *Interface { return (*Interface)(o) }
+
+func (o *ifaceMaster) RecvTimingResp(_ *mem.MasterPort, pkt *mem.Packet) bool {
+	i := o.i()
+	if !i.admit(pkt) {
+		i.respRetryPending = true
+		return false
+	}
+	return true
+}
+
+// RecvReqRetry: inbound request delivery was refused earlier; replay
+// will redeliver, so nothing to do.
+func (o *ifaceMaster) RecvReqRetry(*mem.MasterPort) {}
+
+// --- TX engine ------------------------------------------------------
+
+func (i *Interface) scheduleTx() {
+	if i.txEv.Scheduled() {
+		return
+	}
+	if !i.ackPend && !i.nakPend && len(i.replayQ) == 0 && len(i.freshQ) == 0 {
+		return
+	}
+	when := i.link.eng.Now()
+	if i.busyUntil > when {
+		when = i.busyUntil
+	}
+	i.link.eng.ScheduleEvent(i.txEv, when, sim.PriorityDefault)
+}
+
+// txFire transmits the highest-priority pending packet: "(1) ACK DLLP;
+// (2) Retransmitted pcie-pkts; (3) pcie-pkts containing TLPs received
+// from a connected port" (§V-C).
+func (i *Interface) txFire() {
+	eng := i.link.eng
+	if i.busyUntil > eng.Now() {
+		i.scheduleTx()
+		return
+	}
+	switch {
+	case i.ackPend || i.nakPend:
+		var pp PciePkt
+		if i.nakPend {
+			pp = PciePkt{Kind: KindNak, Seq: i.nakSeq}
+			i.nakPend = false
+			i.stats.NaksTx++
+		} else {
+			pp = PciePkt{Kind: KindAck, Seq: i.lastDelivered}
+			i.ackPend = false
+			i.stats.AcksTx++
+		}
+		i.transmit(&pp)
+	case len(i.replayQ) > 0:
+		pp := i.replayQ[0]
+		i.replayQ = i.replayQ[1:]
+		if pp.acked {
+			// Released by an ACK while queued; skip without occupying
+			// the wire.
+			i.scheduleTx()
+			return
+		}
+		i.stats.TLPsTx++
+		i.stats.ReplaysTx++
+		i.transmitTLP(pp)
+	case len(i.freshQ) > 0:
+		pp := i.freshQ[0]
+		i.freshQ = i.freshQ[1:]
+		if pp.acked {
+			i.scheduleTx()
+			return
+		}
+		i.stats.TLPsTx++
+		i.transmitTLP(pp)
+	}
+	i.scheduleTx()
+}
+
+func (i *Interface) transmitTLP(pp *PciePkt) {
+	pp.Corrupted = i.link.cfg.ErrorRate > 0 && i.rng.Bool(i.link.cfg.ErrorRate)
+	i.transmit(pp)
+	// "The replay timer is started for every packet transmitted on the
+	// unidirectional link" — started, not restarted: while unacked TLPs
+	// are outstanding the timer keeps running from its last reset (an
+	// ACK or a previous timeout). This is load-bearing for the Fig 9
+	// congestion behaviour: under refusals, every recovery round costs
+	// a full timeout for at most one replay buffer's worth of TLPs.
+	if !i.replayTmr.Scheduled() {
+		i.link.eng.ScheduleEventAfter(i.replayTmr, i.link.ReplayTimeout(), sim.PriorityTimer)
+	}
+}
+
+// transmit serializes pp onto the unidirectional link toward the peer.
+func (i *Interface) transmit(pp *PciePkt) {
+	eng := i.link.eng
+	cfg := i.link.cfg
+	txTime := WireTime(cfg.Gen, cfg.Width, pp.WireBytes(cfg.Overheads))
+	i.busyUntil = eng.Now() + txTime
+	arrive := i.busyUntil + cfg.PropDelay
+	peer := i.peer
+	eng.ScheduleAt(i.name+".deliver", arrive, sim.PriorityDelivery, func() {
+		peer.receive(pp)
+	})
+}
+
+// --- RX logic --------------------------------------------------------
+
+func (i *Interface) receive(pp *PciePkt) {
+	switch pp.Kind {
+	case KindAck:
+		i.stats.AcksRx++
+		i.processAck(pp.Seq)
+	case KindNak:
+		i.stats.NaksRx++
+		i.processNak(pp.Seq)
+	case KindTLP:
+		i.receiveTLP(pp)
+	}
+}
+
+func (i *Interface) receiveTLP(pp *PciePkt) {
+	if pp.Corrupted {
+		// CRC check failed: discard and NAK the last good sequence.
+		i.stats.CRCErrors++
+		i.nakPend = true
+		i.nakSeq = i.recvSeq - 1
+		i.scheduleTx()
+		return
+	}
+	if pp.Seq != i.recvSeq {
+		// Stale duplicate (from a replay racing an ACK) or a gap after
+		// a refused delivery: discard, the sender's timer sorts it out.
+		i.stats.Discarded++
+		return
+	}
+	if !i.deliver(pp.TLP) {
+		// "If the connected master or slave ports refuse to accept the
+		// TLP, the receiving interface does not increment the receiving
+		// sequence number and the sender retransmits the packets in its
+		// replay buffer after a timeout."
+		i.stats.DeliveryRefuse++
+		return
+	}
+	i.stats.TLPsDelivered++
+	i.lastDelivered = pp.Seq
+	i.recvSeq++
+	if !i.ackArmed {
+		i.ackArmed = true
+		i.link.eng.ScheduleEventAfter(i.ackTmr, i.link.AckPeriod(), sim.PriorityTimer)
+	}
+}
+
+// deliver hands an inbound TLP to the local component through the port
+// matching its direction.
+func (i *Interface) deliver(tlp *mem.Packet) bool {
+	if tlp.Cmd.IsRequest() {
+		return i.master.SendTimingReq(tlp)
+	}
+	return i.slave.SendTimingResp(tlp)
+}
+
+// ackTimerFire sends one cumulative ACK for everything delivered since
+// the last one: "to reduce the link traffic, the receiver sends back a
+// single ACK/NAK to the sender for several processed TLPs" (§V-C).
+func (i *Interface) ackTimerFire() {
+	i.ackArmed = false
+	i.ackPend = true
+	i.scheduleTx()
+}
+
+// processAck releases replay-buffer entries: "it removes all the TLPs
+// with a sequence number smaller or equal to the ACK sequence number
+// from the replay buffer. The replay timer is restarted if any TLP
+// remains" (§V-C).
+func (i *Interface) processAck(seq uint64) {
+	released := i.releaseUpTo(seq)
+	i.link.eng.Deschedule(i.replayTmr)
+	if len(i.replayBuf) > 0 {
+		i.link.eng.ScheduleEventAfter(i.replayTmr, i.link.ReplayTimeout(), sim.PriorityTimer)
+	}
+	if released {
+		i.notifyLocalRetry()
+	}
+}
+
+// processNak releases acknowledged TLPs and immediately replays the
+// rest in sequence order.
+func (i *Interface) processNak(seq uint64) {
+	released := i.releaseUpTo(seq)
+	i.startReplay()
+	if released {
+		i.notifyLocalRetry()
+	}
+}
+
+func (i *Interface) releaseUpTo(seq uint64) bool {
+	released := false
+	keep := i.replayBuf[:0]
+	for _, pp := range i.replayBuf {
+		if pp.Seq <= seq {
+			pp.acked = true
+			released = true
+		} else {
+			keep = append(keep, pp)
+		}
+	}
+	i.replayBuf = keep
+	return released
+}
+
+// notifyLocalRetry wakes local senders that were throttled by a full
+// replay buffer.
+func (i *Interface) notifyLocalRetry() {
+	eng := i.link.eng
+	if i.reqRetryPending {
+		i.reqRetryPending = false
+		eng.ScheduleAt(i.name+".reqretry", eng.Now(), sim.PriorityRetry, i.slave.SendReqRetry)
+	}
+	if i.respRetryPending {
+		i.respRetryPending = false
+		eng.ScheduleAt(i.name+".respretry", eng.Now(), sim.PriorityRetry, i.master.SendRespRetry)
+	}
+}
+
+// replayTimeout retransmits the entire replay buffer in order, then
+// restarts the timer (§V-C).
+func (i *Interface) replayTimeout() {
+	if len(i.replayBuf) == 0 {
+		return
+	}
+	i.stats.Timeouts++
+	i.startReplay()
+	i.link.eng.ScheduleEventAfter(i.replayTmr, i.link.ReplayTimeout(), sim.PriorityTimer)
+}
+
+func (i *Interface) startReplay() {
+	i.replayQ = append(i.replayQ[:0], i.replayBuf...)
+	for _, pp := range i.replayQ {
+		pp.replayed = true
+	}
+	i.scheduleTx()
+}

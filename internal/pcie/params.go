@@ -1,0 +1,168 @@
+// Package pcie implements the paper's PCI-Express interconnect models:
+// the link with its data-link-layer ACK/NAK replay protocol (§V-C), the
+// root complex with virtual PCI-to-PCI bridges and bus-number-based
+// response routing (§V-A), and the store-and-forward switch (§V-B).
+//
+// As in the paper, gem5-style memory packets serve directly as
+// transaction layer packets (TLPs); a small wrapper (PciePkt, the
+// paper's "pcie-pkt") carries them — and data link layer packets
+// (DLLPs) — across a link, with all transaction, data-link and physical
+// layer overheads of Table I charged to the wire time.
+package pcie
+
+import (
+	"fmt"
+
+	"pciesim/internal/sim"
+)
+
+// Generation selects the PCI-Express signaling rate and line encoding.
+type Generation int
+
+// Supported generations.
+const (
+	Gen1 Generation = 1 // 2.5 GT/s, 8b/10b
+	Gen2 Generation = 2 // 5 GT/s, 8b/10b
+	Gen3 Generation = 3 // 8 GT/s, 128b/130b
+)
+
+// String implements fmt.Stringer.
+func (g Generation) String() string {
+	switch g {
+	case Gen1, Gen2, Gen3:
+		return fmt.Sprintf("Gen%d", int(g))
+	default:
+		return fmt.Sprintf("Generation(%d)", int(g))
+	}
+}
+
+// RawGTps returns the per-lane line rate in gigatransfers per second.
+func (g Generation) RawGTps() float64 {
+	switch g {
+	case Gen1:
+		return 2.5
+	case Gen2:
+		return 5
+	case Gen3:
+		return 8
+	default:
+		panic(fmt.Sprintf("pcie: unknown generation %d", int(g)))
+	}
+}
+
+// EncodingOverhead returns the line-coding expansion as a (num, den)
+// ratio of wire bits to payload bits: 10/8 for Gen1/2, 130/128 for Gen3
+// (the last row of Table I).
+func (g Generation) EncodingOverhead() (num, den int) {
+	if g == Gen3 {
+		return 130, 128
+	}
+	return 10, 8
+}
+
+// symbolFemtos returns the symbol time — the time to move one byte
+// across one lane, including encoding overhead — in femtoseconds.
+// Gen1: 8 bits * 10/8 / 2.5 GT/s = 4 ns. Gen2: 2 ns.
+// Gen3: 8 * 130/128 / 8 GT/s = 1.015625 ns.
+func (g Generation) symbolFemtos() uint64 {
+	switch g {
+	case Gen1:
+		return 4_000_000
+	case Gen2:
+		return 2_000_000
+	case Gen3:
+		return 1_015_625
+	default:
+		panic(fmt.Sprintf("pcie: unknown generation %d", int(g)))
+	}
+}
+
+// SymbolTime returns the symbol time in ticks (rounded to 1 ps).
+func (g Generation) SymbolTime() sim.Tick { return sim.Tick(g.symbolFemtos() / 1000) }
+
+// EffectiveGbps returns the usable per-direction bandwidth of a link in
+// gigabits per second after encoding overhead: raw rate × width ×
+// payload-bits/wire-bits. A Gen2 x1 link yields 4 Gb/s — the number the
+// paper's physical p3700 measurement bottoms out at.
+func EffectiveGbps(g Generation, width int) float64 {
+	num, den := g.EncodingOverhead()
+	return g.RawGTps() * float64(width) * float64(den) / float64(num)
+}
+
+// Overheads collects the per-packet byte overheads of Table I.
+type Overheads struct {
+	TLPHeader int // transaction layer header
+	SeqNum    int // sequence number appended by the data link layer
+	LCRC      int // link CRC appended by the data link layer
+	Framing   int // STP/END control symbols added by the physical layer
+	DLLPBody  int // DLLP payload+CRC before framing
+}
+
+// DefaultOverheads returns Table I: 12 B TLP header, 2 B sequence
+// number, 4 B LCRC, 2 B framing; DLLPs are 6 B before framing.
+func DefaultOverheads() Overheads {
+	return Overheads{TLPHeader: 12, SeqNum: 2, LCRC: 4, Framing: 2, DLLPBody: 6}
+}
+
+// TLPWireBytes returns the total bytes a TLP with the given payload
+// occupies on the wire (before line encoding, which the symbol time
+// already accounts for).
+func (o Overheads) TLPWireBytes(payload int) int {
+	return payload + o.TLPHeader + o.SeqNum + o.LCRC + o.Framing
+}
+
+// DLLPWireBytes returns the wire size of a DLLP.
+func (o Overheads) DLLPWireBytes() int { return o.DLLPBody + o.Framing }
+
+// AckFactor scales the replay timeout with payload size and link width,
+// following the shape of the PCI Express Base Specification's replay
+// timer table: narrow links use 1.4 and wider links grow toward 3.0
+// because the returning ACK occupies relatively more of the round trip.
+func AckFactor(maxPayload, width int) float64 {
+	switch {
+	case width <= 2:
+		return 1.4
+	case width <= 4:
+		if maxPayload <= 128 {
+			return 1.4
+		}
+		return 2.5
+	case width <= 8:
+		if maxPayload <= 128 {
+			return 2.5
+		}
+		return 3.0
+	default:
+		return 3.0
+	}
+}
+
+// ReplayTimeout evaluates the paper's timeout formula (§V-C):
+//
+//	((MaxPayloadSize + TLPOverhead) / Width * AckFactor + InternalDelay) * 3
+//	  + RxL0sAdjustment
+//
+// in symbol times, with InternalDelay and RxL0sAdjustment fixed at 0
+// exactly as the paper sets them. The result is converted to ticks
+// using the generation's symbol time. Note the 1/Width dependence: a
+// wider link has a *tighter* timeout, which is the seed of the x8
+// congestion collapse in Fig 9(b).
+func ReplayTimeout(g Generation, width, maxPayload int, o Overheads) sim.Tick {
+	tlpOverhead := o.TLPHeader + o.SeqNum + o.LCRC + o.Framing
+	symbols := (float64(maxPayload+tlpOverhead) / float64(width)) * AckFactor(maxPayload, width) * 3
+	fs := symbols * float64(g.symbolFemtos())
+	return sim.Tick(fs/1000 + 0.5)
+}
+
+// AckTimerPeriod is 1/3 of the replay timeout (§V-C).
+func AckTimerPeriod(g Generation, width, maxPayload int, o Overheads) sim.Tick {
+	return ReplayTimeout(g, width, maxPayload, o) / 3
+}
+
+// WireTime returns the time to serialize n bytes onto a link of the
+// given generation and width.
+func WireTime(g Generation, width, n int) sim.Tick {
+	fs := uint64(n) * g.symbolFemtos()
+	ps := (fs + uint64(width)*1000 - 1) / (uint64(width) * 1000)
+	return sim.Tick(ps)
+}

@@ -1,0 +1,89 @@
+package pcie
+
+import (
+	"fmt"
+
+	"pciesim/internal/mem"
+)
+
+// PktKind distinguishes what a PciePkt carries.
+type PktKind uint8
+
+// Packet kinds: a transaction layer packet or one of the two data link
+// layer packet types the model implements.
+const (
+	KindTLP PktKind = iota
+	KindAck
+	KindNak
+)
+
+// String implements fmt.Stringer.
+func (k PktKind) String() string {
+	switch k {
+	case KindTLP:
+		return "TLP"
+	case KindAck:
+		return "ACK"
+	case KindNak:
+		return "NAK"
+	default:
+		return fmt.Sprintf("PktKind(%d)", uint8(k))
+	}
+}
+
+// PciePkt is the paper's pcie-pkt: "Since we transmit both DLLPs and
+// TLPs across the same link, we create a new wrapper class, called
+// pcie-pkt, to encapsulate both DLLPs and TLPs" (§V-C). A TLP wraps a
+// gem5-style memory packet; ACK/NAK DLLPs carry only a sequence number.
+type PciePkt struct {
+	Kind PktKind
+	// Seq is the data-link-layer sequence number: the TLP's own number,
+	// or the cumulative sequence being ACKed/NAKed.
+	Seq uint64
+	// TLP is the wrapped transaction, nil for DLLPs.
+	TLP *mem.Packet
+
+	// Corrupted marks a TLP mangled in transit (error injection); the
+	// receiver's CRC check catches it and responds with a NAK.
+	Corrupted bool
+
+	// acked marks a replay-buffer entry already released by an ACK so a
+	// queued retransmission of it is skipped.
+	acked bool
+	// replayed marks a retransmission (for the replay-rate statistic).
+	replayed bool
+}
+
+// PayloadBytes returns the TLP payload size: writes carry their data
+// toward the completer, reads carry it back in the response — "The
+// maximum TLP payload size is 0 for a read request or a write response
+// and is cache line size for a write request or read response" (§V-C).
+func (p *PciePkt) PayloadBytes() int {
+	if p.Kind != KindTLP {
+		return 0
+	}
+	switch p.TLP.Cmd {
+	case mem.WriteReq, mem.ReadResp:
+		return p.TLP.Size
+	default:
+		return 0
+	}
+}
+
+// WireBytes returns the bytes this packet occupies on the wire under
+// the given overhead model: "Each pcie-pkt returns a size depending on
+// whether it encapsulates a TLP or a DLLP" (§V-C).
+func (p *PciePkt) WireBytes(o Overheads) int {
+	if p.Kind == KindTLP {
+		return o.TLPWireBytes(p.PayloadBytes())
+	}
+	return o.DLLPWireBytes()
+}
+
+// String implements fmt.Stringer.
+func (p *PciePkt) String() string {
+	if p.Kind == KindTLP {
+		return fmt.Sprintf("%v seq=%d {%v}", p.Kind, p.Seq, p.TLP)
+	}
+	return fmt.Sprintf("%v seq=%d", p.Kind, p.Seq)
+}

@@ -1,0 +1,470 @@
+package pcie
+
+import (
+	"fmt"
+
+	"pciesim/internal/mem"
+	"pciesim/internal/pci"
+	"pciesim/internal/sim"
+)
+
+// RouterConfig holds the knobs shared by the root complex and switch:
+// "Each port associated with the root complex has configurable buffers
+// and models the congestion at the port. Also, there is a configurable
+// latency for request/response processing" (§V-A).
+type RouterConfig struct {
+	// Latency is the per-packet processing (switching) latency.
+	Latency sim.Tick
+	// BufferSize bounds each port's egress buffer, in packets per
+	// master or slave port (the Fig 9(d) sweep variable; default 16).
+	BufferSize int
+}
+
+func (c *RouterConfig) applyDefaults() {
+	if c.BufferSize == 0 {
+		c.BufferSize = 16
+	}
+}
+
+// Port is one bidirectional port of a root complex or switch: a master
+// half that sends requests downstream/upstream and a slave half that
+// receives them, each with its own bounded egress buffer.
+type Port struct {
+	r     *router
+	index int // 0 is the upstream port
+	name  string
+
+	// vp2p is the port's virtual PCI-to-PCI bridge configuration space.
+	// Every switch port has one; root complex root ports have one; the
+	// root complex upstream port does not (§V-B: "This is in contrast
+	// to the root complex, where only the downstream ports (root ports)
+	// are represented by VP2P").
+	vp2p *pci.ConfigSpace
+
+	slave  *mem.SlavePort
+	master *mem.MasterPort
+
+	reqQ  *mem.SendQueue // egress requests, sent from the master half
+	respQ *mem.SendQueue // egress responses, sent from the slave half
+
+	reqWaiters  []*Port // ingress ports refused because reqQ was full
+	respWaiters []*Port
+	// abortRetryPending marks a request refused because the local
+	// response queue (used for master aborts) was full.
+	abortRetryPending bool
+
+	// cached VP2P window decode, invalidated on config writes
+	win      portWindows
+	winValid bool
+
+	// Stats.
+	reqIn, respIn, aborts uint64
+}
+
+type portWindows struct {
+	io, mem, pref  mem.AddrRange
+	secBus, subBus uint8
+}
+
+// VP2P returns the port's bridge configuration space (nil for the root
+// complex upstream port).
+func (p *Port) VP2P() *pci.ConfigSpace { return p.vp2p }
+
+// MasterPort returns the half that issues requests out of this port.
+func (p *Port) MasterPort() *mem.MasterPort { return p.master }
+
+// SlavePort returns the half that accepts requests into this port.
+func (p *Port) SlavePort() *mem.SlavePort { return p.slave }
+
+// ConnectLink wires a PCI-Express link's upstream end to this
+// (downstream-facing) port.
+func (p *Port) ConnectLink(l *Link) {
+	mem.Connect(p.master, l.Up().SlavePort())
+	mem.Connect(l.Up().MasterPort(), p.slave)
+}
+
+// QueueStats exposes the egress queue counters: (requests pushed, sent,
+// refused, high-water depth) and the same for responses.
+func (p *Port) QueueStats() (req, resp [4]uint64) {
+	a, b, c, d := p.reqQ.Stats()
+	req = [4]uint64{a, b, c, uint64(d)}
+	a, b, c, d = p.respQ.Stats()
+	resp = [4]uint64{a, b, c, uint64(d)}
+	return req, resp
+}
+
+func (p *Port) windows() portWindows {
+	if !p.winValid {
+		iob, iol := pci.BridgeIOWindow(p.vp2p)
+		mb, ml := pci.BridgeMemWindow(p.vp2p)
+		_, sec, sub := pci.BridgeBusNumbers(p.vp2p)
+		w := portWindows{secBus: sec, subBus: sub}
+		if pci.WindowEnabled(iob, iol) {
+			w.io = mem.Span(iob, iol+1)
+		}
+		if pci.WindowEnabled(mb, ml) {
+			w.mem = mem.Span(mb, ml+1)
+		}
+		p.win = w
+		p.winValid = true
+	}
+	return p.win
+}
+
+// claims reports whether the port's programmed windows cover addr.
+func (p *Port) claims(addr uint64) bool {
+	if p.vp2p == nil {
+		return false
+	}
+	w := p.windows()
+	return w.io.Contains(addr) || w.mem.Contains(addr) || w.pref.Contains(addr)
+}
+
+// claimsBus reports whether bus lies in [secondary, subordinate].
+func (p *Port) claimsBus(bus int) bool {
+	if p.vp2p == nil || bus < 0 {
+		return false
+	}
+	w := p.windows()
+	return bus >= int(w.secBus) && bus <= int(w.subBus) && w.subBus != 0
+}
+
+// router is the machinery shared by RootComplex and Switch. Port 0 is
+// the upstream port; the rest face downstream.
+type router struct {
+	eng   *sim.Engine
+	name  string
+	cfg   RouterConfig
+	ports []*Port
+
+	// upstreamStampBus is the bus number stamped onto unstamped
+	// requests entering the upstream port — 0 at the root complex ("The
+	// upstream root complex slave port sets the bus number to be 0").
+	upstreamStampBus int
+
+	// checkUpstreamWindow makes the upstream ingress verify the
+	// upstream VP2P windows before routing (switch semantics, §V-B).
+	checkUpstreamWindow bool
+}
+
+func (r *router) addPort(name string, vp2p *pci.ConfigSpace) *Port {
+	p := &Port{r: r, index: len(r.ports), name: name, vp2p: vp2p}
+	p.slave = mem.NewSlavePort(name+".slave", (*portSlave)(p))
+	p.master = mem.NewMasterPort(name+".master", (*portMaster)(p))
+	p.reqQ = mem.NewSendQueue(r.eng, name+".reqq", r.cfg.BufferSize, func(pk *mem.Packet) bool {
+		return p.master.SendTimingReq(pk)
+	})
+	p.reqQ.OnFree(func() { p.wakeWaiters(&p.reqWaiters, true) })
+	p.respQ = mem.NewSendQueue(r.eng, name+".respq", r.cfg.BufferSize, func(pk *mem.Packet) bool {
+		return p.slave.SendTimingResp(pk)
+	})
+	p.respQ.OnFree(func() {
+		p.wakeWaiters(&p.respWaiters, false)
+		if p.abortRetryPending {
+			p.abortRetryPending = false
+			r.eng.ScheduleAt(p.name+".abortretry", r.eng.Now(), sim.PriorityRetry, p.slave.SendReqRetry)
+		}
+	})
+	if vp2p != nil {
+		vp2p.OnWrite = func(int, int, uint32) { p.winValid = false }
+	}
+	r.ports = append(r.ports, p)
+	return p
+}
+
+// wakeWaiters grants the freed slot to the oldest waiting ingress port
+// by telling its external peer to retry.
+func (p *Port) wakeWaiters(list *[]*Port, req bool) {
+	if len(*list) == 0 {
+		return
+	}
+	w := (*list)[0]
+	copy(*list, (*list)[1:])
+	*list = (*list)[:len(*list)-1]
+	eng := p.r.eng
+	if req {
+		eng.ScheduleAt(w.name+".reqretry", eng.Now(), sim.PriorityRetry, w.slave.SendReqRetry)
+	} else {
+		eng.ScheduleAt(w.name+".respretry", eng.Now(), sim.PriorityRetry, w.master.SendRespRetry)
+	}
+}
+
+func addWaiter(list *[]*Port, p *Port) {
+	for _, w := range *list {
+		if w == p {
+			return
+		}
+	}
+	*list = append(*list, p)
+}
+
+// routeRequest picks the egress port for a request entering at `in`.
+// Downward traffic matches VP2P windows; unmatched traffic goes
+// upstream (DMA toward memory) unless it entered there, in which case
+// it is a master abort.
+func (r *router) routeRequest(in *Port, pkt *mem.Packet) (*Port, bool) {
+	if in.index == 0 && r.checkUpstreamWindow && !in.claims(pkt.Addr) {
+		// Switch semantics: "the upstream slave port accepts an address
+		// range based on the (I/O and memory) base and limit register
+		// values stored in the upstream VP2P."
+		return nil, false
+	}
+	for _, p := range r.ports[1:] {
+		if p != in && p.claims(pkt.Addr) {
+			return p, true
+		}
+	}
+	if in.index != 0 {
+		return r.ports[0], true // upstream, toward the host
+	}
+	return nil, false
+}
+
+// routeResponse picks the egress port for a response by its PCI bus
+// number: "If the response packet's bus number falls within the range
+// defined by a particular VP2P secondary and subordinate bus numbers,
+// the response packet is forwarded out to the corresponding slave port.
+// If no match is found, the response packet is forwarded to the
+// upstream slave port" (§V-A).
+func (r *router) routeResponse(pkt *mem.Packet) *Port {
+	for _, p := range r.ports[1:] {
+		if p.claimsBus(pkt.BusNum) {
+			return p
+		}
+	}
+	return r.ports[0]
+}
+
+// portSlave adapts Port to mem.SlaveOwner (ingress requests, egress
+// responses).
+type portSlave Port
+
+func (o *portSlave) p() *Port { return (*Port)(o) }
+
+func (o *portSlave) RecvTimingReq(_ *mem.SlavePort, pkt *mem.Packet) bool {
+	p := o.p()
+	r := p.r
+	// Stamp the response-routing bus number on first entry into the
+	// fabric (§V-A).
+	if pkt.BusNum == mem.NoBus {
+		if p.index == 0 {
+			pkt.BusNum = r.upstreamStampBus
+		} else {
+			_, sec, _ := pci.BridgeBusNumbers(p.vp2p)
+			pkt.BusNum = int(sec)
+		}
+	}
+	dst, ok := r.routeRequest(p, pkt)
+	if !ok {
+		// Master abort: complete the request locally with all-ones
+		// data, as a real fabric does for unclaimed addresses.
+		return p.masterAbort(pkt)
+	}
+	if dst.reqQ.Full() {
+		addWaiter(&dst.reqWaiters, p)
+		return false
+	}
+	p.reqIn++
+	dst.reqQ.Push(pkt, r.eng.Now()+r.cfg.Latency)
+	return true
+}
+
+func (o *portSlave) RecvRespRetry(*mem.SlavePort) { o.p().respQ.RetryReceived() }
+
+func (o *portSlave) AddrRanges(*mem.SlavePort) mem.RangeList { return nil }
+
+// masterAbort completes an unroutable request with all-ones data
+// through the ingress port's own response queue.
+func (p *Port) masterAbort(pkt *mem.Packet) bool {
+	if p.respQ.Full() {
+		p.abortRetryPending = true
+		return false
+	}
+	p.aborts++
+	if pkt.Cmd == mem.ReadReq {
+		if pkt.Data == nil {
+			pkt.Data = make([]byte, pkt.Size)
+		}
+		for i := range pkt.Data {
+			pkt.Data[i] = 0xff
+		}
+	}
+	p.respQ.Push(pkt.MakeResponse(), p.r.eng.Now()+p.r.cfg.Latency)
+	return true
+}
+
+// portMaster adapts Port to mem.MasterOwner (ingress responses, egress
+// requests).
+type portMaster Port
+
+func (o *portMaster) p() *Port { return (*Port)(o) }
+
+func (o *portMaster) RecvTimingResp(_ *mem.MasterPort, pkt *mem.Packet) bool {
+	p := o.p()
+	r := p.r
+	dst := r.routeResponse(pkt)
+	if dst.respQ.Full() {
+		addWaiter(&dst.respWaiters, p)
+		return false
+	}
+	p.respIn++
+	dst.respQ.Push(pkt, r.eng.Now()+r.cfg.Latency)
+	return true
+}
+
+func (o *portMaster) RecvReqRetry(*mem.MasterPort) { o.p().reqQ.RetryReceived() }
+
+// RootComplexConfig parameterizes a root complex.
+type RootComplexConfig struct {
+	RouterConfig
+	// NumRootPorts is the number of downstream root ports (the paper's
+	// model implements three).
+	NumRootPorts int
+	// PortDeviceIDs optionally overrides the VP2P device IDs; defaults
+	// to the Intel Wildcat Point root port IDs of §V-A.
+	PortDeviceIDs []uint16
+}
+
+// RootComplex is the paper's root complex model (§V-A, Fig 6): an
+// upstream port toward the memory system (DMA flows out of its master
+// half into the IOCache; CPU requests flow into its slave half from the
+// MemBus side) and root ports, each with a VP2P registered with the PCI
+// host on internal bus 0.
+type RootComplex struct {
+	router
+}
+
+// NewRootComplex builds the root complex and registers its VP2Ps with
+// the PCI host as devices 0..N-1 on bus 0.
+func NewRootComplex(eng *sim.Engine, name string, host *pci.Host, cfg RootComplexConfig) *RootComplex {
+	cfg.RouterConfig.applyDefaults()
+	if cfg.NumRootPorts == 0 {
+		cfg.NumRootPorts = 3
+	}
+	ids := cfg.PortDeviceIDs
+	if ids == nil {
+		ids = []uint16{pci.DeviceWildcatPort0, pci.DeviceWildcatPort1, pci.DeviceWildcatPort2}
+	}
+	rc := &RootComplex{router{eng: eng, name: name, cfg: cfg.RouterConfig, upstreamStampBus: 0}}
+	rc.addPort(name+".upstream", nil)
+	for i := 0; i < cfg.NumRootPorts; i++ {
+		id := ids[i%len(ids)]
+		vp2p := pci.NewType1Space(fmt.Sprintf("%s.vp2p%d", name, i), pci.Ident{
+			VendorID:  pci.VendorIntel,
+			DeviceID:  id,
+			ClassCode: pci.ClassBridgePCI,
+		})
+		pci.AddPCIeCap(vp2p, pci.PCIeCapConfig{
+			PortType:        pci.PCIePortRootPort,
+			LinkSpeed:       pci.LinkSpeedGen2,
+			LinkWidth:       4,
+			SlotImplemented: true,
+		})
+		port := rc.addPort(fmt.Sprintf("%s.rootport%d", name, i), vp2p)
+		host.Register(pci.NewBDF(0, uint8(i), 0), vp2p)
+		_ = port
+	}
+	return rc
+}
+
+// UpstreamSlave returns the port half accepting processor requests
+// (wired to the bridge from the MemBus).
+func (rc *RootComplex) UpstreamSlave() *mem.SlavePort { return rc.ports[0].slave }
+
+// UpstreamMaster returns the port half issuing DMA requests toward the
+// IOCache.
+func (rc *RootComplex) UpstreamMaster() *mem.MasterPort { return rc.ports[0].master }
+
+// RootPort returns downstream root port i (0-based).
+func (rc *RootComplex) RootPort(i int) *Port { return rc.ports[i+1] }
+
+// NumRootPorts returns the downstream port count.
+func (rc *RootComplex) NumRootPorts() int { return len(rc.ports) - 1 }
+
+// Aborts returns the total master-abort count across ports.
+func (rc *RootComplex) Aborts() uint64 { return aborts(&rc.router) }
+
+// SwitchConfig parameterizes a switch.
+type SwitchConfig struct {
+	RouterConfig
+	// NumDownstreamPorts is the downstream port count.
+	NumDownstreamPorts int
+	// UpstreamBus/InternalBus pre-assign the configuration bus numbers
+	// the switch's VP2Ps are registered under (gem5's PCI host requires
+	// static registration; the system builder picks numbers matching
+	// the enumeration DFS order).
+	UpstreamBus uint8
+	InternalBus uint8
+}
+
+// Switch is the paper's store-and-forward switch (§V-B): one upstream
+// port and N downstream ports, each represented by a VP2P. It is "built
+// upon the root complex model"; the differences are that the upstream
+// port also has a VP2P, and the upstream ingress accepts only addresses
+// inside that VP2P's windows.
+type Switch struct {
+	router
+}
+
+// NewSwitch builds a switch and registers its VP2Ps with the PCI host:
+// the upstream VP2P as device 0 on UpstreamBus, downstream VP2Ps as
+// devices 0..N-1 on InternalBus.
+func NewSwitch(eng *sim.Engine, name string, host *pci.Host, cfg SwitchConfig) *Switch {
+	cfg.RouterConfig.applyDefaults()
+	if cfg.NumDownstreamPorts == 0 {
+		cfg.NumDownstreamPorts = 2
+	}
+	sw := &Switch{router{
+		eng: eng, name: name, cfg: cfg.RouterConfig,
+		upstreamStampBus:    int(cfg.UpstreamBus),
+		checkUpstreamWindow: true,
+	}}
+	up := pci.NewType1Space(name+".upvp2p", pci.Ident{
+		VendorID: pci.VendorIntel, DeviceID: 0x8c10, ClassCode: pci.ClassBridgePCI,
+	})
+	pci.AddPCIeCap(up, pci.PCIeCapConfig{
+		PortType: pci.PCIePortSwitchUpstream, LinkSpeed: pci.LinkSpeedGen2, LinkWidth: 4,
+	})
+	sw.addPort(name+".upstream", up)
+	host.Register(pci.NewBDF(cfg.UpstreamBus, 0, 0), up)
+	for i := 0; i < cfg.NumDownstreamPorts; i++ {
+		down := pci.NewType1Space(fmt.Sprintf("%s.downvp2p%d", name, i), pci.Ident{
+			VendorID: pci.VendorIntel, DeviceID: 0x8c11, ClassCode: pci.ClassBridgePCI,
+		})
+		pci.AddPCIeCap(down, pci.PCIeCapConfig{
+			PortType: pci.PCIePortSwitchDownstream, LinkSpeed: pci.LinkSpeedGen2,
+			LinkWidth: 1, SlotImplemented: true,
+		})
+		sw.addPort(fmt.Sprintf("%s.downport%d", name, i), down)
+		host.Register(pci.NewBDF(cfg.InternalBus, uint8(i), 0), down)
+	}
+	return sw
+}
+
+// UpstreamPort returns the switch's upstream port; wire its link with
+// ConnectUpstreamLink.
+func (s *Switch) UpstreamPort() *Port { return s.ports[0] }
+
+// ConnectUpstreamLink wires a link's downstream end to the switch's
+// upstream port.
+func (s *Switch) ConnectUpstreamLink(l *Link) {
+	mem.Connect(s.ports[0].master, l.Down().SlavePort())
+	mem.Connect(l.Down().MasterPort(), s.ports[0].slave)
+}
+
+// DownstreamPort returns downstream port i (0-based).
+func (s *Switch) DownstreamPort(i int) *Port { return s.ports[i+1] }
+
+// NumDownstreamPorts returns the downstream port count.
+func (s *Switch) NumDownstreamPorts() int { return len(s.ports) - 1 }
+
+// Aborts returns the total master-abort count across ports.
+func (s *Switch) Aborts() uint64 { return aborts(&s.router) }
+
+func aborts(r *router) uint64 {
+	var n uint64
+	for _, p := range r.ports {
+		n += p.aborts
+	}
+	return n
+}

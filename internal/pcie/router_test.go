@@ -1,0 +1,393 @@
+package pcie
+
+import (
+	"testing"
+
+	"pciesim/internal/mem"
+	"pciesim/internal/pci"
+	"pciesim/internal/sim"
+	"pciesim/internal/testdev"
+)
+
+// programBridge sets a VP2P's bus numbers and memory window directly,
+// standing in for enumeration software.
+func programBridge(c *pci.ConfigSpace, pri, sec, sub uint8, memBase, memLimit uint64) {
+	c.ConfigWrite(pci.RegPrimaryBus, 1, uint32(pri))
+	c.ConfigWrite(pci.RegSecondaryBus, 1, uint32(sec))
+	c.ConfigWrite(pci.RegSubordinateBus, 1, uint32(sub))
+	c.ConfigWrite(pci.RegMemBase, 2, uint32(memBase>>16)&0xfff0)
+	c.ConfigWrite(pci.RegMemLimit, 2, uint32(memLimit>>16)&0xfff0)
+	c.ConfigWrite(pci.RegCommand, 2, pci.CmdMemEnable|pci.CmdBusMaster)
+}
+
+// rcRig: requester (CPU side) -> RC upstream; two root ports wired
+// directly (no links) to responder devices; RC upstream master -> a
+// responder standing in for the IOCache/memory.
+type rcRig struct {
+	eng        *sim.Engine
+	host       *pci.Host
+	rc         *RootComplex
+	cpu        *testdev.Requester
+	dev0, dev1 *testdev.Responder
+	memory     *testdev.Responder
+	dma        *testdev.Requester
+}
+
+func newRCRig(t *testing.T, cfg RootComplexConfig) *rcRig {
+	t.Helper()
+	eng := sim.NewEngine()
+	host := pci.NewHost(eng, "pcihost", pci.HostConfig{ECAMWindow: mem.Range(0x30000000, 256<<20)})
+	rc := NewRootComplex(eng, "rc", host, cfg)
+
+	cpu := testdev.NewRequester(eng, "cpu")
+	mem.Connect(cpu.Port(), rc.UpstreamSlave())
+	memory := testdev.NewResponder(eng, "mem", nil, 50*sim.Nanosecond, 0)
+	mem.Connect(rc.UpstreamMaster(), memory.Port())
+
+	dev0 := testdev.NewResponder(eng, "dev0", nil, 10*sim.Nanosecond, 0)
+	mem.Connect(rc.RootPort(0).MasterPort(), dev0.Port())
+	dev1 := testdev.NewResponder(eng, "dev1", nil, 10*sim.Nanosecond, 0)
+	mem.Connect(rc.RootPort(1).MasterPort(), dev1.Port())
+
+	// DMA requester hangs off root port 1's slave half.
+	dma := testdev.NewRequester(eng, "dma")
+	mem.Connect(dma.Port(), rc.RootPort(1).SlavePort())
+
+	// Program VP2Ps: port0 -> bus 1, MMIO 0x40000000..0x400fffff;
+	// port1 -> bus 2, MMIO 0x40100000..0x401fffff.
+	programBridge(rc.RootPort(0).VP2P(), 0, 1, 1, 0x40000000, 0x400fffff)
+	programBridge(rc.RootPort(1).VP2P(), 0, 2, 2, 0x40100000, 0x401fffff)
+	return &rcRig{eng, host, rc, cpu, dev0, dev1, memory, dma}
+}
+
+func TestRootComplexRegistersVP2PsWithHost(t *testing.T) {
+	r := newRCRig(t, RootComplexConfig{NumRootPorts: 3})
+	// Paper §V-A: vendor 0x8086, device IDs 0x9c90/0x9c92/0x9c94,
+	// enumerated as devices on bus 0.
+	wantIDs := []uint16{0x9c90, 0x9c92, 0x9c94}
+	for i, want := range wantIDs {
+		cs, ok := r.host.Lookup(pci.NewBDF(0, uint8(i), 0))
+		if !ok {
+			t.Fatalf("VP2P %d not registered at 00:0%d.0", i, i)
+		}
+		if got := cs.ConfigRead(pci.RegVendorID, 2); got != pci.VendorIntel {
+			t.Errorf("VP2P %d vendor = %#x", i, got)
+		}
+		if got := cs.ConfigRead(pci.RegDeviceID, 2); got != uint32(want) {
+			t.Errorf("VP2P %d device = %#x, want %#x", i, got, want)
+		}
+		if got := cs.ConfigRead(pci.RegHeaderType, 1); got != pci.HeaderType1 {
+			t.Errorf("VP2P %d header type = %#x", i, got)
+		}
+		// Status bit 4 set: PCIe capability implemented (§V-A).
+		if cs.ConfigRead(pci.RegStatus, 2)&pci.StatusCapList == 0 {
+			t.Errorf("VP2P %d status capability bit clear", i)
+		}
+		if off := pci.FindCapability(cs, pci.CapIDPCIExpress); off == 0 {
+			t.Errorf("VP2P %d missing PCIe capability", i)
+		} else if pt, _, _ := pci.ParsePCIeCap(r.rc.RootPort(i).VP2P(), off); pt != pci.PCIePortRootPort {
+			t.Errorf("VP2P %d port type = %d, want root port", i, pt)
+		}
+	}
+}
+
+func TestRootComplexRoutesByWindow(t *testing.T) {
+	r := newRCRig(t, RootComplexConfig{})
+	r.cpu.Read(0x40000100, 4)  // port 0 window
+	r.cpu.Write(0x40100200, 4) // port 1 window
+	r.eng.Run()
+	if len(r.dev0.Received) != 1 || r.dev0.Received[0].Addr != 0x40000100 {
+		t.Errorf("dev0 received %v", r.dev0.Received)
+	}
+	if len(r.dev1.Received) != 1 || r.dev1.Received[0].Addr != 0x40100200 {
+		t.Errorf("dev1 received %v", r.dev1.Received)
+	}
+	if len(r.cpu.Completions) != 2 {
+		t.Fatalf("CPU completions = %d", len(r.cpu.Completions))
+	}
+	// CPU request bus numbers are stamped 0 at the upstream port.
+	for _, c := range r.cpu.Completions {
+		if c.Pkt.BusNum != 0 {
+			t.Errorf("CPU packet bus = %d, want 0", c.Pkt.BusNum)
+		}
+	}
+}
+
+func TestRootComplexLatencyApplied(t *testing.T) {
+	cfg := RootComplexConfig{}
+	cfg.Latency = 150 * sim.Nanosecond
+	r := newRCRig(t, cfg)
+	r.cpu.Read(0x40000000, 4)
+	r.eng.Run()
+	// Request passes the RC once (150ns), device 10ns, response passes
+	// the RC once more (150ns): 310ns.
+	if got := r.cpu.Completions[0].Latency(); got != 310*sim.Nanosecond {
+		t.Errorf("MMIO round trip = %v, want 310ns (2x RC latency + device)", got)
+	}
+}
+
+func TestRootComplexDMAPath(t *testing.T) {
+	r := newRCRig(t, RootComplexConfig{})
+	r.dma.Write(0x80001000, 64) // DRAM address: no VP2P claims it
+	r.eng.Run()
+	if len(r.memory.Received) != 1 {
+		t.Fatalf("memory received %d packets", len(r.memory.Received))
+	}
+	// Stamped with root port 1's secondary bus number on entry.
+	if got := r.memory.Received[0].BusNum; got != 2 {
+		t.Errorf("DMA packet bus = %d, want 2 (port 1 secondary)", got)
+	}
+	if len(r.dma.Completions) != 1 {
+		t.Fatal("DMA response did not route back by bus number")
+	}
+}
+
+func TestRootComplexPeerToPeer(t *testing.T) {
+	r := newRCRig(t, RootComplexConfig{})
+	// DMA from the device under port 1 targeting port 0's MMIO window:
+	// routed across, not up.
+	r.dma.Write(0x40000800, 64)
+	r.eng.Run()
+	if len(r.dev0.Received) != 1 {
+		t.Fatalf("peer-to-peer packet did not reach dev0")
+	}
+	if len(r.memory.Received) != 0 {
+		t.Error("peer-to-peer packet leaked upstream")
+	}
+	if len(r.dma.Completions) != 1 {
+		t.Fatal("peer-to-peer response lost")
+	}
+}
+
+func TestRootComplexMasterAbort(t *testing.T) {
+	r := newRCRig(t, RootComplexConfig{})
+	buf := make([]byte, 4)
+	r.cpu.ReadData(0x7fff0000, buf) // claimed by no VP2P
+	r.eng.Run()
+	if len(r.cpu.Completions) != 1 {
+		t.Fatal("unclaimed read must still complete")
+	}
+	for _, b := range buf {
+		if b != 0xff {
+			t.Fatalf("master abort data = %v, want all ones", buf)
+		}
+	}
+	if r.rc.Aborts() != 1 {
+		t.Errorf("aborts = %d", r.rc.Aborts())
+	}
+}
+
+func TestRootComplexWindowReprogramming(t *testing.T) {
+	r := newRCRig(t, RootComplexConfig{})
+	// Move port 0's window; the cached decode must invalidate.
+	programBridge(r.rc.RootPort(0).VP2P(), 0, 1, 1, 0x50000000, 0x500fffff)
+	r.cpu.Read(0x50000000, 4)
+	r.eng.Run()
+	if len(r.dev0.Received) != 1 {
+		t.Fatal("request did not follow the reprogrammed window")
+	}
+	r.cpu.Read(0x40000000, 4) // old window now unclaimed -> abort
+	r.eng.Run()
+	if r.rc.Aborts() != 1 {
+		t.Error("old window still routed after reprogramming")
+	}
+}
+
+func TestRootComplexBufferBackpressure(t *testing.T) {
+	cfg := RootComplexConfig{}
+	cfg.BufferSize = 2
+	r := newRCRig(t, cfg)
+	r.dev0.Latency = 2 * sim.Microsecond
+	r.dev0.RefuseRequests = 4
+	for i := 0; i < 10; i++ {
+		r.cpu.Read(0x40000000+uint64(i*8), 8)
+	}
+	r.eng.Run()
+	if len(r.cpu.Completions) != 10 {
+		t.Fatalf("%d completions, want 10 under backpressure", len(r.cpu.Completions))
+	}
+	req, _ := r.rc.RootPort(0).QueueStats()
+	if req[3] > 2 {
+		t.Errorf("port 0 request queue exceeded bound: depth %d", req[3])
+	}
+}
+
+func TestRootComplexIOWindowRouting(t *testing.T) {
+	r := newRCRig(t, RootComplexConfig{})
+	// Program an I/O window on port 0: 0x2f000000..0x2f000fff.
+	v := r.rc.RootPort(0).VP2P()
+	v.ConfigWrite(pci.RegIOBase, 1, 0x00)
+	v.ConfigWrite(pci.RegIOLimit, 1, 0x00)
+	v.ConfigWrite(pci.RegIOBaseUpper, 2, 0x2f00)
+	v.ConfigWrite(pci.RegIOLimitUpper, 2, 0x2f00)
+	r.cpu.Read(0x2f000010, 4)
+	r.eng.Run()
+	if len(r.dev0.Received) != 1 {
+		t.Fatal("PMIO request did not route via the I/O window")
+	}
+}
+
+// --- switch ---
+
+func newSwitchRig(t *testing.T, cfg SwitchConfig) (*sim.Engine, *Switch, *testdev.Requester, *testdev.Responder, *testdev.Responder) {
+	t.Helper()
+	eng := sim.NewEngine()
+	host := pci.NewHost(eng, "pcihost", pci.HostConfig{ECAMWindow: mem.Range(0x30000000, 256<<20)})
+	cfg.UpstreamBus = 1
+	cfg.InternalBus = 2
+	sw := NewSwitch(eng, "sw", host, cfg)
+
+	up := testdev.NewRequester(eng, "rc")
+	mem.Connect(up.Port(), sw.UpstreamPort().SlavePort())
+	upResp := testdev.NewResponder(eng, "upmem", nil, 10*sim.Nanosecond, 0)
+	mem.Connect(sw.UpstreamPort().MasterPort(), upResp.Port())
+
+	d0 := testdev.NewResponder(eng, "d0", nil, 5*sim.Nanosecond, 0)
+	mem.Connect(sw.DownstreamPort(0).MasterPort(), d0.Port())
+	d1 := testdev.NewResponder(eng, "d1", nil, 5*sim.Nanosecond, 0)
+	mem.Connect(sw.DownstreamPort(1).MasterPort(), d1.Port())
+
+	// Upstream VP2P window covers both downstream windows (§V-B).
+	programBridge(sw.UpstreamPort().VP2P(), 0, 1, 3, 0x40000000, 0x403fffff)
+	programBridge(sw.DownstreamPort(0).VP2P(), 2, 3, 3, 0x40000000, 0x400fffff)
+	programBridge(sw.DownstreamPort(1).VP2P(), 2, 4, 4, 0x40100000, 0x401fffff)
+	_ = upResp
+	return eng, sw, up, d0, d1
+}
+
+func TestSwitchRegistersAllPortVP2Ps(t *testing.T) {
+	eng := sim.NewEngine()
+	host := pci.NewHost(eng, "pcihost", pci.HostConfig{ECAMWindow: mem.Range(0x30000000, 256<<20)})
+	sw := NewSwitch(eng, "sw", host, SwitchConfig{NumDownstreamPorts: 3, UpstreamBus: 1, InternalBus: 2})
+	up, ok := host.Lookup(pci.NewBDF(1, 0, 0))
+	if !ok {
+		t.Fatal("upstream VP2P not registered")
+	}
+	off := pci.FindCapability(up.(*pci.ConfigSpace), pci.CapIDPCIExpress)
+	if pt, _, _ := pci.ParsePCIeCap(sw.UpstreamPort().VP2P(), off); pt != pci.PCIePortSwitchUpstream {
+		t.Errorf("upstream port type = %d", pt)
+	}
+	for i := 0; i < 3; i++ {
+		cs, ok := host.Lookup(pci.NewBDF(2, uint8(i), 0))
+		if !ok {
+			t.Fatalf("downstream VP2P %d not registered", i)
+		}
+		off := pci.FindCapability(cs.(*pci.ConfigSpace), pci.CapIDPCIExpress)
+		if pt, _, _ := pci.ParsePCIeCap(sw.DownstreamPort(i).VP2P(), off); pt != pci.PCIePortSwitchDownstream {
+			t.Errorf("downstream %d port type = %d", i, pt)
+		}
+	}
+}
+
+func TestSwitchRoutesDownstream(t *testing.T) {
+	eng, _, up, d0, d1 := newSwitchRig(t, SwitchConfig{})
+	up.Read(0x40000400, 4)
+	up.Read(0x40100400, 4)
+	eng.Run()
+	if len(d0.Received) != 1 || len(d1.Received) != 1 {
+		t.Fatalf("received %d/%d, want 1/1", len(d0.Received), len(d1.Received))
+	}
+	if len(up.Completions) != 2 {
+		t.Fatal("responses lost")
+	}
+}
+
+func TestSwitchUpstreamWindowEnforced(t *testing.T) {
+	eng, sw, up, _, _ := newSwitchRig(t, SwitchConfig{})
+	// Outside the upstream VP2P's window: master abort at the switch.
+	buf := make([]byte, 4)
+	up.ReadData(0x60000000, buf)
+	eng.Run()
+	if sw.Aborts() != 1 {
+		t.Errorf("aborts = %d; the upstream ingress must check the upstream VP2P window", sw.Aborts())
+	}
+	if buf[0] != 0xff {
+		t.Error("abort must return all-ones")
+	}
+}
+
+func TestSwitchLatency(t *testing.T) {
+	cfg := SwitchConfig{}
+	cfg.Latency = 150 * sim.Nanosecond
+	eng, _, up, _, _ := newSwitchRig(t, cfg)
+	up.Read(0x40000000, 4)
+	eng.Run()
+	// 150ns down + 5ns device + 150ns back.
+	if got := up.Completions[0].Latency(); got != 305*sim.Nanosecond {
+		t.Errorf("latency %v, want 305ns", got)
+	}
+}
+
+func TestSwitchDMAUpstreamAndPeerToPeer(t *testing.T) {
+	eng, sw, _, _, d1 := newSwitchRig(t, SwitchConfig{})
+	dma := testdev.NewRequester(eng, "dma")
+	mem.Connect(dma.Port(), sw.DownstreamPort(0).SlavePort())
+	upResp := sw.UpstreamPort()
+	_ = upResp
+	dma.Write(0x80000000, 64) // DRAM: goes upstream
+	dma.Write(0x40100000, 64) // sibling window: peer-to-peer
+	eng.Run()
+	if len(dma.Completions) != 2 {
+		t.Fatalf("%d DMA completions, want 2", len(dma.Completions))
+	}
+	if len(d1.Received) != 1 {
+		t.Error("peer-to-peer did not reach sibling port")
+	}
+	// The upstream-bound packet was stamped with port 0's secondary bus.
+	if got := dma.Completions[0].Pkt.BusNum; got != 3 {
+		t.Errorf("DMA bus stamp = %d, want 3", got)
+	}
+}
+
+// Full chain: RC -> link -> switch -> link -> device, the paper's
+// validation topology in miniature.
+func TestRootComplexSwitchLinkIntegration(t *testing.T) {
+	eng := sim.NewEngine()
+	host := pci.NewHost(eng, "pcihost", pci.HostConfig{ECAMWindow: mem.Range(0x30000000, 256<<20)})
+
+	rcCfg := RootComplexConfig{NumRootPorts: 1}
+	rcCfg.Latency = 150 * sim.Nanosecond
+	rc := NewRootComplex(eng, "rc", host, rcCfg)
+	swCfg := SwitchConfig{NumDownstreamPorts: 1, UpstreamBus: 1, InternalBus: 2}
+	swCfg.Latency = 100 * sim.Nanosecond
+	sw := NewSwitch(eng, "sw", host, swCfg)
+
+	upLink := NewLink(eng, "rc-sw", LinkConfig{Gen: Gen2, Width: 4})
+	rc.RootPort(0).ConnectLink(upLink)
+	sw.ConnectUpstreamLink(upLink)
+
+	devLink := NewLink(eng, "sw-dev", LinkConfig{Gen: Gen2, Width: 1})
+	sw.DownstreamPort(0).ConnectLink(devLink)
+
+	cpu := testdev.NewRequester(eng, "cpu")
+	mem.Connect(cpu.Port(), rc.UpstreamSlave())
+	memory := testdev.NewResponder(eng, "mem", nil, 50*sim.Nanosecond, 0)
+	mem.Connect(rc.UpstreamMaster(), memory.Port())
+	dev := testdev.NewResponder(eng, "dev", nil, sim.Microsecond, 0)
+	mem.Connect(devLink.Down().MasterPort(), dev.Port())
+	devDMA := testdev.NewRequester(eng, "devdma")
+	mem.Connect(devDMA.Port(), devLink.Down().SlavePort())
+
+	programBridge(rc.RootPort(0).VP2P(), 0, 1, 3, 0x40000000, 0x403fffff)
+	programBridge(sw.UpstreamPort().VP2P(), 0, 1, 3, 0x40000000, 0x403fffff)
+	programBridge(sw.DownstreamPort(0).VP2P(), 2, 3, 3, 0x40000000, 0x400fffff)
+
+	// CPU MMIO to the device and device DMA to memory, concurrently.
+	cpu.Read(0x40000000, 4)
+	for i := 0; i < 8; i++ {
+		devDMA.Write(0x80000000+uint64(i)*64, 64)
+	}
+	eng.Run()
+	if len(cpu.Completions) != 1 {
+		t.Fatal("MMIO read lost across two links and a switch")
+	}
+	if len(devDMA.Completions) != 8 {
+		t.Fatalf("%d DMA completions, want 8", len(devDMA.Completions))
+	}
+	if len(memory.Received) != 8 {
+		t.Fatalf("memory saw %d DMA writes", len(memory.Received))
+	}
+	if got := dev.Received[0].Addr; got != 0x40000000 {
+		t.Errorf("device saw %#x", got)
+	}
+}

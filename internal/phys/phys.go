@@ -1,0 +1,87 @@
+// Package phys is the stand-in for the paper's physical validation
+// testbed (§VI-A): an Intel Xeon E5-2660 v4 host with an Intel DC p3700
+// NVMe SSD attached to a PCH x1 PCI-Express slot, making a Gen 2 x1
+// link the deliberate bottleneck. We do not have that hardware, so the
+// "phys" series of Fig 9(a) is regenerated from an analytical model of
+// the same bottleneck: the link's line rate, its 8b/10b encoding, the
+// per-TLP protocol overheads, posted writes (unlike the gem5 model),
+// and a host-side per-command overhead. Every parameter is stated by
+// the paper or the PCI-Express specification; nothing is fitted to the
+// figure.
+package phys
+
+import (
+	"pciesim/internal/pcie"
+	"pciesim/internal/sim"
+)
+
+// Config describes the physical reference setup.
+type Config struct {
+	// Gen and Width describe the bottleneck link (Gen2 x1 in §VI-A:
+	// "This limits the offered PCI-Express bandwidth to 5 Gbps in each
+	// direction"; 4 Gb/s effective after 8b/10b).
+	Gen   pcie.Generation
+	Width int
+	// MaxPayload is the TLP payload size the SSD uses per memory write
+	// (128 B is the common PCH-limited MPS).
+	MaxPayload int
+	// Overheads is the Table I per-TLP overhead model.
+	Overheads pcie.Overheads
+	// SectorBytes is the transfer unit of the dd workload (4 KiB).
+	SectorBytes int
+	// RequestBytes is the host block-layer request size.
+	RequestBytes int
+	// PerRequestOverhead is the host-side submission+completion cost
+	// per request (NVMe queue pair doorbell, interrupt, block layer).
+	PerRequestOverhead sim.Tick
+	// PerSectorOverhead is the host-side per-4KiB completion work; the
+	// testbed runs the same dd + O_DIRECT kernel path as the simulated
+	// OS model, so the same order of per-page cost applies.
+	PerSectorOverhead sim.Tick
+	// StartupOverhead is dd's fixed process/open cost.
+	StartupOverhead sim.Tick
+}
+
+// DefaultConfig returns the §VI-A testbed parameters.
+func DefaultConfig() Config {
+	return Config{
+		Gen:                pcie.Gen2,
+		Width:              1,
+		MaxPayload:         128,
+		Overheads:          pcie.DefaultOverheads(),
+		SectorBytes:        4096,
+		RequestBytes:       128 * 1024,
+		PerRequestOverhead: 6 * sim.Microsecond,
+		PerSectorOverhead:  1500 * sim.Nanosecond,
+		StartupOverhead:    10 * sim.Millisecond,
+	}
+}
+
+// LinkTimePerSector returns the wire time to move one sector of payload
+// upstream as posted write TLPs (real PCI-Express memory writes carry
+// no completion, unlike the simulated gem5 packets — the paper names
+// this difference as one source of its model's bandwidth gap).
+func (c Config) LinkTimePerSector() sim.Tick {
+	tlps := (c.SectorBytes + c.MaxPayload - 1) / c.MaxPayload
+	perTLP := pcie.WireTime(c.Gen, c.Width, c.Overheads.TLPWireBytes(c.MaxPayload))
+	return sim.Tick(tlps) * perTLP
+}
+
+// DeviceGbps returns the sector payload throughput at the device level,
+// excluding host overheads.
+func (c Config) DeviceGbps() float64 {
+	t := c.LinkTimePerSector()
+	return float64(c.SectorBytes) * 8 / t.Seconds() / 1e9
+}
+
+// DDThroughputGbps returns the dd-reported throughput for a single
+// block of the given size: the link moves sectors back to back while
+// the host pays a fixed startup cost plus a per-request cost.
+func (c Config) DDThroughputGbps(blockBytes uint64) float64 {
+	sectors := blockBytes / uint64(c.SectorBytes)
+	requests := (blockBytes + uint64(c.RequestBytes) - 1) / uint64(c.RequestBytes)
+	total := c.StartupOverhead +
+		sim.Tick(sectors)*(c.LinkTimePerSector()+c.PerSectorOverhead) +
+		sim.Tick(requests)*c.PerRequestOverhead
+	return float64(blockBytes) * 8 / total.Seconds() / 1e9
+}

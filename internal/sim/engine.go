@@ -1,0 +1,134 @@
+package sim
+
+import "fmt"
+
+// Engine is the simulation kernel: a clock and an event queue. All
+// simulated components share one Engine; its queue defines the global
+// order of everything that happens.
+//
+// Engine is not safe for concurrent use. The whole simulator is
+// single-threaded by design — determinism is a feature the validation
+// experiments rely on.
+type Engine struct {
+	now     Tick
+	queue   eventHeap
+	nextSeq uint64
+	fired   uint64
+	running bool
+	stopped bool
+}
+
+// NewEngine returns an engine at tick zero with an empty queue.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Tick { return e.now }
+
+// Fired returns the number of events executed so far; it is the
+// simulator's cost metric (events/second of host time).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.len() }
+
+// NewEvent creates an unscheduled event with a diagnostic name. The
+// returned event can be scheduled, descheduled, and rescheduled freely.
+func (e *Engine) NewEvent(name string, fn func()) *Event {
+	if fn == nil {
+		panic("sim: NewEvent with nil callback")
+	}
+	return &Event{name: name, fn: fn, idx: -1}
+}
+
+// ScheduleEvent queues ev at absolute time when with the given priority.
+// Scheduling into the past or an already-scheduled event is a programming
+// error and panics: silent reordering would corrupt every timing model.
+func (e *Engine) ScheduleEvent(ev *Event, when Tick, prio Priority) {
+	if ev.Scheduled() {
+		panic(fmt.Sprintf("sim: event %q is already scheduled for %s", ev.name, ev.when))
+	}
+	if when < e.now {
+		panic(fmt.Sprintf("sim: event %q scheduled for %s, before now (%s)", ev.name, when, e.now))
+	}
+	ev.when = when
+	ev.prio = prio
+	ev.seq = e.nextSeq
+	e.nextSeq++
+	e.queue.push(ev)
+}
+
+// ScheduleEventAfter queues ev delay ticks from now.
+func (e *Engine) ScheduleEventAfter(ev *Event, delay Tick, prio Priority) {
+	e.ScheduleEvent(ev, e.now+delay, prio)
+}
+
+// Deschedule removes ev from the queue if it is queued. It is safe to
+// call on an unscheduled event.
+func (e *Engine) Deschedule(ev *Event) {
+	if ev.Scheduled() {
+		e.queue.remove(ev)
+	}
+}
+
+// Reschedule moves ev to the new absolute time, whether or not it is
+// currently queued.
+func (e *Engine) Reschedule(ev *Event, when Tick, prio Priority) {
+	e.Deschedule(ev)
+	e.ScheduleEvent(ev, when, prio)
+}
+
+// Schedule is the fire-and-forget form: it allocates a one-shot event
+// that runs fn at now+delay.
+func (e *Engine) Schedule(name string, delay Tick, fn func()) *Event {
+	ev := e.NewEvent(name, fn)
+	e.ScheduleEventAfter(ev, delay, PriorityDefault)
+	return ev
+}
+
+// ScheduleAt is Schedule with an absolute time and explicit priority.
+func (e *Engine) ScheduleAt(name string, when Tick, prio Priority, fn func()) *Event {
+	ev := e.NewEvent(name, fn)
+	e.ScheduleEvent(ev, when, prio)
+	return ev
+}
+
+// Stop makes the current Run call return after the executing event
+// completes. Queued events are left in place so the run can be resumed.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains or Stop is called. It
+// returns the number of events fired by this call.
+func (e *Engine) Run() uint64 { return e.RunUntil(MaxTick) }
+
+// RunUntil executes events with timestamps <= limit, then sets the clock
+// to limit if the queue drained early (or to the next event time's floor
+// otherwise). It returns the number of events fired by this call.
+func (e *Engine) RunUntil(limit Tick) uint64 {
+	if e.running {
+		panic("sim: reentrant Run")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+
+	var fired uint64
+	for e.queue.len() > 0 && !e.stopped {
+		next := e.queue.items[0]
+		if next.when > limit {
+			e.now = limit
+			return fired
+		}
+		e.queue.pop()
+		e.now = next.when
+		fired++
+		e.fired++
+		next.fn()
+	}
+	if e.queue.len() == 0 && limit != MaxTick && e.now < limit {
+		e.now = limit
+	}
+	return fired
+}
+
+// Drained reports whether no events remain.
+func (e *Engine) Drained() bool { return e.queue.len() == 0 }

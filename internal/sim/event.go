@@ -1,0 +1,136 @@
+package sim
+
+// Priority orders events that are scheduled for the same tick. Lower
+// values run first, matching gem5's convention. The pre-defined bands
+// keep unrelated models from racing at tick boundaries: e.g. DLLP ACK
+// processing must observe a consistent replay-buffer state before new
+// TLP transmissions at the same tick are attempted.
+type Priority int
+
+// Priority bands, lowest (earliest) first.
+const (
+	PriorityTimer    Priority = -20 // expiring protocol timers
+	PriorityDelivery Priority = -10 // packet deliveries across links/ports
+	PriorityDefault  Priority = 0
+	PriorityRetry    Priority = 10 // retry notifications after refusals
+	PriorityStats    Priority = 50 // end-of-interval statistics sampling
+)
+
+// Event is a scheduled callback. Events are created by Engine.Schedule
+// and friends; the zero value is not useful. An Event may be descheduled
+// before it fires and rescheduled afterwards, mirroring the gem5 event
+// lifecycle that the PCIe replay/ACK timers depend on.
+type Event struct {
+	name string
+	fn   func()
+
+	when Tick
+	prio Priority
+	seq  uint64 // insertion order; breaks (when, prio) ties deterministically
+	idx  int    // heap index, -1 when not queued
+}
+
+// Name returns the diagnostic name given at creation time.
+func (e *Event) Name() string { return e.name }
+
+// Scheduled reports whether the event currently sits in an engine queue.
+func (e *Event) Scheduled() bool { return e != nil && e.idx >= 0 }
+
+// When returns the tick the event is scheduled for. It is only
+// meaningful while Scheduled() is true.
+func (e *Event) When() Tick { return e.when }
+
+// eventHeap is a binary min-heap ordered by (when, prio, seq). It is
+// implemented directly rather than via container/heap to avoid the
+// interface boxing on this extremely hot path.
+type eventHeap struct {
+	items []*Event
+}
+
+func (h *eventHeap) len() int { return len(h.items) }
+
+func (h *eventHeap) less(a, b *Event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(e *Event) {
+	e.idx = len(h.items)
+	h.items = append(h.items, e)
+	h.up(e.idx)
+}
+
+func (h *eventHeap) pop() *Event {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items[0].idx = 0
+	h.items[last] = nil
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	top.idx = -1
+	return top
+}
+
+// remove extracts an arbitrary event from the middle of the heap.
+func (h *eventHeap) remove(e *Event) {
+	i := e.idx
+	last := len(h.items) - 1
+	if i < 0 || i > last || h.items[i] != e {
+		return
+	}
+	h.items[i] = h.items[last]
+	h.items[i].idx = i
+	h.items[last] = nil
+	h.items = h.items[:last]
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+	e.idx = -1
+}
+
+func (h *eventHeap) up(i int) {
+	item := h.items[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(item, h.items[parent]) {
+			break
+		}
+		h.items[i] = h.items[parent]
+		h.items[i].idx = i
+		i = parent
+	}
+	h.items[i] = item
+	item.idx = i
+}
+
+func (h *eventHeap) down(i int) {
+	item := h.items[i]
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && h.less(h.items[right], h.items[left]) {
+			child = right
+		}
+		if !h.less(h.items[child], item) {
+			break
+		}
+		h.items[i] = h.items[child]
+		h.items[i].idx = i
+		i = child
+	}
+	h.items[i] = item
+	item.idx = i
+}

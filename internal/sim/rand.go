@@ -1,0 +1,37 @@
+package sim
+
+// Rand is a small, deterministic pseudo-random source (SplitMix64). The
+// simulator uses it for fault injection (e.g. forcing link CRC errors in
+// tests) instead of math/rand so that a run is reproducible from its
+// seed alone, independent of the Go runtime version.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }

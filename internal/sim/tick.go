@@ -1,0 +1,107 @@
+// Package sim provides the discrete-event simulation kernel that every
+// timing model in pciesim is built on. It mirrors the gem5 event engine:
+// simulated time advances in integer ticks of one picosecond, and all
+// behaviour is expressed as events on a single totally-ordered queue.
+//
+// The kernel is deliberately single-threaded and deterministic: two runs
+// of the same configuration schedule the same events in the same order
+// and produce bit-identical statistics.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Tick is a point in (or duration of) simulated time. One tick is one
+// picosecond, matching gem5's convention, so a 1 GHz clock has a period
+// of 1000 ticks and nanosecond-scale latencies are exact integers.
+type Tick uint64
+
+// Common durations expressed in ticks.
+const (
+	Picosecond  Tick = 1
+	Nanosecond  Tick = 1000
+	Microsecond Tick = 1000 * Nanosecond
+	Millisecond Tick = 1000 * Microsecond
+	Second      Tick = 1000 * Millisecond
+
+	// MaxTick is the largest representable time. It is used as the
+	// "never" sentinel for timers that are not currently armed.
+	MaxTick Tick = ^Tick(0)
+)
+
+// FromDuration converts a wall-clock style duration into simulated ticks.
+func FromDuration(d time.Duration) Tick {
+	if d <= 0 {
+		return 0
+	}
+	return Tick(d.Nanoseconds()) * Nanosecond
+}
+
+// Duration converts a tick count into a time.Duration. Durations beyond
+// ~2.5 simulated hours saturate; simulations in this repository run for
+// milliseconds of simulated time, so the limit is theoretical.
+func (t Tick) Duration() time.Duration {
+	const maxNs = Tick(1<<63-1) / 1000
+	ns := t / Nanosecond
+	if ns > maxNs {
+		ns = maxNs
+	}
+	return time.Duration(ns) * time.Nanosecond
+}
+
+// Nanoseconds reports the tick count as a floating-point nanosecond value.
+func (t Tick) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Seconds reports the tick count as seconds.
+func (t Tick) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the tick with an adaptive unit, e.g. "150ns" or "1.25us".
+func (t Tick) String() string {
+	switch {
+	case t == MaxTick:
+		return "never"
+	case t >= Second:
+		return trimUnit(float64(t)/float64(Second), "s")
+	case t >= Millisecond:
+		return trimUnit(float64(t)/float64(Millisecond), "ms")
+	case t >= Microsecond:
+		return trimUnit(float64(t)/float64(Microsecond), "us")
+	case t >= Nanosecond:
+		return trimUnit(float64(t)/float64(Nanosecond), "ns")
+	default:
+		return fmt.Sprintf("%dps", uint64(t))
+	}
+}
+
+func trimUnit(v float64, unit string) string {
+	s := fmt.Sprintf("%.3f", v)
+	// Trim trailing zeros and a dangling decimal point.
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s + unit
+}
+
+// Frequency describes a clock rate in Hz and converts to a period.
+type Frequency uint64
+
+// Common frequencies.
+const (
+	KHz Frequency = 1e3
+	MHz Frequency = 1e6
+	GHz Frequency = 1e9
+)
+
+// Period returns the clock period of the frequency, rounded down to the
+// nearest tick. A zero frequency yields a zero period.
+func (f Frequency) Period() Tick {
+	if f == 0 {
+		return 0
+	}
+	return Tick(uint64(Second) / uint64(f))
+}

@@ -1,0 +1,111 @@
+package system
+
+import (
+	"fmt"
+	"testing"
+
+	"pciesim/internal/sim"
+)
+
+// TestCalibrationReport prints the key experiment numbers. Run with
+//
+//	go test ./internal/system -run TestCalibrationReport -v -calibrate
+//
+// It is skipped in normal runs (it is a tuning tool, not a test).
+func TestCalibrationReport(t *testing.T) {
+	if !*calibrate {
+		t.Skip("pass -calibrate to print the tuning report")
+	}
+	// Blocks are scaled down 16x from the paper's 64 MiB, with the
+	// fixed startup overhead scaled identically — the dd throughput
+	// curve depends only on their ratio, so the scaling is exact.
+	block := uint64(4 << 20)
+	scaleDD := func(cfg *Config) {
+		cfg.DD.StartupOverhead /= 16
+	}
+
+	fmt.Println("== Fig 9(a): baseline (x4 uplink, x1 disk), switch latency sweep ==")
+	for _, lat := range []sim.Tick{50, 100, 150} {
+		cfg := DefaultConfig()
+		scaleDD(&cfg)
+		cfg.SwitchLatency = lat * sim.Nanosecond
+		s := New(cfg)
+		res, err := s.RunDD(block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("  switch=%vns: %.3f Gbps  (dev-window %v)\n", lat, res.ThroughputGbps(), s.Disk.DMAWindow())
+	}
+
+	fmt.Println("== Fig 9(b): all-link width sweep ==")
+	for _, w := range []int{1, 2, 4, 8} {
+		cfg := DefaultConfig()
+		scaleDD(&cfg)
+		cfg.UplinkWidth = w
+		cfg.DiskLinkWidth = w
+		s := New(cfg)
+		res, err := s.RunDD(block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := s.DiskUplinkStats()
+		fmt.Printf("  x%d: %.3f Gbps  replay=%.1f%% timeout=%.1f%%\n",
+			w, res.ThroughputGbps(), st.ReplayRate()*100, st.TimeoutRate()*100)
+	}
+
+	fmt.Println("== Fig 9(c): x8, replay buffer sweep ==")
+	for _, rb := range []int{1, 2, 3, 4} {
+		cfg := DefaultConfig()
+		scaleDD(&cfg)
+		cfg.UplinkWidth = 8
+		cfg.DiskLinkWidth = 8
+		cfg.ReplayBufferSize = rb
+		s := New(cfg)
+		res, err := s.RunDD(block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := s.DiskUplinkStats()
+		fmt.Printf("  rb=%d: %.3f Gbps  timeout=%.1f%%\n", rb, res.ThroughputGbps(), st.TimeoutRate()*100)
+	}
+
+	fmt.Println("== Fig 9(d): x8, port buffer sweep ==")
+	for _, pb := range []int{16, 20, 24, 28} {
+		cfg := DefaultConfig()
+		scaleDD(&cfg)
+		cfg.UplinkWidth = 8
+		cfg.DiskLinkWidth = 8
+		cfg.PortBufferSize = pb
+		s := New(cfg)
+		res, err := s.RunDD(block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := s.DiskUplinkStats()
+		fmt.Printf("  pb=%d: %.3f Gbps  timeout=%.1f%%\n", pb, res.ThroughputGbps(), st.TimeoutRate()*100)
+	}
+
+	fmt.Println("== Table II: MMIO read vs RC latency ==")
+	for _, lat := range []sim.Tick{50, 75, 100, 125, 150} {
+		cfg := DefaultConfig()
+		cfg.RootComplexLatency = lat * sim.Nanosecond
+		s := New(cfg)
+		res, err := s.MMIOProbe(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("  rc=%vns: %v\n", lat, res.Avg())
+	}
+
+	fmt.Println("== device-level sector throughput (x1) ==")
+	{
+		s := New(DefaultConfig())
+		if _, err := s.RunDD(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+		window := s.Disk.DMAWindow() // window of the final 128 KiB command
+		sectors := 32
+		gbps := float64(sectors) * 4096 * 8 / window.Seconds() / 1e9
+		fmt.Printf("  %d sectors in %v = %.3f Gbps (paper: 3.072)\n", sectors, window, gbps)
+	}
+}

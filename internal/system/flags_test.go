@@ -1,0 +1,5 @@
+package system
+
+import "flag"
+
+var calibrate = flag.Bool("calibrate", false, "print the calibration tuning report")

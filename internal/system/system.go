@@ -1,0 +1,435 @@
+// Package system assembles the full simulated platform of the paper's
+// evaluation (§III, §V, Fig 6(a)): CPU and DRAM on a coherent MemBus,
+// a bridge to the non-coherent IOBus holding the PCI host, a root
+// complex on the MemBus whose DMA path drains through the IOCache, a
+// PCI-Express switch below a root port, the IDE-like disk below the
+// switch, and the 8254x-pcie NIC directly on another root port.
+//
+//	CPU ──► MemBus ◄──────────── IOCache ◄── RC upstream (DMA)
+//	          │  │ └─► DRAM                     ▲
+//	          │  └───► RC upstream (PIO)        │
+//	          ▼                                 │
+//	        Bridge ─► IOBus ─► PCI host         │
+//	                                            │
+//	    RC rootport0 ═ link ═ switch ═ link ═ disk
+//	    RC rootport1 ═ link ═ NIC
+package system
+
+import (
+	"fmt"
+
+	"pciesim/internal/bridge"
+	"pciesim/internal/cache"
+	"pciesim/internal/devices"
+	"pciesim/internal/kernel"
+	"pciesim/internal/mem"
+	"pciesim/internal/memctrl"
+	"pciesim/internal/pci"
+	"pciesim/internal/pcie"
+	"pciesim/internal/sim"
+	"pciesim/internal/xbar"
+)
+
+// Address map of the modeled ARM Vexpress_GEM5_V1 platform (§III).
+const (
+	ConfigBase = 0x30000000
+	ConfigSize = 256 << 20
+	IOBase     = 0x2f000000
+	IOSize     = 16 << 20
+	MMIOBase   = 0x40000000
+	MMIOSize   = 1 << 30
+	DRAMBase   = 0x80000000 // "DRAM is mapped to addresses from 2GB"
+	DRAMSize   = 2 << 30
+	// MSIFrameBase is the on-chip MSI doorbell frame (GICv2m-style),
+	// present when Config.EnableMSI is set.
+	MSIFrameBase = 0x2c1f0000
+	MSIFrameSize = 4096
+)
+
+// Config collects every knob of the modeled platform. DefaultConfig
+// returns the paper's validated baseline; experiments override single
+// fields.
+type Config struct {
+	// --- PCI-Express fabric (the §VI sweep variables) ---
+
+	// RootComplexLatency is the RC processing latency (150 ns in every
+	// experiment except the Table II sweep).
+	RootComplexLatency sim.Tick
+	// SwitchLatency is the switch store-and-forward latency (50–150 ns
+	// in Fig 9(a)).
+	SwitchLatency sim.Tick
+	// PortBufferSize is the root/switch per-port buffer (16 packets in
+	// the baseline; 16–28 in Fig 9(d)).
+	PortBufferSize int
+	// ReplayBufferSize is the link-interface replay buffer (4 in the
+	// baseline; 1–4 in Fig 9(c)).
+	ReplayBufferSize int
+	// UplinkWidth/DiskLinkWidth are the Gen2 lane counts: x4 and x1 in
+	// the validation topology; Fig 9(b) sweeps all links together.
+	UplinkWidth   int
+	DiskLinkWidth int
+	// NICLinkWidth is the width of the direct root-port NIC link.
+	NICLinkWidth int
+	// Gen selects the generation for every link.
+	Gen pcie.Generation
+	// DiskLinkErrorRate injects TLP corruption on the disk link with
+	// the given per-transmission probability, exercising the NAK path
+	// under real workloads (0 for the validation experiments).
+	DiskLinkErrorRate float64
+	// Seed seeds fault injection.
+	Seed uint64
+	// EnableMSI extends the platform beyond the paper's gem5 baseline:
+	// an MSI doorbell frame appears at MSIFrameBase, the NIC's MSI
+	// capability becomes enableable, and the e1000e probe lands on MSI
+	// instead of the legacy INTx fallback.
+	EnableMSI bool
+
+	// --- substrate ---
+
+	MemBusFrontend sim.Tick
+	MemBusResponse sim.Tick
+	MemBusPerByte  sim.Tick
+	IOBusLatency   sim.Tick
+	BridgeDelay    sim.Tick
+	PCIHostLatency sim.Tick
+	IOCache        cache.Config
+	DRAM           memctrl.Config
+	Disk           devices.DiskConfig
+	NIC            devices.NICConfig
+	NICPIOLatency  sim.Tick
+
+	// --- OS model ---
+
+	IRQLatency sim.Tick
+	DD         kernel.DDConfig
+}
+
+// DefaultConfig is the calibrated baseline configuration; every
+// experiment in EXPERIMENTS.md starts from it. The PCIe-side values
+// come from the paper; the substrate and OS values are the calibration
+// recorded in DESIGN.md §5.
+func DefaultConfig() Config {
+	dd := kernel.DDConfig{
+		RequestBytes:       128 * 1024,
+		BufAddr:            DRAMBase + (64 << 20),
+		StartupOverhead:    12 * sim.Millisecond,
+		PerRequestOverhead: 5 * sim.Microsecond,
+		PerSectorOverhead:  1300 * sim.Nanosecond,
+		InterruptOverhead:  4 * sim.Microsecond,
+	}
+	return Config{
+		RootComplexLatency: 150 * sim.Nanosecond,
+		SwitchLatency:      150 * sim.Nanosecond,
+		PortBufferSize:     16,
+		ReplayBufferSize:   4,
+		UplinkWidth:        4,
+		DiskLinkWidth:      1,
+		NICLinkWidth:       1,
+		Gen:                pcie.Gen2,
+
+		MemBusFrontend: 10 * sim.Nanosecond,
+		MemBusResponse: 10 * sim.Nanosecond,
+		MemBusPerByte:  62, // ~16 GB/s data path
+		IOBusLatency:   20 * sim.Nanosecond,
+		BridgeDelay:    25 * sim.Nanosecond,
+		PCIHostLatency: 100 * sim.Nanosecond,
+		IOCache: cache.Config{
+			Size:         1024,
+			LineSize:     64,
+			Assoc:        4,
+			TagLatency:   10 * sim.Nanosecond,
+			MSHRs:        4,
+			WriteBuffers: 8,
+		},
+		// The DRAM service rate is the I/O tree's drain limit: ~51 ns
+		// per 64 B line (~11.4 Gb/s of DMA drain). It sits just above
+		// the x4 chunk arrival interval (42 ns) and far below x8's
+		// (21 ns), which is what lets an x8 link overrun the port
+		// buffers and collapse into replay timeouts (Fig 9(b)-(d))
+		// while x4 and below stream cleanly.
+		DRAM: memctrl.Config{
+			Latency:        80 * sim.Nanosecond,
+			PerByte:        800,
+			MaxOutstanding: 16,
+		},
+		Disk:          devices.DefaultDiskConfig(),
+		NIC:           devices.DefaultNICConfig(),
+		NICPIOLatency: 110 * sim.Nanosecond,
+
+		IRQLatency: 1 * sim.Microsecond,
+		DD:         dd,
+	}
+}
+
+// System is the assembled platform.
+type System struct {
+	Cfg Config
+	Eng *sim.Engine
+
+	CPU    *kernel.CPU
+	Kernel *kernel.Kernel
+
+	MemBus  *xbar.XBar
+	IOBus   *xbar.XBar
+	Bridge  *bridge.Bridge
+	IOCache *cache.Cache
+	DRAM    *memctrl.Memory
+	PCIHost *pci.Host
+
+	// MSI is the doorbell frame, nil unless Cfg.EnableMSI.
+	MSI *devices.MSIController
+
+	RC       *pcie.RootComplex
+	Switch   *pcie.Switch
+	Uplink   *pcie.Link
+	DiskLink *pcie.Link
+	NICLink  *pcie.Link
+
+	Disk *devices.Disk
+	NIC  *devices.NIC
+
+	DiskDriver *kernel.DiskDriver
+	NICDriver  *kernel.E1000eDriver
+
+	booted bool
+}
+
+// New builds and wires the platform. The simulation is ready to Boot.
+func New(cfg Config) *System {
+	eng := sim.NewEngine()
+	s := &System{Cfg: cfg, Eng: eng}
+
+	// --- buses and memory ---
+	s.MemBus = xbar.New(eng, "membus", xbar.Config{
+		FrontendLatency: cfg.MemBusFrontend,
+		ResponseLatency: cfg.MemBusResponse,
+		PerByte:         cfg.MemBusPerByte,
+	})
+	s.IOBus = xbar.New(eng, "iobus", xbar.Config{
+		FrontendLatency: cfg.IOBusLatency,
+		ResponseLatency: cfg.IOBusLatency,
+	})
+	s.DRAM = memctrl.New(eng, "dram", mem.Range(DRAMBase, DRAMSize), cfg.DRAM)
+	mem.Connect(s.MemBus.MasterPort("dram", mem.RangeList{s.DRAM.Range()}), s.DRAM.Port())
+
+	if cfg.EnableMSI {
+		s.MSI = devices.NewMSIController(eng, "msiframe", mem.Range(MSIFrameBase, MSIFrameSize))
+		mem.Connect(s.MemBus.MasterPort("msiframe", mem.RangeList{s.MSI.Range()}), s.MSI.Port())
+		// Doorbell writes from devices must bypass the IOCache.
+		cfg.IOCache.Uncacheable = append(cfg.IOCache.Uncacheable, s.MSI.Range())
+		s.Cfg.IOCache = cfg.IOCache
+	}
+
+	s.Bridge = bridge.New(eng, "iobridge", bridge.Config{
+		Delay:     cfg.BridgeDelay,
+		ReqDepth:  16,
+		RespDepth: 16,
+		Ranges:    mem.RangeList{mem.Range(ConfigBase, ConfigSize)},
+	})
+	mem.Connect(s.MemBus.MasterPort("iobridge", mem.RangeList{mem.Range(ConfigBase, ConfigSize)}),
+		s.Bridge.SlavePort())
+	mem.Connect(s.Bridge.MasterPort(), s.IOBus.SlavePort("iobridge"))
+
+	s.PCIHost = pci.NewHost(eng, "pcihost", pci.HostConfig{
+		ECAMWindow: mem.Range(ConfigBase, ConfigSize),
+		Latency:    cfg.PCIHostLatency,
+	})
+	mem.Connect(s.IOBus.MasterPort("pcihost", mem.RangeList{s.PCIHost.Window()}), s.PCIHost.Port())
+
+	// --- root complex ---
+	rcCfg := pcie.RootComplexConfig{NumRootPorts: 3}
+	rcCfg.Latency = cfg.RootComplexLatency
+	rcCfg.BufferSize = cfg.PortBufferSize
+	s.RC = pcie.NewRootComplex(eng, "rc", s.PCIHost, rcCfg)
+	// CPU-visible PCI windows route from the MemBus into the RC.
+	mem.Connect(s.MemBus.MasterPort("rc", mem.RangeList{
+		mem.Range(MMIOBase, MMIOSize),
+		mem.Range(IOBase, IOSize),
+	}), s.RC.UpstreamSlave())
+
+	// DMA drains through the IOCache onto the MemBus (§V-A: "we pass
+	// all the memory requests generated by DMA transactions through an
+	// IOCache and then send them to the Membus").
+	s.IOCache = cache.New(eng, "iocache", cfg.IOCache)
+	mem.Connect(s.RC.UpstreamMaster(), s.IOCache.CPUSidePort())
+	mem.Connect(s.IOCache.MemSidePort(), s.MemBus.SlavePort("iocache"))
+
+	// --- switch and links (validation topology of §VI-A) ---
+	s.Uplink = pcie.NewLink(eng, "uplink", pcie.LinkConfig{
+		Gen: cfg.Gen, Width: cfg.UplinkWidth,
+		ReplayBufferSize: cfg.ReplayBufferSize,
+		MaxPayload:       cfg.IOCache.LineSize,
+	})
+	s.RC.RootPort(0).ConnectLink(s.Uplink)
+
+	swCfg := pcie.SwitchConfig{NumDownstreamPorts: 2, UpstreamBus: 1, InternalBus: 2}
+	swCfg.Latency = cfg.SwitchLatency
+	swCfg.BufferSize = cfg.PortBufferSize
+	s.Switch = pcie.NewSwitch(eng, "switch", s.PCIHost, swCfg)
+	s.Switch.ConnectUpstreamLink(s.Uplink)
+
+	s.DiskLink = pcie.NewLink(eng, "disklink", pcie.LinkConfig{
+		Gen: cfg.Gen, Width: cfg.DiskLinkWidth,
+		ReplayBufferSize: cfg.ReplayBufferSize,
+		MaxPayload:       cfg.IOCache.LineSize,
+		ErrorRate:        cfg.DiskLinkErrorRate,
+		Seed:             cfg.Seed,
+	})
+	s.Switch.DownstreamPort(0).ConnectLink(s.DiskLink)
+
+	s.Disk = devices.NewDisk(eng, "disk", cfg.Disk)
+	mem.Connect(s.DiskLink.Down().MasterPort(), s.Disk.PIOPort())
+	mem.Connect(s.Disk.DMAPort(), s.DiskLink.Down().SlavePort())
+	// DFS pre-registration: bus0(dev0)->bus1(switch up)->bus2(down
+	// VP2Ps)->bus3: disk; the second downstream port heads bus 4; root
+	// port 1 heads bus 5 (the NIC), root port 2 bus 6.
+	s.PCIHost.Register(pci.NewBDF(3, 0, 0), s.Disk.ConfigSpace())
+
+	// --- NIC directly below root port 1 (Table II topology) ---
+	nicCfg := cfg.NIC
+	nicCfg.PIOLatency = cfg.NICPIOLatency
+	nicCfg.MSICapable = cfg.EnableMSI
+	s.NIC = devices.NewNIC(eng, "nic", nicCfg)
+	s.NICLink = pcie.NewLink(eng, "niclink", pcie.LinkConfig{
+		Gen: cfg.Gen, Width: cfg.NICLinkWidth,
+		ReplayBufferSize: cfg.ReplayBufferSize,
+		MaxPayload:       cfg.IOCache.LineSize,
+	})
+	s.RC.RootPort(1).ConnectLink(s.NICLink)
+	mem.Connect(s.NICLink.Down().MasterPort(), s.NIC.PIOPort())
+	mem.Connect(s.NIC.DMAPort(), s.NICLink.Down().SlavePort())
+	s.PCIHost.Register(pci.NewBDF(5, 0, 0), s.NIC.ConfigSpace())
+
+	// --- kernel ---
+	s.CPU = kernel.NewCPU(eng, "cpu0")
+	s.CPU.IRQLatency = cfg.IRQLatency
+	mem.Connect(s.CPU.Port(), s.MemBus.SlavePort("cpu0"))
+	s.Kernel = kernel.New(s.CPU)
+	s.Kernel.Enum.ECAMBase = ConfigBase
+	s.Kernel.Enum.MemWindow = mem.Range(MMIOBase, MMIOSize)
+	s.Kernel.Enum.IOWindow = mem.Range(IOBase, IOSize)
+	if cfg.EnableMSI {
+		s.Kernel.MSITarget = MSIFrameBase
+		s.MSI.OnMSI = func(vector uint32) { s.CPU.TriggerIRQ(int(vector)) }
+	}
+	s.DiskDriver = &kernel.DiskDriver{}
+	s.NICDriver = &kernel.E1000eDriver{}
+	s.Kernel.RegisterDriver(s.DiskDriver)
+	s.Kernel.RegisterDriver(s.NICDriver)
+
+	// Interrupt wiring: legacy INTx lines are delivered to the CPU.
+	// Enumeration assigns lines in DFS order, so they are resolved
+	// after boot via each driver's handle.
+	s.Disk.OnInterrupt = func() {
+		if h := s.DiskDriver.Handle; h != nil {
+			s.CPU.TriggerIRQ(h.IRQ)
+		}
+	}
+	s.NIC.OnInterrupt = func() {
+		if h := s.NICDriver.Handle; h != nil {
+			s.CPU.TriggerIRQ(h.IRQ)
+		}
+	}
+	return s
+}
+
+// Boot runs enumeration and driver probes to completion and leaves the
+// platform ready for workloads. It returns the discovered topology.
+func (s *System) Boot() (*kernel.Topology, error) {
+	if s.booted {
+		return s.Kernel.Topo, nil
+	}
+	var bootErr error
+	t := s.CPU.Spawn("boot", 0, func(t *kernel.Task) {
+		bootErr = s.Kernel.Boot(t)
+	})
+	s.Eng.Run()
+	if bootErr != nil {
+		return nil, bootErr
+	}
+	if !t.Done() {
+		return nil, fmt.Errorf("system: boot task did not complete")
+	}
+	if s.DiskDriver.Handle == nil {
+		return nil, fmt.Errorf("system: disk driver did not bind")
+	}
+	if s.NICDriver.Handle == nil {
+		return nil, fmt.Errorf("system: NIC driver did not bind")
+	}
+	s.booted = true
+	return s.Kernel.Topo, nil
+}
+
+// RunDD boots if necessary, then runs one dd block-read of blockBytes
+// and returns the result.
+func (s *System) RunDD(blockBytes uint64) (kernel.DDResult, error) {
+	if _, err := s.Boot(); err != nil {
+		return kernel.DDResult{}, err
+	}
+	cfg := s.Cfg.DD
+	cfg.BlockBytes = blockBytes
+	var res kernel.DDResult
+	var runErr error
+	task := s.CPU.Spawn("dd", 0, func(t *kernel.Task) {
+		res, runErr = kernel.RunDD(t, s.DiskDriver.Handle, cfg)
+	})
+	s.Eng.Run()
+	if runErr != nil {
+		return kernel.DDResult{}, runErr
+	}
+	if !task.Done() {
+		return kernel.DDResult{}, fmt.Errorf("system: dd task wedged (lost wakeup?)")
+	}
+	return res, nil
+}
+
+// MMIOProbe boots if necessary, then measures n 4-byte reads of the
+// NIC status register (the Table II experiment).
+func (s *System) MMIOProbe(n int) (kernel.MMIOProbeResult, error) {
+	if _, err := s.Boot(); err != nil {
+		return kernel.MMIOProbeResult{}, err
+	}
+	var res kernel.MMIOProbeResult
+	task := s.CPU.Spawn("mmioprobe", 0, func(t *kernel.Task) {
+		res = kernel.MMIOProbe(t, s.NICDriver.Handle.BAR0+devices.NICRegStatus, n)
+	})
+	s.Eng.Run()
+	if !task.Done() {
+		return kernel.MMIOProbeResult{}, fmt.Errorf("system: probe task wedged")
+	}
+	return res, nil
+}
+
+// RunNICTx boots if necessary, then transmits frames through the NIC's
+// descriptor ring and returns the measured throughput.
+func (s *System) RunNICTx(frames, frameLen int) (kernel.NICTxResult, error) {
+	if _, err := s.Boot(); err != nil {
+		return kernel.NICTxResult{}, err
+	}
+	cfg := kernel.NICTxConfig{
+		RingAddr:         DRAMBase + (160 << 20),
+		RingEntries:      64,
+		BufAddr:          DRAMBase + (161 << 20),
+		FrameLen:         frameLen,
+		Frames:           frames,
+		PerFrameOverhead: 500 * sim.Nanosecond,
+	}
+	var res kernel.NICTxResult
+	var runErr error
+	task := s.CPU.Spawn("nictx", 0, func(t *kernel.Task) {
+		res, runErr = s.NICDriver.RunNICTx(t, cfg)
+	})
+	s.Eng.Run()
+	if runErr != nil {
+		return kernel.NICTxResult{}, runErr
+	}
+	if !task.Done() {
+		return kernel.NICTxResult{}, fmt.Errorf("system: nictx task wedged")
+	}
+	return res, nil
+}
+
+// DiskUplinkStats returns the link-interface stats of the upstream
+// (disk -> switch) direction — where the paper measures timeout and
+// replay rates.
+func (s *System) DiskUplinkStats() pcie.LinkStats { return s.DiskLink.Down().Stats() }

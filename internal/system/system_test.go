@@ -1,0 +1,275 @@
+package system
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"pciesim/internal/devices"
+	"pciesim/internal/kernel"
+	"pciesim/internal/pci"
+	"pciesim/internal/sim"
+)
+
+func TestBootEnumeratesFullTopology(t *testing.T) {
+	s := New(DefaultConfig())
+	topo, err := s.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bus 0: three root-port VP2Ps.
+	if len(topo.Root) != 3 {
+		t.Fatalf("found %d devices on bus 0, want 3 VP2Ps", len(topo.Root))
+	}
+	// DFS bus numbering: switch upstream = bus 1, internal = 2, disk =
+	// 3, empty downstream = 4, NIC behind root port 1 = 5, root port 2
+	// heads 6.
+	disk := topo.FindByID(pci.VendorIntel, 0x2922)
+	if disk == nil {
+		t.Fatal("disk not discovered")
+	}
+	if disk.BDF != pci.NewBDF(3, 0, 0) {
+		t.Errorf("disk at %v, want 03:00.0", disk.BDF)
+	}
+	nic := topo.FindByID(pci.VendorIntel, pci.Device82574L)
+	if nic == nil {
+		t.Fatal("NIC not discovered")
+	}
+	if nic.BDF != pci.NewBDF(5, 0, 0) {
+		t.Errorf("NIC at %v, want 05:00.0", nic.BDF)
+	}
+	if topo.Buses != 7 {
+		t.Errorf("assigned %d buses, want 7", topo.Buses)
+	}
+
+	// Every endpoint BAR must fall inside the platform MMIO window and
+	// inside every bridge window above it.
+	for _, d := range topo.Endpoints() {
+		for _, b := range d.BARs {
+			if b.IsIO {
+				continue
+			}
+			if b.Addr < MMIOBase || b.Addr+b.Size > MMIOBase+MMIOSize {
+				t.Errorf("%v BAR%d at %#x outside the MMIO window", d.BDF, b.Index, b.Addr)
+			}
+		}
+	}
+}
+
+func TestBootDriverBinding(t *testing.T) {
+	s := New(DefaultConfig())
+	if _, err := s.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	nh := s.NICDriver.Handle
+	if nh == nil {
+		t.Fatal("e1000e did not bind")
+	}
+	// §IV: MSI/MSI-X are disabled, so the driver must land on legacy.
+	if nh.IntMode != kernel.IntModeLegacy {
+		t.Errorf("NIC interrupt mode = %v, want legacy INTx", nh.IntMode)
+	}
+	if len(nh.Caps) != 4 {
+		t.Errorf("probe saw %d capabilities, want 4 (PM, MSI, PCIe, MSI-X)", len(nh.Caps))
+	}
+	if nh.LinkSpeed != pci.LinkSpeedGen2 || nh.LinkWidth != 1 {
+		t.Errorf("link info = gen %d x%d", nh.LinkSpeed, nh.LinkWidth)
+	}
+	dh := s.DiskDriver.Handle
+	if dh == nil {
+		t.Fatal("disk driver did not bind")
+	}
+	if dh.BAR0 == 0 {
+		t.Error("disk BAR0 unassigned")
+	}
+	// The paper's check: the VP2P windows now route MMIO to the
+	// devices — verified implicitly by the probe's STATUS read, and
+	// again by an explicit abort-counter check.
+	if s.RC.Aborts() != 0 {
+		t.Errorf("%d master aborts during boot", s.RC.Aborts())
+	}
+}
+
+func TestDDSmallBlock(t *testing.T) {
+	s := New(DefaultConfig())
+	res, err := s.RunDD(1 << 20) // 1 MiB
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 1<<20 {
+		t.Errorf("moved %d bytes", res.Bytes)
+	}
+	if res.Requests != 8 {
+		t.Errorf("%d requests, want 8 x 128KiB", res.Requests)
+	}
+	if res.ThroughputGbps() <= 0 {
+		t.Error("throughput must be positive")
+	}
+	cmds, sectors := s.Disk.Stats()
+	if cmds != 8 || sectors != 256 {
+		t.Errorf("disk stats: %d commands %d sectors", cmds, sectors)
+	}
+}
+
+func TestMMIOProbeLatencyScalesWithRCLatency(t *testing.T) {
+	var prev sim.Tick
+	for _, rcLat := range []sim.Tick{50, 100, 150} {
+		cfg := DefaultConfig()
+		cfg.RootComplexLatency = rcLat * sim.Nanosecond
+		s := New(cfg)
+		res, err := s.MMIOProbe(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Min != res.Max {
+			t.Errorf("rc=%vns: MMIO latency jitter %v..%v in an idle system", rcLat, res.Min, res.Max)
+		}
+		if res.Avg() <= prev {
+			t.Errorf("rc=%vns: avg %v not monotonically increasing", rcLat, res.Avg())
+		}
+		// Both request and response cross the RC: +25ns RC latency must
+		// cost more than +25ns of MMIO latency (§VI-B Table II).
+		if prev != 0 {
+			delta := res.Avg() - prev
+			if delta <= 50*sim.Nanosecond*1/2 {
+				t.Errorf("rc step +50ns produced only +%v", delta)
+			}
+		}
+		prev = res.Avg()
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (kernel.DDResult, uint64) {
+		s := New(DefaultConfig())
+		res, err := s.RunDD(256 << 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, s.Eng.Fired()
+	}
+	r1, e1 := run()
+	r2, e2 := run()
+	if r1.Elapsed != r2.Elapsed || e1 != e2 {
+		t.Errorf("non-deterministic: %v/%d vs %v/%d", r1.Elapsed, e1, r2.Elapsed, e2)
+	}
+}
+
+func TestMSIExtension(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableMSI = true
+	s := New(cfg)
+	if _, err := s.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	h := s.NICDriver.Handle
+	if h.IntMode != kernel.IntModeMSI {
+		t.Fatalf("interrupt mode = %v, want MSI on the extended platform", h.IntMode)
+	}
+	if h.IRQ < 64 {
+		t.Errorf("MSI vector %d should be above the legacy lines", h.IRQ)
+	}
+	// The disk still uses legacy INTx (its MSI capability stays inert),
+	// so dd must keep working alongside.
+	if _, err := s.RunDD(256 << 10); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive a NIC transmit; completion must arrive as a posted message
+	// write through the fabric, not the INTx callback.
+	legacyFired := false
+	s.NIC.OnInterrupt = func() { legacyFired = true }
+	desc := make([]byte, devices.NICDescSize)
+	binary.LittleEndian.PutUint64(desc, DRAMBase+0x200000) // frame buffer
+	binary.LittleEndian.PutUint16(desc[8:], 256)           // frame length
+	s.DRAM.WriteFunctional(DRAMBase+0x100000, desc)
+	before := s.NICDriver.InterruptCount
+	task := s.CPU.Spawn("tx", 0, func(tk *kernel.Task) {
+		tk.Write32(h.BAR0+devices.NICRegTDBAL, uint32(DRAMBase+0x100000))
+		tk.Write32(h.BAR0+devices.NICRegTDLEN, 4*devices.NICDescSize)
+		tk.Write32(h.BAR0+devices.NICRegIMS, devices.NICIntTxDone)
+		tk.Write32(h.BAR0+devices.NICRegTDT, 1)
+		tk.Delay(100 * sim.Microsecond) // let the MSI land
+	})
+	s.Eng.Run()
+	if !task.Done() {
+		t.Fatal("tx task wedged")
+	}
+	if legacyFired {
+		t.Error("legacy INTx fired despite MSI being enabled")
+	}
+	if s.MSI.Delivered() == 0 {
+		t.Fatal("no MSI reached the doorbell frame")
+	}
+	if s.NICDriver.InterruptCount <= before {
+		t.Error("MSI vector handler did not run")
+	}
+}
+
+func TestMSIDisabledKeepsPaperBehaviour(t *testing.T) {
+	s := New(DefaultConfig())
+	if _, err := s.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NICDriver.Handle.IntMode != kernel.IntModeLegacy {
+		t.Error("without EnableMSI the §IV legacy fallback must hold")
+	}
+	if s.MSI != nil {
+		t.Error("no MSI frame expected on the baseline platform")
+	}
+}
+
+func TestNICTransmitWorkload(t *testing.T) {
+	s := New(DefaultConfig())
+	res, err := s.RunNICTx(32, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames != 32 || res.Bytes != 32*1500 {
+		t.Fatalf("result %v", res)
+	}
+	tx, txBytes, _ := s.NIC.Stats()
+	if tx != 32 || txBytes != 32*1500 {
+		t.Errorf("NIC stats %d/%d", tx, txBytes)
+	}
+	// The gigabit wire is the intended bottleneck: 1500B at 1 Gb/s is
+	// 12us; with interrupt-per-frame overheads the goodput lands below
+	// the line rate but within a factor of two.
+	if g := res.ThroughputGbps(); g < 0.3 || g > 1.0 {
+		t.Errorf("TX throughput %.3f Gb/s implausible for a gigabit NIC", g)
+	}
+}
+
+func TestConcurrentDDAndNICTx(t *testing.T) {
+	// Both devices active at once: disk DMA through the switch and NIC
+	// descriptor/frame DMA through root port 1 contend for the IOCache
+	// and MemBus. Everything must complete, deterministically.
+	cfg := DefaultConfig()
+	cfg.DD.StartupOverhead = 0
+	s := New(cfg)
+	if _, err := s.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	var dd kernel.DDResult
+	var nic kernel.NICTxResult
+	var err1, err2 error
+	ddCfg := cfg.DD
+	ddCfg.BlockBytes = 512 << 10
+	s.CPU.Spawn("dd", 0, func(tk *kernel.Task) {
+		dd, err1 = kernel.RunDD(tk, s.DiskDriver.Handle, ddCfg)
+	})
+	s.CPU.Spawn("nictx", 0, func(tk *kernel.Task) {
+		nic, err2 = s.NICDriver.RunNICTx(tk, kernel.NICTxConfig{
+			RingAddr: DRAMBase + (160 << 20),
+			BufAddr:  DRAMBase + (161 << 20),
+			FrameLen: 1500,
+			Frames:   16,
+		})
+	})
+	s.Eng.Run()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if dd.Bytes != 512<<10 || nic.Frames != 16 {
+		t.Fatalf("dd %v, nic %v", dd, nic)
+	}
+}

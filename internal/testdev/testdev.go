@@ -1,0 +1,216 @@
+// Package testdev provides small traffic endpoints used by tests across
+// the repository: a Requester that injects requests from a master port
+// and records per-packet completion times, and a Responder that answers
+// everything after a fixed latency. They exist so interconnect tests do
+// not have to re-implement the retry protocol correctly every time.
+package testdev
+
+import (
+	"fmt"
+
+	"pciesim/internal/mem"
+	"pciesim/internal/sim"
+)
+
+// Completion records one finished transaction.
+type Completion struct {
+	Pkt    *mem.Packet
+	Issued sim.Tick
+	Done   sim.Tick
+}
+
+// Latency returns the request-to-response round-trip time.
+func (c Completion) Latency() sim.Tick { return c.Done - c.Issued }
+
+// Requester is a master device that issues a scripted sequence of
+// requests, respecting backpressure, with a configurable window of
+// outstanding transactions.
+type Requester struct {
+	eng   *sim.Engine
+	name  string
+	port  *mem.MasterPort
+	alloc mem.Allocator
+
+	// Window bounds outstanding requests; 0 means unbounded.
+	Window int
+	// RefuseResponses makes the requester refuse the next N responses,
+	// for backpressure tests. Refused responses are accepted on retry.
+	RefuseResponses int
+
+	pending     []*mem.Packet // queued, not yet issued
+	issuedAt    map[uint64]sim.Tick
+	outstanding int
+	blocked     bool // last send refused, waiting for RecvReqRetry
+
+	Completions []Completion
+	// OnComplete, if set, runs after every completion.
+	OnComplete func(Completion)
+
+	issueEv *sim.Event
+	refused int
+}
+
+// NewRequester creates a requester.
+func NewRequester(eng *sim.Engine, name string) *Requester {
+	r := &Requester{eng: eng, name: name, issuedAt: make(map[uint64]sim.Tick)}
+	r.port = mem.NewMasterPort(name+".port", r)
+	r.issueEv = eng.NewEvent(name+".issue", r.tryIssue)
+	return r
+}
+
+// Port returns the master port to connect into the interconnect.
+func (r *Requester) Port() *mem.MasterPort { return r.port }
+
+// Read queues a read request of size bytes at addr.
+func (r *Requester) Read(addr uint64, size int) *mem.Packet {
+	return r.enqueue(r.alloc.NewRequest(mem.ReadReq, addr, size))
+}
+
+// Write queues a write request of size bytes at addr.
+func (r *Requester) Write(addr uint64, size int) *mem.Packet {
+	return r.enqueue(r.alloc.NewRequest(mem.WriteReq, addr, size))
+}
+
+// WriteData queues a write carrying an explicit payload.
+func (r *Requester) WriteData(addr uint64, data []byte) *mem.Packet {
+	pkt := r.alloc.NewRequest(mem.WriteReq, addr, len(data))
+	pkt.Data = data
+	return r.enqueue(pkt)
+}
+
+// ReadData queues a read that captures returned data into buf.
+func (r *Requester) ReadData(addr uint64, buf []byte) *mem.Packet {
+	pkt := r.alloc.NewRequest(mem.ReadReq, addr, len(buf))
+	pkt.Data = buf
+	return r.enqueue(pkt)
+}
+
+func (r *Requester) enqueue(pkt *mem.Packet) *mem.Packet {
+	r.pending = append(r.pending, pkt)
+	r.schedule()
+	return pkt
+}
+
+// Outstanding returns the number of in-flight requests.
+func (r *Requester) Outstanding() int { return r.outstanding }
+
+// Done reports whether everything queued has completed.
+func (r *Requester) Done() bool {
+	return len(r.pending) == 0 && r.outstanding == 0
+}
+
+func (r *Requester) schedule() {
+	if r.blocked || r.issueEv.Scheduled() || len(r.pending) == 0 {
+		return
+	}
+	if r.Window > 0 && r.outstanding >= r.Window {
+		return
+	}
+	r.eng.ScheduleEventAfter(r.issueEv, 0, sim.PriorityDefault)
+}
+
+func (r *Requester) tryIssue() {
+	for len(r.pending) > 0 && !r.blocked {
+		if r.Window > 0 && r.outstanding >= r.Window {
+			return
+		}
+		pkt := r.pending[0]
+		r.issuedAt[pkt.ID] = r.eng.Now()
+		if !r.port.SendTimingReq(pkt) {
+			delete(r.issuedAt, pkt.ID)
+			r.blocked = true
+			return
+		}
+		r.pending = r.pending[1:]
+		r.outstanding++
+	}
+}
+
+// RecvTimingResp implements mem.MasterOwner.
+func (r *Requester) RecvTimingResp(_ *mem.MasterPort, pkt *mem.Packet) bool {
+	if r.RefuseResponses > r.refused {
+		r.refused++
+		r.eng.ScheduleAt(r.name+".respretry", r.eng.Now()+1, sim.PriorityRetry, r.port.SendRespRetry)
+		return false
+	}
+	issued, ok := r.issuedAt[pkt.ID]
+	if !ok {
+		panic(fmt.Sprintf("testdev %s: response for unknown packet %v", r.name, pkt))
+	}
+	delete(r.issuedAt, pkt.ID)
+	r.outstanding--
+	c := Completion{Pkt: pkt, Issued: issued, Done: r.eng.Now()}
+	r.Completions = append(r.Completions, c)
+	if r.OnComplete != nil {
+		r.OnComplete(c)
+	}
+	r.schedule()
+	return true
+}
+
+// RecvReqRetry implements mem.MasterOwner.
+func (r *Requester) RecvReqRetry(*mem.MasterPort) {
+	r.blocked = false
+	r.tryIssue()
+}
+
+// Responder is a slave device that completes every request after a
+// fixed latency, with a bounded response queue.
+type Responder struct {
+	eng  *sim.Engine
+	port *mem.SlavePort
+
+	Latency sim.Tick
+	// RefuseRequests makes the responder refuse the next N requests,
+	// then accept on retry — for testing the retry protocol.
+	RefuseRequests int
+
+	ranges     mem.RangeList
+	respQ      *mem.SendQueue
+	needsRetry bool
+	refused    int
+
+	Received []*mem.Packet
+}
+
+// NewResponder creates a responder claiming the given ranges. depth
+// bounds the response queue (0 = unbounded).
+func NewResponder(eng *sim.Engine, name string, ranges mem.RangeList, latency sim.Tick, depth int) *Responder {
+	d := &Responder{eng: eng, Latency: latency, ranges: ranges}
+	d.port = mem.NewSlavePort(name+".port", d)
+	d.respQ = mem.NewSendQueue(eng, name+".respq", depth, func(p *mem.Packet) bool {
+		return d.port.SendTimingResp(p)
+	})
+	d.respQ.OnFree(func() {
+		if d.needsRetry {
+			d.needsRetry = false
+			d.port.SendReqRetry()
+		}
+	})
+	return d
+}
+
+// Port returns the slave port.
+func (d *Responder) Port() *mem.SlavePort { return d.port }
+
+// RecvTimingReq implements mem.SlaveOwner.
+func (d *Responder) RecvTimingReq(_ *mem.SlavePort, pkt *mem.Packet) bool {
+	if d.RefuseRequests > d.refused {
+		d.refused++
+		d.eng.ScheduleAt("responder.reqretry", d.eng.Now()+1, sim.PriorityRetry, d.port.SendReqRetry)
+		return false
+	}
+	if d.respQ.Full() {
+		d.needsRetry = true
+		return false
+	}
+	d.Received = append(d.Received, pkt)
+	d.respQ.Push(pkt.MakeResponse(), d.eng.Now()+d.Latency)
+	return true
+}
+
+// RecvRespRetry implements mem.SlaveOwner.
+func (d *Responder) RecvRespRetry(*mem.SlavePort) { d.respQ.RetryReceived() }
+
+// AddrRanges implements mem.RangeProvider.
+func (d *Responder) AddrRanges(*mem.SlavePort) mem.RangeList { return d.ranges }

@@ -1,0 +1,65 @@
+// Package pciesim is a discrete-event simulator of the PCI-Express
+// interconnect and the full-system substrate around it, reproducing
+// "Simulating PCI-Express Interconnect for Future System Exploration"
+// (Alian, Srinivasan, Kim — IISWC 2018).
+//
+// The package offers three levels of API:
+//
+//   - System: the assembled platform (CPU/OS model, MemBus, IOCache,
+//     DRAM, PCI host, root complex, switch, links, disk, NIC). Build
+//     one with New(DefaultConfig()), Boot it, and drive workloads.
+//   - Experiments: one runner per table/figure of the paper's
+//     evaluation (RunFig9a..RunFig9d, RunTableII, TableI), producing
+//     structured results that the cmd/ddbench and cmd/mmiolat tools
+//     print.
+//   - Components: the building blocks live in internal/ packages and
+//     are re-exported here where they are part of the public surface
+//     (configuration types, link generations, results).
+package pciesim
+
+import (
+	"pciesim/internal/kernel"
+	"pciesim/internal/pcie"
+	"pciesim/internal/phys"
+	"pciesim/internal/system"
+)
+
+// Config is the full platform configuration. Obtain a calibrated
+// baseline from DefaultConfig and override individual fields.
+type Config = system.Config
+
+// System is the assembled simulated platform.
+type System = system.System
+
+// DDResult reports one dd run.
+type DDResult = kernel.DDResult
+
+// MMIOProbeResult reports an MMIO latency measurement.
+type MMIOProbeResult = kernel.MMIOProbeResult
+
+// Generation selects a PCI-Express generation for links.
+type Generation = pcie.Generation
+
+// LinkStats are the per-link-interface protocol counters (replays,
+// timeouts, ACK traffic).
+type LinkStats = pcie.LinkStats
+
+// PCI-Express generations.
+const (
+	Gen1 = pcie.Gen1
+	Gen2 = pcie.Gen2
+	Gen3 = pcie.Gen3
+)
+
+// PhysConfig describes the analytical physical-testbed reference model
+// used for the "phys" series of Fig 9(a).
+type PhysConfig = phys.Config
+
+// DefaultConfig returns the paper's validated baseline configuration.
+func DefaultConfig() Config { return system.DefaultConfig() }
+
+// DefaultPhysConfig returns the §VI-A physical testbed parameters.
+func DefaultPhysConfig() PhysConfig { return phys.DefaultConfig() }
+
+// New builds a platform from the configuration.
+func New(cfg Config) *System { return system.New(cfg) }
