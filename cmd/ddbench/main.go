@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ddbench [-fig 9a|9b|9c|9d|all] [-scale N] [-csv] [-table1]
+//	ddbench [-fig 9a|9b|9c|9d|err|all] [-scale N] [-csv] [-table1]
 //
 // -scale divides the paper's 64-512 MiB block sizes (and dd's fixed
 // startup overhead) by N; 1 reproduces the full-size experiment, the
@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 9a, 9b, 9c, 9d or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 9a, 9b, 9c, 9d, err or all")
 	scale := flag.Int("scale", 16, "divide the paper's block sizes by this factor")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	table1 := flag.Bool("table1", false, "also print Table I (protocol overheads)")
@@ -36,17 +36,21 @@ func main() {
 		"9c": pciesim.RunFig9c,
 		"9d": pciesim.RunFig9d,
 	}
-	order := []string{"9a", "9b", "9c", "9d"}
+	order := []string{"9a", "9b", "9c", "9d", "err"}
 
 	selected := order
 	if *fig != "all" {
-		if _, ok := runners[*fig]; !ok {
+		if _, ok := runners[*fig]; !ok && *fig != "err" {
 			fmt.Fprintf(os.Stderr, "ddbench: unknown figure %q\n", *fig)
 			os.Exit(2)
 		}
 		selected = []string{*fig}
 	}
 	for _, id := range selected {
+		if id == "err" {
+			runFigErr(opt, *csv)
+			continue
+		}
 		result, err := runners[id](opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
@@ -57,6 +61,21 @@ func main() {
 		} else {
 			fmt.Println(result.Format())
 		}
+	}
+}
+
+// runFigErr runs the error-containment sweep: dd against a disk link
+// with stochastic corruption, a retrained down-window, and a dead link.
+func runFigErr(opt pciesim.Options, csv bool) {
+	result, err := pciesim.RunFigErr(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
+		os.Exit(1)
+	}
+	if csv {
+		fmt.Print(result.CSV())
+	} else {
+		fmt.Println(result.Format())
 	}
 }
 

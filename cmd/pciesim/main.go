@@ -5,6 +5,12 @@
 // Example:
 //
 //	pciesim -uplink 8 -disklink 8 -replaybuf 4 -portbuf 16 -block 8
+//
+// Fault injection arms a deterministic FaultPlan on the disk link and
+// the containment machinery that keeps a faulted run terminating:
+//
+//	pciesim -errrate 0.01 -dllprate 0.01 -droprate 0.005 -faultseed 7
+//	pciesim -downat 14000 -downdur 0 -cto 100
 package main
 
 import (
@@ -27,6 +33,14 @@ func main() {
 	blockMB := flag.Int("block", 4, "dd block size (MiB)")
 	msi := flag.Bool("msi", false, "extend the platform with an MSI doorbell frame")
 	posted := flag.Bool("posted", false, "use posted DMA writes (the paper's future-work ablation)")
+	errRate := flag.Float64("errrate", 0, "disk-link per-TLP corruption probability")
+	dllpRate := flag.Float64("dllprate", 0, "disk-link per-DLLP (ACK/NAK) corruption probability")
+	dropRate := flag.Float64("droprate", 0, "disk-link per-packet wire-drop probability")
+	faultSeed := flag.Uint64("faultseed", 1, "fault-injection RNG seed (runs replay bit-identically)")
+	downAt := flag.Int("downat", -1, "surprise link-down start (us of simulated time; -1 disables)")
+	downDur := flag.Int("downdur", 0, "link-down window length (us; 0 = down for good)")
+	retrain := flag.Int("retrain", 20, "retrain latency after a finite down window (us)")
+	cto := flag.Int("cto", 100, "root-complex completion timeout when faults are armed (us; 0 disables)")
 	flag.Parse()
 
 	cfg := pciesim.DefaultConfig()
@@ -42,6 +56,38 @@ func main() {
 	cfg.DD.StartupOverhead = cfg.DD.StartupOverhead * sim.Tick(*blockMB) / 64
 	cfg.EnableMSI = *msi
 	cfg.Disk.PostedWrites = *posted
+
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"-errrate", *errRate}, {"-dllprate", *dllpRate}, {"-droprate", *dropRate}} {
+		if r.v < 0 || r.v > 1 {
+			fmt.Fprintf(os.Stderr, "pciesim: %s %v: probability must be in [0,1]\n", r.name, r.v)
+			os.Exit(2)
+		}
+	}
+	plan := &pciesim.FaultPlan{Seed: *faultSeed}
+	if *errRate > 0 || *dllpRate > 0 || *dropRate > 0 {
+		rates := pciesim.FaultRates{TLPCorrupt: *errRate, DLLPCorrupt: *dllpRate, Drop: *dropRate}
+		plan.Up = pciesim.FaultProfile{Rates: rates}
+		plan.Down = pciesim.FaultProfile{Rates: rates}
+	}
+	if *downAt >= 0 {
+		plan.Windows = []pciesim.FaultWindow{{
+			At:       sim.Tick(*downAt) * sim.Microsecond,
+			Duration: sim.Tick(*downDur) * sim.Microsecond,
+		}}
+		plan.RetrainLatency = sim.Tick(*retrain) * sim.Microsecond
+	}
+	faulted := len(plan.Windows) > 0 || *errRate > 0 || *dllpRate > 0 || *dropRate > 0
+	if faulted {
+		cfg.DiskLinkFault = plan
+		// Arm the containment timeouts so a dead link degrades the
+		// run instead of hanging it.
+		cfg.CompletionTimeout = sim.Tick(*cto) * sim.Microsecond
+		cfg.DiskCmdTimeout = 2 * sim.Millisecond
+		cfg.DiskDMATimeout = 500 * sim.Microsecond
+	}
 
 	s := pciesim.New(cfg)
 	topo, err := s.Boot()
@@ -72,5 +118,33 @@ func main() {
 		fmt.Printf("  %-18s tlps=%d replays=%d (%.1f%%) timeouts=%d (%.1f%%) throttled=%d\n",
 			l.name, st.TLPsTx, st.ReplaysTx, st.ReplayRate()*100,
 			st.Timeouts, st.TimeoutRate()*100, st.Throttled)
+	}
+
+	fmt.Println("\nerror containment:")
+	for _, l := range s.LinkErrors() {
+		total := l.Up.CRCErrors + l.Down.CRCErrors + l.Up.BadDLLPs + l.Down.BadDLLPs +
+			l.Up.Dropped + l.Down.Dropped + l.Retrains
+		if total == 0 && !l.Dead {
+			continue
+		}
+		fmt.Printf("  %-10s crc=%d badDLLPs=%d dropped=%d retrains=%d dead=%v\n",
+			l.Name, l.Up.CRCErrors+l.Down.CRCErrors, l.Up.BadDLLPs+l.Down.BadDLLPs,
+			l.Up.Dropped+l.Down.Dropped, l.Retrains, l.Dead)
+	}
+	ctoFired, ctoLate := s.RC.CompletionTimeouts()
+	fmt.Printf("  root complex: completion timeouts=%d late completions dropped=%d\n", ctoFired, ctoLate)
+	if res.Errors > 0 {
+		fmt.Printf("  dd: %d of %d requests errored\n", res.Errors, res.Requests)
+	}
+	recs, err := s.ScanAER()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pciesim: AER scan: %v\n", err)
+		os.Exit(1)
+	}
+	if len(recs) == 0 {
+		fmt.Println("  AER: no errors logged")
+	}
+	for _, r := range recs {
+		fmt.Printf("  %v\n", r)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"pciesim/internal/fault"
 	"pciesim/internal/pcie"
 	"pciesim/internal/sim"
 )
@@ -227,6 +228,141 @@ func TableI() []TableIRow {
 		{fmt.Sprintf("%dB", o.Framing), "Framing symbols appended by Physical Layer", "TLP and DLLP"},
 		{fmt.Sprintf("%d/%d-%d/%d", d2, n2, d3, n3), "Overhead caused by 8b/10b or 128b/130b encoding", "TLP and DLLP"},
 	}
+}
+
+// ErrPoint is one error-injection scenario's measurement: a dd run on
+// the disk path with a FaultPlan armed on the disk link.
+type ErrPoint struct {
+	Scenario string
+	Gbps     float64
+	Requests int
+	// Errored counts dd requests answered by error completions
+	// (completion timeout / device error) instead of data.
+	Errored    int
+	ReplayPct  float64
+	TimeoutPct float64
+	BadDLLPs   uint64
+	Dropped    uint64
+	Retrains   uint64
+	// CompletionTimeouts counts error completions the root complex
+	// synthesized for requests stranded on the dead fabric.
+	CompletionTimeouts uint64
+	LinkDead           bool
+}
+
+// ErrFigure is the error-containment sweep (`ddbench -fig err`).
+type ErrFigure struct {
+	Title  string
+	Points []ErrPoint
+}
+
+// RunFigErr sweeps dd over increasingly hostile disk links: stochastic
+// TLP/DLLP corruption and wire drops at several per-packet rates, a
+// transient surprise-down window that retrains, and a permanently dead
+// link that the completion-timeout machinery must contain. Every plan
+// is seeded, so the sweep replays bit-identically.
+func RunFigErr(opt Options) (ErrFigure, error) {
+	opt = opt.normalize()
+	bytes := opt.blockBytes(opt.BlockMB[0])
+	base := opt.scaledConfig(DefaultConfig())
+	// Arm the containment mechanisms an error-exploration run needs:
+	// without them a dead link is a simulator hang, not a data point.
+	base.CompletionTimeout = 100 * sim.Microsecond
+	base.DiskCmdTimeout = 2 * sim.Millisecond
+	base.DiskDMATimeout = 500 * sim.Microsecond
+
+	// Place link-down windows mid-transfer: boot a throwaway platform
+	// to find where dd's request stream starts (boot is deterministic).
+	probe := New(base)
+	if _, err := probe.Boot(); err != nil {
+		return ErrFigure{}, err
+	}
+	streamStart := probe.Eng.Now() + base.DD.StartupOverhead
+	midStream := streamStart + 2*sim.Millisecond
+
+	stochastic := func(rate float64) *fault.Plan {
+		r := fault.Rates{TLPCorrupt: rate, DLLPCorrupt: rate, Drop: rate / 2}
+		return &fault.Plan{Seed: 42, Up: fault.Profile{Rates: r}, Down: fault.Profile{Rates: r}}
+	}
+	scenarios := []struct {
+		label string
+		plan  *fault.Plan
+	}{
+		{"clean", nil},
+		{"p=1e-4", stochastic(1e-4)},
+		{"p=1e-3", stochastic(1e-3)},
+		{"p=1e-2", stochastic(1e-2)},
+		{"p=5e-2", stochastic(5e-2)},
+		{"down50us", &fault.Plan{
+			Windows:        []fault.Window{{At: midStream, Duration: 50 * sim.Microsecond}},
+			RetrainLatency: 20 * sim.Microsecond,
+		}},
+		{"dead", &fault.Plan{
+			Windows: []fault.Window{{At: midStream, Duration: 0}},
+		}},
+	}
+
+	fig := ErrFigure{Title: "dd under disk-link fault injection"}
+	for _, sc := range scenarios {
+		cfg := base
+		cfg.DiskLinkFault = sc.plan
+		sys := New(cfg)
+		res, err := sys.RunDD(bytes)
+		if err != nil {
+			return ErrFigure{}, fmt.Errorf("figerr %s: %w", sc.label, err)
+		}
+		sys.Eng.Run() // drain stragglers a dead link strands
+		up, down := sys.DiskLink.Up().Stats(), sys.DiskLink.Down().Stats()
+		replay := down.ReplayRate()
+		if r := up.ReplayRate(); r > replay {
+			replay = r
+		}
+		timeout := down.TimeoutRate()
+		if r := up.TimeoutRate(); r > timeout {
+			timeout = r
+		}
+		ctos, _ := sys.RC.CompletionTimeouts()
+		fig.Points = append(fig.Points, ErrPoint{
+			Scenario:           sc.label,
+			Gbps:               res.ThroughputGbps(),
+			Requests:           res.Requests,
+			Errored:            res.Errors,
+			ReplayPct:          replay * 100,
+			TimeoutPct:         timeout * 100,
+			BadDLLPs:           up.BadDLLPs + down.BadDLLPs,
+			Dropped:            up.Dropped + down.Dropped,
+			Retrains:           sys.DiskLink.Retrains(),
+			CompletionTimeouts: ctos,
+			LinkDead:           sys.DiskLink.Dead(),
+		})
+	}
+	return fig, nil
+}
+
+// Format renders the error sweep as an aligned text table.
+func (f ErrFigure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "figerr — %s\n", f.Title)
+	fmt.Fprintf(&b, "%-10s %8s %9s %10s %11s %9s %8s %9s %5s %5s\n",
+		"scenario", "gbps", "errored", "replay%", "timeout%", "badDLLP", "dropped", "retrains", "CTO", "dead")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%-10s %8.3f %4d/%-4d %10.2f %11.2f %9d %8d %9d %5d %5v\n",
+			p.Scenario, p.Gbps, p.Errored, p.Requests, p.ReplayPct, p.TimeoutPct,
+			p.BadDLLPs, p.Dropped, p.Retrains, p.CompletionTimeouts, p.LinkDead)
+	}
+	return b.String()
+}
+
+// CSV renders the error sweep as comma-separated values.
+func (f ErrFigure) CSV() string {
+	var b strings.Builder
+	b.WriteString("figure,scenario,gbps,requests,errored,replay_pct,timeout_pct,bad_dllps,dropped,retrains,completion_timeouts,link_dead\n")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "figerr,%s,%.4f,%d,%d,%.2f,%.2f,%d,%d,%d,%d,%v\n",
+			p.Scenario, p.Gbps, p.Requests, p.Errored, p.ReplayPct, p.TimeoutPct,
+			p.BadDLLPs, p.Dropped, p.Retrains, p.CompletionTimeouts, p.LinkDead)
+	}
+	return b.String()
 }
 
 // Format renders the figure as an aligned text table.

@@ -225,3 +225,66 @@ func TestFigureFormatting(t *testing.T) {
 		t.Errorf("CSV output:\n%s", csv)
 	}
 }
+
+func TestFigErrShape(t *testing.T) {
+	fig, err := RunFigErr(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) != 7 {
+		t.Fatalf("%d scenarios, want clean + 4 rates + window + dead", len(fig.Points))
+	}
+	byName := map[string]ErrPoint{}
+	for _, p := range fig.Points {
+		byName[p.Scenario] = p
+	}
+	clean := byName["clean"]
+	if clean.Errored != 0 || clean.ReplayPct != 0 || clean.BadDLLPs != 0 || clean.Gbps <= 0 {
+		t.Fatalf("clean scenario not clean: %+v", clean)
+	}
+
+	// Stochastic corruption: replay pressure grows with the rate, the
+	// workload slows down, and correctness never suffers.
+	lo, hi := byName["p=1e-3"], byName["p=5e-2"]
+	if lo.Errored != 0 || hi.Errored != 0 {
+		t.Errorf("stochastic corruption must be recovered by replay: %+v %+v", lo, hi)
+	}
+	if hi.ReplayPct <= lo.ReplayPct {
+		t.Errorf("replay%% must grow with the injection rate: %.2f vs %.2f", lo.ReplayPct, hi.ReplayPct)
+	}
+	if hi.Gbps >= clean.Gbps {
+		t.Errorf("heavy corruption (%.3f) must be slower than clean (%.3f)", hi.Gbps, clean.Gbps)
+	}
+	if hi.BadDLLPs == 0 || hi.Dropped == 0 {
+		t.Errorf("DLLP corruption and drops must be visible in the counters: %+v", hi)
+	}
+
+	// The transient window retrains once and loses nothing.
+	win := byName["down50us"]
+	if win.Retrains != 1 || win.Errored != 0 || win.LinkDead {
+		t.Errorf("down50us must retrain once and complete clean: %+v", win)
+	}
+
+	// The dead link is contained, not survived.
+	dead := byName["dead"]
+	if !dead.LinkDead {
+		t.Fatalf("dead scenario did not kill the link: %+v", dead)
+	}
+	if dead.Errored == 0 || dead.Errored >= dead.Requests {
+		t.Errorf("dead link wants a mix of clean and errored requests: %+v", dead)
+	}
+	if dead.CompletionTimeouts == 0 {
+		t.Errorf("the RC must synthesize error completions on a dead link: %+v", dead)
+	}
+	if dead.Gbps >= clean.Gbps {
+		t.Errorf("a dead link (%.3f) must be slower than clean (%.3f)", dead.Gbps, clean.Gbps)
+	}
+
+	csv := fig.CSV()
+	if !strings.Contains(csv, "completion_timeouts") || !strings.Contains(csv, "figerr,dead,") {
+		t.Errorf("CSV missing expected columns/rows:\n%s", csv)
+	}
+	if out := fig.Format(); !strings.Contains(out, "scenario") {
+		t.Errorf("Format missing header:\n%s", out)
+	}
+}

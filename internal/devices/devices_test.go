@@ -20,7 +20,7 @@ func TestDMAEngineChunking(t *testing.T) {
 	m := memctrl.New(eng, "mem", mem.Range(0, 1<<30), memctrl.Config{Latency: 10 * sim.Nanosecond})
 	mem.Connect(d.Port(), m.Port())
 	done := false
-	d.Write(0x1000, 4096, nil, func() { done = true })
+	d.Write(0x1000, 4096, nil, func(bool) { done = true })
 	eng.Run()
 	if !done {
 		t.Fatal("transfer did not complete")
@@ -55,8 +55,8 @@ func TestDMAEngineBarrierBetweenTransfers(t *testing.T) {
 	m := memctrl.New(eng, "mem", mem.Range(0, 1<<30), memctrl.Config{Latency: sim.Microsecond, MaxOutstanding: 4})
 	mem.Connect(d.Port(), m.Port())
 	var order []int
-	d.Write(0x0000, 256, nil, func() { order = append(order, 1) })
-	d.Write(0x1000, 256, nil, func() { order = append(order, 2) })
+	d.Write(0x0000, 256, nil, func(bool) { order = append(order, 1) })
+	d.Write(0x1000, 256, nil, func(bool) { order = append(order, 2) })
 	eng.Run()
 	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
 		t.Fatalf("transfer completion order %v", order)
@@ -94,7 +94,7 @@ func TestDMAEngineThroughLinkBackpressure(t *testing.T) {
 	mem.Connect(l.Up().MasterPort(), m.Port())
 	done := false
 	start := eng.Now()
-	d.Write(0x0, 4096, nil, func() { done = true })
+	d.Write(0x0, 4096, nil, func(bool) { done = true })
 	eng.Run()
 	if !done {
 		t.Fatal("DMA through link did not complete")
@@ -437,7 +437,7 @@ func TestDMAEnginePostedWritesNeedNoResponses(t *testing.T) {
 	m := memctrl.New(eng, "mem", mem.Range(0, 1<<30), memctrl.Config{Latency: sim.Microsecond})
 	mem.Connect(d.Port(), m.Port())
 	var doneAt sim.Tick
-	d.Write(0x0, 256, nil, func() { doneAt = eng.Now() })
+	d.Write(0x0, 256, nil, func(bool) { doneAt = eng.Now() })
 	eng.Run()
 	// Completion at final acceptance, not after the 1us memory latency.
 	if doneAt >= sim.Microsecond {
@@ -456,9 +456,9 @@ func TestDMAEnginePostedOrderingPreserved(t *testing.T) {
 	m := memctrl.New(eng, "mem", mem.Range(0, 1<<30), memctrl.Config{Latency: 100 * sim.Nanosecond, MaxOutstanding: 2})
 	mem.Connect(d.Port(), m.Port())
 	var order []int
-	d.Write(0x0000, 256, nil, func() { order = append(order, 1) })
-	d.Read(0x1000, 128, nil, func() { order = append(order, 2) }) // reads stay non-posted
-	d.Write(0x2000, 128, nil, func() { order = append(order, 3) })
+	d.Write(0x0000, 256, nil, func(bool) { order = append(order, 1) })
+	d.Read(0x1000, 128, nil, func(bool) { order = append(order, 2) }) // reads stay non-posted
+	d.Write(0x2000, 128, nil, func(bool) { order = append(order, 3) })
 	eng.Run()
 	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
 		t.Fatalf("order = %v", order)

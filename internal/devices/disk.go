@@ -57,6 +57,10 @@ type DiskConfig struct {
 	// its last chunk enters the link instead of when every write
 	// response has returned.
 	PostedWrites bool
+	// DMATimeout, when nonzero, aborts a sector transfer whose chunk
+	// completions never return (dead link); the command completes with
+	// the error status bit instead of wedging the device forever.
+	DMATimeout sim.Tick
 }
 
 // DefaultDiskConfig matches the paper's evaluation setup.
@@ -78,6 +82,7 @@ type Disk struct {
 	cfg  DiskConfig
 
 	config *pci.ConfigSpace
+	aer    *pci.AER
 	pio    *mem.SlavePort
 	dma    *DMAEngine
 	respQ  *mem.SendQueue
@@ -131,12 +136,14 @@ func NewDisk(eng *sim.Engine, name string, cfg DiskConfig) *Disk {
 	pci.AddPCIeCap(d.config, pci.PCIeCapConfig{
 		PortType: pci.PCIePortEndpoint, LinkSpeed: pci.LinkSpeedGen2, LinkWidth: 1,
 	})
+	d.aer = pci.AddAER(d.config)
 	d.pio = mem.NewSlavePort(name+".pio", (*diskPIO)(d))
 	d.respQ = mem.NewSendQueue(eng, name+".respq", 0, func(p *mem.Packet) bool {
 		return d.pio.SendTimingResp(p)
 	})
 	d.dma = NewDMAEngine(eng, name, cfg.ChunkSize)
 	d.dma.PostedWrites = cfg.PostedWrites
+	d.dma.Timeout = cfg.DMATimeout
 	d.mediaEv = eng.NewEvent(name+".media", d.mediaReady)
 	return d
 }
@@ -144,6 +151,13 @@ func NewDisk(eng *sim.Engine, name string, cfg DiskConfig) *Disk {
 // ConfigSpace returns the device's configuration space for PCI host
 // registration.
 func (d *Disk) ConfigSpace() *pci.ConfigSpace { return d.config }
+
+// AER returns the device's Advanced Error Reporting capability.
+func (d *Disk) AER() *pci.AER { return d.aer }
+
+// DMAErrorStats returns (DMA transfers aborted by completion timeout,
+// late chunk responses dropped).
+func (d *Disk) DMAErrorStats() (timeouts, late uint64) { return d.dma.ErrorStats() }
 
 // PIOPort returns the MMIO slave port.
 func (d *Disk) PIOPort() *mem.SlavePort { return d.pio }
@@ -311,8 +325,21 @@ func (d *Disk) tryStartDMA() {
 	}
 }
 
-func (d *Disk) sectorDone() {
+func (d *Disk) sectorDone(ok bool) {
 	d.dmaActive = false
+	if !ok {
+		// The sector's DMA was aborted by the completion timeout: fail
+		// the whole command. Stop the media pipeline, latch the error
+		// status, report it through AER, and interrupt so the driver
+		// sees a finished-with-error command rather than a hung device.
+		d.eng.Deschedule(d.mediaEv)
+		d.sectorsToFetch, d.readySectors, d.sectorsLeft = 0, 0, 0
+		d.status = DiskStatusDone | DiskStatusErr
+		d.commands++
+		d.aer.ReportUncorrectable(pci.AERUncCompletionTimeout)
+		d.raiseInterrupt()
+		return
+	}
 	d.sectors++
 	d.sectorsLeft--
 	d.nextAddr += uint64(d.cfg.SectorSize)

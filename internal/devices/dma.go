@@ -11,9 +11,10 @@ import (
 	"pciesim/internal/sim"
 )
 
-// DMADone is invoked when a queued DMA transfer fully completes (all
-// chunk responses received).
-type DMADone func()
+// DMADone is invoked when a queued DMA transfer finishes. ok is true
+// when every chunk completed; false when the engine's completion
+// timeout aborted the transfer (the fabric or link stopped answering).
+type DMADone func(ok bool)
 
 type dmaTransfer struct {
 	write  bool
@@ -47,21 +48,33 @@ type DMAEngine struct {
 	// §VI-B); the flag quantifies that ablation.
 	PostedWrites bool
 
+	// Timeout, when nonzero, bounds how long a transfer may stay in
+	// flight. On expiry the transfer is aborted with ok=false and any
+	// chunk responses that straggle in later are dropped — this is
+	// the device-side completion-timeout that keeps a DMA engine from
+	// wedging forever behind a dead link.
+	Timeout sim.Tick
+
 	queue       []dmaTransfer
 	current     *dmaTransfer
 	issued      int // bytes of the current transfer handed to the port
 	outstanding int // chunks in flight
 	blocked     bool
+	ctoEv       *sim.Event
+	live        map[uint64]struct{} // outstanding chunk IDs (Timeout mode only)
 
 	// Stats.
 	transfers, chunks uint64
 	bytesMoved        uint64
+	timeouts          uint64 // transfers aborted by the completion timeout
+	lateResps         uint64 // chunk responses dropped after their transfer aborted
 }
 
 // NewDMAEngine creates an engine with the given chunk (cache line) size.
 func NewDMAEngine(eng *sim.Engine, name string, chunkSize int) *DMAEngine {
-	d := &DMAEngine{eng: eng, name: name, ChunkSize: chunkSize}
+	d := &DMAEngine{eng: eng, name: name, ChunkSize: chunkSize, live: make(map[uint64]struct{})}
 	d.port = mem.NewMasterPort(name+".dma", d)
+	d.ctoEv = eng.NewEvent(name+".dmaTimeout", d.timeoutFire)
 	return d
 }
 
@@ -121,6 +134,9 @@ func (d *DMAEngine) pump() {
 		d.queue = d.queue[1:]
 		d.current = &t
 		d.issued = 0
+		if d.Timeout > 0 {
+			d.eng.Reschedule(d.ctoEv, d.eng.Now()+d.Timeout, sim.PriorityTimer)
+		}
 	}
 	t := d.current
 	for !d.blocked && d.issued < t.size {
@@ -152,23 +168,53 @@ func (d *DMAEngine) pump() {
 		d.issued += n
 		if !pkt.Posted {
 			d.outstanding++
+			if d.Timeout > 0 {
+				d.live[pkt.ID] = struct{}{}
+			}
 		}
 		d.chunks++
 		d.bytesMoved += uint64(n)
 	}
 	if t := d.current; t != nil && d.issued >= t.size && d.outstanding == 0 {
 		// Fully posted transfer: complete on final acceptance.
-		d.finish(t)
+		d.finish(t, true)
 	}
 }
 
-func (d *DMAEngine) finish(t *dmaTransfer) {
+func (d *DMAEngine) finish(t *dmaTransfer, ok bool) {
+	d.eng.Deschedule(d.ctoEv)
 	d.current = nil
-	d.transfers++
+	if ok {
+		d.transfers++
+	} else {
+		d.timeouts++
+	}
 	if t.done != nil {
-		t.done()
+		t.done(ok)
 	}
 	d.pump()
+}
+
+// timeoutFire aborts the in-flight transfer: whatever chunks are still
+// outstanding are abandoned (their responses, if they ever arrive, are
+// dropped by the live-ID check) and the transfer completes with ok
+// false so the device can report the error instead of hanging.
+func (d *DMAEngine) timeoutFire() {
+	t := d.current
+	if t == nil {
+		return
+	}
+	d.outstanding = 0
+	for id := range d.live {
+		delete(d.live, id)
+	}
+	d.finish(t, false)
+}
+
+// ErrorStats returns (transfers aborted by timeout, late chunk
+// responses dropped).
+func (d *DMAEngine) ErrorStats() (timeouts, late uint64) {
+	return d.timeouts, d.lateResps
 }
 
 // RecvTimingResp implements mem.MasterOwner: collect chunk completions;
@@ -177,6 +223,16 @@ func (d *DMAEngine) RecvTimingResp(_ *mem.MasterPort, pkt *mem.Packet) bool {
 	if pkt.Context != any(d) {
 		panic(fmt.Sprintf("devices %s: foreign response %v", d.name, pkt))
 	}
+	if d.Timeout > 0 {
+		if _, ok := d.live[pkt.ID]; !ok {
+			// A straggler for a transfer the timeout already aborted:
+			// swallow it so it cannot corrupt the next transfer's
+			// barrier accounting.
+			d.lateResps++
+			return true
+		}
+		delete(d.live, pkt.ID)
+	}
 	d.outstanding--
 	t := d.current
 	if t == nil {
@@ -184,7 +240,7 @@ func (d *DMAEngine) RecvTimingResp(_ *mem.MasterPort, pkt *mem.Packet) bool {
 	}
 	if d.issued >= t.size && d.outstanding == 0 {
 		// Barrier satisfied: the transfer is complete.
-		d.finish(t)
+		d.finish(t, true)
 	}
 	return true
 }

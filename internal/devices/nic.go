@@ -87,6 +87,7 @@ type NIC struct {
 	cfg  NICConfig
 
 	config *pci.ConfigSpace
+	aer    *pci.AER
 	pio    *mem.SlavePort
 	dma    *DMAEngine
 	respQ  *mem.SendQueue
@@ -137,7 +138,7 @@ func NewNIC(eng *sim.Engine, name string, cfg NICConfig) *NIC {
 	})
 	pci.AddMSIXCap(n.config, 5)
 	// R3 extended capabilities: AER and a device serial number.
-	pci.AddExtendedCapability(n.config, pci.ExtCapIDAER, 1, 0x48)
+	n.aer = pci.AddAER(n.config)
 	pci.AddExtendedCapability(n.config, pci.ExtCapIDSerialNumber, 1, 0x0c)
 
 	n.pio = mem.NewSlavePort(name+".pio", (*nicPIO)(n))
@@ -152,6 +153,9 @@ func NewNIC(eng *sim.Engine, name string, cfg NICConfig) *NIC {
 
 // ConfigSpace returns the configuration space for host registration.
 func (n *NIC) ConfigSpace() *pci.ConfigSpace { return n.config }
+
+// AER returns the device's Advanced Error Reporting capability.
+func (n *NIC) AER() *pci.AER { return n.aer }
 
 // PIOPort returns the MMIO slave port.
 func (n *NIC) PIOPort() *mem.SlavePort { return n.pio }
@@ -252,7 +256,11 @@ func (n *NIC) pumpTx() {
 	base := uint64(n.regs[NICRegTDBAH])<<32 | uint64(n.regs[NICRegTDBAL])
 	descAddr := base + uint64(head)*NICDescSize
 	descBuf := make([]byte, NICDescSize)
-	n.dma.Read(descAddr, NICDescSize, descBuf, func() {
+	n.dma.Read(descAddr, NICDescSize, descBuf, func(ok bool) {
+		if !ok {
+			n.txBusy = false
+			return
+		}
 		desc := txDescriptor{
 			Addr:   binary.LittleEndian.Uint64(descBuf),
 			Length: int(binary.LittleEndian.Uint16(descBuf[8:])),
@@ -260,7 +268,11 @@ func (n *NIC) pumpTx() {
 		if desc.Length == 0 {
 			desc.Length = 64 // minimum frame
 		}
-		n.dma.Read(desc.Addr, desc.Length, nil, func() {
+		n.dma.Read(desc.Addr, desc.Length, nil, func(ok bool) {
+			if !ok {
+				n.txBusy = false
+				return
+			}
 			n.transmitFrame(desc.Length)
 		})
 	})
@@ -298,9 +310,15 @@ func (n *NIC) InjectRxFrame(length int) {
 	base := uint64(n.regs[NICRegRDBAH])<<32 | uint64(n.regs[NICRegRDBAL])
 	descAddr := base + uint64(head)*NICDescSize
 	descBuf := make([]byte, NICDescSize)
-	n.dma.Read(descAddr, NICDescSize, descBuf, func() {
+	n.dma.Read(descAddr, NICDescSize, descBuf, func(ok bool) {
+		if !ok {
+			return
+		}
 		bufAddr := binary.LittleEndian.Uint64(descBuf)
-		n.dma.Write(bufAddr, length, nil, func() {
+		n.dma.Write(bufAddr, length, nil, func(ok bool) {
+			if !ok {
+				return
+			}
 			n.rxFrames++
 			n.regs[NICRegRDH] = (head + 1) % ringLen
 			n.raise(NICIntRx)

@@ -1,0 +1,114 @@
+package fault
+
+import (
+	"testing"
+
+	"pciesim/internal/sim"
+)
+
+func TestNilPlanAndInjectorAreInert(t *testing.T) {
+	var p *Plan
+	if p.Active() {
+		t.Fatal("nil plan reported active")
+	}
+	if err := p.Normalize(); err != nil {
+		t.Fatalf("nil plan Normalize: %v", err)
+	}
+	var j *Injector
+	for tick := sim.Tick(0); tick < 10; tick++ {
+		if j.CorruptTLP(tick) || j.CorruptDLLP(tick) || j.Drop(tick) {
+			t.Fatal("nil injector injected a fault")
+		}
+	}
+}
+
+func TestZeroRatesDrawNothing(t *testing.T) {
+	// A profile with all-zero rates must never touch the RNG: baseline
+	// bit-identity depends on the RNG sequence being untouched.
+	rng := sim.NewRand(1)
+	want := rng.Uint64()
+	rng = sim.NewRand(1)
+	j := NewInjector(Profile{}, rng)
+	for tick := sim.Tick(0); tick < 100; tick++ {
+		if j.CorruptTLP(tick) || j.CorruptDLLP(tick) || j.Drop(tick) {
+			t.Fatal("zero-rate injector injected a fault")
+		}
+	}
+	if got := rng.Uint64(); got != want {
+		t.Fatal("zero-rate injector consumed RNG draws")
+	}
+}
+
+func TestInjectorIsDeterministic(t *testing.T) {
+	prof := Profile{Rates: Rates{TLPCorrupt: 0.3, DLLPCorrupt: 0.2, Drop: 0.1}}
+	run := func() []bool {
+		j := NewInjector(prof, sim.NewRand(99))
+		var out []bool
+		for tick := sim.Tick(0); tick < 200; tick++ {
+			out = append(out, j.CorruptTLP(tick), j.CorruptDLLP(tick), j.Drop(tick))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("decision %d differs between identical runs", k)
+		}
+	}
+}
+
+func TestScriptFiresInOrder(t *testing.T) {
+	prof := Profile{Script: []Event{
+		{At: 10, Op: OpCorruptTLP},
+		{At: 20, Op: OpDrop},
+		{At: 20, Op: OpCorruptDLLP},
+	}}
+	j := NewInjector(prof, sim.NewRand(1))
+	if j.CorruptTLP(5) {
+		t.Fatal("script fired before its tick")
+	}
+	if j.Drop(15) {
+		t.Fatal("later event fired ahead of the head event")
+	}
+	if !j.CorruptTLP(12) {
+		t.Fatal("due head event did not fire")
+	}
+	if !j.Drop(25) {
+		t.Fatal("second event did not fire once due")
+	}
+	if !j.CorruptDLLP(25) {
+		t.Fatal("third event did not fire once due")
+	}
+	if j.CorruptTLP(1000) || j.Drop(1000) || j.CorruptDLLP(1000) {
+		t.Fatal("exhausted script kept firing")
+	}
+}
+
+func TestNormalizeSortsAndValidates(t *testing.T) {
+	p := &Plan{
+		Windows: []Window{{At: 300, Duration: 50}, {At: 100, Duration: 50}},
+		Up:      Profile{Script: []Event{{At: 9, Op: OpDrop}, {At: 3, Op: OpCorruptTLP}}},
+	}
+	if err := p.Normalize(); err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if p.Windows[0].At != 100 || p.Up.Script[0].At != 3 {
+		t.Fatal("Normalize did not sort schedules")
+	}
+	if !p.Active() {
+		t.Fatal("plan with windows reported inactive")
+	}
+
+	bad := &Plan{Windows: []Window{{At: 100, Duration: 0}, {At: 200, Duration: 10}}}
+	if err := bad.Normalize(); err == nil {
+		t.Fatal("window after a permanent window not rejected")
+	}
+	overlap := &Plan{Windows: []Window{{At: 100, Duration: 50}, {At: 120, Duration: 10}}}
+	if err := overlap.Normalize(); err == nil {
+		t.Fatal("overlapping windows not rejected")
+	}
+	badRate := &Plan{Up: Profile{Rates: Rates{Drop: 1.5}}}
+	if err := badRate.Normalize(); err == nil {
+		t.Fatal("out-of-range rate not rejected")
+	}
+}

@@ -1,0 +1,99 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+
+	"pciesim/internal/pci"
+)
+
+// FindExtendedCapability walks a function's PCI-Express extended
+// capability chain — offset 0x100 of the 4KB R3 configuration space —
+// with timing configuration reads, mirroring FindCapability for the
+// legacy chain. It returns the capability's offset, or 0 when the
+// function does not implement it.
+func (k *Kernel) FindExtendedCapability(t *Task, bdf pci.BDF, id uint16) int {
+	off := 0x100
+	for hops := 0; off != 0 && hops < 64; hops++ {
+		hdr := k.CfgRead32(t, bdf, off)
+		if hdr == 0 || hdr == pci.InvalidData {
+			return 0
+		}
+		if uint16(hdr) == id {
+			return off
+		}
+		off = int(hdr >> 20)
+	}
+	return 0
+}
+
+// AERRecord is one entry of the kernel's AER service log: the error
+// status a function had pending when the handler polled it.
+type AERRecord struct {
+	BDF           pci.BDF
+	VendorID      uint16
+	DeviceID      uint16
+	Bridge        bool
+	Correctable   uint32 // correctable error status bits read (and cleared)
+	Uncorrectable uint32 // uncorrectable error status bits read (and cleared)
+}
+
+// String renders the record the way a kernel log line would.
+func (r AERRecord) String() string {
+	kind := "endpoint"
+	if r.Bridge {
+		kind = "bridge"
+	}
+	var parts []string
+	if r.Correctable != 0 {
+		parts = append(parts, "correctable: "+strings.Join(pci.AERCorrectableNames(r.Correctable), "|"))
+	}
+	if r.Uncorrectable != 0 {
+		parts = append(parts, "uncorrectable: "+strings.Join(pci.AERUncorrectableNames(r.Uncorrectable), "|"))
+	}
+	return fmt.Sprintf("AER: %v %s %04x:%04x %s",
+		r.BDF, kind, r.VendorID, r.DeviceID, strings.Join(parts, "; "))
+}
+
+// HandleAER is the kernel's AER service driver. It walks every
+// enumerated function, locates the AER extended capability, reads the
+// correctable and uncorrectable status registers, acknowledges what it
+// found by writing the bits back (the registers are RW1C), and returns
+// a structured log. Functions with nothing pending are omitted.
+//
+// Configuration accesses complete at the host bridge rather than over
+// the data link, so the handler can still read and clear the error
+// state logged against a port whose link has gone down — exactly the
+// property that makes AER useful for post-mortem diagnosis.
+func (k *Kernel) HandleAER(t *Task) []AERRecord {
+	if k.Topo == nil {
+		return nil
+	}
+	var log []AERRecord
+	for _, d := range k.Topo.All {
+		off := k.FindExtendedCapability(t, d.BDF, pci.ExtCapIDAER)
+		if off == 0 {
+			continue
+		}
+		unc := k.CfgRead32(t, d.BDF, off+pci.AERUncStatusOff)
+		corr := k.CfgRead32(t, d.BDF, off+pci.AERCorrStatusOff)
+		if unc == 0 && corr == 0 {
+			continue
+		}
+		if unc != 0 {
+			k.CfgWrite32(t, d.BDF, off+pci.AERUncStatusOff, unc)
+		}
+		if corr != 0 {
+			k.CfgWrite32(t, d.BDF, off+pci.AERCorrStatusOff, corr)
+		}
+		log = append(log, AERRecord{
+			BDF:           d.BDF,
+			VendorID:      d.VendorID,
+			DeviceID:      d.DeviceID,
+			Bridge:        d.IsBridge,
+			Correctable:   corr,
+			Uncorrectable: unc,
+		})
+	}
+	return log
+}

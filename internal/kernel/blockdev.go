@@ -5,7 +5,18 @@ import (
 
 	"pciesim/internal/devices"
 	"pciesim/internal/pci"
+	"pciesim/internal/sim"
 )
+
+// ErrDiskTimeout is returned by Transfer when the completion interrupt
+// never arrives within CmdTimeout — the driver-level watchdog for a
+// device behind a dead or wedged link.
+var ErrDiskTimeout = errors.New("blk: command timed out")
+
+// ErrDiskStatus is returned when the device reports an error in its
+// status register (including the all-ones value a root-complex error
+// completion synthesizes for reads over a dead link).
+var ErrDiskStatus = errors.New("blk: device reported an error")
 
 // DiskHandle is the bound-device state of the block driver.
 type DiskHandle struct {
@@ -16,12 +27,18 @@ type DiskHandle struct {
 	Done *Waiter
 	// SectorSize is the device transfer unit.
 	SectorSize int
+	// CmdTimeout, when nonzero, bounds how long Transfer waits for the
+	// completion interrupt before declaring the command lost.
+	CmdTimeout sim.Tick
 }
 
 // DiskDriver binds the simplified IDE/ATA-DMA storage device and
 // exposes synchronous sector transfers to workloads.
 type DiskDriver struct {
 	Handle *DiskHandle
+	// CmdTimeout is copied into the handle at probe time; see
+	// DiskHandle.CmdTimeout.
+	CmdTimeout sim.Tick
 }
 
 // Name implements Driver.
@@ -43,6 +60,7 @@ func (d *DiskDriver) Probe(t *Task, k *Kernel, dev *FoundDevice) error {
 		IRQ:        dev.IRQ,
 		Done:       NewWaiter("disk.done"),
 		SectorSize: 4096,
+		CmdTimeout: d.CmdTimeout,
 	}
 	k.CPU.RegisterIRQ(dev.IRQ, func() { h.Done.Signal() })
 	k.SetBusMaster(t, dev.BDF)
@@ -69,12 +87,18 @@ func (h *DiskHandle) Transfer(t *Task, write bool, lba uint64, count uint32, buf
 		cmd = devices.DiskCmdWriteDMA
 	}
 	t.Write32(h.reg(devices.DiskRegCommand), cmd)
-	t.Wait(h.Done)
-	// Interrupt bottom half: acknowledge and check status.
+	signaled := t.WaitTimeout(h.Done, h.CmdTimeout)
+	// Interrupt bottom half: acknowledge and check status. On a dead
+	// link the status read comes back all-ones from the root complex's
+	// error completion, which carries the error bit and lets the same
+	// status check below diagnose the failure.
 	t.Write32(h.reg(devices.DiskRegIntr), 1)
 	status := t.Read32(h.reg(devices.DiskRegStatus))
+	if !signaled {
+		return ErrDiskTimeout
+	}
 	if status&devices.DiskStatusErr != 0 {
-		return errors.New("blk: device reported an error")
+		return ErrDiskStatus
 	}
 	return nil
 }

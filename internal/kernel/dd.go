@@ -42,7 +42,11 @@ type DDConfig struct {
 type DDResult struct {
 	Bytes    uint64
 	Requests int
-	Elapsed  sim.Tick
+	// Errors counts requests that failed (device error status or
+	// command timeout). Like real dd without conv=noerror the data is
+	// lost, but the run itself completes and reports the damage.
+	Errors  int
+	Elapsed sim.Tick
 }
 
 // ThroughputGbps is the number dd prints: bytes over wall time.
@@ -55,8 +59,12 @@ func (r DDResult) ThroughputGbps() float64 {
 
 // String implements fmt.Stringer.
 func (r DDResult) String() string {
-	return fmt.Sprintf("%d bytes in %v (%.3f Gb/s, %d requests)",
+	s := fmt.Sprintf("%d bytes in %v (%.3f Gb/s, %d requests)",
 		r.Bytes, r.Elapsed, r.ThroughputGbps(), r.Requests)
+	if r.Errors > 0 {
+		s += fmt.Sprintf(", %d errored", r.Errors)
+	}
+	return s
 }
 
 // RunDD models `dd if=/dev/disk of=/dev/zero bs=<block> count=1
@@ -76,7 +84,7 @@ func RunDD(t *Task, h *DiskHandle, cfg DDConfig) (DDResult, error) {
 	t.Delay(cfg.StartupOverhead)
 
 	var moved uint64
-	var requests int
+	var requests, errored int
 	lba := uint64(0)
 	for moved < cfg.BlockBytes {
 		n := uint64(cfg.RequestBytes)
@@ -88,7 +96,9 @@ func RunDD(t *Task, h *DiskHandle, cfg DDConfig) (DDResult, error) {
 		// Submission path.
 		t.Delay(cfg.PerRequestOverhead)
 		if err := h.ReadSectors(t, lba, uint32(sectors), cfg.BufAddr+(moved%(64<<20))); err != nil {
-			return DDResult{}, err
+			// Count the failure and move on to the next request, as dd
+			// does: a single bad request must not hang or abort the run.
+			errored++
 		}
 		// Completion path: IRQ exit plus per-page bio completion work.
 		t.Delay(cfg.InterruptOverhead + cfg.PerSectorOverhead*sim.Tick(sectors))
@@ -97,7 +107,7 @@ func RunDD(t *Task, h *DiskHandle, cfg DDConfig) (DDResult, error) {
 		lba += sectors
 		requests++
 	}
-	return DDResult{Bytes: moved, Requests: requests, Elapsed: t.Now() - start}, nil
+	return DDResult{Bytes: moved, Requests: requests, Errors: errored, Elapsed: t.Now() - start}, nil
 }
 
 // MMIOProbeResult reports the §VI kernel-module register-read

@@ -27,6 +27,7 @@ const (
 	opWrite
 	opDelay
 	opWait
+	opWaitTimeout
 )
 
 type procReq struct {
@@ -97,6 +98,20 @@ func (t *Task) Wait(w *Waiter) {
 	<-t.toProc
 }
 
+// WaitTimeout blocks like Wait but gives up after d of simulated time,
+// returning false — the kernel-side guard against a device that will
+// never interrupt (dead link, wedged hardware). d == 0 means wait
+// forever, preserving Wait semantics for configurations without a
+// timeout.
+func (t *Task) WaitTimeout(w *Waiter, d sim.Tick) bool {
+	if d == 0 {
+		t.Wait(w)
+		return true
+	}
+	t.toSim <- procReq{kind: opWaitTimeout, waiter: w, delay: d}
+	return <-t.toProc != 0
+}
+
 // Now returns the current simulated time. It costs no simulated time.
 func (t *Task) Now() sim.Tick { return t.cpu.eng.Now() }
 
@@ -106,6 +121,9 @@ type Waiter struct {
 	name     string
 	signaled bool
 	parked   *Task
+	// timer is the pending WaitTimeout expiry for the parked task;
+	// Signal cancels it.
+	timer *sim.Event
 }
 
 // NewWaiter creates a named waiter.
@@ -117,7 +135,11 @@ func (w *Waiter) Signal() {
 	if w.parked != nil {
 		t := w.parked
 		w.parked = nil
-		t.cpu.resume(t, 0)
+		if w.timer != nil {
+			t.cpu.eng.Deschedule(w.timer)
+			w.timer = nil
+		}
+		t.cpu.resume(t, 1)
 		return
 	}
 	w.signaled = true
@@ -157,16 +179,23 @@ func (c *CPU) dispatch(t *Task, req procReq) {
 		c.issue(t, req)
 	case opDelay:
 		c.eng.Schedule(t.name+".delay", req.delay, func() { c.resume(t, 0) })
-	case opWait:
+	case opWait, opWaitTimeout:
 		w := req.waiter
 		if w.signaled {
 			w.signaled = false
-			c.eng.Schedule(t.name+".waitok", 0, func() { c.resume(t, 0) })
+			c.eng.Schedule(t.name+".waitok", 0, func() { c.resume(t, 1) })
 			return
 		}
 		if w.parked != nil {
 			panic(fmt.Sprintf("kernel: waiter %q already has task %q parked", w.name, w.parked.name))
 		}
 		w.parked = t
+		if req.kind == opWaitTimeout {
+			w.timer = c.eng.Schedule(t.name+".waittmo", req.delay, func() {
+				w.parked = nil
+				w.timer = nil
+				c.resume(t, 0)
+			})
+		}
 	}
 }

@@ -119,6 +119,12 @@ type Packet struct {
 	// interconnect carries it through untouched.
 	Context any
 
+	// Error marks a synthesized error completion: the completer never
+	// answered (completion timeout, dead link) and the root complex or
+	// a DMA engine fabricated the response. Like real PCIe, the data
+	// of an errored read is all-ones.
+	Error bool
+
 	route []routeHop
 }
 
@@ -157,6 +163,36 @@ func (p *Packet) MakeResponse() *Packet {
 	}
 	p.Cmd = p.Cmd.ResponseFor()
 	return p
+}
+
+// MakeErrorResponse builds a NEW packet that answers p with an error
+// completion. It does not mutate p: the original request may still be
+// sitting in a link replay buffer or a device queue, so the synthesized
+// completion must be an independent object. The route stack is cloned
+// so the error completion retraces the request path; read data is
+// all-ones, the value a real root complex returns for a failed
+// non-posted request.
+func (p *Packet) MakeErrorResponse() *Packet {
+	if !p.Cmd.IsRequest() {
+		panic(fmt.Sprintf("mem: MakeErrorResponse on %v", p.Cmd))
+	}
+	r := &Packet{
+		ID:      p.ID,
+		Cmd:     p.Cmd.ResponseFor(),
+		Addr:    p.Addr,
+		Size:    p.Size,
+		BusNum:  p.BusNum,
+		Context: p.Context,
+		Error:   true,
+		route:   append([]routeHop(nil), p.route...),
+	}
+	if r.Cmd.IsRead() && r.Size > 0 {
+		r.Data = make([]byte, r.Size)
+		for i := range r.Data {
+			r.Data[i] = 0xff
+		}
+	}
+	return r
 }
 
 // PushRoute records that the packet entered through port index port of

@@ -1,0 +1,157 @@
+package pci
+
+// Advanced Error Reporting: the PCI-Express extended capability
+// (region R3) through which a function latches link- and
+// transaction-layer errors for software. The simulator's link and root
+// complex report into it; the kernel's AER handler walks enumerated
+// functions, reads the RW1C status registers, and clears them.
+
+// AER register offsets relative to the capability header.
+const (
+	AERUncStatusOff  = 0x04 // Uncorrectable Error Status (RW1C)
+	AERUncMaskOff    = 0x08 // Uncorrectable Error Mask
+	AERUncSevOff     = 0x0c // Uncorrectable Error Severity
+	AERCorrStatusOff = 0x10 // Correctable Error Status (RW1C)
+	AERCorrMaskOff   = 0x14 // Correctable Error Mask
+	AERCapCtlOff     = 0x18 // Advanced Error Capabilities & Control
+	AERHeaderLogOff  = 0x1c // Header Log (4 dwords)
+
+	// aerCapSize covers through the root-port registers so ports and
+	// endpoints share one layout (matches the pre-existing placeholder).
+	aerCapSize = 0x48
+)
+
+// Correctable Error Status register bits.
+const (
+	AERCorrReceiverError  uint32 = 1 << 0
+	AERCorrBadTLP         uint32 = 1 << 6
+	AERCorrBadDLLP        uint32 = 1 << 7
+	AERCorrReplayRollover uint32 = 1 << 8
+	AERCorrReplayTimeout  uint32 = 1 << 12
+)
+
+// Uncorrectable Error Status register bits.
+const (
+	AERUncDLProtocol        uint32 = 1 << 4
+	AERUncSurpriseDown      uint32 = 1 << 5
+	AERUncCompletionTimeout uint32 = 1 << 14
+	AERUncUnsupportedReq    uint32 = 1 << 20
+)
+
+// aerBitNames maps status bits to the names the kernel log uses.
+var aerCorrNames = []struct {
+	bit  uint32
+	name string
+}{
+	{AERCorrReceiverError, "ReceiverError"},
+	{AERCorrBadTLP, "BadTLP"},
+	{AERCorrBadDLLP, "BadDLLP"},
+	{AERCorrReplayRollover, "ReplayNumRollover"},
+	{AERCorrReplayTimeout, "ReplayTimerTimeout"},
+}
+
+var aerUncNames = []struct {
+	bit  uint32
+	name string
+}{
+	{AERUncDLProtocol, "DLProtocolError"},
+	{AERUncSurpriseDown, "SurpriseDownError"},
+	{AERUncCompletionTimeout, "CompletionTimeout"},
+	{AERUncUnsupportedReq, "UnsupportedRequest"},
+}
+
+// AERCorrectableNames decodes correctable status bits to names.
+func AERCorrectableNames(bits uint32) []string {
+	var out []string
+	for _, e := range aerCorrNames {
+		if bits&e.bit != 0 {
+			out = append(out, e.name)
+		}
+	}
+	return out
+}
+
+// AERUncorrectableNames decodes uncorrectable status bits to names.
+func AERUncorrectableNames(bits uint32) []string {
+	var out []string
+	for _, e := range aerUncNames {
+		if bits&e.bit != 0 {
+			out = append(out, e.name)
+		}
+	}
+	return out
+}
+
+// AER is the device-side handle to an AER extended capability. Error
+// sources (the link DLL, the root complex) latch status through it;
+// software reads and clears the same registers through config space.
+type AER struct {
+	cs  *ConfigSpace
+	off int
+
+	// Totals survive software clearing the RW1C registers, for stats.
+	corrTotal uint64
+	uncTotal  uint64
+}
+
+// AddAER appends an AER extended capability to the configuration space
+// and returns the handle the error paths report into.
+func AddAER(c *ConfigSpace) *AER {
+	off := AddExtendedCapability(c, ExtCapIDAER, 1, aerCapSize)
+	c.MakeW1C(off+AERUncStatusOff, 4)
+	c.MakeW1C(off+AERCorrStatusOff, 4)
+	c.MakeWritable(off+AERUncMaskOff, 4)
+	c.MakeWritable(off+AERUncSevOff, 4)
+	c.MakeWritable(off+AERCorrMaskOff, 4)
+	return &AER{cs: c, off: off}
+}
+
+// Offset returns the capability's offset within the config space.
+func (a *AER) Offset() int { return a.off }
+
+// ReportCorrectable latches correctable error status bits. Masking
+// only suppresses signaling, never status — matching the spec. Nil-safe
+// so components without AER cost nothing.
+func (a *AER) ReportCorrectable(bits uint32) {
+	if a == nil || bits == 0 {
+		return
+	}
+	a.corrTotal++
+	reg := a.off + AERCorrStatusOff
+	a.cs.SetDword(reg, a.cs.Dword(reg)|bits)
+}
+
+// ReportUncorrectable latches uncorrectable error status bits.
+func (a *AER) ReportUncorrectable(bits uint32) {
+	if a == nil || bits == 0 {
+		return
+	}
+	a.uncTotal++
+	reg := a.off + AERUncStatusOff
+	a.cs.SetDword(reg, a.cs.Dword(reg)|bits)
+}
+
+// CorrectableStatus returns the live correctable status register.
+func (a *AER) CorrectableStatus() uint32 {
+	if a == nil {
+		return 0
+	}
+	return a.cs.Dword(a.off + AERCorrStatusOff)
+}
+
+// UncorrectableStatus returns the live uncorrectable status register.
+func (a *AER) UncorrectableStatus() uint32 {
+	if a == nil {
+		return 0
+	}
+	return a.cs.Dword(a.off + AERUncStatusOff)
+}
+
+// Totals returns how many correctable and uncorrectable reports have
+// been latched over the run, regardless of software clears.
+func (a *AER) Totals() (correctable, uncorrectable uint64) {
+	if a == nil {
+		return 0, 0
+	}
+	return a.corrTotal, a.uncTotal
+}

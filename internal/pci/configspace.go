@@ -88,9 +88,10 @@ type ConfigAccessor interface {
 // masks, BAR sizing semantics, and a write-notification hook. It
 // implements ConfigAccessor.
 type ConfigSpace struct {
-	name  string
-	data  [ConfigSpaceSize]byte
-	wmask [ConfigSpaceSize]byte
+	name    string
+	data    [ConfigSpaceSize]byte
+	wmask   [ConfigSpaceSize]byte
+	w1cmask [ConfigSpaceSize]byte
 
 	bars [6]*BAR
 	caps capCursor
@@ -143,6 +144,19 @@ func (c *ConfigSpace) MakeWritable(off, n int) {
 // SetWriteMask sets the writable-bit mask for a single byte.
 func (c *ConfigSpace) SetWriteMask(off int, mask uint8) { c.wmask[off] = mask }
 
+// MakeW1C marks [off, off+n) as write-1-to-clear: software writing a 1
+// clears the bit, writing 0 leaves it alone (the semantics of PCI
+// status registers, including the AER status registers). W1C bits are
+// set from the device side with SetByte/SetWord/SetDword.
+func (c *ConfigSpace) MakeW1C(off, n int) {
+	for i := 0; i < n; i++ {
+		c.w1cmask[off+i] = 0xff
+	}
+}
+
+// SetW1CMask sets the write-1-to-clear bit mask for a single byte.
+func (c *ConfigSpace) SetW1CMask(off int, mask uint8) { c.w1cmask[off] = mask }
+
 // AttachBAR installs a BAR at index 0..5 (base address registers live at
 // 0x10 + 4*index). The BAR intercepts reads/writes of its dword.
 func (c *ConfigSpace) AttachBAR(index int, b *BAR) {
@@ -194,7 +208,8 @@ func (c *ConfigSpace) ConfigWrite(offset, size int, value uint32) {
 		for i := 0; i < size; i++ {
 			m := c.wmask[offset+i]
 			nb := uint8(value >> (8 * uint(i)))
-			c.data[offset+i] = (c.data[offset+i] &^ m) | (nb & m)
+			b := c.data[offset+i] &^ (nb & c.w1cmask[offset+i])
+			c.data[offset+i] = (b &^ m) | (nb & m)
 		}
 	}
 	if c.OnWrite != nil {

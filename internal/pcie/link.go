@@ -3,7 +3,9 @@ package pcie
 import (
 	"fmt"
 
+	"pciesim/internal/fault"
 	"pciesim/internal/mem"
+	"pciesim/internal/pci"
 	"pciesim/internal/sim"
 )
 
@@ -29,9 +31,18 @@ type LinkConfig struct {
 	// ErrorRate injects TLP corruption with the given probability per
 	// transmission attempt, exercising the NAK path. Zero for the
 	// validation experiments.
+	//
+	// Deprecated: ErrorRate is the original single-knob fault model,
+	// kept as an alias. When Fault is nil and ErrorRate is nonzero it
+	// is folded into an equivalent Plan (TLP corruption in both
+	// directions); when Fault is set, ErrorRate is ignored.
 	ErrorRate float64
 	// Seed seeds the fault-injection generator.
 	Seed uint64
+	// Fault optionally attaches a deterministic fault-injection plan:
+	// per-direction corruption/drop rates and scripts, plus surprise
+	// link-down windows. Nil means a fault-free link.
+	Fault *fault.Plan
 }
 
 // DefaultLinkConfig returns the paper's baseline: Gen2 x1, replay
@@ -66,7 +77,22 @@ func (c *LinkConfig) applyDefaults() {
 	if c.Width < 1 || c.Width > 32 {
 		panic(fmt.Sprintf("pcie: link width %d out of range (1..32)", c.Width))
 	}
+	if c.Fault == nil && c.ErrorRate > 0 {
+		c.Fault = &fault.Plan{
+			Up:   fault.Profile{Rates: fault.Rates{TLPCorrupt: c.ErrorRate}},
+			Down: fault.Profile{Rates: fault.Rates{TLPCorrupt: c.ErrorRate}},
+		}
+	}
 }
+
+// linkState is the LTSSM-visible condition of the link as a whole.
+type linkState int
+
+const (
+	linkUp   linkState = iota // normal operation
+	linkDown                  // transient surprise-down window; retrain pending
+	linkDead                  // permanently down; traffic is black-holed
+)
 
 // Link is a full-duplex PCI-Express link: "two unidirectional links,
 // one used for transmitting packets upstream (toward the root complex),
@@ -79,16 +105,40 @@ type Link struct {
 
 	up   *Interface // the end wired to the upstream component (root/switch port)
 	down *Interface // the end wired to the downstream component (device/switch)
+
+	plan       *fault.Plan
+	planActive bool
+	state      linkState
+	retrains   uint64
 }
 
 // NewLink creates a link.
 func NewLink(eng *sim.Engine, name string, cfg LinkConfig) *Link {
 	cfg.applyDefaults()
-	l := &Link{eng: eng, name: name, cfg: cfg}
-	l.up = newInterface(l, name+".up", cfg.Seed*2+1)
-	l.down = newInterface(l, name+".down", cfg.Seed*2+2)
+	l := &Link{eng: eng, name: name, cfg: cfg, plan: cfg.Fault}
+	if err := l.plan.Normalize(); err != nil {
+		panic(fmt.Sprintf("pcie: link %s: %v", name, err))
+	}
+	l.planActive = l.plan.Active()
+	seed := cfg.Seed
+	if l.plan != nil && l.plan.Seed != 0 {
+		seed = l.plan.Seed
+	}
+	l.up = newInterface(l, name+".up", seed*2+1)
+	l.down = newInterface(l, name+".down", seed*2+2)
 	l.up.peer = l.down
 	l.down.peer = l.up
+	if l.plan != nil {
+		l.up.inj = fault.NewInjector(l.plan.Up, l.up.rng)
+		l.down.inj = fault.NewInjector(l.plan.Down, l.down.rng)
+		for _, w := range l.plan.Windows {
+			if w.At < eng.Now() {
+				continue // windows in the past are ignored
+			}
+			w := w
+			eng.ScheduleAt(name+".linkdown", w.At, sim.PriorityTimer, func() { l.goDown(w) })
+		}
+	}
 	return l
 }
 
@@ -100,6 +150,24 @@ func (l *Link) Down() *Interface { return l.down }
 
 // Config returns the link's (defaulted) configuration.
 func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Retrains returns how many surprise-down windows the link has
+// recovered from.
+func (l *Link) Retrains() uint64 { return l.retrains }
+
+// Dead reports whether the link has been declared permanently down.
+func (l *Link) Dead() bool { return l.state == linkDead }
+
+// IsDown reports whether the link is currently unable to carry traffic
+// (transiently down or dead).
+func (l *Link) IsDown() bool { return l.state != linkUp }
+
+func (l *Link) deadThreshold() int {
+	if l.plan == nil {
+		return 0
+	}
+	return l.plan.DeadThreshold
+}
 
 // ReplayTimeout returns the link's replay timer interval.
 func (l *Link) ReplayTimeout() sim.Tick {
@@ -121,6 +189,59 @@ func AckPeriodClamped(g Generation, width, maxPayload int, o Overheads) sim.Tick
 	return p
 }
 
+// --- link-down / retrain / dead state machine ------------------------
+
+// goDown opens a surprise-down window: both interfaces freeze their
+// timers, admission refuses, and anything on the wire is lost. A
+// finite window schedules the retrain; a permanent one kills the link.
+func (l *Link) goDown(w fault.Window) {
+	if l.state != linkUp {
+		return
+	}
+	if w.Permanent() {
+		l.markDead()
+		return
+	}
+	l.state = linkDown
+	l.up.pause()
+	l.down.pause()
+	l.eng.Schedule(l.name+".retrain", w.Duration+l.plan.RetrainLatency, l.goUp)
+}
+
+// goUp completes retraining. DLL state (sequence numbers, replay
+// buffers) survives the window — the link resumes by replaying every
+// unacknowledged TLP, preserving exactly-once delivery.
+func (l *Link) goUp() {
+	if l.state != linkDown {
+		return
+	}
+	l.state = linkUp
+	l.retrains++
+	l.up.resume()
+	l.down.resume()
+}
+
+// markDead declares the link permanently down: buffers are flushed,
+// AER surprise-down is latched at both ends, and from now on admitted
+// TLPs are black-holed so upstream queues drain and requesters fail by
+// completion timeout instead of deadlocking the event queue.
+func (l *Link) markDead() {
+	if l.state == linkDead {
+		return
+	}
+	l.state = linkDead
+	for _, i := range []*Interface{l.up, l.down} {
+		i.pause()
+		i.stats.FlushedTLPs += uint64(len(i.replayBuf))
+		i.replayBuf = i.replayBuf[:0]
+		i.freshQ = i.freshQ[:0]
+		i.replayQ = i.replayQ[:0]
+		i.ackPend, i.nakPend = false, false
+		i.aer.ReportUncorrectable(pci.AERUncSurpriseDown)
+		i.notifyLocalRetry()
+	}
+}
+
 // LinkStats counts per-interface protocol events.
 type LinkStats struct {
 	TLPsAccepted   uint64 // TLPs taken from the local component
@@ -136,6 +257,12 @@ type LinkStats struct {
 	Discarded      uint64 // out-of-sequence arrivals dropped
 	CRCErrors      uint64 // corrupted TLPs caught by the receiver
 	Throttled      uint64 // local sends refused because the replay buffer was full
+	BadDLLPs       uint64 // corrupted ACK/NAK DLLPs dropped by the receiver's CRC
+	Dropped        uint64 // packets lost on the wire by fault injection
+	DownDrops      uint64 // packets lost in flight during a link-down window
+	DownRefused    uint64 // local sends refused while the link was transiently down
+	DeadDiscards   uint64 // TLPs black-holed after the link was declared dead
+	FlushedTLPs    uint64 // unacknowledged TLPs flushed when the link died
 }
 
 // ReplayRate returns the fraction of TLP transmissions that were
@@ -190,7 +317,13 @@ type Interface struct {
 	ackArmed      bool
 
 	rng   *sim.Rand
+	inj   *fault.Injector // nil on fault-free links
+	aer   *pci.AER        // AER capability of the attached component, if any
 	stats LinkStats
+
+	// consecTimeouts counts replay-timer expirations since the last
+	// ACK/NAK, for the plan's DeadThreshold surprise-down detection.
+	consecTimeouts int
 }
 
 func newInterface(l *Link, name string, seed uint64) *Interface {
@@ -217,6 +350,10 @@ func (i *Interface) Stats() LinkStats { return i.stats }
 // Name returns the interface's diagnostic name.
 func (i *Interface) Name() string { return i.name }
 
+// SetAER attaches the AER capability of the component wired to this
+// interface; link-layer errors detected here are latched into it.
+func (i *Interface) SetAER(a *pci.AER) { i.aer = a }
+
 // --- transaction-layer admission -----------------------------------
 
 // admit accepts a TLP from the local component if the replay buffer has
@@ -224,6 +361,17 @@ func (i *Interface) Name() string { return i.name }
 // has space. Once the replay buffer is filled up due to not receiving
 // ACKs, the packet transmission is throttled" (§V-C).
 func (i *Interface) admit(tlp *mem.Packet) bool {
+	switch i.link.state {
+	case linkDead:
+		// Black-hole: accept and discard, so upstream queues keep
+		// draining and requesters fail by completion timeout instead
+		// of wedging behind a full send queue.
+		i.stats.DeadDiscards++
+		return true
+	case linkDown:
+		i.stats.DownRefused++
+		return false
+	}
 	if len(i.replayBuf) >= i.link.cfg.ReplayBufferSize {
 		i.stats.Throttled++
 		return false
@@ -282,6 +430,9 @@ func (o *ifaceMaster) RecvReqRetry(*mem.MasterPort) {}
 // --- TX engine ------------------------------------------------------
 
 func (i *Interface) scheduleTx() {
+	if i.link.state != linkUp {
+		return
+	}
 	if i.txEv.Scheduled() {
 		return
 	}
@@ -316,6 +467,10 @@ func (i *Interface) txFire() {
 			i.ackPend = false
 			i.stats.AcksTx++
 		}
+		// DLLPs carry their own CRC and are subject to corruption just
+		// like TLPs; a corrupted ACK/NAK is dropped by the receiver and
+		// recovered by the ACK/replay timers, never replayed itself.
+		pp.Corrupted = i.inj.CorruptDLLP(eng.Now())
 		i.transmit(&pp)
 	case len(i.replayQ) > 0:
 		pp := i.replayQ[0]
@@ -343,7 +498,7 @@ func (i *Interface) txFire() {
 }
 
 func (i *Interface) transmitTLP(pp *PciePkt) {
-	pp.Corrupted = i.link.cfg.ErrorRate > 0 && i.rng.Bool(i.link.cfg.ErrorRate)
+	pp.Corrupted = i.inj.CorruptTLP(i.link.eng.Now())
 	i.transmit(pp)
 	// "The replay timer is started for every packet transmitted on the
 	// unidirectional link" — started, not restarted: while unacked TLPs
@@ -362,23 +517,76 @@ func (i *Interface) transmit(pp *PciePkt) {
 	cfg := i.link.cfg
 	txTime := WireTime(cfg.Gen, cfg.Width, pp.WireBytes(cfg.Overheads))
 	i.busyUntil = eng.Now() + txTime
+	if i.inj.Drop(eng.Now()) {
+		// The packet occupied the wire but never arrives; the replay
+		// timer (TLPs) or ACK timer (DLLPs) recovers.
+		i.stats.Dropped++
+		return
+	}
 	arrive := i.busyUntil + cfg.PropDelay
 	peer := i.peer
+	// Deliver a snapshot: the original may be re-corrupted by a later
+	// retransmission while this copy is still in flight.
+	cp := *pp
 	eng.ScheduleAt(i.name+".deliver", arrive, sim.PriorityDelivery, func() {
-		peer.receive(pp)
+		peer.receive(&cp)
 	})
+}
+
+// pause freezes the interface for a link-down window: every DLL timer
+// stops, and nothing is transmitted until resume.
+func (i *Interface) pause() {
+	eng := i.link.eng
+	eng.Deschedule(i.txEv)
+	eng.Deschedule(i.replayTmr)
+	eng.Deschedule(i.ackTmr)
+	i.ackArmed = false
+}
+
+// resume restarts the interface after retraining: every unacknowledged
+// TLP is replayed, the cumulative ACK (possibly lost in the window) is
+// resent, and throttled local senders are woken.
+func (i *Interface) resume() {
+	i.busyUntil = 0
+	i.consecTimeouts = 0
+	if len(i.replayBuf) > 0 {
+		i.startReplay()
+		if !i.replayTmr.Scheduled() {
+			i.link.eng.ScheduleEventAfter(i.replayTmr, i.link.ReplayTimeout(), sim.PriorityTimer)
+		}
+	}
+	if i.lastDelivered > 0 {
+		i.ackPend = true
+	}
+	i.scheduleTx()
+	i.notifyLocalRetry()
 }
 
 // --- RX logic --------------------------------------------------------
 
 func (i *Interface) receive(pp *PciePkt) {
+	if i.link.state != linkUp {
+		// In flight when the link dropped: lost.
+		i.stats.DownDrops++
+		return
+	}
 	switch pp.Kind {
-	case KindAck:
-		i.stats.AcksRx++
-		i.processAck(pp.Seq)
-	case KindNak:
-		i.stats.NaksRx++
-		i.processNak(pp.Seq)
+	case KindAck, KindNak:
+		if pp.Corrupted {
+			// DLLP CRC failure: drop silently. The sender's ACK timer
+			// (for ACKs) or replay timer (for NAKs) regenerates it.
+			i.stats.BadDLLPs++
+			i.aer.ReportCorrectable(pci.AERCorrBadDLLP)
+			return
+		}
+		i.consecTimeouts = 0
+		if pp.Kind == KindAck {
+			i.stats.AcksRx++
+			i.processAck(pp.Seq)
+		} else {
+			i.stats.NaksRx++
+			i.processNak(pp.Seq)
+		}
 	case KindTLP:
 		i.receiveTLP(pp)
 	}
@@ -388,6 +596,7 @@ func (i *Interface) receiveTLP(pp *PciePkt) {
 	if pp.Corrupted {
 		// CRC check failed: discard and NAK the last good sequence.
 		i.stats.CRCErrors++
+		i.aer.ReportCorrectable(pci.AERCorrReceiverError | pci.AERCorrBadTLP)
 		i.nakPend = true
 		i.nakSeq = i.recvSeq - 1
 		i.scheduleTx()
@@ -397,6 +606,13 @@ func (i *Interface) receiveTLP(pp *PciePkt) {
 		// Stale duplicate (from a replay racing an ACK) or a gap after
 		// a refused delivery: discard, the sender's timer sorts it out.
 		i.stats.Discarded++
+		if i.link.planActive && pp.Seq < i.recvSeq && !i.ackArmed {
+			// Under fault injection a stale duplicate can also mean our
+			// cumulative ACK was corrupted or dropped; re-ACK so the
+			// sender can release its replay buffer.
+			i.ackArmed = true
+			i.link.eng.ScheduleEventAfter(i.ackTmr, i.link.AckPeriod(), sim.PriorityTimer)
+		}
 		return
 	}
 	if !i.deliver(pp.TLP) {
@@ -489,12 +705,22 @@ func (i *Interface) notifyLocalRetry() {
 }
 
 // replayTimeout retransmits the entire replay buffer in order, then
-// restarts the timer (§V-C).
+// restarts the timer (§V-C). Each expiration is a correctable error in
+// AER terms; enough of them in a row with no ACK/NAK at all means the
+// partner is gone and the link is declared surprise-down.
 func (i *Interface) replayTimeout() {
 	if len(i.replayBuf) == 0 {
 		return
 	}
 	i.stats.Timeouts++
+	i.aer.ReportCorrectable(pci.AERCorrReplayTimeout)
+	if th := i.link.deadThreshold(); th > 0 {
+		i.consecTimeouts++
+		if i.consecTimeouts >= th {
+			i.link.markDead()
+			return
+		}
+	}
 	i.startReplay()
 	i.link.eng.ScheduleEventAfter(i.replayTmr, i.link.ReplayTimeout(), sim.PriorityTimer)
 }

@@ -18,6 +18,13 @@ type RouterConfig struct {
 	// BufferSize bounds each port's egress buffer, in packets per
 	// master or slave port (the Fig 9(d) sweep variable; default 16).
 	BufferSize int
+	// CompletionTimeout, when nonzero, arms a completion timer on
+	// every non-posted request the root complex forwards downstream.
+	// If the completer never answers (dead link, wedged device), the
+	// root complex synthesizes an all-ones error completion so the
+	// requester degrades instead of deadlocking. Honored by the root
+	// complex; switches forward and let the RC own the timeout.
+	CompletionTimeout sim.Tick
 }
 
 func (c *RouterConfig) applyDefaults() {
@@ -57,6 +64,10 @@ type Port struct {
 	win      portWindows
 	winValid bool
 
+	// aer is the port VP2P's Advanced Error Reporting capability (nil
+	// for the root complex upstream port, which has no VP2P).
+	aer *pci.AER
+
 	// Stats.
 	reqIn, respIn, aborts uint64
 }
@@ -69,6 +80,9 @@ type portWindows struct {
 // VP2P returns the port's bridge configuration space (nil for the root
 // complex upstream port).
 func (p *Port) VP2P() *pci.ConfigSpace { return p.vp2p }
+
+// AER returns the port's Advanced Error Reporting capability, if any.
+func (p *Port) AER() *pci.AER { return p.aer }
 
 // MasterPort returns the half that issues requests out of this port.
 func (p *Port) MasterPort() *mem.MasterPort { return p.master }
@@ -145,6 +159,122 @@ type router struct {
 	// checkUpstreamWindow makes the upstream ingress verify the
 	// upstream VP2P windows before routing (switch semantics, §V-B).
 	checkUpstreamWindow bool
+
+	// cto tracks outstanding non-posted downstream requests when
+	// CompletionTimeout is armed (root complex only).
+	cto *ctoTracker
+}
+
+// ctoTracker implements the root complex completion-timeout mechanism:
+// a FIFO of outstanding non-posted requests with a single timer event
+// (deadlines are monotone because the timeout is fixed), an index by
+// packet ID for completion matching, and a tombstone set so a late
+// completion arriving after its synthesized error response is dropped
+// before it can reach a requester that already consumed the error.
+type ctoTracker struct {
+	r       *router
+	timeout sim.Tick
+	ev      *sim.Event
+	pending []*ctoEntry
+	byID    map[uint64]*ctoEntry
+	// timedOut holds IDs whose error completion was synthesized; a
+	// real completion with that ID is late and must be dropped.
+	timedOut map[uint64]struct{}
+
+	fired uint64 // error completions synthesized
+	late  uint64 // genuine completions dropped after timing out
+}
+
+type ctoEntry struct {
+	id uint64
+	// errResp is the error completion pre-built at track time. It must
+	// be snapshotted here, not synthesized at expiry: MakeResponse
+	// converts request packets in place, so by the time the timer
+	// fires a completer may already have turned the live request into
+	// a response that then died on the dead link.
+	errResp  *mem.Packet
+	dst      *Port
+	deadline sim.Tick
+	done     bool
+}
+
+func newCTOTracker(r *router, timeout sim.Tick) *ctoTracker {
+	t := &ctoTracker{
+		r: r, timeout: timeout,
+		byID:     make(map[uint64]*ctoEntry),
+		timedOut: make(map[uint64]struct{}),
+	}
+	t.ev = r.eng.NewEvent(r.name+".ctoTimer", t.fire)
+	return t
+}
+
+// track arms the timer for a non-posted request forwarded to dst.
+func (t *ctoTracker) track(pkt *mem.Packet, dst *Port) {
+	e := &ctoEntry{
+		id:       pkt.ID,
+		errResp:  pkt.MakeErrorResponse(),
+		dst:      dst,
+		deadline: t.r.eng.Now() + t.timeout,
+	}
+	t.pending = append(t.pending, e)
+	t.byID[pkt.ID] = e
+	if !t.ev.Scheduled() {
+		t.r.eng.ScheduleEvent(t.ev, e.deadline, sim.PriorityTimer)
+	}
+}
+
+// observe matches an inbound completion. It returns false if the
+// completion is late — the timeout already answered the requester —
+// in which case the caller must swallow the packet.
+func (t *ctoTracker) observe(id uint64) bool {
+	if _, dead := t.timedOut[id]; dead {
+		delete(t.timedOut, id)
+		t.late++
+		return false
+	}
+	if e, ok := t.byID[id]; ok {
+		e.done = true
+		delete(t.byID, id)
+	}
+	return true
+}
+
+// fire expires every overdue entry, synthesizing error completions
+// through the upstream response queue, then re-arms for the next
+// deadline.
+func (t *ctoTracker) fire() {
+	eng := t.r.eng
+	now := eng.Now()
+	up := t.r.ports[0]
+	for len(t.pending) > 0 {
+		e := t.pending[0]
+		if e.done {
+			t.pending = t.pending[1:]
+			continue
+		}
+		if e.deadline > now {
+			break
+		}
+		if up.respQ.Full() {
+			// The upstream response path always drains (it ends at the
+			// CPU); retry shortly rather than dropping the timeout.
+			eng.ScheduleEventAfter(t.ev, t.r.cfg.Latency+1, sim.PriorityTimer)
+			return
+		}
+		t.pending = t.pending[1:]
+		e.done = true
+		delete(t.byID, e.id)
+		t.timedOut[e.id] = struct{}{}
+		t.fired++
+		e.dst.aer.ReportUncorrectable(pci.AERUncCompletionTimeout)
+		up.respQ.Push(e.errResp, now+t.r.cfg.Latency)
+	}
+	for len(t.pending) > 0 && t.pending[0].done {
+		t.pending = t.pending[1:]
+	}
+	if len(t.pending) > 0 && !t.ev.Scheduled() {
+		eng.ScheduleEvent(t.ev, t.pending[0].deadline, sim.PriorityTimer)
+	}
 }
 
 func (r *router) addPort(name string, vp2p *pci.ConfigSpace) *Port {
@@ -265,6 +395,9 @@ func (o *portSlave) RecvTimingReq(_ *mem.SlavePort, pkt *mem.Packet) bool {
 		return false
 	}
 	p.reqIn++
+	if r.cto != nil && p.index == 0 && dst.index != 0 && !pkt.Posted {
+		r.cto.track(pkt, dst)
+	}
 	dst.reqQ.Push(pkt, r.eng.Now()+r.cfg.Latency)
 	return true
 }
@@ -302,6 +435,11 @@ func (o *portMaster) p() *Port { return (*Port)(o) }
 func (o *portMaster) RecvTimingResp(_ *mem.MasterPort, pkt *mem.Packet) bool {
 	p := o.p()
 	r := p.r
+	if r.cto != nil && p.index != 0 && !r.cto.observe(pkt.ID) {
+		// Late completion for a request the timeout already answered:
+		// swallow it here, before it can reach the requester twice.
+		return true
+	}
 	dst := r.routeResponse(pkt)
 	if dst.respQ.Full() {
 		addWaiter(&dst.respWaiters, p)
@@ -361,10 +499,22 @@ func NewRootComplex(eng *sim.Engine, name string, host *pci.Host, cfg RootComple
 			SlotImplemented: true,
 		})
 		port := rc.addPort(fmt.Sprintf("%s.rootport%d", name, i), vp2p)
+		port.aer = pci.AddAER(vp2p)
 		host.Register(pci.NewBDF(0, uint8(i), 0), vp2p)
-		_ = port
+	}
+	if cfg.CompletionTimeout > 0 {
+		rc.cto = newCTOTracker(&rc.router, cfg.CompletionTimeout)
 	}
 	return rc
+}
+
+// CompletionTimeouts returns how many error completions the root
+// complex synthesized and how many late genuine completions it dropped.
+func (rc *RootComplex) CompletionTimeouts() (fired, late uint64) {
+	if rc.cto == nil {
+		return 0, 0
+	}
+	return rc.cto.fired, rc.cto.late
 }
 
 // UpstreamSlave returns the port half accepting processor requests
@@ -425,7 +575,8 @@ func NewSwitch(eng *sim.Engine, name string, host *pci.Host, cfg SwitchConfig) *
 	pci.AddPCIeCap(up, pci.PCIeCapConfig{
 		PortType: pci.PCIePortSwitchUpstream, LinkSpeed: pci.LinkSpeedGen2, LinkWidth: 4,
 	})
-	sw.addPort(name+".upstream", up)
+	upPort := sw.addPort(name+".upstream", up)
+	upPort.aer = pci.AddAER(up)
 	host.Register(pci.NewBDF(cfg.UpstreamBus, 0, 0), up)
 	for i := 0; i < cfg.NumDownstreamPorts; i++ {
 		down := pci.NewType1Space(fmt.Sprintf("%s.downvp2p%d", name, i), pci.Ident{
@@ -435,7 +586,8 @@ func NewSwitch(eng *sim.Engine, name string, host *pci.Host, cfg SwitchConfig) *
 			PortType: pci.PCIePortSwitchDownstream, LinkSpeed: pci.LinkSpeedGen2,
 			LinkWidth: 1, SlotImplemented: true,
 		})
-		sw.addPort(fmt.Sprintf("%s.downport%d", name, i), down)
+		downPort := sw.addPort(fmt.Sprintf("%s.downport%d", name, i), down)
+		downPort.aer = pci.AddAER(down)
 		host.Register(pci.NewBDF(cfg.InternalBus, uint8(i), 0), down)
 	}
 	return sw

@@ -130,5 +130,33 @@ func (e *Engine) RunUntil(limit Tick) uint64 {
 	return fired
 }
 
+// RunWhile executes events in order for as long as cond returns true,
+// stopping when it turns false, the queue drains, or Stop is called.
+// cond is evaluated before each event, so it typically tests a
+// completion flag flipped inside an event callback. Events scheduled
+// past the stopping point stay queued — unlike Run, RunWhile does not
+// fast-forward the clock through idle time, which matters when a
+// fault-injection window is armed at a future tick. It returns the
+// number of events fired by this call.
+func (e *Engine) RunWhile(cond func() bool) uint64 {
+	if e.running {
+		panic("sim: reentrant Run")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+
+	var fired uint64
+	for e.queue.len() > 0 && !e.stopped && cond() {
+		next := e.queue.items[0]
+		e.queue.pop()
+		e.now = next.when
+		fired++
+		e.fired++
+		next.fn()
+	}
+	return fired
+}
+
 // Drained reports whether no events remain.
 func (e *Engine) Drained() bool { return e.queue.len() == 0 }

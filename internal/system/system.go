@@ -21,6 +21,7 @@ import (
 	"pciesim/internal/bridge"
 	"pciesim/internal/cache"
 	"pciesim/internal/devices"
+	"pciesim/internal/fault"
 	"pciesim/internal/kernel"
 	"pciesim/internal/mem"
 	"pciesim/internal/memctrl"
@@ -75,9 +76,35 @@ type Config struct {
 	// DiskLinkErrorRate injects TLP corruption on the disk link with
 	// the given per-transmission probability, exercising the NAK path
 	// under real workloads (0 for the validation experiments).
+	//
+	// Deprecated: this is the original single-knob interface, kept as
+	// an alias. DiskLinkFault is the general mechanism; when both are
+	// set, DiskLinkFault wins.
 	DiskLinkErrorRate float64
 	// Seed seeds fault injection.
 	Seed uint64
+
+	// --- error containment & recovery (DESIGN.md §6) ---
+
+	// UplinkFault/DiskLinkFault/NICLinkFault attach a deterministic
+	// fault-injection plan (corruption, drops, link-down windows) to
+	// the corresponding link. Nil leaves the link fault-free and the
+	// simulation bit-identical to the baseline.
+	UplinkFault   *fault.Plan
+	DiskLinkFault *fault.Plan
+	NICLinkFault  *fault.Plan
+	// CompletionTimeout arms the root complex's completion timer on
+	// CPU-originated non-posted requests: a request whose completion
+	// never returns is answered with an all-ones error completion
+	// after this long. Zero disables the timer (the baseline).
+	CompletionTimeout sim.Tick
+	// DiskCmdTimeout bounds how long the block driver waits for a
+	// disk command interrupt before giving up on the request. Zero
+	// waits forever (the baseline).
+	DiskCmdTimeout sim.Tick
+	// DiskDMATimeout bounds the disk DMA engine's per-transfer
+	// in-flight time (devices.DiskConfig.DMATimeout). Zero disables.
+	DiskDMATimeout sim.Tick
 	// EnableMSI extends the platform beyond the paper's gem5 baseline:
 	// an MSI doorbell frame appears at MSIFrameBase, the NIC's MSI
 	// capability becomes enableable, and the e1000e probe lands on MSI
@@ -240,6 +267,7 @@ func New(cfg Config) *System {
 	rcCfg := pcie.RootComplexConfig{NumRootPorts: 3}
 	rcCfg.Latency = cfg.RootComplexLatency
 	rcCfg.BufferSize = cfg.PortBufferSize
+	rcCfg.CompletionTimeout = cfg.CompletionTimeout
 	s.RC = pcie.NewRootComplex(eng, "rc", s.PCIHost, rcCfg)
 	// CPU-visible PCI windows route from the MemBus into the RC.
 	mem.Connect(s.MemBus.MasterPort("rc", mem.RangeList{
@@ -259,6 +287,8 @@ func New(cfg Config) *System {
 		Gen: cfg.Gen, Width: cfg.UplinkWidth,
 		ReplayBufferSize: cfg.ReplayBufferSize,
 		MaxPayload:       cfg.IOCache.LineSize,
+		Seed:             cfg.Seed,
+		Fault:            cfg.UplinkFault,
 	})
 	s.RC.RootPort(0).ConnectLink(s.Uplink)
 
@@ -274,10 +304,15 @@ func New(cfg Config) *System {
 		MaxPayload:       cfg.IOCache.LineSize,
 		ErrorRate:        cfg.DiskLinkErrorRate,
 		Seed:             cfg.Seed,
+		Fault:            cfg.DiskLinkFault,
 	})
 	s.Switch.DownstreamPort(0).ConnectLink(s.DiskLink)
 
-	s.Disk = devices.NewDisk(eng, "disk", cfg.Disk)
+	diskCfg := cfg.Disk
+	if cfg.DiskDMATimeout != 0 {
+		diskCfg.DMATimeout = cfg.DiskDMATimeout
+	}
+	s.Disk = devices.NewDisk(eng, "disk", diskCfg)
 	mem.Connect(s.DiskLink.Down().MasterPort(), s.Disk.PIOPort())
 	mem.Connect(s.Disk.DMAPort(), s.DiskLink.Down().SlavePort())
 	// DFS pre-registration: bus0(dev0)->bus1(switch up)->bus2(down
@@ -294,11 +329,24 @@ func New(cfg Config) *System {
 		Gen: cfg.Gen, Width: cfg.NICLinkWidth,
 		ReplayBufferSize: cfg.ReplayBufferSize,
 		MaxPayload:       cfg.IOCache.LineSize,
+		Seed:             cfg.Seed,
+		Fault:            cfg.NICLinkFault,
 	})
 	s.RC.RootPort(1).ConnectLink(s.NICLink)
 	mem.Connect(s.NICLink.Down().MasterPort(), s.NIC.PIOPort())
 	mem.Connect(s.NIC.DMAPort(), s.NICLink.Down().SlavePort())
 	s.PCIHost.Register(pci.NewBDF(5, 0, 0), s.NIC.ConfigSpace())
+
+	// AER wiring: each link interface reports into the AER capability
+	// of the function at its end of the link — root ports and switch
+	// ports on the fabric side, the endpoint's own config space on the
+	// device side.
+	s.Uplink.Up().SetAER(s.RC.RootPort(0).AER())
+	s.Uplink.Down().SetAER(s.Switch.UpstreamPort().AER())
+	s.DiskLink.Up().SetAER(s.Switch.DownstreamPort(0).AER())
+	s.DiskLink.Down().SetAER(s.Disk.AER())
+	s.NICLink.Up().SetAER(s.RC.RootPort(1).AER())
+	s.NICLink.Down().SetAER(s.NIC.AER())
 
 	// --- kernel ---
 	s.CPU = kernel.NewCPU(eng, "cpu0")
@@ -312,7 +360,7 @@ func New(cfg Config) *System {
 		s.Kernel.MSITarget = MSIFrameBase
 		s.MSI.OnMSI = func(vector uint32) { s.CPU.TriggerIRQ(int(vector)) }
 	}
-	s.DiskDriver = &kernel.DiskDriver{}
+	s.DiskDriver = &kernel.DiskDriver{CmdTimeout: cfg.DiskCmdTimeout}
 	s.NICDriver = &kernel.E1000eDriver{}
 	s.Kernel.RegisterDriver(s.DiskDriver)
 	s.Kernel.RegisterDriver(s.NICDriver)
@@ -333,6 +381,15 @@ func New(cfg Config) *System {
 	return s
 }
 
+// runTask drives the engine until the spawned task completes (or the
+// queue drains with it wedged). Unlike Eng.Run it does not drain
+// events scheduled past the task's completion, so a fault window
+// armed at a future tick is not fast-forwarded through while the
+// platform idles between workloads.
+func (s *System) runTask(t *kernel.Task) {
+	s.Eng.RunWhile(func() bool { return !t.Done() })
+}
+
 // Boot runs enumeration and driver probes to completion and leaves the
 // platform ready for workloads. It returns the discovered topology.
 func (s *System) Boot() (*kernel.Topology, error) {
@@ -343,7 +400,7 @@ func (s *System) Boot() (*kernel.Topology, error) {
 	t := s.CPU.Spawn("boot", 0, func(t *kernel.Task) {
 		bootErr = s.Kernel.Boot(t)
 	})
-	s.Eng.Run()
+	s.runTask(t)
 	if bootErr != nil {
 		return nil, bootErr
 	}
@@ -373,7 +430,7 @@ func (s *System) RunDD(blockBytes uint64) (kernel.DDResult, error) {
 	task := s.CPU.Spawn("dd", 0, func(t *kernel.Task) {
 		res, runErr = kernel.RunDD(t, s.DiskDriver.Handle, cfg)
 	})
-	s.Eng.Run()
+	s.runTask(task)
 	if runErr != nil {
 		return kernel.DDResult{}, runErr
 	}
@@ -393,7 +450,7 @@ func (s *System) MMIOProbe(n int) (kernel.MMIOProbeResult, error) {
 	task := s.CPU.Spawn("mmioprobe", 0, func(t *kernel.Task) {
 		res = kernel.MMIOProbe(t, s.NICDriver.Handle.BAR0+devices.NICRegStatus, n)
 	})
-	s.Eng.Run()
+	s.runTask(task)
 	if !task.Done() {
 		return kernel.MMIOProbeResult{}, fmt.Errorf("system: probe task wedged")
 	}
@@ -419,7 +476,7 @@ func (s *System) RunNICTx(frames, frameLen int) (kernel.NICTxResult, error) {
 	task := s.CPU.Spawn("nictx", 0, func(t *kernel.Task) {
 		res, runErr = s.NICDriver.RunNICTx(t, cfg)
 	})
-	s.Eng.Run()
+	s.runTask(task)
 	if runErr != nil {
 		return kernel.NICTxResult{}, runErr
 	}
@@ -433,3 +490,50 @@ func (s *System) RunNICTx(frames, frameLen int) (kernel.NICTxResult, error) {
 // (disk -> switch) direction — where the paper measures timeout and
 // replay rates.
 func (s *System) DiskUplinkStats() pcie.LinkStats { return s.DiskLink.Down().Stats() }
+
+// ScanAER runs the kernel's AER service handler in task context: every
+// enumerated function's AER capability is read and cleared, and the
+// pending errors come back as a structured log.
+func (s *System) ScanAER() ([]kernel.AERRecord, error) {
+	if _, err := s.Boot(); err != nil {
+		return nil, err
+	}
+	var recs []kernel.AERRecord
+	task := s.CPU.Spawn("aerscan", 0, func(t *kernel.Task) {
+		recs = s.Kernel.HandleAER(t)
+	})
+	s.runTask(task)
+	if !task.Done() {
+		return nil, fmt.Errorf("system: AER scan task wedged")
+	}
+	return recs, nil
+}
+
+// LinkErrorSummary aggregates the error-containment counters of one
+// link, combining both directions.
+type LinkErrorSummary struct {
+	Name     string
+	Up, Down pcie.LinkStats
+	Retrains uint64
+	Dead     bool
+}
+
+// LinkErrors reports the per-link error and recovery counters for the
+// three platform links.
+func (s *System) LinkErrors() []LinkErrorSummary {
+	links := []struct {
+		name string
+		l    *pcie.Link
+	}{{"uplink", s.Uplink}, {"disklink", s.DiskLink}, {"niclink", s.NICLink}}
+	out := make([]LinkErrorSummary, 0, len(links))
+	for _, e := range links {
+		out = append(out, LinkErrorSummary{
+			Name:     e.name,
+			Up:       e.l.Up().Stats(),
+			Down:     e.l.Down().Stats(),
+			Retrains: e.l.Retrains(),
+			Dead:     e.l.Dead(),
+		})
+	}
+	return out
+}

@@ -18,9 +18,11 @@
 package pciesim
 
 import (
+	"pciesim/internal/fault"
 	"pciesim/internal/kernel"
 	"pciesim/internal/pcie"
 	"pciesim/internal/phys"
+	"pciesim/internal/sim"
 	"pciesim/internal/system"
 )
 
@@ -51,9 +53,46 @@ const (
 	Gen3 = pcie.Gen3
 )
 
+// Tick is simulated time (picoseconds); Config durations such as
+// CompletionTimeout and FaultWindow.At are expressed in it.
+type Tick = sim.Tick
+
+// Time units for building Tick values.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+)
+
 // PhysConfig describes the analytical physical-testbed reference model
 // used for the "phys" series of Fig 9(a).
 type PhysConfig = phys.Config
+
+// FaultPlan is a deterministic per-link fault-injection schedule:
+// stochastic TLP/DLLP corruption and drop rates per direction, scripted
+// one-shot events, and surprise link-down windows. Assign one to
+// Config.UplinkFault, Config.DiskLinkFault or Config.NICLinkFault.
+type FaultPlan = fault.Plan
+
+// FaultRates are per-packet injection probabilities.
+type FaultRates = fault.Rates
+
+// FaultProfile configures one direction of a faulted link.
+type FaultProfile = fault.Profile
+
+// FaultWindow is a surprise link-down interval; Duration 0 keeps the
+// link down for good.
+type FaultWindow = fault.Window
+
+// FaultEvent is one scripted injection (the Nth matching packet).
+type FaultEvent = fault.Event
+
+// AERRecord is one entry of the kernel AER service handler's log.
+type AERRecord = kernel.AERRecord
+
+// LinkErrorSummary pairs a link's name with both directions' error
+// counters and its recovery state.
+type LinkErrorSummary = system.LinkErrorSummary
 
 // DefaultConfig returns the paper's validated baseline configuration.
 func DefaultConfig() Config { return system.DefaultConfig() }
