@@ -164,6 +164,41 @@ func BenchmarkAblationPostedWrites(b *testing.B) {
 	}
 }
 
+// BenchmarkObservabilityOverhead measures the cost of the stats and
+// trace layers against the instrumented-but-idle baseline: "sampled"
+// arms the periodic counter sampler, "tracemasked" installs a tracer
+// with every category off (the guard cost), "traced" records every
+// category. The first two are required to stay within noise (~5%) of
+// the baseline; "traced" shows the price of full event capture.
+func BenchmarkObservabilityOverhead(b *testing.B) {
+	variants := []struct {
+		name string
+		arm  func(s *System)
+	}{
+		{"baseline", func(*System) {}},
+		{"sampled", func(s *System) { s.Eng.SampleEvery(10 * Microsecond) }},
+		{"tracemasked", func(s *System) { s.Eng.SetTracer(NewTracer(0)) }},
+		{"traced", func(s *System) { s.Eng.SetTracer(NewTracer(TraceAll)) }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultConfig()
+				cfg.DD.StartupOverhead /= 64
+				s := New(cfg)
+				v.arm(s)
+				if _, err := s.RunDD(1 << 20); err != nil {
+					b.Fatal(err)
+				}
+				events += s.Eng.Fired()
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
 // BenchmarkAblationErrorRate sweeps injected TLP corruption on the
 // disk link, measuring the NAK/replay protocol's overhead curve.
 func BenchmarkAblationErrorRate(b *testing.B) {

@@ -8,6 +8,11 @@
 // -scale divides the paper's 64-512 MiB block sizes (and dd's fixed
 // startup overhead) by N; 1 reproduces the full-size experiment, the
 // default 16 runs in a couple of minutes with an identical curve.
+//
+// The observability flags apply per run within a sweep: with
+// `-stats-out stats.json` each (series, block-size) point writes
+// stats-<series>@<block>MB.json, and `-trace trace.json` likewise
+// writes one Chrome trace per run.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"os"
 
 	"pciesim"
+	"pciesim/internal/obscli"
 )
 
 func main() {
@@ -23,6 +29,8 @@ func main() {
 	scale := flag.Int("scale", 16, "divide the paper's block sizes by this factor")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	table1 := flag.Bool("table1", false, "also print Table I (protocol overheads)")
+	var obs obscli.Flags
+	obs.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *table1 {
@@ -30,6 +38,29 @@ func main() {
 	}
 
 	opt := pciesim.Options{Scale: *scale}
+	if obs.Active() {
+		// One armed copy per run; dumps are suffixed with the run label.
+		armed := make(map[*pciesim.System]*obscli.Flags)
+		opt.Observe = func(sys *pciesim.System, label string) {
+			f := obs.ForRun(label)
+			if err := f.Arm(sys.Eng); err != nil {
+				fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
+				os.Exit(2)
+			}
+			armed[sys] = f
+		}
+		opt.ObserveDone = func(sys *pciesim.System, label string) {
+			f := armed[sys]
+			delete(armed, sys)
+			if f.Stats {
+				fmt.Printf("--- stats: %s ---\n", label)
+			}
+			if err := f.Finish(sys.Eng); err != nil {
+				fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
 	runners := map[string]func(pciesim.Options) (pciesim.Figure, error){
 		"9a": pciesim.RunFig9a,
 		"9b": pciesim.RunFig9b,

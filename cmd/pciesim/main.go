@@ -11,6 +11,14 @@
 //
 //	pciesim -errrate 0.01 -dllprate 0.01 -droprate 0.005 -faultseed 7
 //	pciesim -downat 14000 -downdur 0 -cto 100
+//
+// Observability: -stats prints the counter/histogram summary, -stats-out
+// dumps it as JSON (or CSV), and -trace records per-packet lifecycle
+// events — `-trace trace.json` writes a Chrome trace openable in
+// Perfetto:
+//
+//	pciesim -stats -trace trace.json
+//	pciesim -stats-out stats.json -stats-interval 100
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"os"
 
 	"pciesim"
+	"pciesim/internal/obscli"
 	"pciesim/internal/sim"
 )
 
@@ -41,6 +50,8 @@ func main() {
 	downDur := flag.Int("downdur", 0, "link-down window length (us; 0 = down for good)")
 	retrain := flag.Int("retrain", 20, "retrain latency after a finite down window (us)")
 	cto := flag.Int("cto", 100, "root-complex completion timeout when faults are armed (us; 0 disables)")
+	var obs obscli.Flags
+	obs.Register(flag.CommandLine)
 	flag.Parse()
 
 	cfg := pciesim.DefaultConfig()
@@ -90,6 +101,10 @@ func main() {
 	}
 
 	s := pciesim.New(cfg)
+	if err := obs.Arm(s.Eng); err != nil {
+		fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
+		os.Exit(2)
+	}
 	topo, err := s.Boot()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pciesim: boot: %v\n", err)
@@ -146,5 +161,10 @@ func main() {
 	}
 	for _, r := range recs {
 		fmt.Printf("  %v\n", r)
+	}
+
+	if err := obs.Finish(s.Eng); err != nil {
+		fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
+		os.Exit(1)
 	}
 }

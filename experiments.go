@@ -21,6 +21,13 @@ type Options struct {
 	// BlockMB overrides the block-size sweep (pre-scaling); defaults to
 	// the paper's {64, 128, 256, 512}.
 	BlockMB []int
+	// Observe, when set, is called on each freshly built platform before
+	// its workload runs — the hook for installing tracers and samplers.
+	// The label identifies the run ("x8@512MB", "dead").
+	Observe func(sys *System, label string)
+	// ObserveDone, when set, is called after the run's workload (and any
+	// straggler drain) completes, before the platform is discarded.
+	ObserveDone func(sys *System, label string)
 }
 
 // DefaultOptions returns the 16x-scaled workload.
@@ -53,6 +60,8 @@ type Point struct {
 	// congested upstream link (0 where not applicable).
 	ReplayPct  float64
 	TimeoutPct float64
+	// ReqLat summarizes the dd per-request latency distribution.
+	ReqLat LatencySummary
 }
 
 // Series is one configuration's sweep across block sizes.
@@ -73,9 +82,16 @@ func runSweep(label string, cfg Config, opt Options) (Series, error) {
 	s := Series{Label: label}
 	for _, mb := range opt.BlockMB {
 		sys := New(cfg)
+		runLabel := fmt.Sprintf("%s@%dMB", label, mb)
+		if opt.Observe != nil {
+			opt.Observe(sys, runLabel)
+		}
 		res, err := sys.RunDD(opt.blockBytes(mb))
 		if err != nil {
 			return Series{}, fmt.Errorf("%s @%dMB: %w", label, mb, err)
+		}
+		if opt.ObserveDone != nil {
+			opt.ObserveDone(sys, runLabel)
 		}
 		// Congestion metrics: take the worst upstream direction across
 		// the two links on the disk's DMA path.
@@ -94,6 +110,7 @@ func runSweep(label string, cfg Config, opt Options) (Series, error) {
 			Gbps:       res.ThroughputGbps(),
 			ReplayPct:  replay * 100,
 			TimeoutPct: timeout * 100,
+			ReqLat:     res.ReqLat,
 		})
 	}
 	return s, nil
@@ -248,6 +265,9 @@ type ErrPoint struct {
 	// synthesized for requests stranded on the dead fabric.
 	CompletionTimeouts uint64
 	LinkDead           bool
+	// ReqLat summarizes the dd per-request latency distribution; under
+	// faults the tail shows the replay/timeout cost directly.
+	ReqLat LatencySummary
 }
 
 // ErrFigure is the error-containment sweep (`ddbench -fig err`).
@@ -307,11 +327,17 @@ func RunFigErr(opt Options) (ErrFigure, error) {
 		cfg := base
 		cfg.DiskLinkFault = sc.plan
 		sys := New(cfg)
+		if opt.Observe != nil {
+			opt.Observe(sys, sc.label)
+		}
 		res, err := sys.RunDD(bytes)
 		if err != nil {
 			return ErrFigure{}, fmt.Errorf("figerr %s: %w", sc.label, err)
 		}
 		sys.Eng.Run() // drain stragglers a dead link strands
+		if opt.ObserveDone != nil {
+			opt.ObserveDone(sys, sc.label)
+		}
 		up, down := sys.DiskLink.Up().Stats(), sys.DiskLink.Down().Stats()
 		replay := down.ReplayRate()
 		if r := up.ReplayRate(); r > replay {
@@ -334,21 +360,27 @@ func RunFigErr(opt Options) (ErrFigure, error) {
 			Retrains:           sys.DiskLink.Retrains(),
 			CompletionTimeouts: ctos,
 			LinkDead:           sys.DiskLink.Dead(),
+			ReqLat:             res.ReqLat,
 		})
 	}
 	return fig, nil
 }
 
+// usOf converts a tick count (picoseconds) to microseconds for tables.
+func usOf(t sim.Tick) float64 { return float64(t) / 1e6 }
+
 // Format renders the error sweep as an aligned text table.
 func (f ErrFigure) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "figerr — %s\n", f.Title)
-	fmt.Fprintf(&b, "%-10s %8s %9s %10s %11s %9s %8s %9s %5s %5s\n",
-		"scenario", "gbps", "errored", "replay%", "timeout%", "badDLLP", "dropped", "retrains", "CTO", "dead")
+	fmt.Fprintf(&b, "%-10s %8s %9s %10s %11s %9s %8s %9s %5s %5s %10s %10s\n",
+		"scenario", "gbps", "errored", "replay%", "timeout%", "badDLLP", "dropped", "retrains", "CTO", "dead",
+		"p50(us)", "p99(us)")
 	for _, p := range f.Points {
-		fmt.Fprintf(&b, "%-10s %8.3f %4d/%-4d %10.2f %11.2f %9d %8d %9d %5d %5v\n",
+		fmt.Fprintf(&b, "%-10s %8.3f %4d/%-4d %10.2f %11.2f %9d %8d %9d %5d %5v %10.1f %10.1f\n",
 			p.Scenario, p.Gbps, p.Errored, p.Requests, p.ReplayPct, p.TimeoutPct,
-			p.BadDLLPs, p.Dropped, p.Retrains, p.CompletionTimeouts, p.LinkDead)
+			p.BadDLLPs, p.Dropped, p.Retrains, p.CompletionTimeouts, p.LinkDead,
+			usOf(p.ReqLat.P50), usOf(p.ReqLat.P99))
 	}
 	return b.String()
 }
@@ -356,11 +388,12 @@ func (f ErrFigure) Format() string {
 // CSV renders the error sweep as comma-separated values.
 func (f ErrFigure) CSV() string {
 	var b strings.Builder
-	b.WriteString("figure,scenario,gbps,requests,errored,replay_pct,timeout_pct,bad_dllps,dropped,retrains,completion_timeouts,link_dead\n")
+	b.WriteString("figure,scenario,gbps,requests,errored,replay_pct,timeout_pct,bad_dllps,dropped,retrains,completion_timeouts,link_dead,req_p50_us,req_p95_us,req_p99_us,req_max_us\n")
 	for _, p := range f.Points {
-		fmt.Fprintf(&b, "figerr,%s,%.4f,%d,%d,%.2f,%.2f,%d,%d,%d,%d,%v\n",
+		fmt.Fprintf(&b, "figerr,%s,%.4f,%d,%d,%.2f,%.2f,%d,%d,%d,%d,%v,%.2f,%.2f,%.2f,%.2f\n",
 			p.Scenario, p.Gbps, p.Requests, p.Errored, p.ReplayPct, p.TimeoutPct,
-			p.BadDLLPs, p.Dropped, p.Retrains, p.CompletionTimeouts, p.LinkDead)
+			p.BadDLLPs, p.Dropped, p.Retrains, p.CompletionTimeouts, p.LinkDead,
+			usOf(p.ReqLat.P50), usOf(p.ReqLat.P95), usOf(p.ReqLat.P99), usOf(p.ReqLat.Max))
 	}
 	return b.String()
 }
@@ -396,6 +429,26 @@ func (f Figure) Format() string {
 	if len(health) > 0 {
 		fmt.Fprintf(&b, "congested upstream link: %s\n", strings.Join(health, "; "))
 	}
+	// Request-latency sub-table (largest block size): the distribution
+	// tail is where congestion shows before throughput collapses.
+	hasLat := false
+	for _, s := range f.Series {
+		if s.Points[len(s.Points)-1].ReqLat.Max > 0 {
+			hasLat = true
+		}
+	}
+	if hasLat {
+		fmt.Fprintf(&b, "request latency at %d MB (µs):\n", f.Series[0].Points[len(f.Series[0].Points)-1].X)
+		fmt.Fprintf(&b, "  %-10s %10s %10s %10s %10s\n", "series", "p50", "p95", "p99", "max")
+		for _, s := range f.Series {
+			l := s.Points[len(s.Points)-1].ReqLat
+			if l.Max == 0 {
+				continue // analytical series (phys) has no per-request model
+			}
+			fmt.Fprintf(&b, "  %-10s %10.1f %10.1f %10.1f %10.1f\n",
+				s.Label, usOf(l.P50), usOf(l.P95), usOf(l.P99), usOf(l.Max))
+		}
+	}
 	return b.String()
 }
 
@@ -403,10 +456,12 @@ func (f Figure) Format() string {
 // (series, block size) pair.
 func (f Figure) CSV() string {
 	var b strings.Builder
-	b.WriteString("figure,series,block_mb,gbps,replay_pct,timeout_pct\n")
+	b.WriteString("figure,series,block_mb,gbps,replay_pct,timeout_pct,req_p50_us,req_p95_us,req_p99_us,req_max_us\n")
 	for _, s := range f.Series {
 		for _, p := range s.Points {
-			fmt.Fprintf(&b, "%s,%s,%d,%.4f,%.2f,%.2f\n", f.ID, s.Label, p.X, p.Gbps, p.ReplayPct, p.TimeoutPct)
+			fmt.Fprintf(&b, "%s,%s,%d,%.4f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n",
+				f.ID, s.Label, p.X, p.Gbps, p.ReplayPct, p.TimeoutPct,
+				usOf(p.ReqLat.P50), usOf(p.ReqLat.P95), usOf(p.ReqLat.P99), usOf(p.ReqLat.Max))
 		}
 	}
 	return b.String()

@@ -12,6 +12,7 @@ import (
 
 	"pciesim/internal/mem"
 	"pciesim/internal/sim"
+	"pciesim/internal/stats"
 )
 
 // Config parameterizes the cache.
@@ -64,6 +65,7 @@ type mshr struct {
 	lineAddr uint64
 	targets  []*mem.Packet
 	victim   *line
+	issuedAt sim.Tick // fetch issue time, for the fill-latency histogram
 }
 
 // Cache is the IOCache. Requests enter at the cpu-side slave port (from
@@ -92,6 +94,9 @@ type Cache struct {
 	writebackCount           uint64
 	refusedMSHR, refusedWB   uint64
 	fullLineWriteAllocations uint64
+
+	mshrGauge *stats.Gauge
+	fillLat   *stats.Histogram
 }
 
 type wbToken struct{ c *Cache }
@@ -132,6 +137,17 @@ func New(eng *sim.Engine, name string, cfg Config) *Cache {
 	c.memQ = mem.NewSendQueue(eng, name+".memq", 0, func(p *mem.Packet) bool {
 		return c.memSide.SendTimingReq(p)
 	})
+	r := eng.Stats()
+	r.CounterFunc(name+".hits", func() uint64 { return c.hits })
+	r.CounterFunc(name+".misses", func() uint64 { return c.misses })
+	r.CounterFunc(name+".fills", func() uint64 { return c.fills })
+	r.CounterFunc(name+".uncached", func() uint64 { return c.uncached })
+	r.CounterFunc(name+".writebacks", func() uint64 { return c.writebackCount })
+	r.CounterFunc(name+".refused_mshr", func() uint64 { return c.refusedMSHR })
+	r.CounterFunc(name+".refused_wb", func() uint64 { return c.refusedWB })
+	r.CounterFunc(name+".full_line_write_allocs", func() uint64 { return c.fullLineWriteAllocations })
+	c.mshrGauge = r.Gauge(name + ".mshrs")
+	c.fillLat = r.Histogram(name + ".fill_latency")
 	return c
 }
 
@@ -270,8 +286,9 @@ func (o *cacheCPUSide) RecvTimingReq(_ *mem.SlavePort, pkt *mem.Packet) bool {
 	v.valid = false
 	v.dirty = false
 	v.reserved = true
-	m := &mshr{lineAddr: la, targets: []*mem.Packet{pkt}, victim: v}
+	m := &mshr{lineAddr: la, targets: []*mem.Packet{pkt}, victim: v, issuedAt: c.eng.Now()}
 	c.mshrs[la] = m
+	c.mshrGauge.Set(int64(len(c.mshrs)))
 	fetch := mem.NewPacket(mem.ReadReq, la, c.cfg.LineSize)
 	fetch.Data = make([]byte, c.cfg.LineSize)
 	fetch.Context = fillToken{c, m}
@@ -375,6 +392,8 @@ func (o *cacheMemSide) RecvTimingResp(_ *mem.MasterPort, pkt *mem.Packet) bool {
 	case fillToken:
 		m := tok.m
 		delete(c.mshrs, m.lineAddr)
+		c.mshrGauge.Set(int64(len(c.mshrs)))
+		c.fillLat.Observe(uint64(c.eng.Now() - m.issuedAt))
 		l := m.victim
 		c.install(l, m.lineAddr)
 		if pkt.Data != nil {

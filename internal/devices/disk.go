@@ -7,6 +7,7 @@ import (
 	"pciesim/internal/mem"
 	"pciesim/internal/pci"
 	"pciesim/internal/sim"
+	"pciesim/internal/trace"
 )
 
 // Disk register offsets within BAR0. The interface is a simplified
@@ -145,6 +146,9 @@ func NewDisk(eng *sim.Engine, name string, cfg DiskConfig) *Disk {
 	d.dma.PostedWrites = cfg.PostedWrites
 	d.dma.Timeout = cfg.DMATimeout
 	d.mediaEv = eng.NewEvent(name+".media", d.mediaReady)
+	r := eng.Stats()
+	r.CounterFunc(name+".commands", func() uint64 { return d.commands })
+	r.CounterFunc(name+".sectors", func() uint64 { return d.sectors })
 	return d
 }
 
@@ -337,6 +341,10 @@ func (d *Disk) sectorDone(ok bool) {
 		d.status = DiskStatusDone | DiskStatusErr
 		d.commands++
 		d.aer.ReportUncorrectable(pci.AERUncCompletionTimeout)
+		if tr := d.eng.Tracer(); tr.On(trace.CatFault) {
+			tr.Emit(trace.CatFault, uint64(d.eng.Now()), d.name, "command-error", 0,
+				"sector DMA aborted by completion timeout; command failed")
+		}
 		d.raiseInterrupt()
 		return
 	}
@@ -355,6 +363,10 @@ func (d *Disk) sectorDone(ok bool) {
 
 func (d *Disk) raiseInterrupt() {
 	d.intr |= 1
+	if tr := d.eng.Tracer(); tr.On(trace.CatIRQ) {
+		tr.Emit(trace.CatIRQ, uint64(d.eng.Now()), d.name, "interrupt", 0,
+			fmt.Sprintf("status=%#x", d.status))
+	}
 	if d.OnInterrupt != nil {
 		d.OnInterrupt()
 	}

@@ -6,9 +6,12 @@ package devices
 
 import (
 	"fmt"
+	"sort"
 
 	"pciesim/internal/mem"
 	"pciesim/internal/sim"
+	"pciesim/internal/stats"
+	"pciesim/internal/trace"
 )
 
 // DMADone is invoked when a queued DMA transfer finishes. ok is true
@@ -23,6 +26,9 @@ type dmaTransfer struct {
 	size   int
 	data   []byte
 	done   DMADone
+	// startedAt stamps when the transfer left the queue and began
+	// issuing chunks, for the transfer-latency histogram.
+	startedAt sim.Tick
 }
 
 // DMAEngine issues memory transfers through a device's DMA master port.
@@ -61,20 +67,36 @@ type DMAEngine struct {
 	outstanding int // chunks in flight
 	blocked     bool
 	ctoEv       *sim.Event
-	live        map[uint64]struct{} // outstanding chunk IDs (Timeout mode only)
+	// live maps outstanding non-posted chunk IDs to their issue time:
+	// the timeout drop-filter and the chunk-latency histogram share it.
+	live map[uint64]sim.Tick
 
 	// Stats.
 	transfers, chunks uint64
 	bytesMoved        uint64
 	timeouts          uint64 // transfers aborted by the completion timeout
 	lateResps         uint64 // chunk responses dropped after their transfer aborted
+
+	transferLat *stats.Histogram
+	chunkLat    *stats.Histogram
 }
 
-// NewDMAEngine creates an engine with the given chunk (cache line) size.
+// NewDMAEngine creates an engine with the given chunk (cache line)
+// size. Packet IDs come from the engine so traces can follow one chunk
+// across the fabric.
 func NewDMAEngine(eng *sim.Engine, name string, chunkSize int) *DMAEngine {
-	d := &DMAEngine{eng: eng, name: name, ChunkSize: chunkSize, live: make(map[uint64]struct{})}
+	d := &DMAEngine{eng: eng, name: name, ChunkSize: chunkSize, live: make(map[uint64]sim.Tick)}
+	d.alloc.Bind(eng)
 	d.port = mem.NewMasterPort(name+".dma", d)
 	d.ctoEv = eng.NewEvent(name+".dmaTimeout", d.timeoutFire)
+	r := eng.Stats()
+	r.CounterFunc(name+".transfers", func() uint64 { return d.transfers })
+	r.CounterFunc(name+".chunks", func() uint64 { return d.chunks })
+	r.CounterFunc(name+".bytes", func() uint64 { return d.bytesMoved })
+	r.CounterFunc(name+".timeouts", func() uint64 { return d.timeouts })
+	r.CounterFunc(name+".late_resps", func() uint64 { return d.lateResps })
+	d.transferLat = r.Histogram(name + ".transfer_latency")
+	d.chunkLat = r.Histogram(name + ".chunk_latency")
 	return d
 }
 
@@ -132,10 +154,19 @@ func (d *DMAEngine) pump() {
 		}
 		t := d.queue[0]
 		d.queue = d.queue[1:]
+		t.startedAt = d.eng.Now()
 		d.current = &t
 		d.issued = 0
 		if d.Timeout > 0 {
 			d.eng.Reschedule(d.ctoEv, d.eng.Now()+d.Timeout, sim.PriorityTimer)
+		}
+		if tr := d.eng.Tracer(); tr.On(trace.CatDMA) {
+			dir := "read"
+			if t.write {
+				dir = "write"
+			}
+			tr.Emit(trace.CatDMA, uint64(d.eng.Now()), d.name, "start", 0,
+				fmt.Sprintf("%s addr=%#x size=%d", dir, t.addr, t.size))
 		}
 	}
 	t := d.current
@@ -168,12 +199,14 @@ func (d *DMAEngine) pump() {
 		d.issued += n
 		if !pkt.Posted {
 			d.outstanding++
-			if d.Timeout > 0 {
-				d.live[pkt.ID] = struct{}{}
-			}
+			d.live[pkt.ID] = d.eng.Now()
 		}
 		d.chunks++
 		d.bytesMoved += uint64(n)
+		if tr := d.eng.Tracer(); tr.On(trace.CatDMA) {
+			tr.Emit(trace.CatDMA, uint64(d.eng.Now()), d.name, "chunk-issue",
+				pkt.ID, fmt.Sprintf("%v addr=%#x size=%d", pkt.Cmd, pkt.Addr, n))
+		}
 	}
 	if t := d.current; t != nil && d.issued >= t.size && d.outstanding == 0 {
 		// Fully posted transfer: complete on final acceptance.
@@ -186,8 +219,17 @@ func (d *DMAEngine) finish(t *dmaTransfer, ok bool) {
 	d.current = nil
 	if ok {
 		d.transfers++
+		d.transferLat.Observe(uint64(d.eng.Now() - t.startedAt))
 	} else {
 		d.timeouts++
+	}
+	if tr := d.eng.Tracer(); tr.On(trace.CatDMA) {
+		ev := "complete"
+		if !ok {
+			ev = "abort"
+		}
+		tr.Emit(trace.CatDMA, uint64(d.eng.Now()), d.name, ev, 0,
+			fmt.Sprintf("addr=%#x size=%d", t.addr, t.size))
 	}
 	if t.done != nil {
 		t.done(ok)
@@ -205,6 +247,17 @@ func (d *DMAEngine) timeoutFire() {
 		return
 	}
 	d.outstanding = 0
+	if tr := d.eng.Tracer(); tr.On(trace.CatFault) {
+		// Name the exact chunks abandoned, in sorted order so the
+		// trace is deterministic.
+		ids := make([]uint64, 0, len(d.live))
+		for id := range d.live {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		tr.Emit(trace.CatFault, uint64(d.eng.Now()), d.name, "dma-timeout", 0,
+			fmt.Sprintf("aborting transfer addr=%#x size=%d, abandoned chunks %v", t.addr, t.size, ids))
+	}
 	for id := range d.live {
 		delete(d.live, id)
 	}
@@ -223,15 +276,22 @@ func (d *DMAEngine) RecvTimingResp(_ *mem.MasterPort, pkt *mem.Packet) bool {
 	if pkt.Context != any(d) {
 		panic(fmt.Sprintf("devices %s: foreign response %v", d.name, pkt))
 	}
-	if d.Timeout > 0 {
-		if _, ok := d.live[pkt.ID]; !ok {
-			// A straggler for a transfer the timeout already aborted:
-			// swallow it so it cannot corrupt the next transfer's
-			// barrier accounting.
-			d.lateResps++
-			return true
-		}
+	if issuedAt, ok := d.live[pkt.ID]; ok {
 		delete(d.live, pkt.ID)
+		d.chunkLat.Observe(uint64(d.eng.Now() - issuedAt))
+		if tr := d.eng.Tracer(); tr.On(trace.CatDMA) {
+			tr.Emit(trace.CatDMA, uint64(d.eng.Now()), d.name, "chunk-done", pkt.ID, "")
+		}
+	} else if d.Timeout > 0 {
+		// A straggler for a transfer the timeout already aborted:
+		// swallow it so it cannot corrupt the next transfer's
+		// barrier accounting.
+		d.lateResps++
+		if tr := d.eng.Tracer(); tr.On(trace.CatFault) {
+			tr.Emit(trace.CatFault, uint64(d.eng.Now()), d.name, "late-chunk", pkt.ID,
+				"response for pkt after its transfer timed out; dropped")
+		}
+		return true
 	}
 	d.outstanding--
 	t := d.current

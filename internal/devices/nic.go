@@ -7,6 +7,7 @@ import (
 	"pciesim/internal/mem"
 	"pciesim/internal/pci"
 	"pciesim/internal/sim"
+	"pciesim/internal/trace"
 )
 
 // NIC register offsets within BAR0, a subset of the Intel 8254x/82574
@@ -148,6 +149,10 @@ func NewNIC(eng *sim.Engine, name string, cfg NICConfig) *NIC {
 	n.dma = NewDMAEngine(eng, name, cfg.ChunkSize)
 	// Device status: link up (bit 1), full duplex (bit 0).
 	n.regs[NICRegStatus] = 0x3
+	r := eng.Stats()
+	r.CounterFunc(name+".tx_frames", func() uint64 { return n.txFrames })
+	r.CounterFunc(name+".tx_bytes", func() uint64 { return n.txBytes })
+	r.CounterFunc(name+".rx_frames", func() uint64 { return n.rxFrames })
 	return n
 }
 
@@ -330,6 +335,14 @@ func (n *NIC) raise(cause uint32) {
 	n.icr |= cause
 	if n.icr&n.ims == 0 {
 		return
+	}
+	if tr := n.eng.Tracer(); tr.On(trace.CatIRQ) {
+		mode := "intx"
+		if n.msiCap != 0 && n.config.Word(n.msiCap+2)&1 == 1 {
+			mode = "msi"
+		}
+		tr.Emit(trace.CatIRQ, uint64(n.eng.Now()), n.name, "interrupt", 0,
+			fmt.Sprintf("cause=%#x mode=%s", cause, mode))
 	}
 	if n.msiCap != 0 && n.config.Word(n.msiCap+2)&1 == 1 {
 		// MSI enabled: signal by a posted message write through the

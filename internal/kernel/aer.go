@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"pciesim/internal/pci"
+	"pciesim/internal/trace"
 )
 
 // FindExtendedCapability walks a function's PCI-Express extended
@@ -36,6 +37,9 @@ type AERRecord struct {
 	Bridge        bool
 	Correctable   uint32 // correctable error status bits read (and cleared)
 	Uncorrectable uint32 // uncorrectable error status bits read (and cleared)
+	// HeaderLogID is the packet ID of the first offending TLP, read
+	// from the AER header log (0 when no TLP was captured).
+	HeaderLogID uint64
 }
 
 // String renders the record the way a kernel log line would.
@@ -50,6 +54,9 @@ func (r AERRecord) String() string {
 	}
 	if r.Uncorrectable != 0 {
 		parts = append(parts, "uncorrectable: "+strings.Join(pci.AERUncorrectableNames(r.Uncorrectable), "|"))
+	}
+	if r.HeaderLogID != 0 {
+		parts = append(parts, fmt.Sprintf("first TLP pkt#%d", r.HeaderLogID))
 	}
 	return fmt.Sprintf("AER: %v %s %04x:%04x %s",
 		r.BDF, kind, r.VendorID, r.DeviceID, strings.Join(parts, "; "))
@@ -80,20 +87,32 @@ func (k *Kernel) HandleAER(t *Task) []AERRecord {
 		if unc == 0 && corr == 0 {
 			continue
 		}
+		var hdrID uint64
 		if unc != 0 {
+			// The header log freezes the first offending TLP; read it
+			// before acknowledging the status.
+			hdrID = uint64(k.CfgRead32(t, d.BDF, off+pci.AERHeaderLogOff)) |
+				uint64(k.CfgRead32(t, d.BDF, off+pci.AERHeaderLogOff+4))<<32
 			k.CfgWrite32(t, d.BDF, off+pci.AERUncStatusOff, unc)
 		}
 		if corr != 0 {
 			k.CfgWrite32(t, d.BDF, off+pci.AERCorrStatusOff, corr)
 		}
-		log = append(log, AERRecord{
+		rec := AERRecord{
 			BDF:           d.BDF,
 			VendorID:      d.VendorID,
 			DeviceID:      d.DeviceID,
 			Bridge:        d.IsBridge,
 			Correctable:   corr,
 			Uncorrectable: unc,
-		})
+			HeaderLogID:   hdrID,
+		}
+		k.aerRecords++
+		if tr := t.Tracer(); tr.On(trace.CatFault) {
+			tr.Emit(trace.CatFault, uint64(t.Now()), "kernel.aer",
+				"service", hdrID, rec.String())
+		}
+		log = append(log, rec)
 	}
 	return log
 }

@@ -6,6 +6,8 @@ import (
 
 	"pciesim/internal/mem"
 	"pciesim/internal/sim"
+	"pciesim/internal/stats"
+	"pciesim/internal/trace"
 )
 
 // CPU is the processor-side injection point for kernel tasks: a master
@@ -29,22 +31,32 @@ type CPU struct {
 
 	// Stats.
 	reads, writes, irqs uint64
+	opLat               *stats.Histogram
 }
 
 type pendingOp struct {
-	task *Task
-	pkt  *mem.Packet
-	buf  [4]byte
+	task     *Task
+	pkt      *mem.Packet
+	buf      [4]byte
+	issuedAt sim.Tick
 }
 
-// NewCPU creates the kernel's CPU-side port owner.
+// NewCPU creates the kernel's CPU-side port owner. Packet IDs come
+// from the engine so they are unique across every requestor.
 func NewCPU(eng *sim.Engine, name string) *CPU {
-	return &CPU{
+	c := &CPU{
 		eng:         eng,
 		name:        name,
 		inflight:    make(map[uint64]*pendingOp),
 		irqHandlers: make(map[int]func()),
 	}
+	c.alloc.Bind(eng)
+	r := eng.Stats()
+	r.CounterFunc(name+".reads", func() uint64 { return c.reads })
+	r.CounterFunc(name+".writes", func() uint64 { return c.writes })
+	r.CounterFunc(name+".irqs", func() uint64 { return c.irqs })
+	c.opLat = r.Histogram(name + ".op_latency")
+	return c
 }
 
 // Port returns the master port to wire to the MemBus.
@@ -71,6 +83,7 @@ func (c *CPU) issue(t *Task, req procReq) {
 		binary.LittleEndian.PutUint32(op.buf[:], req.value)
 		op.pkt.Data = op.buf[:req.size]
 	}
+	op.issuedAt = c.eng.Now()
 	c.inflight[op.pkt.ID] = op
 	c.sendQ = append(c.sendQ, op)
 	c.pump()
@@ -95,6 +108,7 @@ func (c *CPU) RecvTimingResp(_ *mem.MasterPort, pkt *mem.Packet) bool {
 		panic(fmt.Sprintf("kernel %s: response for unknown packet %v", c.name, pkt))
 	}
 	delete(c.inflight, pkt.ID)
+	c.opLat.Observe(uint64(c.eng.Now() - op.issuedAt))
 	var v uint32
 	if pkt.Cmd == mem.ReadResp {
 		var buf [4]byte
@@ -125,6 +139,14 @@ func (c *CPU) RegisterIRQ(line int, handler func()) {
 func (c *CPU) TriggerIRQ(line int) {
 	c.irqs++
 	h := c.irqHandlers[line]
+	if tr := c.eng.Tracer(); tr.On(trace.CatIRQ) {
+		detail := ""
+		if h == nil {
+			detail = "spurious (no handler)"
+		}
+		tr.Emit(trace.CatIRQ, uint64(c.eng.Now()), c.name,
+			fmt.Sprintf("irq%d", line), 0, detail)
+	}
 	if h == nil {
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pciesim/internal/sim"
+	"pciesim/internal/stats"
 )
 
 // DDConfig parameterizes the dd workload model of §VI-A: "dd simply
@@ -38,6 +39,18 @@ type DDConfig struct {
 	InterruptOverhead sim.Tick
 }
 
+// LatencySummary condenses a per-request latency distribution into the
+// quantiles a sweep table can print. Quantiles are log2-bucket upper
+// bounds (see internal/stats), so they overstate by at most 2x.
+type LatencySummary struct {
+	P50, P95, P99, Max sim.Tick
+}
+
+// String implements fmt.Stringer.
+func (l LatencySummary) String() string {
+	return fmt.Sprintf("p50=%v p95=%v p99=%v max=%v", l.P50, l.P95, l.P99, l.Max)
+}
+
 // DDResult reports one dd run.
 type DDResult struct {
 	Bytes    uint64
@@ -47,6 +60,9 @@ type DDResult struct {
 	// lost, but the run itself completes and reports the damage.
 	Errors  int
 	Elapsed sim.Tick
+	// ReqLat summarizes the per-request round trip: submission write
+	// through completion interrupt, excluding the modeled CPU overheads.
+	ReqLat LatencySummary
 }
 
 // ThroughputGbps is the number dd prints: bytes over wall time.
@@ -83,6 +99,11 @@ func RunDD(t *Task, h *DiskHandle, cfg DDConfig) (DDResult, error) {
 	start := t.Now()
 	t.Delay(cfg.StartupOverhead)
 
+	// Per-run request-latency distribution; also folded into the
+	// registry's cumulative "dd.request_latency" histogram for dumps.
+	reqLat := new(stats.Histogram)
+	cumLat := t.Stats().Histogram("dd.request_latency")
+
 	var moved uint64
 	var requests, errored int
 	lba := uint64(0)
@@ -95,11 +116,15 @@ func RunDD(t *Task, h *DiskHandle, cfg DDConfig) (DDResult, error) {
 
 		// Submission path.
 		t.Delay(cfg.PerRequestOverhead)
+		before := t.Now()
 		if err := h.ReadSectors(t, lba, uint32(sectors), cfg.BufAddr+(moved%(64<<20))); err != nil {
 			// Count the failure and move on to the next request, as dd
 			// does: a single bad request must not hang or abort the run.
 			errored++
 		}
+		lat := uint64(t.Now() - before)
+		reqLat.Observe(lat)
+		cumLat.Observe(lat)
 		// Completion path: IRQ exit plus per-page bio completion work.
 		t.Delay(cfg.InterruptOverhead + cfg.PerSectorOverhead*sim.Tick(sectors))
 
@@ -107,7 +132,15 @@ func RunDD(t *Task, h *DiskHandle, cfg DDConfig) (DDResult, error) {
 		lba += sectors
 		requests++
 	}
-	return DDResult{Bytes: moved, Requests: requests, Errors: errored, Elapsed: t.Now() - start}, nil
+	return DDResult{
+		Bytes: moved, Requests: requests, Errors: errored, Elapsed: t.Now() - start,
+		ReqLat: LatencySummary{
+			P50: sim.Tick(reqLat.Quantile(0.50)),
+			P95: sim.Tick(reqLat.Quantile(0.95)),
+			P99: sim.Tick(reqLat.Quantile(0.99)),
+			Max: sim.Tick(reqLat.Max()),
+		},
+	}, nil
 }
 
 // MMIOProbeResult reports the §VI kernel-module register-read

@@ -44,12 +44,17 @@ type Kernel struct {
 	Topo *Topology
 	// Bound maps probed devices to their drivers.
 	Bound map[*FoundDevice]Driver
+
+	// aerRecords counts AER records the service handler returned.
+	aerRecords uint64
 }
 
 // New creates a kernel around a CPU with the default ARM platform
 // enumeration config.
 func New(cpu *CPU) *Kernel {
-	return &Kernel{CPU: cpu, Enum: DefaultEnumConfig(), Bound: make(map[*FoundDevice]Driver)}
+	k := &Kernel{CPU: cpu, Enum: DefaultEnumConfig(), Bound: make(map[*FoundDevice]Driver)}
+	cpu.eng.Stats().CounterFunc("kernel.aer.records", func() uint64 { return k.aerRecords })
+	return k
 }
 
 // RegisterDriver adds a driver to the registry (insmod).

@@ -16,6 +16,8 @@ import (
 	"fmt"
 
 	"pciesim/internal/sim"
+	"pciesim/internal/stats"
+	"pciesim/internal/trace"
 )
 
 // opKind enumerates what a kernel task can ask of the simulator.
@@ -114,6 +116,14 @@ func (t *Task) WaitTimeout(w *Waiter, d sim.Tick) bool {
 
 // Now returns the current simulated time. It costs no simulated time.
 func (t *Task) Now() sim.Tick { return t.cpu.eng.Now() }
+
+// Tracer returns the engine's event tracer (nil-safe no-op when
+// tracing is off). Task code runs in strict rendezvous with the
+// engine, so emitting from task context is race-free.
+func (t *Task) Tracer() *trace.Tracer { return t.cpu.eng.Tracer() }
+
+// Stats returns the engine's metrics registry.
+func (t *Task) Stats() *stats.Registry { return t.cpu.eng.Stats() }
 
 // Waiter is a one-slot condition used to hand interrupt completions to
 // a waiting task.

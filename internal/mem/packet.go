@@ -139,19 +139,40 @@ func NewPacket(cmd Cmd, addr uint64, size int) *Packet {
 	return &Packet{Cmd: cmd, Addr: addr, Size: size, BusNum: NoBus}
 }
 
+// IDSource hands out packet IDs. sim.Engine implements it; binding
+// allocators to the engine makes IDs unique across every requestor of
+// one simulation (monotonic per engine, no global state), so a trace
+// can follow one TLP through CPU, fabric, and device by ID alone.
+type IDSource interface {
+	NextPacketID() uint64
+}
+
 // Allocator hands out packets with unique IDs. It is a value type owned
 // by whichever component originates traffic (CPU model, DMA engines).
+// An unbound Allocator numbers packets from its own counter — enough
+// for single-requestor tests; components in an assembled system call
+// Bind so IDs are unique engine-wide.
 type Allocator struct {
 	next uint64
+	src  IDSource
 }
+
+// Bind makes the allocator draw IDs from src (normally the engine).
+func (a *Allocator) Bind(src IDSource) { a.src = src }
 
 // NewRequest allocates a request packet with the next free ID.
 func (a *Allocator) NewRequest(cmd Cmd, addr uint64, size int) *Packet {
 	if !cmd.IsRequest() {
 		panic(fmt.Sprintf("mem: NewRequest with %v", cmd))
 	}
-	a.next++
-	return &Packet{ID: a.next, Cmd: cmd, Addr: addr, Size: size, BusNum: NoBus}
+	var id uint64
+	if a.src != nil {
+		id = a.src.NextPacketID()
+	} else {
+		a.next++
+		id = a.next
+	}
+	return &Packet{ID: id, Cmd: cmd, Addr: addr, Size: size, BusNum: NoBus}
 }
 
 // MakeResponse converts the request packet into its response in place.

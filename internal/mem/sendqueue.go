@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pciesim/internal/sim"
+	"pciesim/internal/stats"
 )
 
 // SendQueue is a bounded FIFO of packets that become eligible to leave
@@ -38,17 +39,34 @@ type SendQueue struct {
 	sent     uint64
 	refusals uint64
 	maxDepth int
+
+	// Registry hooks, resolved once at construction: occupancy gauge
+	// and queueing-delay histogram (push to successful send, ticks).
+	depth *stats.Gauge
+	wait  *stats.Histogram
 }
 
 type sendEntry struct {
-	pkt     *Packet
-	readyAt sim.Tick
+	pkt      *Packet
+	readyAt  sim.Tick
+	pushedAt sim.Tick
 }
 
-// NewSendQueue creates a queue. capacity 0 means unbounded.
+// NewSendQueue creates a queue. capacity 0 means unbounded. Every
+// queue self-registers under its name ("<component>...") in the
+// engine's stats registry: pushed/sent/refusals counters read from the
+// queue's own fields at dump time, a depth gauge, and a wait-time
+// histogram — which is what makes backpressure visible uniformly
+// across the crossbars, bridge, and PCIe port buffers.
 func NewSendQueue(eng *sim.Engine, name string, capacity int, send func(*Packet) bool) *SendQueue {
 	q := &SendQueue{eng: eng, name: name, capacity: capacity, send: send}
 	q.sendEv = eng.NewEvent(name+".send", q.trySend)
+	r := eng.Stats()
+	r.CounterFunc(name+".pushed", func() uint64 { return q.pushed })
+	r.CounterFunc(name+".sent", func() uint64 { return q.sent })
+	r.CounterFunc(name+".refusals", func() uint64 { return q.refusals })
+	q.depth = r.Gauge(name + ".depth")
+	q.wait = r.Histogram(name + ".wait")
 	return q
 }
 
@@ -75,11 +93,12 @@ func (q *SendQueue) Push(pkt *Packet, readyAt sim.Tick) bool {
 	if readyAt < q.eng.Now() {
 		readyAt = q.eng.Now()
 	}
-	q.entries = append(q.entries, sendEntry{pkt, readyAt})
+	q.entries = append(q.entries, sendEntry{pkt, readyAt, q.eng.Now()})
 	if len(q.entries) > q.maxDepth {
 		q.maxDepth = len(q.entries)
 	}
 	q.pushed++
+	q.depth.Set(int64(len(q.entries)))
 	q.schedule()
 	return true
 }
@@ -130,9 +149,11 @@ func (q *SendQueue) trySend() {
 	// below must still fire onFree.
 	wasFull := q.Full()
 	q.sent++
+	q.wait.Observe(uint64(q.eng.Now() - head.pushedAt))
 	copy(q.entries, q.entries[1:])
 	q.entries[len(q.entries)-1] = sendEntry{}
 	q.entries = q.entries[:len(q.entries)-1]
+	q.depth.Set(int64(len(q.entries)))
 	if wasFull && q.onFree != nil {
 		q.onFree()
 	}

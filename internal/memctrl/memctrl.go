@@ -10,6 +10,7 @@ import (
 
 	"pciesim/internal/mem"
 	"pciesim/internal/sim"
+	"pciesim/internal/stats"
 )
 
 // Config parameterizes the controller.
@@ -45,6 +46,10 @@ type Memory struct {
 	bytesRead       uint64
 	bytesWritten    uint64
 	refusedRequests uint64
+
+	// svcLat is the request-arrival-to-response-ready service latency
+	// (fixed latency + queueing behind earlier accesses + per-byte cost).
+	svcLat *stats.Histogram
 }
 
 const pageSize = 4096
@@ -62,6 +67,13 @@ func New(eng *sim.Engine, name string, rng mem.AddrRange, cfg Config) *Memory {
 			m.port.SendReqRetry()
 		}
 	})
+	r := eng.Stats()
+	r.CounterFunc(name+".reads", func() uint64 { return m.reads })
+	r.CounterFunc(name+".writes", func() uint64 { return m.writes })
+	r.CounterFunc(name+".bytes_read", func() uint64 { return m.bytesRead })
+	r.CounterFunc(name+".bytes_written", func() uint64 { return m.bytesWritten })
+	r.CounterFunc(name+".refused", func() uint64 { return m.refusedRequests })
+	m.svcLat = r.Histogram(name + ".service_latency")
 	return m
 }
 
@@ -100,6 +112,7 @@ func (m *Memory) RecvTimingReq(_ *mem.SlavePort, pkt *mem.Packet) bool {
 		ready = m.nextFree
 	}
 	m.nextFree = ready + m.cfg.PerByte*sim.Tick(pkt.Size)
+	m.svcLat.Observe(uint64(m.nextFree - m.eng.Now()))
 	if pkt.Posted {
 		// Posted write: consumed here, no completion.
 		return true

@@ -1,0 +1,159 @@
+// Package obscli is the shared command-line plumbing for the
+// observability layer: every tool that runs a simulation registers the
+// same -stats / -stats-out / -stats-interval / -trace / -trace-out
+// flags, arms the engine before the run, and writes the dumps after.
+package obscli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pciesim/internal/sim"
+	"pciesim/internal/trace"
+)
+
+// Flags holds the observability options of one command invocation.
+type Flags struct {
+	// Stats prints a human-readable stats summary to stdout at the end
+	// of the run.
+	Stats bool
+	// StatsOut writes the end-of-run stats dump to a file: JSON unless
+	// the path ends in .csv.
+	StatsOut string
+	// StatsInterval enables periodic counter sampling at this period
+	// (microseconds of simulated time); the series appears in the JSON
+	// dump.
+	StatsInterval int
+	// Trace selects trace categories ("tlp,fault", "all"). As a
+	// shorthand, a path ending in .json means "all categories, Chrome
+	// trace to that file" — `-trace trace.json` is the common case.
+	Trace string
+	// TraceOut writes the trace to a file: Chrome trace_event JSON if
+	// the path ends in .json (open it in Perfetto), text otherwise.
+	// Empty with -trace set writes text to stdout.
+	TraceOut string
+
+	tracer *trace.Tracer
+}
+
+// Register installs the flags on the given FlagSet (flag.CommandLine
+// for ordinary commands).
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&f.Stats, "stats", false, "print a stats summary (counters, queue depths, latency histograms) after the run")
+	fs.StringVar(&f.StatsOut, "stats-out", "", "write the stats dump to this file (.csv for CSV, JSON otherwise)")
+	fs.IntVar(&f.StatsInterval, "stats-interval", 0, "sample counters every N microseconds of simulated time (0 disables; series lands in the JSON dump)")
+	fs.StringVar(&f.Trace, "trace", "", `trace categories ("tlp,dllp,dma,irq,fault,config" or "all"); a .json path means all categories to that Chrome trace file`)
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write the trace to this file (.json for Chrome/Perfetto trace_event format, text otherwise)")
+}
+
+// Arm installs the tracer and sampler on the engine before the run.
+func (f *Flags) Arm(eng *sim.Engine) error {
+	if f.Trace != "" {
+		spec := f.Trace
+		if strings.HasSuffix(spec, ".json") {
+			// `-trace trace.json` shorthand.
+			if f.TraceOut == "" {
+				f.TraceOut = spec
+			}
+			spec = "all"
+		}
+		mask, err := trace.ParseCategories(spec)
+		if err != nil {
+			return err
+		}
+		f.tracer = trace.New(mask)
+		eng.SetTracer(f.tracer)
+	}
+	if f.StatsInterval > 0 {
+		eng.SampleEvery(sim.Tick(f.StatsInterval) * sim.Microsecond)
+	}
+	return nil
+}
+
+// Enabled reports whether any output will be produced by Finish.
+func (f *Flags) Enabled() bool {
+	return f.Stats || f.StatsOut != "" || f.tracer != nil
+}
+
+// Active reports whether any observability flag was given — callable
+// before Arm, unlike Enabled.
+func (f *Flags) Active() bool {
+	return f.Stats || f.StatsOut != "" || f.StatsInterval > 0 || f.Trace != ""
+}
+
+// ForRun returns an independent copy of the flags with every output
+// path suffixed by label (inserted before the extension), for tools
+// that run many simulations in one invocation and need one dump per
+// run. Arm and Finish the copy around each run.
+func (f Flags) ForRun(label string) *Flags {
+	c := f
+	c.tracer = nil
+	c.StatsOut = suffixPath(c.StatsOut, label)
+	c.TraceOut = suffixPath(c.TraceOut, label)
+	if strings.HasSuffix(c.Trace, ".json") {
+		c.Trace = suffixPath(c.Trace, label)
+	}
+	return &c
+}
+
+// suffixPath turns "stats.json" + "x8@512MB" into "stats-x8@512MB.json".
+func suffixPath(path, label string) string {
+	if path == "" {
+		return ""
+	}
+	if dot := strings.LastIndex(path, "."); dot > strings.LastIndex(path, "/") {
+		return path[:dot] + "-" + label + path[dot:]
+	}
+	return path + "-" + label
+}
+
+// Finish writes the requested dumps after the run. It must be called
+// after the engine has stopped.
+func (f *Flags) Finish(eng *sim.Engine) error {
+	now := uint64(eng.Now())
+	r := eng.Stats()
+	if f.StatsOut != "" {
+		if err := writeFile(f.StatsOut, func(w io.Writer) error {
+			if strings.HasSuffix(f.StatsOut, ".csv") {
+				return r.WriteCSV(w, now)
+			}
+			return r.WriteJSON(w, now)
+		}); err != nil {
+			return fmt.Errorf("stats dump: %w", err)
+		}
+	}
+	if f.Stats {
+		fmt.Println()
+		if err := r.WriteText(os.Stdout, now); err != nil {
+			return err
+		}
+	}
+	if f.tracer != nil {
+		write := f.tracer.WriteText
+		if strings.HasSuffix(f.TraceOut, ".json") {
+			write = f.tracer.WriteChromeJSON
+		}
+		if f.TraceOut == "" {
+			return write(os.Stdout)
+		}
+		if err := writeFile(f.TraceOut, func(w io.Writer) error { return write(w) }); err != nil {
+			return fmt.Errorf("trace dump: %w", err)
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(file); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}

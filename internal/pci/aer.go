@@ -131,6 +131,34 @@ func (a *AER) ReportUncorrectable(bits uint32) {
 	a.cs.SetDword(reg, a.cs.Dword(reg)|bits)
 }
 
+// ReportUncorrectableTLP latches uncorrectable error status bits and
+// records the offending TLP's packet ID in the Header Log registers
+// (the simulator's stand-in for the logged TLP header), so software
+// reading the capability can name the exact packet. The log holds the
+// first error's ID until software clears the status — first-error
+// capture, like the spec's header log.
+func (a *AER) ReportUncorrectableTLP(bits uint32, pktID uint64) {
+	if a == nil || bits == 0 {
+		return
+	}
+	logged := a.cs.Dword(a.off+AERUncStatusOff) != 0
+	a.ReportUncorrectable(bits)
+	if !logged && pktID != 0 {
+		a.cs.SetDword(a.off+AERHeaderLogOff, uint32(pktID))
+		a.cs.SetDword(a.off+AERHeaderLogOff+4, uint32(pktID>>32))
+	}
+}
+
+// HeaderLogID returns the packet ID captured in the header log (0 if
+// none was recorded).
+func (a *AER) HeaderLogID() uint64 {
+	if a == nil {
+		return 0
+	}
+	return uint64(a.cs.Dword(a.off+AERHeaderLogOff)) |
+		uint64(a.cs.Dword(a.off+AERHeaderLogOff+4))<<32
+}
+
 // CorrectableStatus returns the live correctable status register.
 func (a *AER) CorrectableStatus() uint32 {
 	if a == nil {

@@ -7,6 +7,8 @@ import (
 	"pciesim/internal/mem"
 	"pciesim/internal/pci"
 	"pciesim/internal/sim"
+	"pciesim/internal/stats"
+	"pciesim/internal/trace"
 )
 
 // LinkConfig parameterizes a PCI-Express link.
@@ -203,6 +205,10 @@ func (l *Link) goDown(w fault.Window) {
 		return
 	}
 	l.state = linkDown
+	if tr := l.eng.Tracer(); tr.On(trace.CatFault) {
+		tr.Emit(trace.CatFault, uint64(l.eng.Now()), "pcie."+l.name,
+			"link-down", 0, fmt.Sprintf("duration=%v", w.Duration))
+	}
 	l.up.pause()
 	l.down.pause()
 	l.eng.Schedule(l.name+".retrain", w.Duration+l.plan.RetrainLatency, l.goUp)
@@ -217,6 +223,9 @@ func (l *Link) goUp() {
 	}
 	l.state = linkUp
 	l.retrains++
+	if tr := l.eng.Tracer(); tr.On(trace.CatFault) {
+		tr.Emit(trace.CatFault, uint64(l.eng.Now()), "pcie."+l.name, "retrain", 0, "")
+	}
 	l.up.resume()
 	l.down.resume()
 }
@@ -230,10 +239,16 @@ func (l *Link) markDead() {
 		return
 	}
 	l.state = linkDead
+	if tr := l.eng.Tracer(); tr.On(trace.CatFault) {
+		tr.Emit(trace.CatFault, uint64(l.eng.Now()), "pcie."+l.name, "link-dead", 0,
+			fmt.Sprintf("flushing up=%d down=%d unacked TLPs",
+				len(l.up.replayBuf), len(l.down.replayBuf)))
+	}
 	for _, i := range []*Interface{l.up, l.down} {
 		i.pause()
 		i.stats.FlushedTLPs += uint64(len(i.replayBuf))
 		i.replayBuf = i.replayBuf[:0]
+		i.bufGauge.Set(0)
 		i.freshQ = i.freshQ[:0]
 		i.replayQ = i.replayQ[:0]
 		i.ackPend, i.nakPend = false, false
@@ -321,6 +336,14 @@ type Interface struct {
 	aer   *pci.AER        // AER capability of the attached component, if any
 	stats LinkStats
 
+	// Registry hooks, resolved at construction: replay-buffer
+	// occupancy and accept-to-release (ACK) latency in ticks. The
+	// LinkStats counters themselves are exported through CounterFuncs
+	// (see registerStats), so the struct stays the storage and the
+	// hot path is unchanged.
+	bufGauge *stats.Gauge
+	ackLat   *stats.Histogram
+
 	// consecTimeouts counts replay-timer expirations since the last
 	// ACK/NAK, for the plan's DeadThreshold surprise-down detection.
 	consecTimeouts int
@@ -333,8 +356,52 @@ func newInterface(l *Link, name string, seed uint64) *Interface {
 	i.txEv = l.eng.NewEvent(name+".tx", i.txFire)
 	i.replayTmr = l.eng.NewEvent(name+".replayTimer", i.replayTimeout)
 	i.ackTmr = l.eng.NewEvent(name+".ackTimer", i.ackTimerFire)
+	i.registerStats()
 	return i
 }
+
+// registerStats publishes every LinkStats counter under
+// "pcie.<link>.<dir>.<counter>" (e.g. "pcie.disklink.up.replays") as
+// closure-backed registry entries — the struct remains the storage, so
+// incrementing a counter costs exactly what it did before — plus a
+// replay-buffer occupancy gauge and an accept-to-ACK latency histogram.
+func (i *Interface) registerStats() {
+	r := i.link.eng.Stats()
+	pfx := "pcie." + i.name + "."
+	s := &i.stats
+	for _, c := range []struct {
+		name string
+		f    *uint64
+	}{
+		{"accepted", &s.TLPsAccepted},
+		{"tx", &s.TLPsTx},
+		{"replays", &s.ReplaysTx},
+		{"timeouts", &s.Timeouts},
+		{"acks_tx", &s.AcksTx},
+		{"naks_tx", &s.NaksTx},
+		{"acks_rx", &s.AcksRx},
+		{"naks_rx", &s.NaksRx},
+		{"delivered", &s.TLPsDelivered},
+		{"delivery_refused", &s.DeliveryRefuse},
+		{"discarded", &s.Discarded},
+		{"crc_errors", &s.CRCErrors},
+		{"throttled", &s.Throttled},
+		{"bad_dllps", &s.BadDLLPs},
+		{"dropped", &s.Dropped},
+		{"down_drops", &s.DownDrops},
+		{"down_refused", &s.DownRefused},
+		{"dead_discards", &s.DeadDiscards},
+		{"flushed", &s.FlushedTLPs},
+	} {
+		f := c.f
+		r.CounterFunc(pfx+c.name, func() uint64 { return *f })
+	}
+	i.bufGauge = r.Gauge(pfx + "replaybuf")
+	i.ackLat = r.Histogram(pfx + "ack_latency")
+}
+
+// tracer returns the engine's tracer; nil (a no-op) when tracing is off.
+func (i *Interface) tracer() *trace.Tracer { return i.link.eng.Tracer() }
 
 // SlavePort returns the port the local component's master (request)
 // side connects to.
@@ -367,6 +434,10 @@ func (i *Interface) admit(tlp *mem.Packet) bool {
 		// draining and requesters fail by completion timeout instead
 		// of wedging behind a full send queue.
 		i.stats.DeadDiscards++
+		if tr := i.tracer(); tr.On(trace.CatFault) {
+			tr.Emit(trace.CatFault, uint64(i.link.eng.Now()), "pcie."+i.name,
+				"dead-discard", tlp.ID, "")
+		}
 		return true
 	case linkDown:
 		i.stats.DownRefused++
@@ -374,13 +445,22 @@ func (i *Interface) admit(tlp *mem.Packet) bool {
 	}
 	if len(i.replayBuf) >= i.link.cfg.ReplayBufferSize {
 		i.stats.Throttled++
+		if tr := i.tracer(); tr.On(trace.CatTLP) {
+			tr.Emit(trace.CatTLP, uint64(i.link.eng.Now()), "pcie."+i.name,
+				"throttle", tlp.ID, "replay buffer full")
+		}
 		return false
 	}
-	pp := &PciePkt{Kind: KindTLP, Seq: i.sendSeq, TLP: tlp}
+	pp := &PciePkt{Kind: KindTLP, Seq: i.sendSeq, TLP: tlp, acceptedAt: i.link.eng.Now()}
 	i.sendSeq++
 	i.replayBuf = append(i.replayBuf, pp)
 	i.freshQ = append(i.freshQ, pp)
 	i.stats.TLPsAccepted++
+	i.bufGauge.Set(int64(len(i.replayBuf)))
+	if tr := i.tracer(); tr.On(trace.CatTLP) {
+		tr.Emit(trace.CatTLP, uint64(i.link.eng.Now()), "pcie."+i.name,
+			"accept", tlp.ID, fmt.Sprintf("seq=%d %v", pp.Seq, tlp.Cmd))
+	}
 	i.scheduleTx()
 	return true
 }
@@ -467,6 +547,10 @@ func (i *Interface) txFire() {
 			i.ackPend = false
 			i.stats.AcksTx++
 		}
+		if tr := i.tracer(); tr.On(trace.CatDLLP) {
+			tr.Emit(trace.CatDLLP, uint64(eng.Now()), "pcie."+i.name,
+				"dllp-tx", 0, fmt.Sprintf("%v seq=%d", pp.Kind, pp.Seq))
+		}
 		// DLLPs carry their own CRC and are subject to corruption just
 		// like TLPs; a corrupted ACK/NAK is dropped by the receiver and
 		// recovered by the ACK/replay timers, never replayed itself.
@@ -483,6 +567,10 @@ func (i *Interface) txFire() {
 		}
 		i.stats.TLPsTx++
 		i.stats.ReplaysTx++
+		if tr := i.tracer(); tr.On(trace.CatTLP) {
+			tr.Emit(trace.CatTLP, uint64(eng.Now()), "pcie."+i.name,
+				"replay", pp.TLP.ID, fmt.Sprintf("seq=%d", pp.Seq))
+		}
 		i.transmitTLP(pp)
 	case len(i.freshQ) > 0:
 		pp := i.freshQ[0]
@@ -492,6 +580,10 @@ func (i *Interface) txFire() {
 			return
 		}
 		i.stats.TLPsTx++
+		if tr := i.tracer(); tr.On(trace.CatTLP) {
+			tr.Emit(trace.CatTLP, uint64(eng.Now()), "pcie."+i.name,
+				"tx", pp.TLP.ID, fmt.Sprintf("seq=%d", pp.Seq))
+		}
 		i.transmitTLP(pp)
 	}
 	i.scheduleTx()
@@ -521,6 +613,14 @@ func (i *Interface) transmit(pp *PciePkt) {
 		// The packet occupied the wire but never arrives; the replay
 		// timer (TLPs) or ACK timer (DLLPs) recovers.
 		i.stats.Dropped++
+		if tr := i.tracer(); tr.On(trace.CatFault) {
+			var id uint64
+			if pp.TLP != nil {
+				id = pp.TLP.ID
+			}
+			tr.Emit(trace.CatFault, uint64(eng.Now()), "pcie."+i.name,
+				"wire-drop", id, fmt.Sprintf("%v seq=%d", pp.Kind, pp.Seq))
+		}
 		return
 	}
 	arrive := i.busyUntil + cfg.PropDelay
@@ -577,9 +677,17 @@ func (i *Interface) receive(pp *PciePkt) {
 			// (for ACKs) or replay timer (for NAKs) regenerates it.
 			i.stats.BadDLLPs++
 			i.aer.ReportCorrectable(pci.AERCorrBadDLLP)
+			if tr := i.tracer(); tr.On(trace.CatFault) {
+				tr.Emit(trace.CatFault, uint64(i.link.eng.Now()), "pcie."+i.name,
+					"bad-dllp", 0, fmt.Sprintf("%v seq=%d", pp.Kind, pp.Seq))
+			}
 			return
 		}
 		i.consecTimeouts = 0
+		if tr := i.tracer(); tr.On(trace.CatDLLP) {
+			tr.Emit(trace.CatDLLP, uint64(i.link.eng.Now()), "pcie."+i.name,
+				"dllp-rx", 0, fmt.Sprintf("%v seq=%d", pp.Kind, pp.Seq))
+		}
 		if pp.Kind == KindAck {
 			i.stats.AcksRx++
 			i.processAck(pp.Seq)
@@ -597,6 +705,10 @@ func (i *Interface) receiveTLP(pp *PciePkt) {
 		// CRC check failed: discard and NAK the last good sequence.
 		i.stats.CRCErrors++
 		i.aer.ReportCorrectable(pci.AERCorrReceiverError | pci.AERCorrBadTLP)
+		if tr := i.tracer(); tr.On(trace.CatFault) {
+			tr.Emit(trace.CatFault, uint64(i.link.eng.Now()), "pcie."+i.name,
+				"crc-error", pp.TLP.ID, fmt.Sprintf("seq=%d nak=%d", pp.Seq, i.recvSeq-1))
+		}
 		i.nakPend = true
 		i.nakSeq = i.recvSeq - 1
 		i.scheduleTx()
@@ -621,9 +733,17 @@ func (i *Interface) receiveTLP(pp *PciePkt) {
 		// sequence number and the sender retransmits the packets in its
 		// replay buffer after a timeout."
 		i.stats.DeliveryRefuse++
+		if tr := i.tracer(); tr.On(trace.CatTLP) {
+			tr.Emit(trace.CatTLP, uint64(i.link.eng.Now()), "pcie."+i.name,
+				"refuse", pp.TLP.ID, fmt.Sprintf("seq=%d", pp.Seq))
+		}
 		return
 	}
 	i.stats.TLPsDelivered++
+	if tr := i.tracer(); tr.On(trace.CatTLP) {
+		tr.Emit(trace.CatTLP, uint64(i.link.eng.Now()), "pcie."+i.name,
+			"deliver", pp.TLP.ID, fmt.Sprintf("seq=%d", pp.Seq))
+	}
 	i.lastDelivered = pp.Seq
 	i.recvSeq++
 	if !i.ackArmed {
@@ -677,16 +797,19 @@ func (i *Interface) processNak(seq uint64) {
 
 func (i *Interface) releaseUpTo(seq uint64) bool {
 	released := false
+	now := i.link.eng.Now()
 	keep := i.replayBuf[:0]
 	for _, pp := range i.replayBuf {
 		if pp.Seq <= seq {
 			pp.acked = true
 			released = true
+			i.ackLat.Observe(uint64(now - pp.acceptedAt))
 		} else {
 			keep = append(keep, pp)
 		}
 	}
 	i.replayBuf = keep
+	i.bufGauge.Set(int64(len(i.replayBuf)))
 	return released
 }
 
@@ -714,6 +837,10 @@ func (i *Interface) replayTimeout() {
 	}
 	i.stats.Timeouts++
 	i.aer.ReportCorrectable(pci.AERCorrReplayTimeout)
+	if tr := i.tracer(); tr.On(trace.CatFault) {
+		tr.Emit(trace.CatFault, uint64(i.link.eng.Now()), "pcie."+i.name,
+			"replay-timeout", 0, fmt.Sprintf("unacked=%d", len(i.replayBuf)))
+	}
 	if th := i.link.deadThreshold(); th > 0 {
 		i.consecTimeouts++
 		if i.consecTimeouts >= th {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pciesim/internal/mem"
+	"pciesim/internal/sim"
 )
 
 // PktKind distinguishes what a PciePkt carries.
@@ -52,6 +53,9 @@ type PciePkt struct {
 	acked bool
 	// replayed marks a retransmission (for the replay-rate statistic).
 	replayed bool
+	// acceptedAt stamps when the TLP entered the replay buffer, for the
+	// accept-to-ACK latency histogram.
+	acceptedAt sim.Tick
 }
 
 // PayloadBytes returns the TLP payload size: writes carry their data

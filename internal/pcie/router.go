@@ -6,6 +6,8 @@ import (
 	"pciesim/internal/mem"
 	"pciesim/internal/pci"
 	"pciesim/internal/sim"
+	"pciesim/internal/stats"
+	"pciesim/internal/trace"
 )
 
 // RouterConfig holds the knobs shared by the root complex and switch:
@@ -183,10 +185,16 @@ type ctoTracker struct {
 
 	fired uint64 // error completions synthesized
 	late  uint64 // genuine completions dropped after timing out
+
+	// lat is the request-tracked-to-completion latency histogram for
+	// requests that did complete in time.
+	lat *stats.Histogram
 }
 
 type ctoEntry struct {
 	id uint64
+	// trackedAt feeds the completion-latency histogram.
+	trackedAt sim.Tick
 	// errResp is the error completion pre-built at track time. It must
 	// be snapshotted here, not synthesized at expiry: MakeResponse
 	// converts request packets in place, so by the time the timer
@@ -205,16 +213,21 @@ func newCTOTracker(r *router, timeout sim.Tick) *ctoTracker {
 		timedOut: make(map[uint64]struct{}),
 	}
 	t.ev = r.eng.NewEvent(r.name+".ctoTimer", t.fire)
+	reg := r.eng.Stats()
+	reg.CounterFunc(r.name+".cto.fired", func() uint64 { return t.fired })
+	reg.CounterFunc(r.name+".cto.late", func() uint64 { return t.late })
+	t.lat = reg.Histogram(r.name + ".completion_latency")
 	return t
 }
 
 // track arms the timer for a non-posted request forwarded to dst.
 func (t *ctoTracker) track(pkt *mem.Packet, dst *Port) {
 	e := &ctoEntry{
-		id:       pkt.ID,
-		errResp:  pkt.MakeErrorResponse(),
-		dst:      dst,
-		deadline: t.r.eng.Now() + t.timeout,
+		id:        pkt.ID,
+		trackedAt: t.r.eng.Now(),
+		errResp:   pkt.MakeErrorResponse(),
+		dst:       dst,
+		deadline:  t.r.eng.Now() + t.timeout,
 	}
 	t.pending = append(t.pending, e)
 	t.byID[pkt.ID] = e
@@ -230,11 +243,16 @@ func (t *ctoTracker) observe(id uint64) bool {
 	if _, dead := t.timedOut[id]; dead {
 		delete(t.timedOut, id)
 		t.late++
+		if tr := t.r.eng.Tracer(); tr.On(trace.CatFault) {
+			tr.Emit(trace.CatFault, uint64(t.r.eng.Now()), t.r.name,
+				"late-completion", id, "dropped; timeout already answered")
+		}
 		return false
 	}
 	if e, ok := t.byID[id]; ok {
 		e.done = true
 		delete(t.byID, id)
+		t.lat.Observe(uint64(t.r.eng.Now() - e.trackedAt))
 	}
 	return true
 }
@@ -266,7 +284,14 @@ func (t *ctoTracker) fire() {
 		delete(t.byID, e.id)
 		t.timedOut[e.id] = struct{}{}
 		t.fired++
-		e.dst.aer.ReportUncorrectable(pci.AERUncCompletionTimeout)
+		// Latch the offending request's packet ID in the AER header
+		// log so software can name the exact TLP that timed out.
+		e.dst.aer.ReportUncorrectableTLP(pci.AERUncCompletionTimeout, e.id)
+		if tr := eng.Tracer(); tr.On(trace.CatFault) {
+			tr.Emit(trace.CatFault, uint64(now), t.r.name,
+				"completion-timeout", e.id,
+				fmt.Sprintf("no completion for pkt#%d within %v; synthesizing error response", e.id, t.timeout))
+		}
 		up.respQ.Push(e.errResp, now+t.r.cfg.Latency)
 	}
 	for len(t.pending) > 0 && t.pending[0].done {
@@ -298,6 +323,10 @@ func (r *router) addPort(name string, vp2p *pci.ConfigSpace) *Port {
 	if vp2p != nil {
 		vp2p.OnWrite = func(int, int, uint32) { p.winValid = false }
 	}
+	reg := r.eng.Stats()
+	reg.CounterFunc(name+".req_in", func() uint64 { return p.reqIn })
+	reg.CounterFunc(name+".resp_in", func() uint64 { return p.respIn })
+	reg.CounterFunc(name+".aborts", func() uint64 { return p.aborts })
 	r.ports = append(r.ports, p)
 	return p
 }
@@ -414,6 +443,10 @@ func (p *Port) masterAbort(pkt *mem.Packet) bool {
 		return false
 	}
 	p.aborts++
+	if tr := p.r.eng.Tracer(); tr.On(trace.CatFault) {
+		tr.Emit(trace.CatFault, uint64(p.r.eng.Now()), p.name,
+			"master-abort", pkt.ID, fmt.Sprintf("unclaimed addr %#x", pkt.Addr))
+	}
 	if pkt.Cmd == mem.ReadReq {
 		if pkt.Data == nil {
 			pkt.Data = make([]byte, pkt.Size)

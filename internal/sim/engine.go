@@ -1,6 +1,11 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"pciesim/internal/stats"
+	"pciesim/internal/trace"
+)
 
 // Engine is the simulation kernel: a clock and an event queue. All
 // simulated components share one Engine; its queue defines the global
@@ -16,6 +21,15 @@ type Engine struct {
 	fired   uint64
 	running bool
 	stopped bool
+
+	// Observability (see observe.go). stats is created lazily;
+	// tracer may stay nil (trace methods are nil-safe). The sampler
+	// fields drive periodic stats snapshots from the run loops.
+	stats        *stats.Registry
+	tracer       *trace.Tracer
+	lastPacketID uint64
+	sampleEvery  Tick
+	nextSample   Tick
 }
 
 // NewEngine returns an engine at tick zero with an empty queue.
@@ -116,16 +130,25 @@ func (e *Engine) RunUntil(limit Tick) uint64 {
 		next := e.queue.items[0]
 		if next.when > limit {
 			e.now = limit
+			if e.sampleEvery > 0 {
+				e.sampleUpTo()
+			}
 			return fired
 		}
 		e.queue.pop()
 		e.now = next.when
+		if e.sampleEvery > 0 {
+			e.sampleUpTo()
+		}
 		fired++
 		e.fired++
 		next.fn()
 	}
 	if e.queue.len() == 0 && limit != MaxTick && e.now < limit {
 		e.now = limit
+		if e.sampleEvery > 0 {
+			e.sampleUpTo()
+		}
 	}
 	return fired
 }
@@ -151,6 +174,9 @@ func (e *Engine) RunWhile(cond func() bool) uint64 {
 		next := e.queue.items[0]
 		e.queue.pop()
 		e.now = next.when
+		if e.sampleEvery > 0 {
+			e.sampleUpTo()
+		}
 		fired++
 		e.fired++
 		next.fn()

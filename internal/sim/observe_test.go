@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+
+	"pciesim/internal/trace"
+)
+
+func TestNextPacketIDMonotonicPerEngine(t *testing.T) {
+	a, b := NewEngine(), NewEngine()
+	if a.NextPacketID() != 1 || a.NextPacketID() != 2 {
+		t.Fatal("IDs must start at 1 and increase")
+	}
+	if b.NextPacketID() != 1 {
+		t.Fatal("engines must not share ID state")
+	}
+}
+
+func TestStatsLazyAndStable(t *testing.T) {
+	e := NewEngine()
+	r := e.Stats()
+	if r == nil || e.Stats() != r {
+		t.Fatal("Stats must be created once and reused")
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	e := NewEngine()
+	if e.Tracer().On(trace.CatTLP) {
+		t.Fatal("default tracer must be off")
+	}
+	e.SetTracer(trace.New(trace.CatTLP))
+	if !e.Tracer().On(trace.CatTLP) {
+		t.Fatal("installed tracer not returned")
+	}
+}
+
+func TestSampleEveryGridAndDrain(t *testing.T) {
+	e := NewEngine()
+	c := e.Stats().Counter("c")
+	e.SampleEvery(10)
+	// Events at 5 and 25; samples must land exactly on 10 and 20,
+	// capturing the counter state as of crossing each boundary.
+	e.Schedule("a", 5, func() { c.Inc() })
+	e.Schedule("b", 25, func() { c.Inc() })
+	e.RunUntil(30)
+	if !e.Drained() {
+		t.Fatal("queue must drain — the sampler must not keep events queued")
+	}
+	s := e.Stats().Sampler()
+	if s.Len() != 3 { // ticks 10, 20, 30
+		t.Fatalf("samples = %d, want 3", s.Len())
+	}
+}
+
+func TestRunDrainsWithSamplerArmed(t *testing.T) {
+	// Regression guard: Run() (limit = MaxTick) must still return once
+	// real events drain even with periodic sampling armed.
+	e := NewEngine()
+	e.Stats().Counter("c")
+	e.SampleEvery(1000)
+	e.Schedule("only", 10, func() {})
+	e.Run()
+	if !e.Drained() {
+		t.Fatal("Run did not drain")
+	}
+}

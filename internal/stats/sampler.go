@@ -1,0 +1,52 @@
+package stats
+
+// Sampler records periodic snapshots of selected counters and gauges
+// so a run's stats dump carries time series, not only end-of-run
+// totals. The engine drives it: sim.Engine.SampleEvery calls Sample
+// with the scheduled tick each time simulated time crosses a sampling
+// boundary, which keeps two identical runs byte-identical (samples
+// land on the grid, never on wall-clock or event jitter).
+type Sampler struct {
+	interval uint64
+	ticks    []uint64
+	series   map[string][]uint64
+}
+
+// NewSampler attaches a sampler with the given tick interval to the
+// registry and returns it. Subsequent calls replace the sampler.
+func (r *Registry) NewSampler(interval uint64) *Sampler {
+	s := &Sampler{
+		interval: interval,
+		series:   make(map[string][]uint64),
+	}
+	r.sampler = s
+	return s
+}
+
+// Sampler returns the attached sampler, nil if none.
+func (r *Registry) Sampler() *Sampler { return r.sampler }
+
+// Interval returns the sampling interval in ticks.
+func (s *Sampler) Interval() uint64 { return s.interval }
+
+// Sample snapshots every counter, counter-func, and gauge in the
+// registry at the given tick.
+func (r *Registry) Sample(tick uint64) {
+	s := r.sampler
+	if s == nil {
+		return
+	}
+	s.ticks = append(s.ticks, tick)
+	for n, c := range r.counters {
+		s.series[n] = append(s.series[n], c.v)
+	}
+	for n, fn := range r.funcs {
+		s.series[n] = append(s.series[n], fn())
+	}
+	for n, g := range r.gauges {
+		s.series[n] = append(s.series[n], uint64(g.v))
+	}
+}
+
+// Len returns the number of samples taken.
+func (s *Sampler) Len() int { return len(s.ticks) }

@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(4)
+	if got, _ := r.CounterValue("a.b"); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+
+	g := r.Gauge("q.depth")
+	g.Set(3)
+	g.Add(4)
+	g.Add(-6)
+	if g.Value() != 1 || g.Max() != 7 {
+		t.Fatalf("gauge = %d max %d, want 1 max 7", g.Value(), g.Max())
+	}
+}
+
+func TestCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	var raw uint64 = 10
+	r.CounterFunc("link.replays", func() uint64 { return raw })
+	raw = 42
+	if got, _ := r.CounterValue("link.replays"); got != 42 {
+		t.Fatalf("counterfunc = %d, want 42", got)
+	}
+}
+
+func TestKindCollisionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering the same name under two kinds did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x")
+	r.Histogram("x")
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// Bucket 0 holds the value 0; bucket k>=1 holds [2^(k-1), 2^k).
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 62, 63}, {^uint64(0), 64},
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Observe(c.v)
+		for b, n := range h.buckets {
+			if n > 0 && b != c.bucket {
+				t.Errorf("Observe(%d) landed in bucket %d, want %d", c.v, b, c.bucket)
+			}
+		}
+	}
+	if BucketUpperBound(0) != 0 || BucketUpperBound(1) != 1 || BucketUpperBound(10) != 1023 {
+		t.Fatalf("BucketUpperBound wrong: %d %d %d",
+			BucketUpperBound(0), BucketUpperBound(1), BucketUpperBound(10))
+	}
+	if BucketUpperBound(64) != ^uint64(0) {
+		t.Fatal("BucketUpperBound(64) must saturate")
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 100 || h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("count/min/max = %d/%d/%d", h.Count(), h.Min(), h.Max())
+	}
+	if h.Mean() != 50.5 {
+		t.Fatalf("mean = %v, want 50.5", h.Mean())
+	}
+	// Sample 50 (rank 50) lies in bucket [32,64); the log2 upper bound is 63.
+	if q := h.Quantile(0.50); q != 63 {
+		t.Fatalf("p50 = %d, want 63", q)
+	}
+	// p99 and p100 land in the top bucket, clamped to the observed max.
+	if q := h.Quantile(0.99); q != 100 {
+		t.Fatalf("p99 = %d, want 100 (clamped to max)", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Fatalf("p100 = %d, want 100", q)
+	}
+}
+
+func TestQuantileEmptyAndSingle(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	h.Observe(5)
+	if q := h.Quantile(0.5); q != 5 {
+		t.Fatalf("single-sample p50 = %d, want 5 (clamped to max)", q)
+	}
+}
+
+func fillRegistry(r *Registry) {
+	r.Counter("pcie.link0.up.replays").Add(3)
+	r.Counter("xbar.membus.reqs").Add(100)
+	var backing uint64 = 9
+	r.CounterFunc("aer.uncorrectable", func() uint64 { return backing })
+	r.Gauge("pcie.link0.up.replaybuf").Set(2)
+	h := r.Histogram("dma.chunk.latency")
+	for v := uint64(100); v < 4200; v += 100 {
+		h.Observe(v)
+	}
+	r.NewSampler(1000)
+	r.Sample(1000)
+	r.Counter("pcie.link0.up.replays").Inc()
+	r.Sample(2000)
+}
+
+func TestDumpDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	ra, rb := NewRegistry(), NewRegistry()
+	fillRegistry(ra)
+	fillRegistry(rb)
+	if err := ra.WriteJSON(&a, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.WriteJSON(&b, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("identical registries dumped differently:\n%s\n----\n%s", a.String(), b.String())
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal(a.Bytes(), &decoded); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"counters", "histograms", "series"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("dump missing %q section", key)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRegistry()
+	fillRegistry(r)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf, 5000); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"kind,name,field,value",
+		"counter,pcie.link0.up.replays,value,4",
+		"counter,aer.uncorrectable,value,9",
+		"histogram,dma.chunk.latency,count,41",
+		"meta,tick,value,5000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	fillRegistry(r)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf, 5000); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"pcie.link0.up.replays", "dma.chunk.latency", "p95="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSamplerSeries(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	r.NewSampler(10)
+	c.Add(1)
+	r.Sample(10)
+	c.Add(2)
+	r.Sample(20)
+	s := r.Sampler()
+	if s.Len() != 2 {
+		t.Fatalf("sampler len = %d, want 2", s.Len())
+	}
+	got := r.snapshot(20).Series.Values["c"]
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("series = %v, want [1 3]", got)
+	}
+}
+
+func TestHotPathAllocations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(5)
+		g.Add(-1)
+		h.Observe(1234)
+	}); n != 0 {
+		t.Fatalf("hot-path metric updates allocate %v times per run, want 0", n)
+	}
+}

@@ -348,6 +348,46 @@ func New(cfg Config) *System {
 	s.NICLink.Up().SetAER(s.RC.RootPort(1).AER())
 	s.NICLink.Down().SetAER(s.NIC.AER())
 
+	// Observability: per-function AER totals plus platform-wide
+	// aggregates, so a stats dump shows error activity at a glance.
+	aers := []struct {
+		name string
+		a    *pci.AER
+	}{
+		{"rc.rootport0", s.RC.RootPort(0).AER()},
+		{"rc.rootport1", s.RC.RootPort(1).AER()},
+		{"switch.upstream", s.Switch.UpstreamPort().AER()},
+		{"switch.downstream0", s.Switch.DownstreamPort(0).AER()},
+		{"disk", s.Disk.AER()},
+		{"nic", s.NIC.AER()},
+	}
+	r := eng.Stats()
+	all := make([]*pci.AER, 0, len(aers))
+	for _, e := range aers {
+		a := e.a
+		all = append(all, a)
+		r.CounterFunc("aer."+e.name+".correctable",
+			func() uint64 { c, _ := a.Totals(); return c })
+		r.CounterFunc("aer."+e.name+".uncorrectable",
+			func() uint64 { _, u := a.Totals(); return u })
+	}
+	r.CounterFunc("aer.correctable", func() uint64 {
+		var t uint64
+		for _, a := range all {
+			c, _ := a.Totals()
+			t += c
+		}
+		return t
+	})
+	r.CounterFunc("aer.uncorrectable", func() uint64 {
+		var t uint64
+		for _, a := range all {
+			_, u := a.Totals()
+			t += u
+		}
+		return t
+	})
+
 	// --- kernel ---
 	s.CPU = kernel.NewCPU(eng, "cpu0")
 	s.CPU.IRQLatency = cfg.IRQLatency

@@ -53,6 +53,7 @@ type Requester struct {
 // NewRequester creates a requester.
 func NewRequester(eng *sim.Engine, name string) *Requester {
 	r := &Requester{eng: eng, name: name, issuedAt: make(map[uint64]sim.Tick)}
+	r.alloc.Bind(eng)
 	r.port = mem.NewMasterPort(name+".port", r)
 	r.issueEv = eng.NewEvent(name+".issue", r.tryIssue)
 	return r

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseCategories(t *testing.T) {
+	c, err := ParseCategories("tlp,fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != CatTLP|CatFault {
+		t.Fatalf("parsed %v", c)
+	}
+	if c.String() != "tlp|fault" {
+		t.Fatalf("String() = %q", c.String())
+	}
+	if all, _ := ParseCategories("all"); all != CatAll {
+		t.Fatalf("all = %v, want %v", all, CatAll)
+	}
+	if _, err := ParseCategories("bogus"); err == nil {
+		t.Fatal("unknown category must error")
+	}
+}
+
+func TestCatAllCoversEveryCategory(t *testing.T) {
+	for _, c := range []Category{CatTLP, CatDLLP, CatDMA, CatIRQ, CatFault, CatConfig} {
+		if CatAll&c == 0 {
+			t.Errorf("CatAll missing %v", c)
+		}
+	}
+}
+
+func TestFiltering(t *testing.T) {
+	tr := New(CatTLP)
+	if !tr.On(CatTLP) || tr.On(CatDMA) {
+		t.Fatal("mask not respected")
+	}
+	tr.Emit(CatTLP, 10, "link.up", "accept", 1, "")
+	tr.Emit(CatDMA, 20, "disk.dma", "chunk", 2, "") // filtered out
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d, want 1", tr.Len())
+	}
+	if e := tr.Events()[0]; e.Name != "accept" || e.ID != 1 {
+		t.Fatalf("event = %+v", e)
+	}
+}
+
+func TestNilTracerIsSafeAndFree(t *testing.T) {
+	var tr *Tracer
+	if tr.On(CatTLP) {
+		t.Fatal("nil tracer must be off")
+	}
+	tr.Emit(CatTLP, 1, "x", "y", 0, "")
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer must record nothing")
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if tr.On(CatTLP) {
+			tr.Emit(CatTLP, 1, "x", "y", 0, "")
+		}
+	}); n != 0 {
+		t.Fatalf("nil tracer guard allocates %v times per run, want 0", n)
+	}
+}
+
+func TestDisabledCategoryIsAllocationFree(t *testing.T) {
+	tr := New(CatFault)
+	if n := testing.AllocsPerRun(1000, func() {
+		if tr.On(CatTLP) {
+			tr.Emit(CatTLP, 1, "x", "y", 0, "")
+		}
+	}); n != 0 {
+		t.Fatalf("disabled category guard allocates %v times per run, want 0", n)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	tr := New(CatAll)
+	tr.Emit(CatTLP, 1500, "pcie.disklink.up", "accept", 42, "seq=3")
+	tr.Emit(CatFault, 2500, "rc", "cto", 42, "")
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"tick=1500 cat=tlp comp=pcie.disklink.up event=accept id=42 seq=3",
+		"tick=2500 cat=fault comp=rc event=cto id=42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteChromeJSON(t *testing.T) {
+	mk := func() *Tracer {
+		tr := New(CatAll)
+		tr.Emit(CatTLP, 1_000_000, "pcie.disklink.up", "accept", 7, "seq=1")
+		tr.Emit(CatDMA, 2_000_000, "disk.dma", "chunk-issue", 8, "")
+		return tr
+	}
+	var a, b bytes.Buffer
+	if err := mk().WriteChromeJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk().WriteChromeJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical traces serialized differently")
+	}
+
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, a.String())
+	}
+	// 2 thread_name metadata events + 2 instant events.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(doc.TraceEvents))
+	}
+	var inst map[string]interface{}
+	for _, e := range doc.TraceEvents {
+		if e["ph"] == "i" && e["name"] == "accept" {
+			inst = e
+		}
+	}
+	if inst == nil {
+		t.Fatal("no instant event named accept")
+	}
+	if inst["ts"].(float64) != 1.0 { // 1e6 ps = 1 us
+		t.Fatalf("ts = %v, want 1.0", inst["ts"])
+	}
+	args := inst["args"].(map[string]interface{})
+	if args["id"].(float64) != 7 {
+		t.Fatalf("args.id = %v", args["id"])
+	}
+}

@@ -23,7 +23,9 @@ import (
 	"pciesim/internal/pcie"
 	"pciesim/internal/phys"
 	"pciesim/internal/sim"
+	"pciesim/internal/stats"
 	"pciesim/internal/system"
+	"pciesim/internal/trace"
 )
 
 // Config is the full platform configuration. Obtain a calibrated
@@ -35,6 +37,10 @@ type System = system.System
 
 // DDResult reports one dd run.
 type DDResult = kernel.DDResult
+
+// LatencySummary condenses a per-request latency distribution into
+// printable quantiles.
+type LatencySummary = kernel.LatencySummary
 
 // MMIOProbeResult reports an MMIO latency measurement.
 type MMIOProbeResult = kernel.MMIOProbeResult
@@ -93,6 +99,43 @@ type AERRecord = kernel.AERRecord
 // LinkErrorSummary pairs a link's name with both directions' error
 // counters and its recovery state.
 type LinkErrorSummary = system.LinkErrorSummary
+
+// --- observability (DESIGN.md §8) ---
+
+// StatsRegistry is the simulator-wide hierarchical metric registry;
+// reach a platform's registry through System.Eng.Stats().
+type StatsRegistry = stats.Registry
+
+// StatsHistogram is a log2-bucketed latency/size distribution.
+type StatsHistogram = stats.Histogram
+
+// Tracer records tick-stamped per-packet lifecycle events; install one
+// with System.Eng.SetTracer before running workloads.
+type Tracer = trace.Tracer
+
+// TraceCategory selects which event classes a Tracer records.
+type TraceCategory = trace.Category
+
+// TraceEvent is one recorded tracer event.
+type TraceEvent = trace.Event
+
+// Trace categories.
+const (
+	TraceTLP    = trace.CatTLP
+	TraceDLLP   = trace.CatDLLP
+	TraceDMA    = trace.CatDMA
+	TraceIRQ    = trace.CatIRQ
+	TraceFault  = trace.CatFault
+	TraceConfig = trace.CatConfig
+	TraceAll    = trace.CatAll
+)
+
+// NewTracer creates a tracer recording the given categories.
+func NewTracer(mask TraceCategory) *Tracer { return trace.New(mask) }
+
+// ParseTraceCategories parses a comma-separated category list
+// ("tlp,fault") or "all".
+func ParseTraceCategories(s string) (TraceCategory, error) { return trace.ParseCategories(s) }
 
 // DefaultConfig returns the paper's validated baseline configuration.
 func DefaultConfig() Config { return system.DefaultConfig() }
