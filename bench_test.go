@@ -32,6 +32,7 @@ func reportSeries(b *testing.B, fig Figure) {
 // BenchmarkFig9a regenerates Fig 9(a): dd throughput, physical
 // reference vs simulated platform across switch latencies.
 func BenchmarkFig9a(b *testing.B) {
+	b.ReportAllocs()
 	var fig Figure
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -45,6 +46,7 @@ func BenchmarkFig9a(b *testing.B) {
 
 // BenchmarkFig9b regenerates Fig 9(b): link width sweep.
 func BenchmarkFig9b(b *testing.B) {
+	b.ReportAllocs()
 	var fig Figure
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -58,6 +60,7 @@ func BenchmarkFig9b(b *testing.B) {
 
 // BenchmarkFig9c regenerates Fig 9(c): replay buffer sweep at x8.
 func BenchmarkFig9c(b *testing.B) {
+	b.ReportAllocs()
 	var fig Figure
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -71,6 +74,7 @@ func BenchmarkFig9c(b *testing.B) {
 
 // BenchmarkFig9d regenerates Fig 9(d): port buffer sweep at x8.
 func BenchmarkFig9d(b *testing.B) {
+	b.ReportAllocs()
 	var fig Figure
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -85,10 +89,11 @@ func BenchmarkFig9d(b *testing.B) {
 // BenchmarkTableII regenerates Table II: MMIO read latency vs root
 // complex latency.
 func BenchmarkTableII(b *testing.B) {
+	b.ReportAllocs()
 	var rows []TableIIRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = RunTableII()
+		rows, err = RunTableII(1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,6 +128,7 @@ func BenchmarkLinkSaturation(b *testing.B) {
 	for _, gen := range []Generation{Gen1, Gen2, Gen3} {
 		for _, w := range []int{1, 4, 16} {
 			b.Run(fmt.Sprintf("%v_x%d", gen, w), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					cfg := DefaultConfig()
 					cfg.Gen = gen
@@ -147,6 +153,7 @@ func BenchmarkAblationPostedWrites(b *testing.B) {
 			name = "posted"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var gbps float64
 			for i := 0; i < b.N; i++ {
 				cfg := DefaultConfig()
@@ -204,6 +211,7 @@ func BenchmarkObservabilityOverhead(b *testing.B) {
 func BenchmarkAblationErrorRate(b *testing.B) {
 	for _, rate := range []float64{0, 0.001, 0.01, 0.05} {
 		b.Run(fmt.Sprintf("err%.3f", rate), func(b *testing.B) {
+			b.ReportAllocs()
 			var gbps float64
 			for i := 0; i < b.N; i++ {
 				cfg := DefaultConfig()

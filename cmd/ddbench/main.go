@@ -3,11 +3,15 @@
 //
 // Usage:
 //
-//	ddbench [-fig 9a|9b|9c|9d|err|all] [-scale N] [-csv] [-table1]
+//	ddbench [-fig 9a|9b|9c|9d|err|all] [-scale N] [-jobs N] [-csv] [-table1]
 //
 // -scale divides the paper's 64-512 MiB block sizes (and dd's fixed
 // startup overhead) by N; 1 reproduces the full-size experiment, the
 // default 16 runs in a couple of minutes with an identical curve.
+//
+// -jobs fans a figure's independent (series, block-size) runs across N
+// workers. Each run is its own single-threaded simulation, so the
+// output is byte-identical at any job count; -jobs -1 uses every CPU.
 //
 // The observability flags apply per run within a sweep: with
 // `-stats-out stats.json` each (series, block-size) point writes
@@ -19,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"pciesim"
 	"pciesim/internal/obscli"
@@ -27,6 +32,7 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 9a, 9b, 9c, 9d, err or all")
 	scale := flag.Int("scale", 16, "divide the paper's block sizes by this factor")
+	jobs := flag.Int("jobs", 1, "parallel simulation runs (-1 = one per CPU); output is identical at any value")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	table1 := flag.Bool("table1", false, "also print Table I (protocol overheads)")
 	var obs obscli.Flags
@@ -37,28 +43,32 @@ func main() {
 		printTableI()
 	}
 
-	opt := pciesim.Options{Scale: *scale}
+	opt := pciesim.Options{Scale: *scale, Jobs: *jobs}
 	if obs.Active() {
 		// One armed copy per run; dumps are suffixed with the run label.
+		// Observe runs concurrently under -jobs, so the map is locked;
+		// ObserveDone is serialized by the sweep runner.
+		var mu sync.Mutex
 		armed := make(map[*pciesim.System]*obscli.Flags)
-		opt.Observe = func(sys *pciesim.System, label string) {
+		opt.Observe = func(sys *pciesim.System, label string) error {
 			f := obs.ForRun(label)
 			if err := f.Arm(sys.Eng); err != nil {
-				fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
-				os.Exit(2)
+				return err
 			}
+			mu.Lock()
 			armed[sys] = f
+			mu.Unlock()
+			return nil
 		}
-		opt.ObserveDone = func(sys *pciesim.System, label string) {
+		opt.ObserveDone = func(sys *pciesim.System, label string) error {
+			mu.Lock()
 			f := armed[sys]
 			delete(armed, sys)
+			mu.Unlock()
 			if f.Stats {
 				fmt.Printf("--- stats: %s ---\n", label)
 			}
-			if err := f.Finish(sys.Eng); err != nil {
-				fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
-				os.Exit(1)
-			}
+			return f.Finish(sys.Eng)
 		}
 	}
 	runners := map[string]func(pciesim.Options) (pciesim.Figure, error){

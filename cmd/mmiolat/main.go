@@ -12,8 +12,9 @@ import (
 )
 
 func main() {
+	jobs := flag.Int("jobs", 1, "parallel simulation runs (-1 = one per CPU)")
 	flag.Parse()
-	rows, err := pciesim.RunTableII()
+	rows, err := pciesim.RunTableII(*jobs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmiolat: %v\n", err)
 		os.Exit(1)

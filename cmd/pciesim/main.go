@@ -19,17 +19,56 @@
 //
 //	pciesim -stats -trace trace.json
 //	pciesim -stats-out stats.json -stats-interval 100
+//
+// Monte-Carlo fault campaign: -campaign runs the dd workload K times
+// with a stochastically faulted disk link, one RNG seed per run, fanned
+// across -jobs workers, and reports the outcome distribution:
+//
+//	pciesim -campaign seeds=32 -jobs -1
+//	pciesim -campaign seeds=64,rate=1e-2 -jobs 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"sync"
 
 	"pciesim"
 	"pciesim/internal/obscli"
 	"pciesim/internal/sim"
 )
+
+// parseCampaign parses "-campaign seeds=K[,rate=R]".
+func parseCampaign(spec string) (seeds int, rate float64, err error) {
+	rate = 1e-3
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return 0, 0, fmt.Errorf("campaign: %q is not key=value", kv)
+		}
+		switch k {
+		case "seeds":
+			seeds, err = strconv.Atoi(v)
+			if err != nil || seeds <= 0 {
+				return 0, 0, fmt.Errorf("campaign: seeds=%q must be a positive integer", v)
+			}
+		case "rate":
+			rate, err = strconv.ParseFloat(v, 64)
+			if err != nil || rate < 0 || rate > 1 {
+				return 0, 0, fmt.Errorf("campaign: rate=%q must be a probability", v)
+			}
+		default:
+			return 0, 0, fmt.Errorf("campaign: unknown key %q (want seeds=, rate=)", k)
+		}
+	}
+	if seeds == 0 {
+		return 0, 0, fmt.Errorf("campaign: seeds=K is required")
+	}
+	return seeds, rate, nil
+}
 
 func main() {
 	gen := flag.Int("gen", 2, "PCI-Express generation for all links (1-3)")
@@ -50,9 +89,21 @@ func main() {
 	downDur := flag.Int("downdur", 0, "link-down window length (us; 0 = down for good)")
 	retrain := flag.Int("retrain", 20, "retrain latency after a finite down window (us)")
 	cto := flag.Int("cto", 100, "root-complex completion timeout when faults are armed (us; 0 disables)")
+	campaignSpec := flag.String("campaign", "", "Monte-Carlo fault campaign: seeds=K[,rate=R] dd runs over distinct fault seeds")
+	jobs := flag.Int("jobs", 1, "parallel campaign runs (-1 = one per CPU); output is identical at any value")
 	var obs obscli.Flags
 	obs.Register(flag.CommandLine)
 	flag.Parse()
+
+	if *campaignSpec != "" {
+		seeds, rate, err := parseCampaign(*campaignSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
+			os.Exit(2)
+		}
+		runCampaign(seeds, rate, *jobs, *blockMB, obs)
+		return
+	}
 
 	cfg := pciesim.DefaultConfig()
 	cfg.Gen = pciesim.Generation(*gen)
@@ -167,4 +218,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runCampaign runs the Monte-Carlo fault campaign and prints the
+// per-seed table plus the outcome distribution.
+func runCampaign(seeds int, rate float64, jobs, blockMB int, obs obscli.Flags) {
+	// Scale 16 with a pre-scaling block of 16x the requested size keeps
+	// the simulated block at blockMB MiB while dividing dd's fixed
+	// startup overhead, like the single-run path's proportional scaling.
+	opt := pciesim.Options{Scale: 16, BlockMB: []int{blockMB * 16}, Jobs: jobs}
+	if obs.Active() {
+		var mu sync.Mutex
+		armed := make(map[*pciesim.System]*obscli.Flags)
+		opt.Observe = func(sys *pciesim.System, label string) error {
+			f := obs.ForRun(label)
+			if err := f.Arm(sys.Eng); err != nil {
+				return err
+			}
+			mu.Lock()
+			armed[sys] = f
+			mu.Unlock()
+			return nil
+		}
+		opt.ObserveDone = func(sys *pciesim.System, label string) error {
+			mu.Lock()
+			f := armed[sys]
+			delete(armed, sys)
+			mu.Unlock()
+			if f.Stats {
+				fmt.Printf("--- stats: %s ---\n", label)
+			}
+			return f.Finish(sys.Eng)
+		}
+	}
+	res, err := pciesim.RunFaultCampaign(seeds, rate, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Format())
 }

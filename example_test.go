@@ -32,7 +32,7 @@ func ExampleNew() {
 // Regenerate the paper's Table II (MMIO read latency vs root complex
 // latency).
 func ExampleRunTableII() {
-	rows, err := pciesim.RunTableII()
+	rows, err := pciesim.RunTableII(1)
 	if err != nil {
 		panic(err)
 	}

@@ -2,8 +2,10 @@ package pciesim
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
+	"pciesim/internal/campaign"
 	"pciesim/internal/fault"
 	"pciesim/internal/pcie"
 	"pciesim/internal/sim"
@@ -21,13 +23,22 @@ type Options struct {
 	// BlockMB overrides the block-size sweep (pre-scaling); defaults to
 	// the paper's {64, 128, 256, 512}.
 	BlockMB []int
+	// Jobs is the worker count for fanning independent runs across
+	// CPUs. 1 (and 0) runs serially; -1 uses one worker per CPU. Each
+	// run still owns a single-threaded engine, so results are
+	// byte-identical at any job count.
+	Jobs int
 	// Observe, when set, is called on each freshly built platform before
 	// its workload runs — the hook for installing tracers and samplers.
-	// The label identifies the run ("x8@512MB", "dead").
-	Observe func(sys *System, label string)
+	// The label identifies the run ("x8@512MB", "dead"). With Jobs > 1
+	// it is called concurrently from worker goroutines: it must only
+	// touch the platform it is handed. A non-nil error aborts the sweep.
+	Observe func(sys *System, label string) error
 	// ObserveDone, when set, is called after the run's workload (and any
-	// straggler drain) completes, before the platform is discarded.
-	ObserveDone func(sys *System, label string)
+	// straggler drain) completes, before the platform is discarded. It
+	// is always called serially, in sweep submission order, whatever
+	// Jobs is — the safe place for printing and file output.
+	ObserveDone func(sys *System, label string) error
 }
 
 // DefaultOptions returns the 16x-scaled workload.
@@ -41,6 +52,15 @@ func (o Options) normalize() Options {
 		o.BlockMB = []int{64, 128, 256, 512}
 	}
 	return o
+}
+
+// jobs maps the Options knob onto the campaign runner's convention:
+// 0 (unset) means serial, negative means one worker per CPU.
+func (o Options) jobs() int {
+	if o.Jobs == 0 {
+		return 1
+	}
+	return o.Jobs
 }
 
 func (o Options) scaledConfig(base Config) Config {
@@ -77,43 +97,80 @@ type Figure struct {
 	Series []Series
 }
 
-// runSweep evaluates one configuration across the block sizes.
-func runSweep(label string, cfg Config, opt Options) (Series, error) {
-	s := Series{Label: label}
-	for _, mb := range opt.BlockMB {
-		sys := New(cfg)
-		runLabel := fmt.Sprintf("%s@%dMB", label, mb)
-		if opt.Observe != nil {
-			opt.Observe(sys, runLabel)
-		}
-		res, err := sys.RunDD(opt.blockBytes(mb))
-		if err != nil {
-			return Series{}, fmt.Errorf("%s @%dMB: %w", label, mb, err)
-		}
-		if opt.ObserveDone != nil {
-			opt.ObserveDone(sys, runLabel)
-		}
-		// Congestion metrics: take the worst upstream direction across
-		// the two links on the disk's DMA path.
-		disk := sys.DiskLink.Down().Stats()
-		up := sys.Uplink.Down().Stats()
-		replay := disk.ReplayRate()
-		if r := up.ReplayRate(); r > replay {
-			replay = r
-		}
-		timeout := disk.TimeoutRate()
-		if r := up.TimeoutRate(); r > timeout {
-			timeout = r
-		}
-		s.Points = append(s.Points, Point{
-			X:          mb,
-			Gbps:       res.ThroughputGbps(),
-			ReplayPct:  replay * 100,
-			TimeoutPct: timeout * 100,
-			ReqLat:     res.ReqLat,
-		})
+// sweepSpec names one configuration of a figure's sweep.
+type sweepSpec struct {
+	label string
+	cfg   Config
+}
+
+// runSweeps evaluates every (configuration, block size) pair of a
+// figure as one flat campaign, so Jobs > 1 overlaps runs across series
+// as well as within them — a figure of S series and B block sizes is
+// S×B independent single-threaded simulations. Results come back in
+// the exact order the serial loops produced them.
+func runSweeps(specs []sweepSpec, opt Options) ([]Series, error) {
+	nb := len(opt.BlockMB)
+	out := make([]Series, len(specs))
+	for i, sp := range specs {
+		out[i] = Series{Label: sp.label, Points: make([]Point, nb)}
 	}
-	return s, nil
+	type outcome struct {
+		p     Point
+		sys   *System
+		label string
+	}
+	err := campaign.RunCollect(opt.jobs(), len(specs)*nb,
+		func(k int) (outcome, error) {
+			si, bi := k/nb, k%nb
+			mb := opt.BlockMB[bi]
+			sys := New(specs[si].cfg)
+			runLabel := fmt.Sprintf("%s@%dMB", specs[si].label, mb)
+			if opt.Observe != nil {
+				if err := opt.Observe(sys, runLabel); err != nil {
+					return outcome{}, err
+				}
+			}
+			res, err := sys.RunDD(opt.blockBytes(mb))
+			if err != nil {
+				return outcome{}, fmt.Errorf("%s @%dMB: %w", specs[si].label, mb, err)
+			}
+			// Congestion metrics: take the worst upstream direction
+			// across the two links on the disk's DMA path.
+			disk := sys.DiskLink.Down().Stats()
+			up := sys.Uplink.Down().Stats()
+			replay := disk.ReplayRate()
+			if r := up.ReplayRate(); r > replay {
+				replay = r
+			}
+			timeout := disk.TimeoutRate()
+			if r := up.TimeoutRate(); r > timeout {
+				timeout = r
+			}
+			return outcome{
+				p: Point{
+					X:          mb,
+					Gbps:       res.ThroughputGbps(),
+					ReplayPct:  replay * 100,
+					TimeoutPct: timeout * 100,
+					ReqLat:     res.ReqLat,
+				},
+				sys:   sys,
+				label: runLabel,
+			}, nil
+		},
+		func(k int, o outcome) error {
+			if opt.ObserveDone != nil {
+				if err := opt.ObserveDone(o.sys, o.label); err != nil {
+					return err
+				}
+			}
+			out[k/nb].Points[k%nb] = o.p
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // RunFig9a regenerates Fig 9(a): dd throughput on the physical
@@ -134,15 +191,17 @@ func RunFig9a(opt Options) (Figure, error) {
 	}
 	fig.Series = append(fig.Series, physSeries)
 
+	var specs []sweepSpec
 	for _, lat := range []sim.Tick{50, 100, 150} {
 		cfg := opt.scaledConfig(DefaultConfig())
 		cfg.SwitchLatency = lat * sim.Nanosecond
-		s, err := runSweep(fmt.Sprintf("L%dns", lat), cfg, opt)
-		if err != nil {
-			return Figure{}, err
-		}
-		fig.Series = append(fig.Series, s)
+		specs = append(specs, sweepSpec{fmt.Sprintf("L%dns", lat), cfg})
 	}
+	series, err := runSweeps(specs, opt)
+	if err != nil {
+		return Figure{}, err
+	}
+	fig.Series = append(fig.Series, series...)
 	return fig, nil
 }
 
@@ -151,16 +210,18 @@ func RunFig9a(opt Options) (Figure, error) {
 func RunFig9b(opt Options) (Figure, error) {
 	opt = opt.normalize()
 	fig := Figure{ID: "fig9b", Title: "dd throughput vs PCI-Express link width"}
+	var specs []sweepSpec
 	for _, w := range []int{1, 2, 4, 8} {
 		cfg := opt.scaledConfig(DefaultConfig())
 		cfg.UplinkWidth = w
 		cfg.DiskLinkWidth = w
-		s, err := runSweep(fmt.Sprintf("x%d", w), cfg, opt)
-		if err != nil {
-			return Figure{}, err
-		}
-		fig.Series = append(fig.Series, s)
+		specs = append(specs, sweepSpec{fmt.Sprintf("x%d", w), cfg})
 	}
+	series, err := runSweeps(specs, opt)
+	if err != nil {
+		return Figure{}, err
+	}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -168,17 +229,19 @@ func RunFig9b(opt Options) (Figure, error) {
 func RunFig9c(opt Options) (Figure, error) {
 	opt = opt.normalize()
 	fig := Figure{ID: "fig9c", Title: "x8 dd throughput vs replay buffer size"}
+	var specs []sweepSpec
 	for _, rb := range []int{1, 2, 3, 4} {
 		cfg := opt.scaledConfig(DefaultConfig())
 		cfg.UplinkWidth = 8
 		cfg.DiskLinkWidth = 8
 		cfg.ReplayBufferSize = rb
-		s, err := runSweep(fmt.Sprintf("rb%d", rb), cfg, opt)
-		if err != nil {
-			return Figure{}, err
-		}
-		fig.Series = append(fig.Series, s)
+		specs = append(specs, sweepSpec{fmt.Sprintf("rb%d", rb), cfg})
 	}
+	series, err := runSweeps(specs, opt)
+	if err != nil {
+		return Figure{}, err
+	}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -187,17 +250,19 @@ func RunFig9c(opt Options) (Figure, error) {
 func RunFig9d(opt Options) (Figure, error) {
 	opt = opt.normalize()
 	fig := Figure{ID: "fig9d", Title: "x8 dd throughput vs switch/root port buffer size"}
+	var specs []sweepSpec
 	for _, pb := range []int{16, 20, 24, 28} {
 		cfg := opt.scaledConfig(DefaultConfig())
 		cfg.UplinkWidth = 8
 		cfg.DiskLinkWidth = 8
 		cfg.PortBufferSize = pb
-		s, err := runSweep(fmt.Sprintf("pb%d", pb), cfg, opt)
-		if err != nil {
-			return Figure{}, err
-		}
-		fig.Series = append(fig.Series, s)
+		specs = append(specs, sweepSpec{fmt.Sprintf("pb%d", pb), cfg})
 	}
+	series, err := runSweeps(specs, opt)
+	if err != nil {
+		return Figure{}, err
+	}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -209,20 +274,24 @@ type TableIIRow struct {
 }
 
 // RunTableII regenerates Table II: the 4-byte NIC register read latency
-// as the root complex latency sweeps 50-150 ns.
-func RunTableII() ([]TableIIRow, error) {
-	var rows []TableIIRow
-	for _, lat := range []int{50, 75, 100, 125, 150} {
+// as the root complex latency sweeps 50-150 ns. The five probe runs are
+// independent platforms and fan across jobs workers (1 or 0 is serial).
+func RunTableII(jobs int) ([]TableIIRow, error) {
+	lats := []int{50, 75, 100, 125, 150}
+	if jobs == 0 {
+		jobs = 1
+	}
+	return campaign.Run(jobs, len(lats), func(i int) (TableIIRow, error) {
+		lat := lats[i]
 		cfg := DefaultConfig()
 		cfg.RootComplexLatency = sim.Tick(lat) * sim.Nanosecond
 		sys := New(cfg)
 		res, err := sys.MMIOProbe(64)
 		if err != nil {
-			return nil, err
+			return TableIIRow{}, err
 		}
-		rows = append(rows, TableIIRow{RCLatencyNs: lat, MMIOLatencyNs: res.Avg().Nanoseconds()})
-	}
-	return rows, nil
+		return TableIIRow{RCLatencyNs: lat, MMIOLatencyNs: res.Avg().Nanoseconds()}, nil
+	})
 }
 
 // TableIRow describes one overhead entry of Table I.
@@ -323,47 +392,192 @@ func RunFigErr(opt Options) (ErrFigure, error) {
 	}
 
 	fig := ErrFigure{Title: "dd under disk-link fault injection"}
-	for _, sc := range scenarios {
-		cfg := base
-		cfg.DiskLinkFault = sc.plan
-		sys := New(cfg)
-		if opt.Observe != nil {
-			opt.Observe(sys, sc.label)
-		}
-		res, err := sys.RunDD(bytes)
-		if err != nil {
-			return ErrFigure{}, fmt.Errorf("figerr %s: %w", sc.label, err)
-		}
-		sys.Eng.Run() // drain stragglers a dead link strands
-		if opt.ObserveDone != nil {
-			opt.ObserveDone(sys, sc.label)
-		}
-		up, down := sys.DiskLink.Up().Stats(), sys.DiskLink.Down().Stats()
-		replay := down.ReplayRate()
-		if r := up.ReplayRate(); r > replay {
-			replay = r
-		}
-		timeout := down.TimeoutRate()
-		if r := up.TimeoutRate(); r > timeout {
-			timeout = r
-		}
-		ctos, _ := sys.RC.CompletionTimeouts()
-		fig.Points = append(fig.Points, ErrPoint{
-			Scenario:           sc.label,
-			Gbps:               res.ThroughputGbps(),
-			Requests:           res.Requests,
-			Errored:            res.Errors,
-			ReplayPct:          replay * 100,
-			TimeoutPct:         timeout * 100,
-			BadDLLPs:           up.BadDLLPs + down.BadDLLPs,
-			Dropped:            up.Dropped + down.Dropped,
-			Retrains:           sys.DiskLink.Retrains(),
-			CompletionTimeouts: ctos,
-			LinkDead:           sys.DiskLink.Dead(),
-			ReqLat:             res.ReqLat,
+	fig.Points = make([]ErrPoint, len(scenarios))
+	type outcome struct {
+		p   ErrPoint
+		sys *System
+	}
+	err := campaign.RunCollect(opt.jobs(), len(scenarios),
+		func(k int) (outcome, error) {
+			sc := scenarios[k]
+			cfg := base
+			cfg.DiskLinkFault = sc.plan
+			sys := New(cfg)
+			if opt.Observe != nil {
+				if err := opt.Observe(sys, sc.label); err != nil {
+					return outcome{}, err
+				}
+			}
+			res, err := sys.RunDD(bytes)
+			if err != nil {
+				return outcome{}, fmt.Errorf("figerr %s: %w", sc.label, err)
+			}
+			sys.Eng.Run() // drain stragglers a dead link strands
+			return outcome{p: errPoint(sc.label, sys, res), sys: sys}, nil
+		},
+		func(k int, o outcome) error {
+			if opt.ObserveDone != nil {
+				if err := opt.ObserveDone(o.sys, scenarios[k].label); err != nil {
+					return err
+				}
+			}
+			fig.Points[k] = o.p
+			return nil
 		})
+	if err != nil {
+		return ErrFigure{}, err
 	}
 	return fig, nil
+}
+
+// errPoint gathers one fault scenario's measurement from a finished
+// platform.
+func errPoint(label string, sys *System, res DDResult) ErrPoint {
+	up, down := sys.DiskLink.Up().Stats(), sys.DiskLink.Down().Stats()
+	replay := down.ReplayRate()
+	if r := up.ReplayRate(); r > replay {
+		replay = r
+	}
+	timeout := down.TimeoutRate()
+	if r := up.TimeoutRate(); r > timeout {
+		timeout = r
+	}
+	ctos, _ := sys.RC.CompletionTimeouts()
+	return ErrPoint{
+		Scenario:           label,
+		Gbps:               res.ThroughputGbps(),
+		Requests:           res.Requests,
+		Errored:            res.Errors,
+		ReplayPct:          replay * 100,
+		TimeoutPct:         timeout * 100,
+		BadDLLPs:           up.BadDLLPs + down.BadDLLPs,
+		Dropped:            up.Dropped + down.Dropped,
+		Retrains:           sys.DiskLink.Retrains(),
+		CompletionTimeouts: ctos,
+		LinkDead:           sys.DiskLink.Dead(),
+		ReqLat:             res.ReqLat,
+	}
+}
+
+// CampaignResult is a Monte-Carlo fault campaign: the same faulted dd
+// workload run under K different injection seeds, with the
+// error-recovery outcome distribution across seeds.
+type CampaignResult struct {
+	Seeds int
+	// Rate is the per-transmission TLP/DLLP corruption probability
+	// (drops are injected at half this rate), identical in every run;
+	// only the RNG seed varies.
+	Rate float64
+	// Points holds one measurement per seed, in seed order.
+	Points []ErrPoint
+
+	// Distribution across seeds.
+	GbpsMin, GbpsMedian, GbpsMax float64
+	// ErroredRuns counts runs where at least one dd request came back
+	// as an error completion; DeadRuns counts runs that ended with the
+	// disk link down for good.
+	ErroredRuns int
+	DeadRuns    int
+	// Retrains and CompletionTimeouts are totals across all runs.
+	Retrains           uint64
+	CompletionTimeouts uint64
+}
+
+// RunFaultCampaign runs a Monte-Carlo campaign: seeds independent dd
+// runs, each with a stochastic corruption/drop plan on the disk link
+// seeded differently, fanned across opt.Jobs workers. Where RunFigErr
+// answers "what does each failure mode cost", the campaign answers
+// "how wide is the outcome spread under one failure rate" — the
+// tail-risk question a single seeded run cannot.
+func RunFaultCampaign(seeds int, rate float64, opt Options) (CampaignResult, error) {
+	if seeds <= 0 {
+		return CampaignResult{}, fmt.Errorf("campaign: seeds = %d", seeds)
+	}
+	opt = opt.normalize()
+	bytes := opt.blockBytes(opt.BlockMB[0])
+	base := opt.scaledConfig(DefaultConfig())
+	base.CompletionTimeout = 100 * sim.Microsecond
+	base.DiskCmdTimeout = 2 * sim.Millisecond
+	base.DiskDMATimeout = 500 * sim.Microsecond
+
+	res := CampaignResult{Seeds: seeds, Rate: rate, Points: make([]ErrPoint, seeds)}
+	type outcome struct {
+		p   ErrPoint
+		sys *System
+	}
+	err := campaign.RunCollect(opt.jobs(), seeds,
+		func(k int) (outcome, error) {
+			label := fmt.Sprintf("seed%03d", k)
+			// Each run builds its own plan: fault.Plan is mutated by the
+			// link that adopts it, so sharing one across runs would race.
+			r := fault.Rates{TLPCorrupt: rate, DLLPCorrupt: rate, Drop: rate / 2}
+			cfg := base
+			cfg.DiskLinkFault = &fault.Plan{
+				Seed: uint64(k + 1),
+				Up:   fault.Profile{Rates: r},
+				Down: fault.Profile{Rates: r},
+			}
+			sys := New(cfg)
+			if opt.Observe != nil {
+				if err := opt.Observe(sys, label); err != nil {
+					return outcome{}, err
+				}
+			}
+			dd, err := sys.RunDD(bytes)
+			if err != nil {
+				return outcome{}, fmt.Errorf("campaign %s: %w", label, err)
+			}
+			sys.Eng.Run() // drain stragglers
+			return outcome{p: errPoint(label, sys, dd), sys: sys}, nil
+		},
+		func(k int, o outcome) error {
+			if opt.ObserveDone != nil {
+				label := fmt.Sprintf("seed%03d", k)
+				if err := opt.ObserveDone(o.sys, label); err != nil {
+					return err
+				}
+			}
+			res.Points[k] = o.p
+			return nil
+		})
+	if err != nil {
+		return CampaignResult{}, err
+	}
+
+	gbps := make([]float64, seeds)
+	for i, p := range res.Points {
+		gbps[i] = p.Gbps
+		if p.Errored > 0 {
+			res.ErroredRuns++
+		}
+		if p.LinkDead {
+			res.DeadRuns++
+		}
+		res.Retrains += p.Retrains
+		res.CompletionTimeouts += p.CompletionTimeouts
+	}
+	sort.Float64s(gbps)
+	res.GbpsMin = gbps[0]
+	res.GbpsMedian = gbps[seeds/2]
+	res.GbpsMax = gbps[seeds-1]
+	return res, nil
+}
+
+// Format renders the campaign as a per-seed table plus the summary.
+func (c CampaignResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault campaign — %d seeds at p=%g on the disk link\n", c.Seeds, c.Rate)
+	fmt.Fprintf(&b, "%-10s %8s %9s %10s %9s %8s %9s %5s %5s\n",
+		"seed", "gbps", "errored", "replay%", "badDLLP", "dropped", "retrains", "CTO", "dead")
+	for _, p := range c.Points {
+		fmt.Fprintf(&b, "%-10s %8.3f %4d/%-4d %10.2f %9d %8d %9d %5d %5v\n",
+			p.Scenario, p.Gbps, p.Errored, p.Requests, p.ReplayPct,
+			p.BadDLLPs, p.Dropped, p.Retrains, p.CompletionTimeouts, p.LinkDead)
+	}
+	fmt.Fprintf(&b, "gbps min/median/max: %.3f / %.3f / %.3f\n", c.GbpsMin, c.GbpsMedian, c.GbpsMax)
+	fmt.Fprintf(&b, "runs with errored requests: %d/%d; dead links: %d/%d; retrains: %d; completion timeouts: %d\n",
+		c.ErroredRuns, c.Seeds, c.DeadRuns, c.Seeds, c.Retrains, c.CompletionTimeouts)
+	return b.String()
 }
 
 // usOf converts a tick count (picoseconds) to microseconds for tables.

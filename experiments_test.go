@@ -143,7 +143,7 @@ func TestFig9dShape(t *testing.T) {
 }
 
 func TestTableIIShape(t *testing.T) {
-	rows, err := RunTableII()
+	rows, err := RunTableII(1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -307,6 +307,7 @@ func (o *cacheCPUSide) AddrRanges(*mem.SlavePort) mem.RangeList { return nil }
 // point).
 func (c *Cache) respond(pkt *mem.Packet) {
 	if pkt.Posted {
+		pkt.Release()
 		return
 	}
 	c.respQ.Push(pkt.MakeResponse(), c.eng.Now()+c.cfg.TagLatency)
@@ -404,6 +405,7 @@ func (o *cacheMemSide) RecvTimingResp(_ *mem.MasterPort, pkt *mem.Packet) bool {
 		for _, target := range m.targets {
 			c.access(l, target)
 			if target.Posted {
+				target.Release()
 				continue
 			}
 			c.respQ.Push(target.MakeResponse(), c.eng.Now())

@@ -1,0 +1,145 @@
+// Package campaign fans independent simulation runs across a worker
+// pool. Each run owns its engine: the simulator itself stays strictly
+// single-threaded (determinism is a feature the validation experiments
+// rely on), so the only parallelism that makes sense is run-level —
+// sweeps, Monte-Carlo fault campaigns, figure regeneration.
+//
+// The contract that keeps parallel output byte-identical to serial:
+// results are delivered to the caller in submission order, regardless
+// of which worker finishes first. A run function must therefore be
+// self-contained — build its own System, share no mutable state with
+// other runs — and anything order-sensitive (printing, stats dumps)
+// belongs in the collect callback, which is never called concurrently.
+package campaign
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultJobs returns the worker count used when jobs <= 0: the
+// process's GOMAXPROCS.
+func DefaultJobs() int { return runtime.GOMAXPROCS(0) }
+
+// Run executes n independent jobs on min(jobs, n) workers and returns
+// the results indexed by job, exactly as a serial loop would have
+// produced them. jobs <= 0 uses DefaultJobs(); jobs == 1 runs inline
+// with no goroutines at all.
+//
+// Every job runs to completion even when another job fails; the
+// returned error is the failing job with the lowest index, so the
+// outcome does not depend on worker scheduling.
+func Run[T any](jobs, n int, run func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := RunCollect(jobs, n, run, func(i int, v T) error {
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunCollect is the streaming form of Run: each result is handed to
+// collect in submission order, as soon as it and all its predecessors
+// are available. collect is called on the caller's goroutine, never
+// concurrently, and never for a job at or after the first failed index
+// — it is the place for order-sensitive side effects (printing a
+// sweep's rows as they land, writing stats dumps). A non-nil error
+// from collect stops further collection and is returned after the
+// remaining in-flight jobs drain.
+//
+// run is called concurrently from worker goroutines when jobs > 1 and
+// must not share mutable state across jobs.
+func RunCollect[T any](jobs, n int, run func(i int) (T, error), collect func(i int, v T) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if jobs <= 0 {
+		jobs = DefaultJobs()
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs == 1 {
+		for i := 0; i < n; i++ {
+			v, err := run(i)
+			if err != nil {
+				return err
+			}
+			if collect != nil {
+				if err := collect(i, v); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	type result struct {
+		i   int
+		v   T
+		err error
+	}
+	idxCh := make(chan int)
+	resCh := make(chan result, jobs)
+
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				v, err := run(i)
+				resCh <- result{i: i, v: v, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			idxCh <- i
+		}
+		close(idxCh)
+	}()
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+
+	// Collector: buffer out-of-order arrivals, deliver in index order.
+	pending := make(map[int]result)
+	next := 0
+	var runErr, collectErr error
+	runErrIdx := n
+	for r := range resCh {
+		if r.err != nil {
+			// Keep the lowest-index failure so the outcome is
+			// deterministic; later results still drain.
+			if r.i < runErrIdx {
+				runErrIdx = r.i
+				runErr = r.err
+			}
+			continue
+		}
+		pending[r.i] = r
+		for collectErr == nil {
+			d, ok := pending[next]
+			if !ok || next > runErrIdx {
+				break
+			}
+			delete(pending, next)
+			next++
+			if collect != nil {
+				collectErr = collect(d.i, d.v)
+			}
+		}
+	}
+	// Collection never advances past a failed run index, so when both
+	// errors exist the collect error happened at the lower index — it
+	// is what a serial loop would have returned.
+	if collectErr != nil {
+		return collectErr
+	}
+	return runErr
+}

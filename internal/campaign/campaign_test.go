@@ -1,0 +1,157 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunOrder: results come back indexed by job regardless of worker
+// count or completion order (later jobs finish first on purpose).
+func TestRunOrder(t *testing.T) {
+	for _, jobs := range []int{0, 1, 2, 7, 64} {
+		out, err := Run(jobs, 20, func(i int) (int, error) {
+			time.Sleep(time.Duration(20-i) * time.Millisecond / 10)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if len(out) != 20 {
+			t.Fatalf("jobs=%d: got %d results", jobs, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("jobs=%d: out[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestRunErrorLowestIndex: with several failing jobs the reported error
+// is the one with the lowest index, independent of scheduling.
+func TestRunErrorLowestIndex(t *testing.T) {
+	for _, jobs := range []int{1, 4, 16} {
+		var ran atomic.Int32
+		_, err := Run(jobs, 16, func(i int) (int, error) {
+			ran.Add(1)
+			if i == 3 || i == 11 {
+				return 0, fmt.Errorf("job %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("jobs=%d: expected error", jobs)
+		}
+		if jobs == 1 {
+			// Serial mode stops at the first failure, like the loop it
+			// replaces.
+			if err.Error() != "job 3 failed" {
+				t.Fatalf("jobs=%d: err = %v", jobs, err)
+			}
+			if ran.Load() != 4 {
+				t.Fatalf("jobs=%d: ran %d jobs, want 4", jobs, ran.Load())
+			}
+			continue
+		}
+		if err.Error() != "job 3 failed" {
+			t.Fatalf("jobs=%d: err = %v, want lowest-index failure", jobs, err)
+		}
+		if ran.Load() != 16 {
+			t.Fatalf("jobs=%d: ran %d jobs, want all 16", jobs, ran.Load())
+		}
+	}
+}
+
+// TestRunCollectStreamingOrder: collect sees results in submission
+// order and is never called concurrently.
+func TestRunCollectStreamingOrder(t *testing.T) {
+	var mu sync.Mutex
+	inCollect := false
+	var got []int
+	err := RunCollect(8, 32, func(i int) (int, error) {
+		time.Sleep(time.Duration((i*7)%5) * time.Millisecond)
+		return i, nil
+	}, func(i int, v int) error {
+		mu.Lock()
+		if inCollect {
+			t.Error("collect called concurrently")
+		}
+		inCollect = true
+		mu.Unlock()
+		got = append(got, v)
+		mu.Lock()
+		inCollect = false
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("collect order broken: got[%d] = %d", i, v)
+		}
+	}
+	if len(got) != 32 {
+		t.Fatalf("collected %d, want 32", len(got))
+	}
+}
+
+// TestRunCollectStopsAtFailure: jobs at or after a failed index are
+// never collected, and the run error wins when no collect error
+// precedes it.
+func TestRunCollectStopsAtFailure(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, jobs := range []int{1, 6} {
+		var got []int
+		err := RunCollect(jobs, 12, func(i int) (int, error) {
+			if i == 5 {
+				return 0, sentinel
+			}
+			return i, nil
+		}, func(i int, v int) error {
+			got = append(got, i)
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("jobs=%d: err = %v", jobs, err)
+		}
+		for _, i := range got {
+			if i >= 5 {
+				t.Fatalf("jobs=%d: collected job %d past the failure", jobs, i)
+			}
+		}
+	}
+}
+
+// TestRunCollectCollectError: a collect failure stops collection and is
+// returned even when a later run also fails.
+func TestRunCollectCollectError(t *testing.T) {
+	sentinel := errors.New("collect refused")
+	err := RunCollect(4, 10, func(i int) (int, error) {
+		if i == 8 {
+			return 0, errors.New("late run failure")
+		}
+		return i, nil
+	}, func(i int, v int) error {
+		if i == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the collect error (lower index)", err)
+	}
+}
+
+// TestRunEmpty: zero jobs is a no-op.
+func TestRunEmpty(t *testing.T) {
+	out, err := Run(4, 0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}

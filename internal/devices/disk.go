@@ -169,6 +169,10 @@ func (d *Disk) PIOPort() *mem.SlavePort { return d.pio }
 // DMAPort returns the DMA master port.
 func (d *Disk) DMAPort() *mem.MasterPort { return d.dma.Port() }
 
+// UsePacketPool recycles the disk's DMA chunk packets through the given
+// engine-local pool.
+func (d *Disk) UsePacketPool(p *mem.Pool) { d.dma.UsePacketPool(p) }
+
 // BAR0 returns the register BAR.
 func (d *Disk) BAR0() *pci.BAR { return d.config.BARAt(0) }
 

@@ -104,6 +104,10 @@ func NewDMAEngine(eng *sim.Engine, name string, chunkSize int) *DMAEngine {
 // slave port or a crossbar).
 func (d *DMAEngine) Port() *mem.MasterPort { return d.port }
 
+// UsePacketPool recycles the engine's chunk packets through the given
+// engine-local pool.
+func (d *DMAEngine) UsePacketPool(p *mem.Pool) { d.alloc.BindPool(p) }
+
 // Busy reports whether a transfer is in progress or queued.
 func (d *DMAEngine) Busy() bool { return d.current != nil || len(d.queue) > 0 }
 
@@ -193,6 +197,10 @@ func (d *DMAEngine) pump() {
 		}
 		pkt.Context = d
 		if !d.port.SendTimingReq(pkt) {
+			// Refused: the receiver kept no reference, so the packet
+			// goes straight back to the pool; the retry re-issues the
+			// chunk from d.issued with a recycled packet.
+			pkt.Release()
 			d.blocked = true
 			return
 		}
@@ -291,8 +299,10 @@ func (d *DMAEngine) RecvTimingResp(_ *mem.MasterPort, pkt *mem.Packet) bool {
 			tr.Emit(trace.CatFault, uint64(d.eng.Now()), d.name, "late-chunk", pkt.ID,
 				"response for pkt after its transfer timed out; dropped")
 		}
+		pkt.Release()
 		return true
 	}
+	pkt.Release()
 	d.outstanding--
 	t := d.current
 	if t == nil {

@@ -76,6 +76,8 @@ func (m *MSIController) RecvTimingReq(_ *mem.SlavePort, pkt *mem.Packet) bool {
 		}
 	}
 	if pkt.Posted {
+		// Posted write: consumed at the doorbell, no completion.
+		pkt.Release()
 		return true
 	}
 	m.respQ.Push(pkt.MakeResponse(), m.eng.Now()+m.Latency)

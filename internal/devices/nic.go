@@ -98,7 +98,8 @@ type NIC struct {
 	ims    uint32
 	msiCap int
 
-	txBusy bool
+	txBusy     bool
+	txdoneName string // precomputed "<nic>.txdone" event name
 
 	// OnInterrupt is the legacy INTx line.
 	OnInterrupt func()
@@ -147,6 +148,7 @@ func NewNIC(eng *sim.Engine, name string, cfg NICConfig) *NIC {
 		return n.pio.SendTimingResp(p)
 	})
 	n.dma = NewDMAEngine(eng, name, cfg.ChunkSize)
+	n.txdoneName = name + ".txdone"
 	// Device status: link up (bit 1), full duplex (bit 0).
 	n.regs[NICRegStatus] = 0x3
 	r := eng.Stats()
@@ -167,6 +169,10 @@ func (n *NIC) PIOPort() *mem.SlavePort { return n.pio }
 
 // DMAPort returns the DMA master port.
 func (n *NIC) DMAPort() *mem.MasterPort { return n.dma.Port() }
+
+// UsePacketPool recycles the NIC's DMA chunk packets through the given
+// engine-local pool.
+func (n *NIC) UsePacketPool(p *mem.Pool) { n.dma.UsePacketPool(p) }
 
 // BAR0 returns the register BAR.
 func (n *NIC) BAR0() *pci.BAR { return n.config.BARAt(0) }
@@ -288,7 +294,7 @@ func (n *NIC) transmitFrame(length int) {
 	if n.cfg.WireBps > 0 {
 		wireTime = sim.Tick(float64(length*8) / n.cfg.WireBps * float64(sim.Second))
 	}
-	n.eng.Schedule(n.name+".txdone", wireTime, func() {
+	n.eng.Schedule(n.txdoneName, wireTime, func() {
 		n.txFrames++
 		n.txBytes += uint64(length)
 		if n.OnTransmit != nil {

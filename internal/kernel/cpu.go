@@ -26,8 +26,10 @@ type CPU struct {
 	inflight map[uint64]*pendingOp
 	sendQ    []*pendingOp // ops awaiting port acceptance
 	blocked  bool
+	opFree   []*pendingOp // recycled op records
 
 	irqHandlers map[int]func()
+	irqNames    map[int]string // cached "<cpu>.irq<N>" event names
 
 	// Stats.
 	reads, writes, irqs uint64
@@ -49,6 +51,7 @@ func NewCPU(eng *sim.Engine, name string) *CPU {
 		name:        name,
 		inflight:    make(map[uint64]*pendingOp),
 		irqHandlers: make(map[int]func()),
+		irqNames:    make(map[int]string),
 	}
 	c.alloc.Bind(eng)
 	r := eng.Stats()
@@ -67,11 +70,24 @@ func (c *CPU) Port() *mem.MasterPort {
 	return c.port
 }
 
+// UsePacketPool recycles the CPU's request packets through the given
+// engine-local pool.
+func (c *CPU) UsePacketPool(p *mem.Pool) { c.alloc.BindPool(p) }
+
 // Stats returns (reads, writes, interrupts taken).
 func (c *CPU) Stats() (reads, writes, irqs uint64) { return c.reads, c.writes, c.irqs }
 
 func (c *CPU) issue(t *Task, req procReq) {
-	op := &pendingOp{task: t}
+	var op *pendingOp
+	if n := len(c.opFree); n > 0 {
+		op = c.opFree[n-1]
+		c.opFree[n-1] = nil
+		c.opFree = c.opFree[:n-1]
+		*op = pendingOp{}
+	} else {
+		op = &pendingOp{}
+	}
+	op.task = t
 	switch req.kind {
 	case opRead:
 		c.reads++
@@ -115,7 +131,12 @@ func (c *CPU) RecvTimingResp(_ *mem.MasterPort, pkt *mem.Packet) bool {
 		copy(buf[:pkt.Size], pkt.Data)
 		v = binary.LittleEndian.Uint32(buf[:])
 	}
-	c.resume(op.task, v)
+	task := op.task
+	op.task = nil
+	op.pkt = nil
+	c.opFree = append(c.opFree, op)
+	pkt.Release()
+	c.resume(task, v)
 	return true
 }
 
@@ -150,5 +171,10 @@ func (c *CPU) TriggerIRQ(line int) {
 	if h == nil {
 		return
 	}
-	c.eng.Schedule(fmt.Sprintf("%s.irq%d", c.name, line), c.IRQLatency, h)
+	evname, ok := c.irqNames[line]
+	if !ok {
+		evname = fmt.Sprintf("%s.irq%d", c.name, line)
+		c.irqNames[line] = evname
+	}
+	c.eng.Schedule(evname, c.IRQLatency, h)
 }

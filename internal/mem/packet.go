@@ -126,6 +126,11 @@ type Packet struct {
 	Error bool
 
 	route []routeHop
+
+	// pool, when non-nil, is the Pool this packet was drawn from;
+	// Release returns it there. Nil for directly-allocated packets
+	// (tests, error completions), for which Release is a no-op.
+	pool *Pool
 }
 
 type routeHop struct {
@@ -155,10 +160,16 @@ type IDSource interface {
 type Allocator struct {
 	next uint64
 	src  IDSource
+	pool *Pool
 }
 
 // Bind makes the allocator draw IDs from src (normally the engine).
 func (a *Allocator) Bind(src IDSource) { a.src = src }
+
+// BindPool makes the allocator recycle packets through the given pool;
+// consumers release them with Packet.Release. A nil pool reverts to
+// per-request heap allocation.
+func (a *Allocator) BindPool(p *Pool) { a.pool = p }
 
 // NewRequest allocates a request packet with the next free ID.
 func (a *Allocator) NewRequest(cmd Cmd, addr uint64, size int) *Packet {
@@ -172,7 +183,87 @@ func (a *Allocator) NewRequest(cmd Cmd, addr uint64, size int) *Packet {
 		a.next++
 		id = a.next
 	}
-	return &Packet{ID: id, Cmd: cmd, Addr: addr, Size: size, BusNum: NoBus}
+	p := a.pool.get()
+	p.ID = id
+	p.Cmd = cmd
+	p.Addr = addr
+	p.Size = size
+	p.BusNum = NoBus
+	return p
+}
+
+// PoolStats is the pool's allocation accounting.
+type PoolStats struct {
+	// Allocs counts fresh heap allocations (pool misses).
+	Allocs uint64
+	// Reuses counts packets served from the free list.
+	Reuses uint64
+	// Releases counts packets returned by Release.
+	Releases uint64
+}
+
+// Live returns the number of packets currently checked out — the
+// leak-check metric: a drained, fault-free simulation must return to
+// zero. Packets legitimately stranded by fault injection (black-holed
+// on a dead link, abandoned by a DMA timeout) stay checked out forever
+// and show up here, which is exactly what the accounting is for.
+func (s PoolStats) Live() uint64 { return s.Allocs + s.Reuses - s.Releases }
+
+// Pool is a free list of Packets private to one simulation. It removes
+// the per-transaction heap allocation from the request hot path: the
+// requestor's Allocator draws packets from the pool and whoever
+// consumes a packet (the requestor for completions, the completer for
+// posted writes) calls Release.
+//
+// A released packet may still be referenced by a link replay buffer
+// until the cumulative ACK arrives; the DLL layer tolerates this by
+// snapshotting wire sizes at admission (see pcie.PciePkt), so a
+// recycled packet is never re-read for timing. Pools are engine-local
+// and therefore need no locking — sharing one across concurrently
+// running simulations would be a data race.
+type Pool struct {
+	free  []*Packet
+	stats PoolStats
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Stats returns the accounting counters.
+func (pl *Pool) Stats() PoolStats { return pl.stats }
+
+// get returns a recycled or fresh packet. A nil pool allocates.
+func (pl *Pool) get() *Packet {
+	if pl == nil {
+		return &Packet{}
+	}
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		pl.stats.Reuses++
+		p.pool = pl
+		return p
+	}
+	pl.stats.Allocs++
+	return &Packet{pool: pl}
+}
+
+// Release returns a consumed packet to its pool. It is a no-op for
+// packets that did not come from a pool (direct NewPacket allocations,
+// synthesized error completions), so consumers can call it
+// unconditionally. The caller must drop every reference: the packet's
+// identity is dead and the object will be reissued. The route stack's
+// backing array is kept so rerouted reuses do not reallocate it.
+func (p *Packet) Release() {
+	pl := p.pool
+	if pl == nil {
+		return
+	}
+	route := p.route[:0]
+	*p = Packet{route: route}
+	pl.free = append(pl.free, p)
+	pl.stats.Releases++
 }
 
 // MakeResponse converts the request packet into its response in place.

@@ -1,0 +1,87 @@
+package mem
+
+import "testing"
+
+func TestPoolReuseAndAccounting(t *testing.T) {
+	pl := NewPool()
+	var a Allocator
+	a.BindPool(pl)
+
+	p1 := a.NewRequest(ReadReq, 0x1000, 64)
+	if got := pl.Stats(); got.Allocs != 1 || got.Reuses != 0 || got.Live() != 1 {
+		t.Fatalf("after first alloc: %+v", got)
+	}
+	p1.PushRoute(t, 3)
+	p1.Release()
+	if got := pl.Stats(); got.Releases != 1 || got.Live() != 0 {
+		t.Fatalf("after release: %+v", got)
+	}
+
+	p2 := a.NewRequest(WriteReq, 0x2000, 32)
+	if p2 != p1 {
+		t.Fatal("pool did not recycle the released packet")
+	}
+	if got := pl.Stats(); got.Reuses != 1 || got.Live() != 1 {
+		t.Fatalf("after reuse: %+v", got)
+	}
+	// The recycled packet must carry no trace of its previous life.
+	if p2.Cmd != WriteReq || p2.Addr != 0x2000 || p2.Size != 32 ||
+		p2.RouteDepth() != 0 || p2.Data != nil || p2.Posted || p2.Error || p2.Context != nil {
+		t.Fatalf("recycled packet not reset: %+v", p2)
+	}
+	if p2.ID == p1.ID && p2.ID == 0 {
+		t.Fatal("recycled packet did not get a fresh ID")
+	}
+}
+
+func TestReleaseWithoutPoolIsNoop(t *testing.T) {
+	p := NewPacket(ReadReq, 0, 4)
+	p.Release() // must not panic or register anywhere
+
+	req := NewPacket(ReadReq, 0x100, 4)
+	errResp := req.MakeErrorResponse()
+	errResp.Release() // synthesized completions are never pooled
+}
+
+func TestUnboundAllocatorStillWorks(t *testing.T) {
+	var a Allocator
+	p := a.NewRequest(ReadReq, 0x40, 8)
+	if p.ID != 1 || p.Cmd != ReadReq {
+		t.Fatalf("unbound allocator packet: %+v", p)
+	}
+	p.Release() // nil pool: no-op
+}
+
+// TestPoolSteadyStateZeroAlloc pins the whole point of the pool: once
+// warm, an allocate/release cycle performs no heap allocation.
+func TestPoolSteadyStateZeroAlloc(t *testing.T) {
+	pl := NewPool()
+	var a Allocator
+	a.BindPool(pl)
+	a.NewRequest(ReadReq, 0, 64).Release() // warm the free list
+
+	if n := testing.AllocsPerRun(1000, func() {
+		p := a.NewRequest(WriteReq, 0x1000, 64)
+		p.Release()
+	}); n != 0 {
+		t.Fatalf("steady-state allocate/release costs %v allocs/op, want 0", n)
+	}
+}
+
+func BenchmarkPooledRequest(b *testing.B) {
+	b.ReportAllocs()
+	pl := NewPool()
+	var a Allocator
+	a.BindPool(pl)
+	for i := 0; i < b.N; i++ {
+		a.NewRequest(ReadReq, uint64(i), 64).Release()
+	}
+}
+
+func BenchmarkUnpooledRequest(b *testing.B) {
+	b.ReportAllocs()
+	var a Allocator
+	for i := 0; i < b.N; i++ {
+		a.NewRequest(ReadReq, uint64(i), 64).Release()
+	}
+}

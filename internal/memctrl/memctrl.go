@@ -115,6 +115,7 @@ func (m *Memory) RecvTimingReq(_ *mem.SlavePort, pkt *mem.Packet) bool {
 	m.svcLat.Observe(uint64(m.nextFree - m.eng.Now()))
 	if pkt.Posted {
 		// Posted write: consumed here, no completion.
+		pkt.Release()
 		return true
 	}
 	m.respQ.Push(pkt.MakeResponse(), ready)

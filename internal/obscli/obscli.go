@@ -87,7 +87,9 @@ func (f *Flags) Active() bool {
 // ForRun returns an independent copy of the flags with every output
 // path suffixed by label (inserted before the extension), for tools
 // that run many simulations in one invocation and need one dump per
-// run. Arm and Finish the copy around each run.
+// run. Arm and Finish the copy around each run. Labels are unique per
+// run, so copies armed on concurrently running engines never write the
+// same file; each copy still belongs to exactly one engine.
 func (f Flags) ForRun(label string) *Flags {
 	c := f
 	c.tracer = nil
@@ -100,10 +102,13 @@ func (f Flags) ForRun(label string) *Flags {
 }
 
 // suffixPath turns "stats.json" + "x8@512MB" into "stats-x8@512MB.json".
+// Path separators in the label are flattened so a label can never
+// escape into another directory.
 func suffixPath(path, label string) string {
 	if path == "" {
 		return ""
 	}
+	label = strings.ReplaceAll(label, "/", "_")
 	if dot := strings.LastIndex(path, "."); dot > strings.LastIndex(path, "/") {
 		return path[:dot] + "-" + label + path[dot:]
 	}

@@ -336,6 +336,16 @@ type Interface struct {
 	aer   *pci.AER        // AER capability of the attached component, if any
 	stats LinkStats
 
+	// Pre-built event names and the in-flight snapshot free list: both
+	// sit on the per-packet transmit path, where a fmt/concat or a
+	// heap-allocated copy per wire crossing dominates the profile.
+	deliverName  string
+	reqretryName string
+	resretryName string
+	reqretryFn   func()
+	resretryFn   func()
+	flightFree   []*PciePkt
+
 	// Registry hooks, resolved at construction: replay-buffer
 	// occupancy and accept-to-release (ACK) latency in ticks. The
 	// LinkStats counters themselves are exported through CounterFuncs
@@ -351,8 +361,13 @@ type Interface struct {
 
 func newInterface(l *Link, name string, seed uint64) *Interface {
 	i := &Interface{link: l, name: name, sendSeq: 1, recvSeq: 1, rng: sim.NewRand(seed)}
+	i.deliverName = name + ".deliver"
+	i.reqretryName = name + ".reqretry"
+	i.resretryName = name + ".respretry"
 	i.slave = mem.NewSlavePort(name+".slave", (*ifaceSlave)(i))
 	i.master = mem.NewMasterPort(name+".master", (*ifaceMaster)(i))
+	i.reqretryFn = i.slave.SendReqRetry
+	i.resretryFn = i.master.SendRespRetry
 	i.txEv = l.eng.NewEvent(name+".tx", i.txFire)
 	i.replayTmr = l.eng.NewEvent(name+".replayTimer", i.replayTimeout)
 	i.ackTmr = l.eng.NewEvent(name+".ackTimer", i.ackTimerFire)
@@ -452,6 +467,9 @@ func (i *Interface) admit(tlp *mem.Packet) bool {
 		return false
 	}
 	pp := &PciePkt{Kind: KindTLP, Seq: i.sendSeq, TLP: tlp, acceptedAt: i.link.eng.Now()}
+	// Snapshot the wire size now: by the time a replay reads it, the
+	// wrapped packet may have been turned into its response and recycled.
+	pp.wire = i.link.cfg.Overheads.TLPWireBytes(pp.PayloadBytes())
 	i.sendSeq++
 	i.replayBuf = append(i.replayBuf, pp)
 	i.freshQ = append(i.freshQ, pp)
@@ -624,13 +642,33 @@ func (i *Interface) transmit(pp *PciePkt) {
 		return
 	}
 	arrive := i.busyUntil + cfg.PropDelay
-	peer := i.peer
 	// Deliver a snapshot: the original may be re-corrupted by a later
-	// retransmission while this copy is still in flight.
-	cp := *pp
-	eng.ScheduleAt(i.name+".deliver", arrive, sim.PriorityDelivery, func() {
-		peer.receive(&cp)
+	// retransmission while this copy is still in flight. Snapshots are
+	// recycled through a per-interface free list once received — the
+	// receiver never retains them (it keeps only the wrapped TLP).
+	cp := i.getFlight()
+	*cp = *pp
+	eng.ScheduleAt(i.deliverName, arrive, sim.PriorityDelivery, func() {
+		i.peer.receive(cp)
+		i.putFlight(cp)
 	})
+}
+
+// getFlight pops an in-flight snapshot buffer, or allocates one.
+func (i *Interface) getFlight() *PciePkt {
+	if n := len(i.flightFree); n > 0 {
+		pp := i.flightFree[n-1]
+		i.flightFree[n-1] = nil
+		i.flightFree = i.flightFree[:n-1]
+		return pp
+	}
+	return &PciePkt{}
+}
+
+// putFlight recycles a received snapshot buffer.
+func (i *Interface) putFlight(pp *PciePkt) {
+	*pp = PciePkt{}
+	i.flightFree = append(i.flightFree, pp)
 }
 
 // pause freezes the interface for a link-down window: every DLL timer
@@ -819,11 +857,11 @@ func (i *Interface) notifyLocalRetry() {
 	eng := i.link.eng
 	if i.reqRetryPending {
 		i.reqRetryPending = false
-		eng.ScheduleAt(i.name+".reqretry", eng.Now(), sim.PriorityRetry, i.slave.SendReqRetry)
+		eng.ScheduleAt(i.reqretryName, eng.Now(), sim.PriorityRetry, i.reqretryFn)
 	}
 	if i.respRetryPending {
 		i.respRetryPending = false
-		eng.ScheduleAt(i.name+".respretry", eng.Now(), sim.PriorityRetry, i.master.SendRespRetry)
+		eng.ScheduleAt(i.resretryName, eng.Now(), sim.PriorityRetry, i.resretryFn)
 	}
 }
 

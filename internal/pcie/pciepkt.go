@@ -56,6 +56,12 @@ type PciePkt struct {
 	// acceptedAt stamps when the TLP entered the replay buffer, for the
 	// accept-to-ACK latency histogram.
 	acceptedAt sim.Tick
+	// wire snapshots the TLP's wire size at admission. Replays read the
+	// snapshot, not the live mem.Packet: the wrapped TLP may since have
+	// been delivered, mutated into its response, and recycled through
+	// the requestor's packet pool — a replay must transmit what was
+	// originally stored, exactly like a real replay buffer does.
+	wire int
 }
 
 // PayloadBytes returns the TLP payload size: writes carry their data
@@ -76,9 +82,14 @@ func (p *PciePkt) PayloadBytes() int {
 
 // WireBytes returns the bytes this packet occupies on the wire under
 // the given overhead model: "Each pcie-pkt returns a size depending on
-// whether it encapsulates a TLP or a DLLP" (§V-C).
+// whether it encapsulates a TLP or a DLLP" (§V-C). TLPs admitted to a
+// link carry their size as a snapshot taken at admission; see the wire
+// field.
 func (p *PciePkt) WireBytes(o Overheads) int {
 	if p.Kind == KindTLP {
+		if p.wire > 0 {
+			return p.wire
+		}
 		return o.TLPWireBytes(p.PayloadBytes())
 	}
 	return o.DLLPWireBytes()

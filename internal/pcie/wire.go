@@ -1,0 +1,156 @@
+package pcie
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pciesim/internal/mem"
+)
+
+// Wire format: a compact, canonical byte encoding of a PciePkt, used to
+// export link traffic out of the simulator (trace capture, corpus
+// replay, cross-process campaign transport). It is NOT the simulated
+// on-wire framing — timing uses Overheads.TLPWireBytes — but a faithful
+// serialization of the model's packet state.
+//
+// Layout (little-endian):
+//
+//	off 0     kind: 0 TLP, 1 ACK, 2 NAK
+//	off 1     flags: bit0 corrupted; TLP-only: bit1 posted, bit2 error,
+//	          bit3 payload present
+//	off 2-9   sequence number
+//	DLLPs end here (10 bytes). TLPs continue:
+//	off 10    mem command (ReadReq..WriteResp)
+//	off 11-18 packet ID
+//	off 19-26 address
+//	off 27-30 size (bytes read/written)
+//	off 31-34 bus number (int32; NoBus = -1)
+//	off 35-   payload, exactly size bytes, present iff flags bit3
+//
+// Every field is validated on decode and the encoding has no redundant
+// representations, so DecodeWire∘EncodeWire is the identity on valid
+// packets and EncodeWire∘DecodeWire is the identity on valid byte
+// strings — the invariant FuzzTLPDecode drives.
+
+const (
+	wireDLLPLen = 10
+	wireTLPLen  = 35
+
+	wireFlagCorrupted = 1 << 0
+	wireFlagPosted    = 1 << 1
+	wireFlagError     = 1 << 2
+	wireFlagData      = 1 << 3
+
+	// wireMaxSize bounds the encodable transfer size; the model never
+	// builds TLPs beyond a cache line, but the codec accepts anything
+	// up to a generous page-ish bound so hand-written corpora survive.
+	wireMaxSize = 1 << 16
+)
+
+// EncodeWire serializes the packet. DLLPs are 10 bytes; TLPs are 35
+// plus the payload when one is attached.
+func EncodeWire(p *PciePkt) []byte {
+	var flags byte
+	if p.Corrupted {
+		flags |= wireFlagCorrupted
+	}
+	if p.Kind != KindTLP {
+		b := make([]byte, wireDLLPLen)
+		b[0] = byte(p.Kind)
+		b[1] = flags
+		binary.LittleEndian.PutUint64(b[2:], p.Seq)
+		return b
+	}
+	t := p.TLP
+	n := wireTLPLen
+	if t.Data != nil {
+		flags |= wireFlagData
+		n += len(t.Data)
+	}
+	if t.Posted {
+		flags |= wireFlagPosted
+	}
+	if t.Error {
+		flags |= wireFlagError
+	}
+	b := make([]byte, n)
+	b[0] = byte(KindTLP)
+	b[1] = flags
+	binary.LittleEndian.PutUint64(b[2:], p.Seq)
+	b[10] = byte(t.Cmd)
+	binary.LittleEndian.PutUint64(b[11:], t.ID)
+	binary.LittleEndian.PutUint64(b[19:], t.Addr)
+	binary.LittleEndian.PutUint32(b[27:], uint32(t.Size))
+	binary.LittleEndian.PutUint32(b[31:], uint32(int32(t.BusNum)))
+	copy(b[wireTLPLen:], t.Data)
+	return b
+}
+
+// DecodeWire parses a wire-format packet. It never panics: every
+// malformed input returns an error. A successfully decoded packet
+// re-encodes to exactly the input bytes.
+func DecodeWire(b []byte) (*PciePkt, error) {
+	if len(b) < wireDLLPLen {
+		return nil, fmt.Errorf("pcie: wire packet truncated at %d bytes", len(b))
+	}
+	kind := PktKind(b[0])
+	flags := b[1]
+	seq := binary.LittleEndian.Uint64(b[2:])
+	if kind == KindAck || kind == KindNak {
+		if flags&^wireFlagCorrupted != 0 {
+			return nil, fmt.Errorf("pcie: DLLP with TLP flags %#x", flags)
+		}
+		if len(b) != wireDLLPLen {
+			return nil, fmt.Errorf("pcie: DLLP with %d trailing bytes", len(b)-wireDLLPLen)
+		}
+		return &PciePkt{Kind: kind, Seq: seq, Corrupted: flags&wireFlagCorrupted != 0}, nil
+	}
+	if kind != KindTLP {
+		return nil, fmt.Errorf("pcie: unknown wire kind %d", b[0])
+	}
+	if len(b) < wireTLPLen {
+		return nil, fmt.Errorf("pcie: wire TLP truncated at %d bytes", len(b))
+	}
+	if flags&^(wireFlagCorrupted|wireFlagPosted|wireFlagError|wireFlagData) != 0 {
+		return nil, fmt.Errorf("pcie: unknown wire flags %#x", flags)
+	}
+	cmd := mem.Cmd(b[10])
+	if cmd != mem.ReadReq && cmd != mem.ReadResp && cmd != mem.WriteReq && cmd != mem.WriteResp {
+		return nil, fmt.Errorf("pcie: wire TLP with command %d", b[10])
+	}
+	size := binary.LittleEndian.Uint32(b[27:])
+	if size > wireMaxSize {
+		return nil, fmt.Errorf("pcie: wire TLP size %d exceeds %d", size, wireMaxSize)
+	}
+	bus := int32(binary.LittleEndian.Uint32(b[31:]))
+	if bus < mem.NoBus || bus > 255 {
+		return nil, fmt.Errorf("pcie: wire TLP bus %d out of range", bus)
+	}
+	t := &mem.Packet{
+		ID:     binary.LittleEndian.Uint64(b[11:]),
+		Cmd:    cmd,
+		Addr:   binary.LittleEndian.Uint64(b[19:]),
+		Size:   int(size),
+		BusNum: int(bus),
+		Posted: flags&wireFlagPosted != 0,
+		Error:  flags&wireFlagError != 0,
+	}
+	payload := b[wireTLPLen:]
+	if flags&wireFlagData != 0 {
+		if len(payload) != int(size) {
+			return nil, fmt.Errorf("pcie: wire TLP payload %d bytes, size says %d", len(payload), size)
+		}
+		// make (not append) so a zero-length payload still yields a
+		// non-nil slice and re-encodes with the payload flag intact.
+		t.Data = make([]byte, size)
+		copy(t.Data, payload)
+	} else if len(payload) != 0 {
+		return nil, fmt.Errorf("pcie: wire TLP with %d trailing bytes", len(payload))
+	}
+	return &PciePkt{
+		Kind:      KindTLP,
+		Seq:       seq,
+		TLP:       t,
+		Corrupted: flags&wireFlagCorrupted != 0,
+	}, nil
+}

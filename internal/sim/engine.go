@@ -22,6 +22,12 @@ type Engine struct {
 	running bool
 	stopped bool
 
+	// freeEvents is the free list of recycled one-shot events (see
+	// Schedule): the Engine.Schedule hot path is allocation-free in
+	// steady state. freeLen/recycled are accounting for tests.
+	freeEvents *Event
+	recycled   uint64
+
 	// Observability (see observe.go). stats is created lazily;
 	// tracer may stay nil (trace methods are nil-safe). The sampler
 	// fields drive periodic stats snapshots from the run loops.
@@ -91,20 +97,54 @@ func (e *Engine) Reschedule(ev *Event, when Tick, prio Priority) {
 	e.ScheduleEvent(ev, when, prio)
 }
 
-// Schedule is the fire-and-forget form: it allocates a one-shot event
-// that runs fn at now+delay.
+// Schedule is the fire-and-forget form: it takes a one-shot event from
+// the engine's free list (or allocates one) that runs fn at now+delay.
+// The returned handle is valid for descheduling only until the event
+// fires; after that the event is recycled and the handle must be
+// dropped (the kernel's wait-timeout pattern, which nils its handle
+// inside the callback, is the intended use).
 func (e *Engine) Schedule(name string, delay Tick, fn func()) *Event {
-	ev := e.NewEvent(name, fn)
+	ev := e.getOneShot(name, fn)
 	e.ScheduleEventAfter(ev, delay, PriorityDefault)
 	return ev
 }
 
 // ScheduleAt is Schedule with an absolute time and explicit priority.
 func (e *Engine) ScheduleAt(name string, when Tick, prio Priority, fn func()) *Event {
-	ev := e.NewEvent(name, fn)
+	ev := e.getOneShot(name, fn)
 	e.ScheduleEvent(ev, when, prio)
 	return ev
 }
+
+// getOneShot pops a recycled event or allocates a fresh one.
+func (e *Engine) getOneShot(name string, fn func()) *Event {
+	if fn == nil {
+		panic("sim: Schedule with nil callback")
+	}
+	if ev := e.freeEvents; ev != nil {
+		e.freeEvents = ev.nextFree
+		ev.nextFree = nil
+		ev.name = name
+		ev.fn = fn
+		return ev
+	}
+	return &Event{name: name, fn: fn, idx: -1, oneShot: true}
+}
+
+// recycle returns a fired one-shot event to the free list. Called only
+// from the run loops, after the callback returned without rescheduling
+// the event.
+func (e *Engine) recycle(ev *Event) {
+	ev.name = ""
+	ev.fn = nil
+	ev.nextFree = e.freeEvents
+	e.freeEvents = ev
+	e.recycled++
+}
+
+// Recycled returns how many one-shot events have been returned to the
+// free list — the event pool's effectiveness metric.
+func (e *Engine) Recycled() uint64 { return e.recycled }
 
 // Stop makes the current Run call return after the executing event
 // completes. Queued events are left in place so the run can be resumed.
@@ -143,6 +183,9 @@ func (e *Engine) RunUntil(limit Tick) uint64 {
 		fired++
 		e.fired++
 		next.fn()
+		if next.oneShot && next.idx < 0 {
+			e.recycle(next)
+		}
 	}
 	if e.queue.len() == 0 && limit != MaxTick && e.now < limit {
 		e.now = limit
@@ -180,6 +223,9 @@ func (e *Engine) RunWhile(cond func() bool) uint64 {
 		fired++
 		e.fired++
 		next.fn()
+		if next.oneShot && next.idx < 0 {
+			e.recycle(next)
+		}
 	}
 	return fired
 }

@@ -20,6 +20,12 @@ const (
 // and friends; the zero value is not useful. An Event may be descheduled
 // before it fires and rescheduled afterwards, mirroring the gem5 event
 // lifecycle that the PCIe replay/ACK timers depend on.
+//
+// Events created by the fire-and-forget Schedule/ScheduleAt forms are
+// recycled through the engine's free list after they fire: their handle
+// must not be retained past the callback's execution (descheduling one
+// before it fires remains safe). Long-lived, repeatedly rescheduled
+// events come from NewEvent and are never recycled.
 type Event struct {
 	name string
 	fn   func()
@@ -28,6 +34,11 @@ type Event struct {
 	prio Priority
 	seq  uint64 // insertion order; breaks (when, prio) ties deterministically
 	idx  int    // heap index, -1 when not queued
+
+	// oneShot marks a Schedule/ScheduleAt event eligible for recycling
+	// after it fires; nextFree links the engine's free list.
+	oneShot  bool
+	nextFree *Event
 }
 
 // Name returns the diagnostic name given at creation time.

@@ -193,6 +193,11 @@ type System struct {
 	Cfg Config
 	Eng *sim.Engine
 
+	// PktPool recycles request packets for every requestor in this
+	// system (CPU, disk DMA, NIC DMA). It is engine-local: pools are
+	// never shared across concurrently running simulations.
+	PktPool *mem.Pool
+
 	CPU    *kernel.CPU
 	Kernel *kernel.Kernel
 
@@ -224,7 +229,7 @@ type System struct {
 // New builds and wires the platform. The simulation is ready to Boot.
 func New(cfg Config) *System {
 	eng := sim.NewEngine()
-	s := &System{Cfg: cfg, Eng: eng}
+	s := &System{Cfg: cfg, Eng: eng, PktPool: mem.NewPool()}
 
 	// --- buses and memory ---
 	s.MemBus = xbar.New(eng, "membus", xbar.Config{
@@ -388,8 +393,20 @@ func New(cfg Config) *System {
 		return t
 	})
 
+	// Packet pool: every requestor draws from (and every consumer
+	// releases into) one engine-local free list, with leak-check
+	// accounting exposed through the stats registry.
+	s.Disk.UsePacketPool(s.PktPool)
+	s.NIC.UsePacketPool(s.PktPool)
+	r.CounterFunc("mem.pool.allocs", func() uint64 { return s.PktPool.Stats().Allocs })
+	r.CounterFunc("mem.pool.reuses", func() uint64 { return s.PktPool.Stats().Reuses })
+	r.CounterFunc("mem.pool.releases", func() uint64 { return s.PktPool.Stats().Releases })
+	r.CounterFunc("mem.pool.live", func() uint64 { return s.PktPool.Stats().Live() })
+	r.CounterFunc("sim.events_recycled", func() uint64 { return eng.Recycled() })
+
 	// --- kernel ---
 	s.CPU = kernel.NewCPU(eng, "cpu0")
+	s.CPU.UsePacketPool(s.PktPool)
 	s.CPU.IRQLatency = cfg.IRQLatency
 	mem.Connect(s.CPU.Port(), s.MemBus.SlavePort("cpu0"))
 	s.Kernel = kernel.New(s.CPU)
