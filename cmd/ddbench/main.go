@@ -30,7 +30,8 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 9a, 9b, 9c, 9d, err or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 9a, 9b, 9c, 9d, err, scen or all")
+	topoSpec := flag.String("topo", "", "sweep block sizes over an arbitrary topology: a canned scenario name or a spec like \"switch:x4(disk*8)\"")
 	scale := flag.Int("scale", 16, "divide the paper's block sizes by this factor")
 	jobs := flag.Int("jobs", 1, "parallel simulation runs (-1 = one per CPU); output is identical at any value")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -71,6 +72,20 @@ func main() {
 			return f.Finish(sys.Eng)
 		}
 	}
+	if *topoSpec != "" {
+		result, err := pciesim.RunTopoSweep(*topoSpec, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(result.CSV())
+		} else {
+			fmt.Println(result.Format())
+		}
+		return
+	}
+
 	runners := map[string]func(pciesim.Options) (pciesim.Figure, error){
 		"9a": pciesim.RunFig9a,
 		"9b": pciesim.RunFig9b,
@@ -81,7 +96,7 @@ func main() {
 
 	selected := order
 	if *fig != "all" {
-		if _, ok := runners[*fig]; !ok && *fig != "err" {
+		if _, ok := runners[*fig]; !ok && *fig != "err" && *fig != "scen" {
 			fmt.Fprintf(os.Stderr, "ddbench: unknown figure %q\n", *fig)
 			os.Exit(2)
 		}
@@ -90,6 +105,19 @@ func main() {
 	for _, id := range selected {
 		if id == "err" {
 			runFigErr(opt, *csv)
+			continue
+		}
+		if id == "scen" {
+			report, err := pciesim.RunScenarios(nil, opt)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
+				os.Exit(1)
+			}
+			if *csv {
+				fmt.Print(report.CSV())
+			} else {
+				fmt.Print(report.Format())
+			}
 			continue
 		}
 		result, err := runners[id](opt)

@@ -91,9 +91,18 @@ func main() {
 	cto := flag.Int("cto", 100, "root-complex completion timeout when faults are armed (us; 0 disables)")
 	campaignSpec := flag.String("campaign", "", "Monte-Carlo fault campaign: seeds=K[,rate=R] dd runs over distinct fault seeds")
 	jobs := flag.Int("jobs", 1, "parallel campaign runs (-1 = one per CPU); output is identical at any value")
+	topoSpec := flag.String("topo", "", "arbitrary topology: a canned scenario (validation, fanout8, p2p) or a spec like \"switch:x4(disk*8)\"")
+	p2p := flag.Bool("p2p", false, "with -topo: run the peer-to-peer DMA workload instead of dd")
+	reflect := flag.Bool("reflect", false, "with -topo: disable switch-level P2P turnaround (peer traffic reflects off the root complex)")
+	dumpTopo := flag.Bool("dump-topo", false, "with -topo: print the lspci-style enumeration dump and exit")
 	var obs obscli.Flags
 	obs.Register(flag.CommandLine)
 	flag.Parse()
+
+	if *topoSpec != "" {
+		runTopo(*topoSpec, *blockMB, *gen, *p2p, *reflect, *dumpTopo, obs)
+		return
+	}
 
 	if *campaignSpec != "" {
 		seeds, rate, err := parseCampaign(*campaignSpec)
@@ -214,6 +223,92 @@ func main() {
 		fmt.Printf("  %v\n", r)
 	}
 
+	if err := obs.Finish(s.Eng); err != nil {
+		fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runTopo builds an arbitrary topology from a canned scenario name or
+// a spec string and runs dd on every disk (or the P2P workload).
+func runTopo(spec string, blockMB, gen int, p2p, reflect, dump bool, obs obscli.Flags) {
+	ts := pciesim.CannedTopo(spec)
+	if ts == nil {
+		var err error
+		ts, err = pciesim.ParseTopo(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	cfg := pciesim.DefaultTopoConfig()
+	cfg.Gen = pciesim.Generation(gen)
+	cfg.NoP2P = reflect
+	cfg.DD.StartupOverhead = cfg.DD.StartupOverhead * sim.Tick(blockMB) / 64
+	s, err := pciesim.BuildTopo(ts, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
+		os.Exit(2)
+	}
+	if err := obs.Arm(s.Eng); err != nil {
+		fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
+		os.Exit(2)
+	}
+	if dump {
+		if err := s.DumpEnumeration(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	tp, err := s.Boot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pciesim: boot: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("booted %s: %d PCI functions on %d buses (%d disks, %d nics, %d testdevs)\n",
+		s.Spec.Name, len(tp.All), tp.Buses, len(s.Disks), len(s.NICs), len(s.TestDevs))
+
+	switch {
+	case p2p:
+		res, err := s.RunP2P(64, 4)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pciesim: p2p: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("p2p: %v\n", res)
+		fmt.Printf("routing: %d switch turnarounds, %d rc reflections\n",
+			s.Turnarounds(), s.Reflections())
+	default:
+		res, err := s.RunDDAll(uint64(blockMB) << 20)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pciesim: dd: %v\n", err)
+			os.Exit(1)
+		}
+		for i, d := range res.PerDisk {
+			fmt.Printf("dd[%s]: %v\n", s.Disks[i].Name, d)
+		}
+		fmt.Printf("aggregate: %.3f Gb/s, fairness spread %.3f (sectors at first exit: %v)\n",
+			res.AggregateThroughputGbps(), res.FairnessSpread(), res.SectorsAtFirstExit)
+	}
+	fmt.Printf("simulated %v in %d events\n", s.Eng.Now(), s.Eng.Fired())
+
+	fmt.Println("\nerror containment:")
+	quiet := true
+	for _, l := range s.LinkErrors() {
+		total := l.Up.CRCErrors + l.Down.CRCErrors + l.Up.BadDLLPs + l.Down.BadDLLPs +
+			l.Up.Dropped + l.Down.Dropped + l.Retrains
+		if total == 0 && !l.Dead {
+			continue
+		}
+		quiet = false
+		fmt.Printf("  %-10s crc=%d badDLLPs=%d dropped=%d retrains=%d dead=%v\n",
+			l.Name, l.Up.CRCErrors+l.Down.CRCErrors, l.Up.BadDLLPs+l.Down.BadDLLPs,
+			l.Up.Dropped+l.Down.Dropped, l.Retrains, l.Dead)
+	}
+	if quiet {
+		fmt.Println("  all links clean")
+	}
 	if err := obs.Finish(s.Eng); err != nil {
 		fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
 		os.Exit(1)

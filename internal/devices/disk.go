@@ -202,6 +202,13 @@ func (o *diskPIO) RecvTimingReq(_ *mem.SlavePort, pkt *mem.Packet) bool {
 		panic(fmt.Sprintf("devices %s: PIO %v outside BAR0 (%#x)", d.name, pkt, bar.Addr()))
 	}
 	off := int(pkt.Addr - bar.Addr())
+	// Register accesses are at most 4 bytes wide; wider packets (peer
+	// DMA chunks landing in the BAR) touch only the addressed register
+	// and read the rest of the window as zeroes.
+	n := pkt.Size
+	if n > 4 {
+		n = 4
+	}
 	switch pkt.Cmd {
 	case mem.ReadReq:
 		v := d.regRead(off)
@@ -210,10 +217,10 @@ func (o *diskPIO) RecvTimingReq(_ *mem.SlavePort, pkt *mem.Packet) bool {
 		}
 		var buf [4]byte
 		binary.LittleEndian.PutUint32(buf[:], v)
-		copy(pkt.Data, buf[:pkt.Size])
+		copy(pkt.Data, buf[:n])
 	case mem.WriteReq:
 		var buf [4]byte
-		copy(buf[:pkt.Size], pkt.Data)
+		copy(buf[:n], pkt.Data)
 		d.regWrite(off, binary.LittleEndian.Uint32(buf[:]))
 	}
 	d.respQ.Push(pkt.MakeResponse(), d.eng.Now()+d.cfg.PIOLatency)

@@ -195,6 +195,13 @@ func (o *nicPIO) RecvTimingReq(_ *mem.SlavePort, pkt *mem.Packet) bool {
 		panic(fmt.Sprintf("devices %s: PIO %v outside BAR0 (%#x)", n.name, pkt, bar.Addr()))
 	}
 	off := int(pkt.Addr - bar.Addr())
+	// Register accesses are at most 4 bytes wide; wider packets (peer
+	// DMA chunks landing in the BAR) touch only the addressed register
+	// and read the rest of the window as zeroes.
+	sz := pkt.Size
+	if sz > 4 {
+		sz = 4
+	}
 	switch pkt.Cmd {
 	case mem.ReadReq:
 		v := n.regRead(off)
@@ -203,10 +210,10 @@ func (o *nicPIO) RecvTimingReq(_ *mem.SlavePort, pkt *mem.Packet) bool {
 		}
 		var buf [4]byte
 		binary.LittleEndian.PutUint32(buf[:], v)
-		copy(pkt.Data, buf[:pkt.Size])
+		copy(pkt.Data, buf[:sz])
 	case mem.WriteReq:
 		var buf [4]byte
-		copy(buf[:pkt.Size], pkt.Data)
+		copy(buf[:sz], pkt.Data)
 		n.regWrite(off, binary.LittleEndian.Uint32(buf[:]))
 	}
 	n.respQ.Push(pkt.MakeResponse(), n.eng.Now()+n.cfg.PIOLatency)

@@ -1,0 +1,135 @@
+package devices
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pciesim/internal/mem"
+	"pciesim/internal/pci"
+	"pciesim/internal/sim"
+)
+
+// TestDevConfig parameterizes the synthetic test endpoint.
+type TestDevConfig struct {
+	// PIOLatency is the MMIO access service time.
+	PIOLatency sim.Tick
+	// BARSize is the scratch BAR size.
+	BARSize uint64
+}
+
+// DefaultTestDevConfig returns a 64 KiB scratch window served at the
+// disk's PIO latency.
+func DefaultTestDevConfig() TestDevConfig {
+	return TestDevConfig{
+		PIOLatency: 200 * sim.Nanosecond,
+		BARSize:    64 * 1024,
+	}
+}
+
+// TestDev is a minimal PCI-Express endpoint: a configuration space, one
+// memory BAR backed by word-granular scratch storage, and nothing else.
+// Arbitrary topologies use it as an inert target for MMIO probes and
+// peer-to-peer DMA without dragging in a driver model.
+type TestDev struct {
+	eng  *sim.Engine
+	name string
+	cfg  TestDevConfig
+
+	config *pci.ConfigSpace
+	aer    *pci.AER
+	pio    *mem.SlavePort
+	respQ  *mem.SendQueue
+
+	// scratch holds written words, keyed by BAR offset.
+	scratch map[int]uint32
+
+	// Stats.
+	reads, writes uint64
+}
+
+// NewTestDev builds the endpoint and its configuration space.
+func NewTestDev(eng *sim.Engine, name string, cfg TestDevConfig) *TestDev {
+	if cfg.BARSize == 0 {
+		cfg.BARSize = 64 * 1024
+	}
+	d := &TestDev{eng: eng, name: name, cfg: cfg, scratch: make(map[int]uint32)}
+	d.config = pci.NewType0Space(name+".config", pci.Ident{
+		VendorID:     pci.VendorIntel,
+		DeviceID:     pci.DeviceTestDev,
+		ClassCode:    pci.ClassSystemOther,
+		InterruptPin: 1,
+	})
+	d.config.AttachBAR(0, pci.NewMemBAR(cfg.BARSize))
+	pci.AddPCIeCap(d.config, pci.PCIeCapConfig{
+		PortType: pci.PCIePortEndpoint, LinkSpeed: pci.LinkSpeedGen2, LinkWidth: 1,
+	})
+	d.aer = pci.AddAER(d.config)
+	d.pio = mem.NewSlavePort(name+".pio", (*testDevPIO)(d))
+	d.respQ = mem.NewSendQueue(eng, name+".respq", 0, func(p *mem.Packet) bool {
+		return d.pio.SendTimingResp(p)
+	})
+	r := eng.Stats()
+	r.CounterFunc(name+".reads", func() uint64 { return d.reads })
+	r.CounterFunc(name+".writes", func() uint64 { return d.writes })
+	return d
+}
+
+// ConfigSpace returns the configuration space for host registration.
+func (d *TestDev) ConfigSpace() *pci.ConfigSpace { return d.config }
+
+// AER returns the device's Advanced Error Reporting capability.
+func (d *TestDev) AER() *pci.AER { return d.aer }
+
+// PIOPort returns the MMIO slave port.
+func (d *TestDev) PIOPort() *mem.SlavePort { return d.pio }
+
+// BAR0 returns the scratch BAR.
+func (d *TestDev) BAR0() *pci.BAR { return d.config.BARAt(0) }
+
+// Stats returns (reads served, writes served).
+func (d *TestDev) Stats() (reads, writes uint64) { return d.reads, d.writes }
+
+// testDevPIO adapts TestDev to mem.SlaveOwner.
+type testDevPIO TestDev
+
+func (o *testDevPIO) d() *TestDev { return (*TestDev)(o) }
+
+func (o *testDevPIO) RecvTimingReq(_ *mem.SlavePort, pkt *mem.Packet) bool {
+	d := o.d()
+	bar := d.BAR0()
+	if bar.Addr() == 0 || pkt.Addr < bar.Addr() || pkt.Addr >= bar.Addr()+d.cfg.BARSize {
+		panic(fmt.Sprintf("devices %s: PIO %v outside BAR0 (%#x)", d.name, pkt, bar.Addr()))
+	}
+	off := int(pkt.Addr-bar.Addr()) &^ 3
+	n := pkt.Size
+	if n > 4 {
+		n = 4
+	}
+	switch pkt.Cmd {
+	case mem.ReadReq:
+		d.reads++
+		if pkt.Data == nil {
+			pkt.Data = make([]byte, pkt.Size)
+		}
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], d.scratch[off])
+		copy(pkt.Data, buf[:n])
+	case mem.WriteReq:
+		d.writes++
+		var buf [4]byte
+		copy(buf[:n], pkt.Data)
+		d.scratch[off] = binary.LittleEndian.Uint32(buf[:])
+	}
+	d.respQ.Push(pkt.MakeResponse(), d.eng.Now()+d.cfg.PIOLatency)
+	return true
+}
+
+func (o *testDevPIO) RecvRespRetry(*mem.SlavePort) { o.d().respQ.RetryReceived() }
+
+func (o *testDevPIO) AddrRanges(*mem.SlavePort) mem.RangeList {
+	d := o.d()
+	if d.BAR0().Addr() == 0 {
+		return nil
+	}
+	return mem.RangeList{mem.Range(d.BAR0().Addr(), d.cfg.BARSize)}
+}

@@ -35,7 +35,12 @@ type DiskHandle struct {
 // DiskDriver binds the simplified IDE/ATA-DMA storage device and
 // exposes synchronous sector transfers to workloads.
 type DiskDriver struct {
+	// Handle is the first bound device — the only one in the validation
+	// topology; multi-disk topologies index Handles.
 	Handle *DiskHandle
+	// Handles lists every bound device in probe (enumeration DFS)
+	// order.
+	Handles []*DiskHandle
 	// CmdTimeout is copied into the handle at probe time; see
 	// DiskHandle.CmdTimeout.
 	CmdTimeout sim.Tick
@@ -64,7 +69,20 @@ func (d *DiskDriver) Probe(t *Task, k *Kernel, dev *FoundDevice) error {
 	}
 	k.CPU.RegisterIRQ(dev.IRQ, func() { h.Done.Signal() })
 	k.SetBusMaster(t, dev.BDF)
-	d.Handle = h
+	if d.Handle == nil {
+		d.Handle = h
+	}
+	d.Handles = append(d.Handles, h)
+	return nil
+}
+
+// HandleFor returns the handle bound to bdf, or nil.
+func (d *DiskDriver) HandleFor(bdf pci.BDF) *DiskHandle {
+	for _, h := range d.Handles {
+		if h.Dev.BDF == bdf {
+			return h
+		}
+	}
 	return nil
 }
 

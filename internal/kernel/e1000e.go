@@ -53,8 +53,11 @@ type NICHandle struct {
 // interrupt handler, enables bus mastering, and touches a device
 // register over MMIO to confirm the device is alive.
 type E1000eDriver struct {
-	// Handle is filled by Probe.
+	// Handle is filled by Probe — the first bound device; multi-NIC
+	// topologies index Handles.
 	Handle *NICHandle
+	// Handles lists every bound device in probe order.
+	Handles []*NICHandle
 	// InterruptCount tallies interrupts taken (legacy or MSI).
 	InterruptCount int
 	// TxDone is signaled by the interrupt handler; transmit paths wait
@@ -89,7 +92,9 @@ func (d *E1000eDriver) Probe(t *Task, k *Kernel, dev *FoundDevice) error {
 
 	// Interrupt setup in e1000e's preference order: MSI-X, MSI, then
 	// the legacy fallback the paper's §IV devices force.
-	d.TxDone = NewWaiter("e1000e.txdone")
+	if d.TxDone == nil {
+		d.TxDone = NewWaiter("e1000e.txdone")
+	}
 	isr := func() {
 		d.InterruptCount++
 		d.TxDone.Signal()
@@ -111,6 +116,19 @@ func (d *E1000eDriver) Probe(t *Task, k *Kernel, dev *FoundDevice) error {
 	if status == 0xffffffff {
 		return errors.New("e1000e: STATUS reads all-ones; BAR routing broken")
 	}
-	d.Handle = h
+	if d.Handle == nil {
+		d.Handle = h
+	}
+	d.Handles = append(d.Handles, h)
+	return nil
+}
+
+// HandleFor returns the handle bound to bdf, or nil.
+func (d *E1000eDriver) HandleFor(bdf pci.BDF) *NICHandle {
+	for _, h := range d.Handles {
+		if h.Dev.BDF == bdf {
+			return h
+		}
+	}
 	return nil
 }

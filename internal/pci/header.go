@@ -30,6 +30,12 @@ const (
 	ClassNetworkEthernet = 0x020000
 	ClassBridgePCI       = 0x060400
 	ClassStorageIDE      = 0x010180
+	// ClassSystemOther marks the synthetic test endpoint.
+	ClassSystemOther = 0x088000
+
+	// DeviceTestDev identifies the synthetic test endpoint used by
+	// arbitrary topologies as an inert BAR target.
+	DeviceTestDev = 0x7e57
 )
 
 // NewType0Space builds an endpoint (header type 0) configuration space:

@@ -132,7 +132,7 @@ func TestRouterResponseRoutingProperty(t *testing.T) {
 
 		pkt := mem.NewPacket(mem.ReadReq, 0, 4).MakeResponse()
 		pkt.BusNum = int(bus)
-		dst := rc.router.routeResponse(pkt)
+		dst := rc.router.routeResponse(rc.ports[0], pkt)
 		switch {
 		case bus >= sec1 && bus <= sub1:
 			return dst == rc.RootPort(0)

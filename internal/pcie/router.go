@@ -162,6 +162,25 @@ type router struct {
 	// upstream VP2P windows before routing (switch semantics, §V-B).
 	checkUpstreamWindow bool
 
+	// noP2P disables downstream-to-downstream turnaround (switches
+	// only): peer traffic entering a downstream port is forced out the
+	// upstream port instead, so it reflects off the root complex. The
+	// response path mirrors the request path — a response whose bus
+	// number matches a peer downstream port is also forced upstream.
+	noP2P bool
+
+	// allowHairpin lets a request entering a downstream port whose own
+	// windows claim the address turn around on that same port (root
+	// complex only): this is the RC reflection path for peer-to-peer
+	// traffic that was forced up by a noP2P switch. Without it the
+	// request would escape into the memory system and master-abort.
+	allowHairpin bool
+
+	// p2pTurns counts requests routed downstream-to-downstream (switch
+	// turnaround) or hairpinned back out their ingress port (RC
+	// reflection).
+	p2pTurns uint64
+
 	// cto tracks outstanding non-posted downstream requests when
 	// CompletionTimeout is armed (root complex only).
 	cto *ctoTracker
@@ -370,10 +389,24 @@ func (r *router) routeRequest(in *Port, pkt *mem.Packet) (*Port, bool) {
 	}
 	for _, p := range r.ports[1:] {
 		if p != in && p.claims(pkt.Addr) {
+			if r.noP2P && in.index != 0 {
+				// Peer-to-peer opt-out: force the request out the
+				// upstream port so it reflects off the root complex.
+				break
+			}
+			if in.index != 0 {
+				r.p2pTurns++ // switch-level turnaround
+			}
 			return p, true
 		}
 	}
 	if in.index != 0 {
+		if r.allowHairpin && in.claims(pkt.Addr) {
+			// RC reflection: the address lives below the ingress root
+			// port itself, so turn the request around on that port.
+			r.p2pTurns++
+			return in, true
+		}
 		return r.ports[0], true // upstream, toward the host
 	}
 	return nil, false
@@ -385,9 +418,15 @@ func (r *router) routeRequest(in *Port, pkt *mem.Packet) (*Port, bool) {
 // the response packet is forwarded out to the corresponding slave port.
 // If no match is found, the response packet is forwarded to the
 // upstream slave port" (§V-A).
-func (r *router) routeResponse(pkt *mem.Packet) *Port {
+func (r *router) routeResponse(in *Port, pkt *mem.Packet) *Port {
 	for _, p := range r.ports[1:] {
 		if p.claimsBus(pkt.BusNum) {
+			if r.noP2P && in.index != 0 && p.index != 0 {
+				// Mirror the request-path opt-out: a peer-to-peer
+				// completion must reflect off the root complex too, not
+				// short-cut across the switch.
+				return r.ports[0]
+			}
 			return p
 		}
 	}
@@ -473,7 +512,7 @@ func (o *portMaster) RecvTimingResp(_ *mem.MasterPort, pkt *mem.Packet) bool {
 		// swallow it here, before it can reach the requester twice.
 		return true
 	}
-	dst := r.routeResponse(pkt)
+	dst := r.routeResponse(p, pkt)
 	if dst.respQ.Full() {
 		addWaiter(&dst.respWaiters, p)
 		return false
@@ -516,7 +555,11 @@ func NewRootComplex(eng *sim.Engine, name string, host *pci.Host, cfg RootComple
 	if ids == nil {
 		ids = []uint16{pci.DeviceWildcatPort0, pci.DeviceWildcatPort1, pci.DeviceWildcatPort2}
 	}
-	rc := &RootComplex{router{eng: eng, name: name, cfg: cfg.RouterConfig, upstreamStampBus: 0}}
+	rc := &RootComplex{router{
+		eng: eng, name: name, cfg: cfg.RouterConfig,
+		upstreamStampBus: 0,
+		allowHairpin:     true,
+	}}
 	rc.addPort(name+".upstream", nil)
 	for i := 0; i < cfg.NumRootPorts; i++ {
 		id := ids[i%len(ids)]
@@ -567,6 +610,10 @@ func (rc *RootComplex) NumRootPorts() int { return len(rc.ports) - 1 }
 // Aborts returns the total master-abort count across ports.
 func (rc *RootComplex) Aborts() uint64 { return aborts(&rc.router) }
 
+// Reflections counts peer-to-peer requests that hairpinned off a root
+// port — traffic a noP2P switch forced up instead of turning around.
+func (rc *RootComplex) Reflections() uint64 { return rc.p2pTurns }
+
 // SwitchConfig parameterizes a switch.
 type SwitchConfig struct {
 	RouterConfig
@@ -578,6 +625,11 @@ type SwitchConfig struct {
 	// the enumeration DFS order).
 	UpstreamBus uint8
 	InternalBus uint8
+	// NoP2P disables downstream-to-downstream turnaround: peer traffic
+	// (requests and their completions) is forced out the upstream port
+	// and reflects off the root complex instead. The default (false)
+	// turns peer-to-peer traffic around at the switch.
+	NoP2P bool
 }
 
 // Switch is the paper's store-and-forward switch (§V-B): one upstream
@@ -601,6 +653,7 @@ func NewSwitch(eng *sim.Engine, name string, host *pci.Host, cfg SwitchConfig) *
 		eng: eng, name: name, cfg: cfg.RouterConfig,
 		upstreamStampBus:    int(cfg.UpstreamBus),
 		checkUpstreamWindow: true,
+		noP2P:               cfg.NoP2P,
 	}}
 	up := pci.NewType1Space(name+".upvp2p", pci.Ident{
 		VendorID: pci.VendorIntel, DeviceID: 0x8c10, ClassCode: pci.ClassBridgePCI,
@@ -645,6 +698,10 @@ func (s *Switch) NumDownstreamPorts() int { return len(s.ports) - 1 }
 
 // Aborts returns the total master-abort count across ports.
 func (s *Switch) Aborts() uint64 { return aborts(&s.router) }
+
+// P2PTurnarounds counts requests that entered one downstream port and
+// left through another without traversing the uplink.
+func (s *Switch) P2PTurnarounds() uint64 { return s.p2pTurns }
 
 func aborts(r *router) uint64 {
 	var n uint64

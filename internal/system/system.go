@@ -13,38 +13,39 @@
 //	                                            │
 //	    RC rootport0 ═ link ═ switch ═ link ═ disk
 //	    RC rootport1 ═ link ═ NIC
+//
+// The package is a thin wrapper over internal/topo: the topology above
+// is topo.Validation(), and New maps the legacy per-link knobs onto
+// that spec before handing it to topo.Build. Arbitrary topologies —
+// more root ports, cascaded switches, many disks — are built directly
+// through internal/topo.
 package system
 
 import (
 	"fmt"
 
-	"pciesim/internal/bridge"
 	"pciesim/internal/cache"
 	"pciesim/internal/devices"
 	"pciesim/internal/fault"
 	"pciesim/internal/kernel"
-	"pciesim/internal/mem"
 	"pciesim/internal/memctrl"
-	"pciesim/internal/pci"
 	"pciesim/internal/pcie"
 	"pciesim/internal/sim"
-	"pciesim/internal/xbar"
+	"pciesim/internal/topo"
 )
 
 // Address map of the modeled ARM Vexpress_GEM5_V1 platform (§III).
 const (
-	ConfigBase = 0x30000000
-	ConfigSize = 256 << 20
-	IOBase     = 0x2f000000
-	IOSize     = 16 << 20
-	MMIOBase   = 0x40000000
-	MMIOSize   = 1 << 30
-	DRAMBase   = 0x80000000 // "DRAM is mapped to addresses from 2GB"
-	DRAMSize   = 2 << 30
-	// MSIFrameBase is the on-chip MSI doorbell frame (GICv2m-style),
-	// present when Config.EnableMSI is set.
-	MSIFrameBase = 0x2c1f0000
-	MSIFrameSize = 4096
+	ConfigBase   = topo.ConfigBase
+	ConfigSize   = topo.ConfigSize
+	IOBase       = topo.IOBase
+	IOSize       = topo.IOSize
+	MMIOBase     = topo.MMIOBase
+	MMIOSize     = topo.MMIOSize
+	DRAMBase     = topo.DRAMBase
+	DRAMSize     = topo.DRAMSize
+	MSIFrameBase = topo.MSIFrameBase
+	MSIFrameSize = topo.MSIFrameSize
 )
 
 // Config collects every knob of the modeled platform. DefaultConfig
@@ -133,85 +134,79 @@ type Config struct {
 
 // DefaultConfig is the calibrated baseline configuration; every
 // experiment in EXPERIMENTS.md starts from it. The PCIe-side values
-// come from the paper; the substrate and OS values are the calibration
-// recorded in DESIGN.md §5.
+// come from the paper; the substrate and OS calibration is shared with
+// (and now lives in) topo.DefaultConfig.
 func DefaultConfig() Config {
-	dd := kernel.DDConfig{
-		RequestBytes:       128 * 1024,
-		BufAddr:            DRAMBase + (64 << 20),
-		StartupOverhead:    12 * sim.Millisecond,
-		PerRequestOverhead: 5 * sim.Microsecond,
-		PerSectorOverhead:  1300 * sim.Nanosecond,
-		InterruptOverhead:  4 * sim.Microsecond,
-	}
+	t := topo.DefaultConfig()
 	return Config{
-		RootComplexLatency: 150 * sim.Nanosecond,
-		SwitchLatency:      150 * sim.Nanosecond,
-		PortBufferSize:     16,
-		ReplayBufferSize:   4,
+		RootComplexLatency: t.RootComplexLatency,
+		SwitchLatency:      t.SwitchLatency,
+		PortBufferSize:     t.PortBufferSize,
+		ReplayBufferSize:   t.ReplayBufferSize,
 		UplinkWidth:        4,
 		DiskLinkWidth:      1,
 		NICLinkWidth:       1,
-		Gen:                pcie.Gen2,
+		Gen:                t.Gen,
 
-		MemBusFrontend: 10 * sim.Nanosecond,
-		MemBusResponse: 10 * sim.Nanosecond,
-		MemBusPerByte:  62, // ~16 GB/s data path
-		IOBusLatency:   20 * sim.Nanosecond,
-		BridgeDelay:    25 * sim.Nanosecond,
-		PCIHostLatency: 100 * sim.Nanosecond,
-		IOCache: cache.Config{
-			Size:         1024,
-			LineSize:     64,
-			Assoc:        4,
-			TagLatency:   10 * sim.Nanosecond,
-			MSHRs:        4,
-			WriteBuffers: 8,
-		},
-		// The DRAM service rate is the I/O tree's drain limit: ~51 ns
-		// per 64 B line (~11.4 Gb/s of DMA drain). It sits just above
-		// the x4 chunk arrival interval (42 ns) and far below x8's
-		// (21 ns), which is what lets an x8 link overrun the port
-		// buffers and collapse into replay timeouts (Fig 9(b)-(d))
-		// while x4 and below stream cleanly.
-		DRAM: memctrl.Config{
-			Latency:        80 * sim.Nanosecond,
-			PerByte:        800,
-			MaxOutstanding: 16,
-		},
-		Disk:          devices.DefaultDiskConfig(),
-		NIC:           devices.DefaultNICConfig(),
-		NICPIOLatency: 110 * sim.Nanosecond,
+		MemBusFrontend: t.MemBusFrontend,
+		MemBusResponse: t.MemBusResponse,
+		MemBusPerByte:  t.MemBusPerByte,
+		IOBusLatency:   t.IOBusLatency,
+		BridgeDelay:    t.BridgeDelay,
+		PCIHostLatency: t.PCIHostLatency,
+		IOCache:        t.IOCache,
+		DRAM:           t.DRAM,
+		Disk:           t.Disk,
+		NIC:            t.NIC,
+		NICPIOLatency:  t.NICPIOLatency,
 
-		IRQLatency: 1 * sim.Microsecond,
-		DD:         dd,
+		IRQLatency: t.IRQLatency,
+		DD:         t.DD,
 	}
 }
 
-// System is the assembled platform.
+// topoConfig maps the legacy flat config onto the topology-independent
+// build config.
+func (cfg Config) topoConfig() topo.Config {
+	return topo.Config{
+		RootComplexLatency: cfg.RootComplexLatency,
+		SwitchLatency:      cfg.SwitchLatency,
+		PortBufferSize:     cfg.PortBufferSize,
+		ReplayBufferSize:   cfg.ReplayBufferSize,
+		Gen:                cfg.Gen,
+		Seed:               cfg.Seed,
+		CompletionTimeout:  cfg.CompletionTimeout,
+		DiskCmdTimeout:     cfg.DiskCmdTimeout,
+		DiskDMATimeout:     cfg.DiskDMATimeout,
+		EnableMSI:          cfg.EnableMSI,
+
+		MemBusFrontend: cfg.MemBusFrontend,
+		MemBusResponse: cfg.MemBusResponse,
+		MemBusPerByte:  cfg.MemBusPerByte,
+		IOBusLatency:   cfg.IOBusLatency,
+		BridgeDelay:    cfg.BridgeDelay,
+		PCIHostLatency: cfg.PCIHostLatency,
+		IOCache:        cfg.IOCache,
+		DRAM:           cfg.DRAM,
+		Disk:           cfg.Disk,
+		NIC:            cfg.NIC,
+		NICPIOLatency:  cfg.NICPIOLatency,
+
+		IRQLatency: cfg.IRQLatency,
+		DD:         cfg.DD,
+	}
+}
+
+// System is the assembled validation platform: the generic topo.System
+// plus direct handles on the fixed topology's components, so existing
+// callers keep field access like s.Switch and s.DiskLink.
 type System struct {
+	*topo.System
+
+	// Cfg is the legacy flat configuration New was called with. It
+	// shadows the embedded topo.System's build config.
 	Cfg Config
-	Eng *sim.Engine
 
-	// PktPool recycles request packets for every requestor in this
-	// system (CPU, disk DMA, NIC DMA). It is engine-local: pools are
-	// never shared across concurrently running simulations.
-	PktPool *mem.Pool
-
-	CPU    *kernel.CPU
-	Kernel *kernel.Kernel
-
-	MemBus  *xbar.XBar
-	IOBus   *xbar.XBar
-	Bridge  *bridge.Bridge
-	IOCache *cache.Cache
-	DRAM    *memctrl.Memory
-	PCIHost *pci.Host
-
-	// MSI is the doorbell frame, nil unless Cfg.EnableMSI.
-	MSI *devices.MSIController
-
-	RC       *pcie.RootComplex
 	Switch   *pcie.Switch
 	Uplink   *pcie.Link
 	DiskLink *pcie.Link
@@ -219,328 +214,50 @@ type System struct {
 
 	Disk *devices.Disk
 	NIC  *devices.NIC
-
-	DiskDriver *kernel.DiskDriver
-	NICDriver  *kernel.E1000eDriver
-
-	booted bool
 }
 
 // New builds and wires the platform. The simulation is ready to Boot.
 func New(cfg Config) *System {
-	eng := sim.NewEngine()
-	s := &System{Cfg: cfg, Eng: eng, PktPool: mem.NewPool()}
+	spec := topo.Validation()
+	sw := spec.RootPorts[0]
+	sw.Link.Width = cfg.UplinkWidth
+	sw.Link.Fault = cfg.UplinkFault
+	disk := sw.Ports[0]
+	disk.Link.Width = cfg.DiskLinkWidth
+	disk.Link.ErrorRate = cfg.DiskLinkErrorRate
+	disk.Link.Fault = cfg.DiskLinkFault
+	nic := spec.RootPorts[1]
+	nic.Link.Width = cfg.NICLinkWidth
+	nic.Link.Fault = cfg.NICLinkFault
 
-	// --- buses and memory ---
-	s.MemBus = xbar.New(eng, "membus", xbar.Config{
-		FrontendLatency: cfg.MemBusFrontend,
-		ResponseLatency: cfg.MemBusResponse,
-		PerByte:         cfg.MemBusPerByte,
-	})
-	s.IOBus = xbar.New(eng, "iobus", xbar.Config{
-		FrontendLatency: cfg.IOBusLatency,
-		ResponseLatency: cfg.IOBusLatency,
-	})
-	s.DRAM = memctrl.New(eng, "dram", mem.Range(DRAMBase, DRAMSize), cfg.DRAM)
-	mem.Connect(s.MemBus.MasterPort("dram", mem.RangeList{s.DRAM.Range()}), s.DRAM.Port())
-
-	if cfg.EnableMSI {
-		s.MSI = devices.NewMSIController(eng, "msiframe", mem.Range(MSIFrameBase, MSIFrameSize))
-		mem.Connect(s.MemBus.MasterPort("msiframe", mem.RangeList{s.MSI.Range()}), s.MSI.Port())
-		// Doorbell writes from devices must bypass the IOCache.
-		cfg.IOCache.Uncacheable = append(cfg.IOCache.Uncacheable, s.MSI.Range())
-		s.Cfg.IOCache = cfg.IOCache
+	ts, err := topo.Build(spec, cfg.topoConfig())
+	if err != nil {
+		// The canned spec is structurally legal; only an out-of-range
+		// width/generation in cfg can fail, which was a panic (in
+		// pcie.NewLink) before the topo layer existed too.
+		panic(fmt.Sprintf("system: %v", err))
 	}
-
-	s.Bridge = bridge.New(eng, "iobridge", bridge.Config{
-		Delay:     cfg.BridgeDelay,
-		ReqDepth:  16,
-		RespDepth: 16,
-		Ranges:    mem.RangeList{mem.Range(ConfigBase, ConfigSize)},
-	})
-	mem.Connect(s.MemBus.MasterPort("iobridge", mem.RangeList{mem.Range(ConfigBase, ConfigSize)}),
-		s.Bridge.SlavePort())
-	mem.Connect(s.Bridge.MasterPort(), s.IOBus.SlavePort("iobridge"))
-
-	s.PCIHost = pci.NewHost(eng, "pcihost", pci.HostConfig{
-		ECAMWindow: mem.Range(ConfigBase, ConfigSize),
-		Latency:    cfg.PCIHostLatency,
-	})
-	mem.Connect(s.IOBus.MasterPort("pcihost", mem.RangeList{s.PCIHost.Window()}), s.PCIHost.Port())
-
-	// --- root complex ---
-	rcCfg := pcie.RootComplexConfig{NumRootPorts: 3}
-	rcCfg.Latency = cfg.RootComplexLatency
-	rcCfg.BufferSize = cfg.PortBufferSize
-	rcCfg.CompletionTimeout = cfg.CompletionTimeout
-	s.RC = pcie.NewRootComplex(eng, "rc", s.PCIHost, rcCfg)
-	// CPU-visible PCI windows route from the MemBus into the RC.
-	mem.Connect(s.MemBus.MasterPort("rc", mem.RangeList{
-		mem.Range(MMIOBase, MMIOSize),
-		mem.Range(IOBase, IOSize),
-	}), s.RC.UpstreamSlave())
-
-	// DMA drains through the IOCache onto the MemBus (§V-A: "we pass
-	// all the memory requests generated by DMA transactions through an
-	// IOCache and then send them to the Membus").
-	s.IOCache = cache.New(eng, "iocache", cfg.IOCache)
-	mem.Connect(s.RC.UpstreamMaster(), s.IOCache.CPUSidePort())
-	mem.Connect(s.IOCache.MemSidePort(), s.MemBus.SlavePort("iocache"))
-
-	// --- switch and links (validation topology of §VI-A) ---
-	s.Uplink = pcie.NewLink(eng, "uplink", pcie.LinkConfig{
-		Gen: cfg.Gen, Width: cfg.UplinkWidth,
-		ReplayBufferSize: cfg.ReplayBufferSize,
-		MaxPayload:       cfg.IOCache.LineSize,
-		Seed:             cfg.Seed,
-		Fault:            cfg.UplinkFault,
-	})
-	s.RC.RootPort(0).ConnectLink(s.Uplink)
-
-	swCfg := pcie.SwitchConfig{NumDownstreamPorts: 2, UpstreamBus: 1, InternalBus: 2}
-	swCfg.Latency = cfg.SwitchLatency
-	swCfg.BufferSize = cfg.PortBufferSize
-	s.Switch = pcie.NewSwitch(eng, "switch", s.PCIHost, swCfg)
-	s.Switch.ConnectUpstreamLink(s.Uplink)
-
-	s.DiskLink = pcie.NewLink(eng, "disklink", pcie.LinkConfig{
-		Gen: cfg.Gen, Width: cfg.DiskLinkWidth,
-		ReplayBufferSize: cfg.ReplayBufferSize,
-		MaxPayload:       cfg.IOCache.LineSize,
-		ErrorRate:        cfg.DiskLinkErrorRate,
-		Seed:             cfg.Seed,
-		Fault:            cfg.DiskLinkFault,
-	})
-	s.Switch.DownstreamPort(0).ConnectLink(s.DiskLink)
-
-	diskCfg := cfg.Disk
-	if cfg.DiskDMATimeout != 0 {
-		diskCfg.DMATimeout = cfg.DiskDMATimeout
+	s := &System{
+		System:   ts,
+		Cfg:      cfg,
+		Switch:   ts.Switches[0].Sw,
+		Uplink:   ts.LinkByName("uplink").Link,
+		DiskLink: ts.LinkByName("disklink").Link,
+		NICLink:  ts.LinkByName("niclink").Link,
+		Disk:     ts.Disks[0].Dev,
+		NIC:      ts.NICs[0].Dev,
 	}
-	s.Disk = devices.NewDisk(eng, "disk", diskCfg)
-	mem.Connect(s.DiskLink.Down().MasterPort(), s.Disk.PIOPort())
-	mem.Connect(s.Disk.DMAPort(), s.DiskLink.Down().SlavePort())
-	// DFS pre-registration: bus0(dev0)->bus1(switch up)->bus2(down
-	// VP2Ps)->bus3: disk; the second downstream port heads bus 4; root
-	// port 1 heads bus 5 (the NIC), root port 2 bus 6.
-	s.PCIHost.Register(pci.NewBDF(3, 0, 0), s.Disk.ConfigSpace())
-
-	// --- NIC directly below root port 1 (Table II topology) ---
-	nicCfg := cfg.NIC
-	nicCfg.PIOLatency = cfg.NICPIOLatency
-	nicCfg.MSICapable = cfg.EnableMSI
-	s.NIC = devices.NewNIC(eng, "nic", nicCfg)
-	s.NICLink = pcie.NewLink(eng, "niclink", pcie.LinkConfig{
-		Gen: cfg.Gen, Width: cfg.NICLinkWidth,
-		ReplayBufferSize: cfg.ReplayBufferSize,
-		MaxPayload:       cfg.IOCache.LineSize,
-		Seed:             cfg.Seed,
-		Fault:            cfg.NICLinkFault,
-	})
-	s.RC.RootPort(1).ConnectLink(s.NICLink)
-	mem.Connect(s.NICLink.Down().MasterPort(), s.NIC.PIOPort())
-	mem.Connect(s.NIC.DMAPort(), s.NICLink.Down().SlavePort())
-	s.PCIHost.Register(pci.NewBDF(5, 0, 0), s.NIC.ConfigSpace())
-
-	// AER wiring: each link interface reports into the AER capability
-	// of the function at its end of the link — root ports and switch
-	// ports on the fabric side, the endpoint's own config space on the
-	// device side.
-	s.Uplink.Up().SetAER(s.RC.RootPort(0).AER())
-	s.Uplink.Down().SetAER(s.Switch.UpstreamPort().AER())
-	s.DiskLink.Up().SetAER(s.Switch.DownstreamPort(0).AER())
-	s.DiskLink.Down().SetAER(s.Disk.AER())
-	s.NICLink.Up().SetAER(s.RC.RootPort(1).AER())
-	s.NICLink.Down().SetAER(s.NIC.AER())
-
-	// Observability: per-function AER totals plus platform-wide
-	// aggregates, so a stats dump shows error activity at a glance.
-	aers := []struct {
-		name string
-		a    *pci.AER
-	}{
-		{"rc.rootport0", s.RC.RootPort(0).AER()},
-		{"rc.rootport1", s.RC.RootPort(1).AER()},
-		{"switch.upstream", s.Switch.UpstreamPort().AER()},
-		{"switch.downstream0", s.Switch.DownstreamPort(0).AER()},
-		{"disk", s.Disk.AER()},
-		{"nic", s.NIC.AER()},
-	}
-	r := eng.Stats()
-	all := make([]*pci.AER, 0, len(aers))
-	for _, e := range aers {
-		a := e.a
-		all = append(all, a)
-		r.CounterFunc("aer."+e.name+".correctable",
-			func() uint64 { c, _ := a.Totals(); return c })
-		r.CounterFunc("aer."+e.name+".uncorrectable",
-			func() uint64 { _, u := a.Totals(); return u })
-	}
-	r.CounterFunc("aer.correctable", func() uint64 {
-		var t uint64
-		for _, a := range all {
-			c, _ := a.Totals()
-			t += c
-		}
-		return t
-	})
-	r.CounterFunc("aer.uncorrectable", func() uint64 {
-		var t uint64
-		for _, a := range all {
-			_, u := a.Totals()
-			t += u
-		}
-		return t
-	})
-
-	// Packet pool: every requestor draws from (and every consumer
-	// releases into) one engine-local free list, with leak-check
-	// accounting exposed through the stats registry.
-	s.Disk.UsePacketPool(s.PktPool)
-	s.NIC.UsePacketPool(s.PktPool)
-	r.CounterFunc("mem.pool.allocs", func() uint64 { return s.PktPool.Stats().Allocs })
-	r.CounterFunc("mem.pool.reuses", func() uint64 { return s.PktPool.Stats().Reuses })
-	r.CounterFunc("mem.pool.releases", func() uint64 { return s.PktPool.Stats().Releases })
-	r.CounterFunc("mem.pool.live", func() uint64 { return s.PktPool.Stats().Live() })
-	r.CounterFunc("sim.events_recycled", func() uint64 { return eng.Recycled() })
-
-	// --- kernel ---
-	s.CPU = kernel.NewCPU(eng, "cpu0")
-	s.CPU.UsePacketPool(s.PktPool)
-	s.CPU.IRQLatency = cfg.IRQLatency
-	mem.Connect(s.CPU.Port(), s.MemBus.SlavePort("cpu0"))
-	s.Kernel = kernel.New(s.CPU)
-	s.Kernel.Enum.ECAMBase = ConfigBase
-	s.Kernel.Enum.MemWindow = mem.Range(MMIOBase, MMIOSize)
-	s.Kernel.Enum.IOWindow = mem.Range(IOBase, IOSize)
-	if cfg.EnableMSI {
-		s.Kernel.MSITarget = MSIFrameBase
-		s.MSI.OnMSI = func(vector uint32) { s.CPU.TriggerIRQ(int(vector)) }
-	}
-	s.DiskDriver = &kernel.DiskDriver{CmdTimeout: cfg.DiskCmdTimeout}
-	s.NICDriver = &kernel.E1000eDriver{}
-	s.Kernel.RegisterDriver(s.DiskDriver)
-	s.Kernel.RegisterDriver(s.NICDriver)
-
-	// Interrupt wiring: legacy INTx lines are delivered to the CPU.
-	// Enumeration assigns lines in DFS order, so they are resolved
-	// after boot via each driver's handle.
-	s.Disk.OnInterrupt = func() {
-		if h := s.DiskDriver.Handle; h != nil {
-			s.CPU.TriggerIRQ(h.IRQ)
-		}
-	}
-	s.NIC.OnInterrupt = func() {
-		if h := s.NICDriver.Handle; h != nil {
-			s.CPU.TriggerIRQ(h.IRQ)
-		}
-	}
+	// topo.Build appends the MSI doorbell to the IOCache's uncacheable
+	// list; keep the legacy config view in sync.
+	s.Cfg.IOCache = ts.Cfg.IOCache
 	return s
 }
 
-// runTask drives the engine until the spawned task completes (or the
-// queue drains with it wedged). Unlike Eng.Run it does not drain
-// events scheduled past the task's completion, so a fault window
-// armed at a future tick is not fast-forwarded through while the
-// platform idles between workloads.
-func (s *System) runTask(t *kernel.Task) {
-	s.Eng.RunWhile(func() bool { return !t.Done() })
-}
-
-// Boot runs enumeration and driver probes to completion and leaves the
-// platform ready for workloads. It returns the discovered topology.
-func (s *System) Boot() (*kernel.Topology, error) {
-	if s.booted {
-		return s.Kernel.Topo, nil
-	}
-	var bootErr error
-	t := s.CPU.Spawn("boot", 0, func(t *kernel.Task) {
-		bootErr = s.Kernel.Boot(t)
-	})
-	s.runTask(t)
-	if bootErr != nil {
-		return nil, bootErr
-	}
-	if !t.Done() {
-		return nil, fmt.Errorf("system: boot task did not complete")
-	}
-	if s.DiskDriver.Handle == nil {
-		return nil, fmt.Errorf("system: disk driver did not bind")
-	}
-	if s.NICDriver.Handle == nil {
-		return nil, fmt.Errorf("system: NIC driver did not bind")
-	}
-	s.booted = true
-	return s.Kernel.Topo, nil
-}
-
 // RunDD boots if necessary, then runs one dd block-read of blockBytes
-// and returns the result.
+// and returns the result. The legacy wrapper keeps Cfg.DD as the
+// source of truth (the embedded build config mirrors it).
 func (s *System) RunDD(blockBytes uint64) (kernel.DDResult, error) {
-	if _, err := s.Boot(); err != nil {
-		return kernel.DDResult{}, err
-	}
-	cfg := s.Cfg.DD
-	cfg.BlockBytes = blockBytes
-	var res kernel.DDResult
-	var runErr error
-	task := s.CPU.Spawn("dd", 0, func(t *kernel.Task) {
-		res, runErr = kernel.RunDD(t, s.DiskDriver.Handle, cfg)
-	})
-	s.runTask(task)
-	if runErr != nil {
-		return kernel.DDResult{}, runErr
-	}
-	if !task.Done() {
-		return kernel.DDResult{}, fmt.Errorf("system: dd task wedged (lost wakeup?)")
-	}
-	return res, nil
-}
-
-// MMIOProbe boots if necessary, then measures n 4-byte reads of the
-// NIC status register (the Table II experiment).
-func (s *System) MMIOProbe(n int) (kernel.MMIOProbeResult, error) {
-	if _, err := s.Boot(); err != nil {
-		return kernel.MMIOProbeResult{}, err
-	}
-	var res kernel.MMIOProbeResult
-	task := s.CPU.Spawn("mmioprobe", 0, func(t *kernel.Task) {
-		res = kernel.MMIOProbe(t, s.NICDriver.Handle.BAR0+devices.NICRegStatus, n)
-	})
-	s.runTask(task)
-	if !task.Done() {
-		return kernel.MMIOProbeResult{}, fmt.Errorf("system: probe task wedged")
-	}
-	return res, nil
-}
-
-// RunNICTx boots if necessary, then transmits frames through the NIC's
-// descriptor ring and returns the measured throughput.
-func (s *System) RunNICTx(frames, frameLen int) (kernel.NICTxResult, error) {
-	if _, err := s.Boot(); err != nil {
-		return kernel.NICTxResult{}, err
-	}
-	cfg := kernel.NICTxConfig{
-		RingAddr:         DRAMBase + (160 << 20),
-		RingEntries:      64,
-		BufAddr:          DRAMBase + (161 << 20),
-		FrameLen:         frameLen,
-		Frames:           frames,
-		PerFrameOverhead: 500 * sim.Nanosecond,
-	}
-	var res kernel.NICTxResult
-	var runErr error
-	task := s.CPU.Spawn("nictx", 0, func(t *kernel.Task) {
-		res, runErr = s.NICDriver.RunNICTx(t, cfg)
-	})
-	s.runTask(task)
-	if runErr != nil {
-		return kernel.NICTxResult{}, runErr
-	}
-	if !task.Done() {
-		return kernel.NICTxResult{}, fmt.Errorf("system: nictx task wedged")
-	}
-	return res, nil
+	return s.System.RunDD(blockBytes)
 }
 
 // DiskUplinkStats returns the link-interface stats of the upstream
@@ -548,49 +265,6 @@ func (s *System) RunNICTx(frames, frameLen int) (kernel.NICTxResult, error) {
 // replay rates.
 func (s *System) DiskUplinkStats() pcie.LinkStats { return s.DiskLink.Down().Stats() }
 
-// ScanAER runs the kernel's AER service handler in task context: every
-// enumerated function's AER capability is read and cleared, and the
-// pending errors come back as a structured log.
-func (s *System) ScanAER() ([]kernel.AERRecord, error) {
-	if _, err := s.Boot(); err != nil {
-		return nil, err
-	}
-	var recs []kernel.AERRecord
-	task := s.CPU.Spawn("aerscan", 0, func(t *kernel.Task) {
-		recs = s.Kernel.HandleAER(t)
-	})
-	s.runTask(task)
-	if !task.Done() {
-		return nil, fmt.Errorf("system: AER scan task wedged")
-	}
-	return recs, nil
-}
-
 // LinkErrorSummary aggregates the error-containment counters of one
 // link, combining both directions.
-type LinkErrorSummary struct {
-	Name     string
-	Up, Down pcie.LinkStats
-	Retrains uint64
-	Dead     bool
-}
-
-// LinkErrors reports the per-link error and recovery counters for the
-// three platform links.
-func (s *System) LinkErrors() []LinkErrorSummary {
-	links := []struct {
-		name string
-		l    *pcie.Link
-	}{{"uplink", s.Uplink}, {"disklink", s.DiskLink}, {"niclink", s.NICLink}}
-	out := make([]LinkErrorSummary, 0, len(links))
-	for _, e := range links {
-		out = append(out, LinkErrorSummary{
-			Name:     e.name,
-			Up:       e.l.Up().Stats(),
-			Down:     e.l.Down().Stats(),
-			Retrains: e.l.Retrains(),
-			Dead:     e.l.Dead(),
-		})
-	}
-	return out
-}
+type LinkErrorSummary = topo.LinkErrorSummary

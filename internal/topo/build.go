@@ -1,0 +1,512 @@
+package topo
+
+import (
+	"fmt"
+
+	"pciesim/internal/bridge"
+	"pciesim/internal/cache"
+	"pciesim/internal/devices"
+	"pciesim/internal/fault"
+	"pciesim/internal/kernel"
+	"pciesim/internal/mem"
+	"pciesim/internal/memctrl"
+	"pciesim/internal/pci"
+	"pciesim/internal/pcie"
+	"pciesim/internal/sim"
+	"pciesim/internal/xbar"
+)
+
+// Address map of the modeled ARM Vexpress_GEM5_V1 platform (§III).
+const (
+	ConfigBase = 0x30000000
+	ConfigSize = 256 << 20
+	IOBase     = 0x2f000000
+	IOSize     = 16 << 20
+	MMIOBase   = 0x40000000
+	MMIOSize   = 1 << 30
+	DRAMBase   = 0x80000000 // "DRAM is mapped to addresses from 2GB"
+	DRAMSize   = 2 << 30
+	// MSIFrameBase is the on-chip MSI doorbell frame (GICv2m-style),
+	// present when Config.EnableMSI is set.
+	MSIFrameBase = 0x2c1f0000
+	MSIFrameSize = 4096
+)
+
+// Config holds every topology-independent knob of the platform: the
+// fabric latencies and buffer sizes, the substrate calibration, and the
+// OS model. Per-link width/generation/fault live in the Spec (widths,
+// gens) and the Faults map (fault plans, keyed by link name).
+type Config struct {
+	// --- PCI-Express fabric ---
+
+	// RootComplexLatency is the RC processing latency.
+	RootComplexLatency sim.Tick
+	// SwitchLatency is the switch store-and-forward latency.
+	SwitchLatency sim.Tick
+	// PortBufferSize is the root/switch per-port buffer in packets.
+	PortBufferSize int
+	// ReplayBufferSize is the link-interface replay buffer.
+	ReplayBufferSize int
+	// Gen is the default link generation for links whose spec leaves
+	// Gen zero.
+	Gen pcie.Generation
+	// Seed seeds fault injection.
+	Seed uint64
+	// NoP2P disables peer-to-peer turnaround in every switch: requests
+	// between sibling endpoints are forced up to the root complex and
+	// reflect off it. The default (false) lets switches turn peer
+	// traffic around locally.
+	NoP2P bool
+
+	// --- error containment & recovery ---
+
+	// Faults attaches deterministic fault plans to links by link name
+	// (LinkSpec.Name; "<node>.link" when auto-named). A plan set
+	// directly in the spec wins over this map.
+	Faults map[string]*fault.Plan
+	// CompletionTimeout arms the root complex's completion timer; zero
+	// disables it.
+	CompletionTimeout sim.Tick
+	// DiskCmdTimeout bounds the block driver's wait for a command
+	// interrupt; zero waits forever.
+	DiskCmdTimeout sim.Tick
+	// DiskDMATimeout bounds the disk DMA engine's per-transfer
+	// in-flight time; zero disables.
+	DiskDMATimeout sim.Tick
+	// EnableMSI adds the MSI doorbell frame and makes NIC MSI
+	// enableable.
+	EnableMSI bool
+
+	// --- substrate ---
+
+	MemBusFrontend sim.Tick
+	MemBusResponse sim.Tick
+	MemBusPerByte  sim.Tick
+	IOBusLatency   sim.Tick
+	BridgeDelay    sim.Tick
+	PCIHostLatency sim.Tick
+	IOCache        cache.Config
+	DRAM           memctrl.Config
+	Disk           devices.DiskConfig
+	NIC            devices.NICConfig
+	NICPIOLatency  sim.Tick
+	TestDev        devices.TestDevConfig
+
+	// --- OS model ---
+
+	IRQLatency sim.Tick
+	DD         kernel.DDConfig
+}
+
+// DefaultConfig is the calibrated baseline of DESIGN.md §5 — the same
+// numbers internal/system's DefaultConfig has always used; that package
+// now derives its config from this one.
+func DefaultConfig() Config {
+	return Config{
+		RootComplexLatency: 150 * sim.Nanosecond,
+		SwitchLatency:      150 * sim.Nanosecond,
+		PortBufferSize:     16,
+		ReplayBufferSize:   4,
+		Gen:                pcie.Gen2,
+
+		MemBusFrontend: 10 * sim.Nanosecond,
+		MemBusResponse: 10 * sim.Nanosecond,
+		MemBusPerByte:  62, // ~16 GB/s data path
+		IOBusLatency:   20 * sim.Nanosecond,
+		BridgeDelay:    25 * sim.Nanosecond,
+		PCIHostLatency: 100 * sim.Nanosecond,
+		IOCache: cache.Config{
+			Size:         1024,
+			LineSize:     64,
+			Assoc:        4,
+			TagLatency:   10 * sim.Nanosecond,
+			MSHRs:        4,
+			WriteBuffers: 8,
+		},
+		// The DRAM service rate is the I/O tree's drain limit: ~51 ns
+		// per 64 B line (~11.4 Gb/s of DMA drain); see DESIGN.md §5.
+		DRAM: memctrl.Config{
+			Latency:        80 * sim.Nanosecond,
+			PerByte:        800,
+			MaxOutstanding: 16,
+		},
+		Disk:          devices.DefaultDiskConfig(),
+		NIC:           devices.DefaultNICConfig(),
+		NICPIOLatency: 110 * sim.Nanosecond,
+		TestDev:       devices.DefaultTestDevConfig(),
+
+		IRQLatency: 1 * sim.Microsecond,
+		DD: kernel.DDConfig{
+			RequestBytes:       128 * 1024,
+			BufAddr:            DRAMBase + (64 << 20),
+			StartupOverhead:    12 * sim.Millisecond,
+			PerRequestOverhead: 5 * sim.Microsecond,
+			PerSectorOverhead:  1300 * sim.Nanosecond,
+			InterruptOverhead:  4 * sim.Microsecond,
+		},
+	}
+}
+
+// LinkInst is one instantiated link and the spec node below it.
+type LinkInst struct {
+	Name string
+	Node *Node
+	Link *pcie.Link
+}
+
+// SwitchInst is one instantiated switch.
+type SwitchInst struct {
+	Name string
+	Node *Node
+	Sw   *pcie.Switch
+}
+
+// DiskInst is one instantiated disk endpoint.
+type DiskInst struct {
+	Name string
+	BDF  pci.BDF
+	Dev  *devices.Disk
+}
+
+// NICInst is one instantiated NIC endpoint.
+type NICInst struct {
+	Name string
+	BDF  pci.BDF
+	Dev  *devices.NIC
+}
+
+// TestDevInst is one instantiated test endpoint.
+type TestDevInst struct {
+	Name string
+	BDF  pci.BDF
+	Dev  *devices.TestDev
+}
+
+// System is an assembled platform with an arbitrary fabric. The
+// substrate (CPU, DRAM, buses, IOCache, PCI host) is identical to the
+// validation platform's; the fabric below the root complex is whatever
+// the Spec described.
+type System struct {
+	Spec *Spec
+	Cfg  Config
+	Plan *Plan
+	Eng  *sim.Engine
+
+	// PktPool recycles request packets for every requestor (CPU and all
+	// DMA engines). Engine-local, never shared across simulations.
+	PktPool *mem.Pool
+
+	CPU    *kernel.CPU
+	Kernel *kernel.Kernel
+
+	MemBus  *xbar.XBar
+	IOBus   *xbar.XBar
+	Bridge  *bridge.Bridge
+	IOCache *cache.Cache
+	DRAM    *memctrl.Memory
+	PCIHost *pci.Host
+
+	// MSI is the doorbell frame, nil unless Cfg.EnableMSI.
+	MSI *devices.MSIController
+
+	RC *pcie.RootComplex
+
+	// Fabric inventory, all in DFS (bus) order.
+	Switches []*SwitchInst
+	Links    []*LinkInst
+	Disks    []*DiskInst
+	NICs     []*NICInst
+	TestDevs []*TestDevInst
+
+	DiskDriver *kernel.DiskDriver
+	NICDriver  *kernel.E1000eDriver
+
+	linkByName map[string]*LinkInst
+	booted     bool
+}
+
+// Build normalizes the spec, plans bus numbers, and assembles the
+// platform. The simulation is ready to Boot.
+func Build(spec *Spec, cfg Config) (*System, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("topo: nil spec")
+	}
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	plan, err := spec.Plan()
+	if err != nil {
+		return nil, err
+	}
+
+	eng := sim.NewEngine()
+	s := &System{
+		Spec: spec, Cfg: cfg, Plan: plan, Eng: eng,
+		PktPool:    mem.NewPool(),
+		linkByName: map[string]*LinkInst{},
+	}
+
+	// --- buses and memory ---
+	s.MemBus = xbar.New(eng, "membus", xbar.Config{
+		FrontendLatency: cfg.MemBusFrontend,
+		ResponseLatency: cfg.MemBusResponse,
+		PerByte:         cfg.MemBusPerByte,
+	})
+	s.IOBus = xbar.New(eng, "iobus", xbar.Config{
+		FrontendLatency: cfg.IOBusLatency,
+		ResponseLatency: cfg.IOBusLatency,
+	})
+	s.DRAM = memctrl.New(eng, "dram", mem.Range(DRAMBase, DRAMSize), cfg.DRAM)
+	mem.Connect(s.MemBus.MasterPort("dram", mem.RangeList{s.DRAM.Range()}), s.DRAM.Port())
+
+	if cfg.EnableMSI {
+		s.MSI = devices.NewMSIController(eng, "msiframe", mem.Range(MSIFrameBase, MSIFrameSize))
+		mem.Connect(s.MemBus.MasterPort("msiframe", mem.RangeList{s.MSI.Range()}), s.MSI.Port())
+		// Doorbell writes from devices must bypass the IOCache.
+		cfg.IOCache.Uncacheable = append(cfg.IOCache.Uncacheable, s.MSI.Range())
+		s.Cfg.IOCache = cfg.IOCache
+	}
+
+	s.Bridge = bridge.New(eng, "iobridge", bridge.Config{
+		Delay:     cfg.BridgeDelay,
+		ReqDepth:  16,
+		RespDepth: 16,
+		Ranges:    mem.RangeList{mem.Range(ConfigBase, ConfigSize)},
+	})
+	mem.Connect(s.MemBus.MasterPort("iobridge", mem.RangeList{mem.Range(ConfigBase, ConfigSize)}),
+		s.Bridge.SlavePort())
+	mem.Connect(s.Bridge.MasterPort(), s.IOBus.SlavePort("iobridge"))
+
+	s.PCIHost = pci.NewHost(eng, "pcihost", pci.HostConfig{
+		ECAMWindow: mem.Range(ConfigBase, ConfigSize),
+		Latency:    cfg.PCIHostLatency,
+	})
+	mem.Connect(s.IOBus.MasterPort("pcihost", mem.RangeList{s.PCIHost.Window()}), s.PCIHost.Port())
+
+	// --- root complex ---
+	rcCfg := pcie.RootComplexConfig{NumRootPorts: len(spec.RootPorts)}
+	rcCfg.Latency = cfg.RootComplexLatency
+	rcCfg.BufferSize = cfg.PortBufferSize
+	rcCfg.CompletionTimeout = cfg.CompletionTimeout
+	s.RC = pcie.NewRootComplex(eng, "rc", s.PCIHost, rcCfg)
+	// CPU-visible PCI windows route from the MemBus into the RC.
+	mem.Connect(s.MemBus.MasterPort("rc", mem.RangeList{
+		mem.Range(MMIOBase, MMIOSize),
+		mem.Range(IOBase, IOSize),
+	}), s.RC.UpstreamSlave())
+
+	// DMA drains through the IOCache onto the MemBus (§V-A).
+	s.IOCache = cache.New(eng, "iocache", cfg.IOCache)
+	mem.Connect(s.RC.UpstreamMaster(), s.IOCache.CPUSidePort())
+	mem.Connect(s.IOCache.MemSidePort(), s.MemBus.SlavePort("iocache"))
+
+	// --- fabric: DFS over the spec ---
+	// Each AER capability is registered in the stats namespace under
+	// the same names the hardwired platform used: "rc.rootport<i>",
+	// "<switch>.upstream", "<switch>.downstream<j>", "<endpoint>".
+	var aerList []struct {
+		name string
+		a    *pci.AER
+	}
+	addAER := func(name string, a *pci.AER) {
+		aerList = append(aerList, struct {
+			name string
+			a    *pci.AER
+		}{name, a})
+	}
+	for i, n := range spec.RootPorts {
+		if n == nil {
+			continue
+		}
+		if err := s.buildNode(s.RC.RootPort(i), fmt.Sprintf("rc.rootport%d", i), n, cfg, plan, addAER); err != nil {
+			return nil, err
+		}
+	}
+
+	// Observability: per-function AER totals plus platform-wide
+	// aggregates.
+	r := eng.Stats()
+	all := make([]*pci.AER, 0, len(aerList))
+	for _, e := range aerList {
+		a := e.a
+		all = append(all, a)
+		r.CounterFunc("aer."+e.name+".correctable",
+			func() uint64 { c, _ := a.Totals(); return c })
+		r.CounterFunc("aer."+e.name+".uncorrectable",
+			func() uint64 { _, u := a.Totals(); return u })
+	}
+	r.CounterFunc("aer.correctable", func() uint64 {
+		var t uint64
+		for _, a := range all {
+			c, _ := a.Totals()
+			t += c
+		}
+		return t
+	})
+	r.CounterFunc("aer.uncorrectable", func() uint64 {
+		var t uint64
+		for _, a := range all {
+			_, u := a.Totals()
+			t += u
+		}
+		return t
+	})
+
+	// Packet pool accounting.
+	r.CounterFunc("mem.pool.allocs", func() uint64 { return s.PktPool.Stats().Allocs })
+	r.CounterFunc("mem.pool.reuses", func() uint64 { return s.PktPool.Stats().Reuses })
+	r.CounterFunc("mem.pool.releases", func() uint64 { return s.PktPool.Stats().Releases })
+	r.CounterFunc("mem.pool.live", func() uint64 { return s.PktPool.Stats().Live() })
+	r.CounterFunc("sim.events_recycled", func() uint64 { return eng.Recycled() })
+
+	// --- kernel ---
+	s.CPU = kernel.NewCPU(eng, "cpu0")
+	s.CPU.UsePacketPool(s.PktPool)
+	s.CPU.IRQLatency = cfg.IRQLatency
+	mem.Connect(s.CPU.Port(), s.MemBus.SlavePort("cpu0"))
+	s.Kernel = kernel.New(s.CPU)
+	s.Kernel.Enum.ECAMBase = ConfigBase
+	s.Kernel.Enum.MemWindow = mem.Range(MMIOBase, MMIOSize)
+	s.Kernel.Enum.IOWindow = mem.Range(IOBase, IOSize)
+	if cfg.EnableMSI {
+		s.Kernel.MSITarget = MSIFrameBase
+		s.MSI.OnMSI = func(vector uint32) { s.CPU.TriggerIRQ(int(vector)) }
+	}
+	s.DiskDriver = &kernel.DiskDriver{CmdTimeout: cfg.DiskCmdTimeout}
+	s.NICDriver = &kernel.E1000eDriver{}
+	s.Kernel.RegisterDriver(s.DiskDriver)
+	s.Kernel.RegisterDriver(s.NICDriver)
+	return s, nil
+}
+
+// buildNode instantiates the link from port down to node n and the
+// subtree below it. port is the already-created fabric port (root port
+// or switch downstream port) and portAER its stats name.
+func (s *System) buildNode(port *pcie.Port, portAERName string, n *Node, cfg Config,
+	plan *Plan, addAER func(string, *pci.AER)) error {
+	lcfg := pcie.LinkConfig{
+		Gen:              n.Link.Gen,
+		Width:            n.Link.Width,
+		ReplayBufferSize: cfg.ReplayBufferSize,
+		MaxPayload:       cfg.IOCache.LineSize,
+		ErrorRate:        n.Link.ErrorRate,
+		Seed:             cfg.Seed,
+		Fault:            n.Link.Fault,
+	}
+	if lcfg.Gen == 0 {
+		lcfg.Gen = cfg.Gen
+	}
+	if lcfg.Fault == nil {
+		lcfg.Fault = cfg.Faults[n.Link.Name]
+	}
+	link := pcie.NewLink(s.Eng, n.Link.Name, lcfg)
+	port.ConnectLink(link)
+	li := &LinkInst{Name: n.Link.Name, Node: n, Link: link}
+	s.Links = append(s.Links, li)
+	s.linkByName[li.Name] = li
+
+	// AER: each link interface reports into the function at its end —
+	// the fabric port above, the switch/endpoint below.
+	link.Up().SetAER(port.AER())
+	addAER(portAERName, port.AER())
+
+	switch n.Kind {
+	case KindSwitch:
+		b := plan.SwitchBus[n]
+		swCfg := pcie.SwitchConfig{
+			NumDownstreamPorts: len(n.Ports),
+			UpstreamBus:        b.Upstream,
+			InternalBus:        b.Internal,
+			NoP2P:              cfg.NoP2P,
+		}
+		swCfg.Latency = cfg.SwitchLatency
+		swCfg.BufferSize = cfg.PortBufferSize
+		sw := pcie.NewSwitch(s.Eng, n.Name, s.PCIHost, swCfg)
+		sw.ConnectUpstreamLink(link)
+		link.Down().SetAER(sw.UpstreamPort().AER())
+		addAER(n.Name+".upstream", sw.UpstreamPort().AER())
+		s.Switches = append(s.Switches, &SwitchInst{Name: n.Name, Node: n, Sw: sw})
+		for j, child := range n.Ports {
+			if child == nil {
+				continue
+			}
+			name := fmt.Sprintf("%s.downstream%d", n.Name, j)
+			if err := s.buildNode(sw.DownstreamPort(j), name, child, cfg, plan, addAER); err != nil {
+				return err
+			}
+		}
+
+	case KindDisk:
+		dcfg := cfg.Disk
+		if cfg.DiskDMATimeout != 0 {
+			dcfg.DMATimeout = cfg.DiskDMATimeout
+		}
+		d := devices.NewDisk(s.Eng, n.Name, dcfg)
+		mem.Connect(link.Down().MasterPort(), d.PIOPort())
+		mem.Connect(d.DMAPort(), link.Down().SlavePort())
+		bdf := plan.EndpointBDF[n]
+		s.PCIHost.Register(bdf, d.ConfigSpace())
+		link.Down().SetAER(d.AER())
+		addAER(n.Name, d.AER())
+		d.UsePacketPool(s.PktPool)
+		// Legacy INTx delivery; the IRQ line is known only after
+		// enumeration, so resolve the handle by BDF at interrupt time.
+		d.OnInterrupt = func() {
+			if h := s.DiskDriver.HandleFor(bdf); h != nil {
+				s.CPU.TriggerIRQ(h.IRQ)
+			}
+		}
+		s.Disks = append(s.Disks, &DiskInst{Name: n.Name, BDF: bdf, Dev: d})
+
+	case KindNIC:
+		ncfg := cfg.NIC
+		ncfg.PIOLatency = cfg.NICPIOLatency
+		ncfg.MSICapable = cfg.EnableMSI
+		d := devices.NewNIC(s.Eng, n.Name, ncfg)
+		mem.Connect(link.Down().MasterPort(), d.PIOPort())
+		mem.Connect(d.DMAPort(), link.Down().SlavePort())
+		bdf := plan.EndpointBDF[n]
+		s.PCIHost.Register(bdf, d.ConfigSpace())
+		link.Down().SetAER(d.AER())
+		addAER(n.Name, d.AER())
+		d.UsePacketPool(s.PktPool)
+		d.OnInterrupt = func() {
+			if h := s.NICDriver.HandleFor(bdf); h != nil {
+				s.CPU.TriggerIRQ(h.IRQ)
+			}
+		}
+		s.NICs = append(s.NICs, &NICInst{Name: n.Name, BDF: bdf, Dev: d})
+
+	case KindTestDev:
+		d := devices.NewTestDev(s.Eng, n.Name, cfg.TestDev)
+		mem.Connect(link.Down().MasterPort(), d.PIOPort())
+		bdf := plan.EndpointBDF[n]
+		s.PCIHost.Register(bdf, d.ConfigSpace())
+		link.Down().SetAER(d.AER())
+		addAER(n.Name, d.AER())
+		s.TestDevs = append(s.TestDevs, &TestDevInst{Name: n.Name, BDF: bdf, Dev: d})
+
+	default:
+		return fmt.Errorf("topo: unknown node kind %q", n.Kind)
+	}
+	return nil
+}
+
+// LinkByName returns the named link instance, or nil.
+func (s *System) LinkByName(name string) *LinkInst {
+	return s.linkByName[name]
+}
+
+// Turnarounds sums switch-level peer-to-peer turnarounds across the
+// fabric.
+func (s *System) Turnarounds() uint64 {
+	var total uint64
+	for _, sw := range s.Switches {
+		total += sw.Sw.P2PTurnarounds()
+	}
+	return total
+}
+
+// Reflections counts requests the root complex hairpinned back down the
+// port they arrived on — the peer-to-peer reflection path.
+func (s *System) Reflections() uint64 { return s.RC.Reflections() }

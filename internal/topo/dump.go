@@ -1,0 +1,69 @@
+package topo
+
+import (
+	"fmt"
+	"io"
+
+	"pciesim/internal/pci"
+)
+
+// DumpEnumeration writes an lspci-style snapshot of the enumerated
+// topology: every function in DFS order with its IDs, bridge bus
+// numbers and programmed windows, assigned BARs, and routed interrupt
+// line. The output is deterministic, which is what the per-scenario
+// golden conformance files in testdata/golden/topo lock down.
+func (s *System) DumpEnumeration(w io.Writer) error {
+	if _, err := s.Boot(); err != nil {
+		return err
+	}
+	tp := s.Kernel.Topo
+	name := s.Spec.Name
+	if name == "" {
+		name = "(unnamed)"
+	}
+	fmt.Fprintf(w, "topology %s: %d buses, %d functions\n", name, tp.Buses, len(tp.All))
+	for _, d := range tp.All {
+		fmt.Fprintf(w, "%v [%04x:%04x] class=%06x", d.BDF, d.VendorID, d.DeviceID, d.ClassCode)
+		if d.IsBridge {
+			fmt.Fprintf(w, " bridge secondary=%02x subordinate=%02x", d.Secondary, d.Subordinate)
+		} else {
+			fmt.Fprintf(w, " irq=%d", d.IRQ)
+		}
+		fmt.Fprintln(w)
+		for _, bar := range d.BARs {
+			space := "mem"
+			if bar.IsIO {
+				space = "io"
+			}
+			fmt.Fprintf(w, "\tbar%d: %s %#010x size=%#x\n", bar.Index, space, bar.Addr, bar.Size)
+		}
+		if d.IsBridge {
+			if cs, ok := s.lookupSpace(d.BDF); ok {
+				mb, ml := pci.BridgeMemWindow(cs)
+				if pci.WindowEnabled(mb, ml) {
+					fmt.Fprintf(w, "\tmem window [%#010x, %#010x]\n", mb, ml)
+				} else {
+					fmt.Fprintf(w, "\tmem window closed\n")
+				}
+				iob, iol := pci.BridgeIOWindow(cs)
+				if pci.WindowEnabled(iob, iol) {
+					fmt.Fprintf(w, "\tio window [%#010x, %#010x]\n", iob, iol)
+				} else {
+					fmt.Fprintf(w, "\tio window closed\n")
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// lookupSpace fetches the registered config space behind a BDF when it
+// is a full ConfigSpace (every platform function is).
+func (s *System) lookupSpace(bdf pci.BDF) (*pci.ConfigSpace, bool) {
+	acc, ok := s.PCIHost.Lookup(bdf)
+	if !ok {
+		return nil, false
+	}
+	cs, ok := acc.(*pci.ConfigSpace)
+	return cs, ok
+}

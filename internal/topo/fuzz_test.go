@@ -1,0 +1,59 @@
+package topo
+
+import "testing"
+
+// FuzzTopoSpec fuzzes the -topo input language (both the text grammar
+// and the JSON form). Properties:
+//
+//   - Parse never panics, whatever the input.
+//   - An accepted spec is fully validated (Validate returns nil).
+//   - An accepted spec's text rendering re-parses to the same bus plan,
+//     so the String form is a faithful clone channel.
+func FuzzTopoSpec(f *testing.F) {
+	seeds := []string{
+		"disk",
+		"_",
+		"switch:x4(disk*8)",
+		"switch:x4(disk,nic)",
+		"switch:x4@switch(disk@disk,_),nic@nic,_",
+		"sw:x8:g3(sw:x2(td,_,disk),nic)*2",
+		"sw(sw(sw(disk)))",
+		" switch ( disk , _ ) ",
+		"disk*0",
+		"switch(disk))",
+		"disk:z4",
+		`{"name":"j","root_ports":[{"kind":"switch","link":{"width":4},"ports":[{"kind":"disk"},null]},{"kind":"nic"}]}`,
+		`{not json`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if spec == nil {
+			t.Fatalf("Parse(%q) returned nil spec without error", input)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("Parse(%q) accepted a spec that fails Validate: %v", input, err)
+		}
+		p1, err := spec.Plan()
+		if err != nil {
+			t.Fatalf("Parse(%q) accepted a spec without a plan: %v", input, err)
+		}
+		text := spec.String()
+		spec2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("String() of accepted spec %q does not re-parse: %q: %v", input, text, err)
+		}
+		p2, err := spec2.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1.Buses != p2.Buses {
+			t.Fatalf("bus plan changed across String round trip of %q: %d -> %d", input, p1.Buses, p2.Buses)
+		}
+	})
+}

@@ -25,6 +25,7 @@ import (
 	"pciesim/internal/sim"
 	"pciesim/internal/stats"
 	"pciesim/internal/system"
+	"pciesim/internal/topo"
 	"pciesim/internal/trace"
 )
 
@@ -136,6 +137,41 @@ func NewTracer(mask TraceCategory) *Tracer { return trace.New(mask) }
 // ParseTraceCategories parses a comma-separated category list
 // ("tlp,fault") or "all".
 func ParseTraceCategories(s string) (TraceCategory, error) { return trace.ParseCategories(s) }
+
+// --- arbitrary topologies (DESIGN.md §10) ---
+
+// TopoSpec is a declarative fabric description: root ports, cascaded
+// switches, endpoints. Build one in Go, with ParseTopo, or take a
+// canned scenario from CannedTopo.
+type TopoSpec = topo.Spec
+
+// TopoNode is one element of a TopoSpec tree.
+type TopoNode = topo.Node
+
+// TopoConfig is the topology-independent platform configuration used
+// by BuildTopo.
+type TopoConfig = topo.Config
+
+// TopoSystem is a platform assembled from a TopoSpec: the validation
+// substrate under an arbitrary fabric.
+type TopoSystem = topo.System
+
+// ParseTopo parses the compact topology grammar ("switch:x4(disk*8)")
+// or, when the input starts with "{", the JSON form of TopoSpec.
+func ParseTopo(s string) (*TopoSpec, error) { return topo.Parse(s) }
+
+// CannedTopo resolves a canned scenario name ("validation", "fanout8",
+// "p2p") to its spec, or nil.
+func CannedTopo(name string) *TopoSpec { return topo.Canned(name) }
+
+// CannedTopoNames lists the canned scenario names.
+func CannedTopoNames() []string { return topo.CannedNames() }
+
+// DefaultTopoConfig returns the calibrated baseline build config.
+func DefaultTopoConfig() TopoConfig { return topo.DefaultConfig() }
+
+// BuildTopo assembles a platform from a topology spec.
+func BuildTopo(spec *TopoSpec, cfg TopoConfig) (*TopoSystem, error) { return topo.Build(spec, cfg) }
 
 // DefaultConfig returns the paper's validated baseline configuration.
 func DefaultConfig() Config { return system.DefaultConfig() }
