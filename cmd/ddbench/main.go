@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ddbench [-fig 9a|9b|9c|9d|err|all] [-scale N] [-jobs N] [-csv] [-table1]
+//	ddbench [-fig 9a|9b|9c|9d|err|fc|all] [-scale N] [-jobs N] [-csv] [-table1]
 //
 // -scale divides the paper's 64-512 MiB block sizes (and dd's fixed
 // startup overhead) by N; 1 reproduces the full-size experiment, the
@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 
 	"pciesim"
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 9a, 9b, 9c, 9d, err, scen or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 9a, 9b, 9c, 9d, err, fc, scen or all")
 	topoSpec := flag.String("topo", "", "sweep block sizes over an arbitrary topology: a canned scenario name or a spec like \"switch:x4(disk*8)\"")
 	scale := flag.Int("scale", 16, "divide the paper's block sizes by this factor")
 	jobs := flag.Int("jobs", 1, "parallel simulation runs (-1 = one per CPU); output is identical at any value")
@@ -92,12 +93,22 @@ func main() {
 		"9c": pciesim.RunFig9c,
 		"9d": pciesim.RunFig9d,
 	}
-	order := []string{"9a", "9b", "9c", "9d", "err"}
+	// order is the -fig all sequence and doubles as the list of valid
+	// figure names ("scen" is opt-in only: it is a scenario report, not
+	// a paper figure).
+	order := []string{"9a", "9b", "9c", "9d", "err", "fc"}
 
 	selected := order
 	if *fig != "all" {
-		if _, ok := runners[*fig]; !ok && *fig != "err" && *fig != "scen" {
-			fmt.Fprintf(os.Stderr, "ddbench: unknown figure %q\n", *fig)
+		valid := *fig == "scen"
+		for _, id := range order {
+			if *fig == id {
+				valid = true
+			}
+		}
+		if !valid {
+			fmt.Fprintf(os.Stderr, "ddbench: unknown figure %q; valid names: %s, scen, all\n",
+				*fig, strings.Join(order, ", "))
 			os.Exit(2)
 		}
 		selected = []string{*fig}
@@ -105,6 +116,10 @@ func main() {
 	for _, id := range selected {
 		if id == "err" {
 			runFigErr(opt, *csv)
+			continue
+		}
+		if id == "fc" {
+			runFigFC(opt, *csv)
 			continue
 		}
 		if id == "scen" {
@@ -130,6 +145,21 @@ func main() {
 		} else {
 			fmt.Println(result.Format())
 		}
+	}
+}
+
+// runFigFC runs the flow-control credit sweep: a dd write over a
+// long-latency link with a shrinking completion-credit pool.
+func runFigFC(opt pciesim.Options, csv bool) {
+	result, err := pciesim.RunFigFC(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
+		os.Exit(1)
+	}
+	if csv {
+		fmt.Print(result.CSV())
+	} else {
+		fmt.Println(result.Format())
 	}
 }
 

@@ -12,6 +12,13 @@
 //	pciesim -errrate 0.01 -dllprate 0.01 -droprate 0.005 -faultseed 7
 //	pciesim -downat 14000 -downdur 0 -cto 100
 //
+// Flow control: -credits arms VC0 credit-based flow control on every
+// link ("8" advertises 8 header credits per class, "ch=2" caps only
+// completion headers; the default is the legacy infinite-credit link):
+//
+//	pciesim -credits 8
+//	pciesim -credits ph=16,ch=2
+//
 // Observability: -stats prints the counter/histogram summary, -stats-out
 // dumps it as JSON (or CSV), and -trace records per-packet lifecycle
 // events — `-trace trace.json` writes a Chrome trace openable in
@@ -91,6 +98,7 @@ func main() {
 	cto := flag.Int("cto", 100, "root-complex completion timeout when faults are armed (us; 0 disables)")
 	campaignSpec := flag.String("campaign", "", "Monte-Carlo fault campaign: seeds=K[,rate=R] dd runs over distinct fault seeds")
 	jobs := flag.Int("jobs", 1, "parallel campaign runs (-1 = one per CPU); output is identical at any value")
+	creditSpec := flag.String("credits", "", "VC0 flow-control credits per link: empty/\"inf\" = legacy infinite, N = uniform, or k=v pairs (ph,pd,nh,nd,ch,cd)")
 	topoSpec := flag.String("topo", "", "arbitrary topology: a canned scenario (validation, fanout8, p2p) or a spec like \"switch:x4(disk*8)\"")
 	p2p := flag.Bool("p2p", false, "with -topo: run the peer-to-peer DMA workload instead of dd")
 	reflect := flag.Bool("reflect", false, "with -topo: disable switch-level P2P turnaround (peer traffic reflects off the root complex)")
@@ -99,8 +107,14 @@ func main() {
 	obs.Register(flag.CommandLine)
 	flag.Parse()
 
+	credits, err := pciesim.ParseCredits(*creditSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
+		os.Exit(2)
+	}
+
 	if *topoSpec != "" {
-		runTopo(*topoSpec, *blockMB, *gen, *p2p, *reflect, *dumpTopo, obs)
+		runTopo(*topoSpec, *blockMB, *gen, credits, *p2p, *reflect, *dumpTopo, obs)
 		return
 	}
 
@@ -127,6 +141,7 @@ func main() {
 	cfg.DD.StartupOverhead = cfg.DD.StartupOverhead * sim.Tick(*blockMB) / 64
 	cfg.EnableMSI = *msi
 	cfg.Disk.PostedWrites = *posted
+	cfg.Credits = credits
 
 	for _, r := range []struct {
 		name string
@@ -193,6 +208,10 @@ func main() {
 		fmt.Printf("  %-18s tlps=%d replays=%d (%.1f%%) timeouts=%d (%.1f%%) throttled=%d\n",
 			l.name, st.TLPsTx, st.ReplaysTx, st.ReplayRate()*100,
 			st.Timeouts, st.TimeoutRate()*100, st.Throttled)
+		if credits.Finite() {
+			fmt.Printf("  %-18s updatefc=%d stalls p/np/cpl=%d/%d/%d\n",
+				"", st.UpdateFCTx, st.FCStallsP, st.FCStallsNP, st.FCStallsCpl)
+		}
 	}
 
 	fmt.Println("\nerror containment:")
@@ -231,7 +250,7 @@ func main() {
 
 // runTopo builds an arbitrary topology from a canned scenario name or
 // a spec string and runs dd on every disk (or the P2P workload).
-func runTopo(spec string, blockMB, gen int, p2p, reflect, dump bool, obs obscli.Flags) {
+func runTopo(spec string, blockMB, gen int, credits pciesim.CreditConfig, p2p, reflect, dump bool, obs obscli.Flags) {
 	ts := pciesim.CannedTopo(spec)
 	if ts == nil {
 		var err error
@@ -243,6 +262,7 @@ func runTopo(spec string, blockMB, gen int, p2p, reflect, dump bool, obs obscli.
 	}
 	cfg := pciesim.DefaultTopoConfig()
 	cfg.Gen = pciesim.Generation(gen)
+	cfg.Credits = credits
 	cfg.NoP2P = reflect
 	cfg.DD.StartupOverhead = cfg.DD.StartupOverhead * sim.Tick(blockMB) / 64
 	s, err := pciesim.BuildTopo(ts, cfg)

@@ -459,6 +459,145 @@ func errPoint(label string, sys *System, res DDResult) ErrPoint {
 	}
 }
 
+// figFCPropDelay is the per-direction propagation delay of the credit
+// sweep's links: a long (cabled/retimed) fabric whose bandwidth-delay
+// product takes several completions in flight to fill.
+const figFCPropDelay = 500 * Nanosecond
+
+// FCPoint is one credit configuration's measurement: a dd run on the
+// disk path with the completion header-credit pool capped at Credits
+// (0 = infinite, the legacy refusal-only link).
+type FCPoint struct {
+	// Credits is the per-link completion header-credit pool ("inf"
+	// renders the legacy infinite pool).
+	Credits int
+	Gbps    float64
+	// CplStalls counts completion TLPs refused admission for lack of
+	// credits, summed over the two interfaces that carry DMA
+	// completions toward the disk.
+	CplStalls uint64
+	// UpdateFCs counts credit-return DLLPs across the disk DMA path.
+	UpdateFCs uint64
+	// ReqLat summarizes the dd per-request latency distribution; credit
+	// starvation stretches the tail before throughput collapses.
+	ReqLat LatencySummary
+}
+
+// CreditsLabel renders the credit count for tables.
+func (p FCPoint) CreditsLabel() string {
+	if p.Credits == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", p.Credits)
+}
+
+// FCFigure is the flow-control credit sweep (`ddbench -fig fc`).
+type FCFigure struct {
+	Title   string
+	BlockMB int
+	Points  []FCPoint
+}
+
+// RunFigFC sweeps a dd write against a shrinking completion
+// header-credit pool on every link, reproducing the Fig 9(d)-style knee
+// with credit-based flow control instead of port-buffer refusal. The
+// write direction makes completions the data stream: the disk DMA-reads
+// the user buffer, so every 64-byte chunk returns as a read completion
+// over the root-complex -> switch -> disk path, and capping Cpl credits
+// throttles the transfer exactly where the paper's port buffers did.
+// (A dd read moves its data in posted writes whose payload-free
+// acknowledgment completions never saturate even one header credit.)
+// The links carry figFCPropDelay of propagation delay — a cabled or
+// retimed fabric — so each link's bandwidth-delay product needs several
+// completions in flight, and the throughput collapses linearly once the
+// advertised pool drops below it. Credits 0 runs the same long link
+// with the legacy infinite-credit protocol as the baseline.
+func RunFigFC(opt Options) (FCFigure, error) {
+	opt = opt.normalize()
+	mb := opt.BlockMB[0]
+	bytes := opt.blockBytes(mb)
+	sweep := []int{0, 32, 16, 8, 4, 2, 1}
+
+	fig := FCFigure{Title: "dd under completion-credit starvation", BlockMB: mb}
+	fig.Points = make([]FCPoint, len(sweep))
+	type outcome struct {
+		p   FCPoint
+		sys *System
+	}
+	err := campaign.RunCollect(opt.jobs(), len(sweep),
+		func(k int) (outcome, error) {
+			credits := sweep[k]
+			cfg := opt.scaledConfig(DefaultConfig())
+			cfg.PropDelay = figFCPropDelay
+			if credits > 0 {
+				cfg.Credits = pcie.CreditConfig{CplHdr: credits}
+			}
+			sys := New(cfg)
+			label := fmt.Sprintf("fc=%d@%dMB", credits, mb)
+			if opt.Observe != nil {
+				if err := opt.Observe(sys, label); err != nil {
+					return outcome{}, err
+				}
+			}
+			res, err := sys.RunDDWrite(bytes)
+			if err != nil {
+				return outcome{}, fmt.Errorf("figfc credits=%d: %w", credits, err)
+			}
+			// DMA read completions reach the disk across the uplink (RC ->
+			// switch) and the disk link (switch -> disk); their transmit
+			// sides are where credit starvation stalls show.
+			disk, up := sys.DiskLink, sys.Uplink
+			return outcome{p: FCPoint{
+				Credits:   credits,
+				Gbps:      res.ThroughputGbps(),
+				CplStalls: disk.Up().Stats().FCStallsCpl + up.Up().Stats().FCStallsCpl,
+				UpdateFCs: disk.Up().Stats().UpdateFCTx + disk.Down().Stats().UpdateFCTx +
+					up.Up().Stats().UpdateFCTx + up.Down().Stats().UpdateFCTx,
+				ReqLat: res.ReqLat,
+			}, sys: sys}, nil
+		},
+		func(k int, o outcome) error {
+			if opt.ObserveDone != nil {
+				label := fmt.Sprintf("fc=%d@%dMB", sweep[k], mb)
+				if err := opt.ObserveDone(o.sys, label); err != nil {
+					return err
+				}
+			}
+			fig.Points[k] = o.p
+			return nil
+		})
+	if err != nil {
+		return FCFigure{}, err
+	}
+	return fig, nil
+}
+
+// Format renders the credit sweep as an aligned text table.
+func (f FCFigure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "figfc — %s (%d MB blocks)\n", f.Title, f.BlockMB)
+	fmt.Fprintf(&b, "%-10s %8s %11s %10s %10s %10s\n",
+		"cpl_hdr", "gbps", "cpl_stalls", "updatefc", "p50(us)", "p99(us)")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%-10s %8.3f %11d %10d %10.1f %10.1f\n",
+			p.CreditsLabel(), p.Gbps, p.CplStalls, p.UpdateFCs,
+			usOf(p.ReqLat.P50), usOf(p.ReqLat.P99))
+	}
+	return b.String()
+}
+
+// CSV renders the credit sweep as comma-separated values.
+func (f FCFigure) CSV() string {
+	var b strings.Builder
+	b.WriteString("figure,cpl_hdr_credits,block_mb,gbps,cpl_stalls,updatefc_dllps,req_p50_us,req_p95_us,req_p99_us,req_max_us\n")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "figfc,%s,%d,%.4f,%d,%d,%.2f,%.2f,%.2f,%.2f\n",
+			p.CreditsLabel(), f.BlockMB, p.Gbps, p.CplStalls, p.UpdateFCs,
+			usOf(p.ReqLat.P50), usOf(p.ReqLat.P95), usOf(p.ReqLat.P99), usOf(p.ReqLat.Max))
+	}
+	return b.String()
+}
+
 // CampaignResult is a Monte-Carlo fault campaign: the same faulted dd
 // workload run under K different injection seeds, with the
 // error-recovery outcome distribution across seeds.

@@ -226,6 +226,67 @@ func TestFigureFormatting(t *testing.T) {
 	}
 }
 
+func TestFigFCShape(t *testing.T) {
+	fig, err := RunFigFC(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) < 5 {
+		t.Fatalf("%d points, want the full credit sweep", len(fig.Points))
+	}
+	inf, last := fig.Points[0], fig.Points[len(fig.Points)-1]
+	if inf.Credits != 0 || inf.CplStalls != 0 || inf.UpdateFCs != 0 {
+		t.Fatalf("first point must be the legacy infinite-credit baseline: %+v", inf)
+	}
+
+	// Shrinking the completion pool never helps: throughput is
+	// monotonically non-increasing as credits shrink (0.5% tolerance for
+	// sub-request timing jitter between runs).
+	for i := 1; i < len(fig.Points); i++ {
+		prev, cur := fig.Points[i-1], fig.Points[i]
+		if cur.Gbps > prev.Gbps*1.005 {
+			t.Errorf("throughput rose as credits shrank: %s=%.3f after %s=%.3f",
+				cur.CreditsLabel(), cur.Gbps, prev.CreditsLabel(), prev.Gbps)
+		}
+	}
+
+	// The knee: generous pools match the baseline (credits cover the
+	// link's bandwidth-delay product), then the starved end collapses.
+	generous := fig.Points[1] // the widest finite pool
+	if generous.Gbps < inf.Gbps*0.9 {
+		t.Errorf("generous credits (%s=%.3f) must ride the baseline plateau (%.3f)",
+			generous.CreditsLabel(), generous.Gbps, inf.Gbps)
+	}
+	if last.Gbps > inf.Gbps*0.7 {
+		t.Errorf("starved pool (%s=%.3f) must collapse below 0.7x baseline (%.3f)",
+			last.CreditsLabel(), last.Gbps, inf.Gbps)
+	}
+
+	// Starvation is observable, not silent: the collapsed point shows
+	// credit stalls and a stretched request tail, and every finite point
+	// carries UpdateFC traffic.
+	if last.CplStalls == 0 {
+		t.Errorf("starved pool must count Cpl credit stalls: %+v", last)
+	}
+	if last.ReqLat.P99 <= inf.ReqLat.P99 {
+		t.Errorf("starvation must stretch the p99 request latency: %v vs %v",
+			last.ReqLat.P99, inf.ReqLat.P99)
+	}
+	for _, p := range fig.Points[1:] {
+		if p.UpdateFCs == 0 {
+			t.Errorf("finite point %s has no UpdateFC traffic", p.CreditsLabel())
+		}
+	}
+
+	csv := fig.CSV()
+	if !strings.Contains(csv, "cpl_hdr_credits") || !strings.Contains(csv, "figfc,inf,") {
+		t.Errorf("CSV missing expected columns/rows:\n%s", csv)
+	}
+	if out := fig.Format(); !strings.Contains(out, "cpl_stalls") {
+		t.Errorf("Format missing header:\n%s", out)
+	}
+}
+
 func TestFigErrShape(t *testing.T) {
 	fig, err := RunFigErr(testOptions())
 	if err != nil {

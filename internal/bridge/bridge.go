@@ -73,10 +73,7 @@ func (b *Bridge) SlavePort() *mem.SlavePort { return b.slave }
 func (b *Bridge) MasterPort() *mem.MasterPort { return b.master }
 
 // QueueStats exposes the request-queue counters for tests and reports.
-func (b *Bridge) QueueStats() (reqPushed, reqSent, reqRefused uint64, reqMaxDepth int) {
-	pushed, sent, refused, maxDepth := b.reqQ.Stats()
-	return pushed, sent, refused, maxDepth
-}
+func (b *Bridge) QueueStats() mem.QueueStats { return b.reqQ.Stats() }
 
 // bridgeSlave is the SlaveOwner face of the bridge.
 type bridgeSlave Bridge

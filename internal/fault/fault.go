@@ -27,11 +27,16 @@ type Rates struct {
 	// the wire after occupying it — a model of detectable-but-lost
 	// symbols (electrical idle glitches, receiver overflow).
 	Drop float64
+	// UpdateFCDrop is the probability a transmitted UpdateFC DLLP
+	// vanishes on the wire, starving the peer of returned credits
+	// until the bounded FC refresh re-advertises them. Only
+	// meaningful on links with finite credits.
+	UpdateFCDrop float64
 }
 
 // Zero reports whether the rates inject nothing.
 func (r Rates) Zero() bool {
-	return r.TLPCorrupt <= 0 && r.DLLPCorrupt <= 0 && r.Drop <= 0
+	return r.TLPCorrupt <= 0 && r.DLLPCorrupt <= 0 && r.Drop <= 0 && r.UpdateFCDrop <= 0
 }
 
 // Op identifies a scripted fault kind.
@@ -46,6 +51,14 @@ const (
 	// OpDrop drops the next packet of any kind transmitted at or
 	// after At.
 	OpDrop
+	// OpDropUpdateFC drops the next UpdateFC DLLP transmitted at or
+	// after At (credit-return loss; recovered by the FC refresh).
+	OpDropUpdateFC
+	// OpStarveFC is a credit-starvation window: every UpdateFC
+	// transmission in [At, At+Duration) is dropped, so the peer's
+	// view of this side's credits freezes for the window. Unlike the
+	// one-shot ops it needs Event.Duration set.
+	OpStarveFC
 )
 
 func (o Op) String() string {
@@ -56,16 +69,24 @@ func (o Op) String() string {
 		return "corrupt-dllp"
 	case OpDrop:
 		return "drop"
+	case OpDropUpdateFC:
+		return "drop-updatefc"
+	case OpStarveFC:
+		return "starve-fc"
 	}
 	return fmt.Sprintf("op(%d)", int(o))
 }
 
 // Event is one scripted fault: the first transmission matching Op at
 // simulated time >= At is faulted. Events fire in schedule order; an
-// earlier event never yields to a later one.
+// earlier event never yields to a later one (an expired OpStarveFC
+// window is the exception — it is skipped once it closes).
 type Event struct {
 	At sim.Tick
 	Op Op
+	// Duration extends OpStarveFC into a window; it must be zero for
+	// every other op.
+	Duration sim.Tick
 }
 
 // Profile is the fault configuration for one transmit direction: a
@@ -120,9 +141,19 @@ func (p *Plan) Normalize() error {
 		return nil
 	}
 	for _, r := range []Rates{p.Up.Rates, p.Down.Rates} {
-		for _, v := range []float64{r.TLPCorrupt, r.DLLPCorrupt, r.Drop} {
+		for _, v := range []float64{r.TLPCorrupt, r.DLLPCorrupt, r.Drop, r.UpdateFCDrop} {
 			if v < 0 || v > 1 {
 				return fmt.Errorf("fault: rate %v out of range [0,1]", v)
+			}
+		}
+	}
+	for _, s := range [][]Event{p.Up.Script, p.Down.Script} {
+		for _, ev := range s {
+			if ev.Duration < 0 {
+				return fmt.Errorf("fault: script event at %v with negative duration", ev.At)
+			}
+			if ev.Duration > 0 && ev.Op != OpStarveFC {
+				return fmt.Errorf("fault: script op %v at %v must not set Duration", ev.Op, ev.At)
 			}
 		}
 	}
@@ -170,16 +201,32 @@ func NewInjector(prof Profile, rng *sim.Rand) *Injector {
 }
 
 // scriptHit fires the head script event if it matches op and is due.
+// Expired starvation windows at the head are retired first so they
+// cannot block later events forever.
 func (j *Injector) scriptHit(now sim.Tick, op Op) bool {
+	for j.next < len(j.prof.Script) {
+		ev := j.prof.Script[j.next]
+		if ev.Op == OpStarveFC && now >= ev.At+ev.Duration {
+			j.next++
+			continue
+		}
+		if ev.Op != op || now < ev.At {
+			return false
+		}
+		j.next++
+		return true
+	}
+	return false
+}
+
+// starving reports whether the head script event is an open
+// credit-starvation window.
+func (j *Injector) starving(now sim.Tick) bool {
 	if j.next >= len(j.prof.Script) {
 		return false
 	}
 	ev := j.prof.Script[j.next]
-	if ev.Op != op || now < ev.At {
-		return false
-	}
-	j.next++
-	return true
+	return ev.Op == OpStarveFC && now >= ev.At && now < ev.At+ev.Duration
 }
 
 // CorruptTLP decides whether this TLP transmission carries a bad LCRC.
@@ -214,4 +261,35 @@ func (j *Injector) Drop(now sim.Tick) bool {
 		return true
 	}
 	return j.prof.Rates.Drop > 0 && j.rng.Bool(j.prof.Rates.Drop)
+}
+
+// DropUpdateFC decides whether this UpdateFC DLLP transmission is lost:
+// a one-shot OpDropUpdateFC script event, an open OpStarveFC window
+// (not consumed — it swallows every UpdateFC until it closes), or the
+// stochastic UpdateFCDrop rate.
+func (j *Injector) DropUpdateFC(now sim.Tick) bool {
+	if j == nil {
+		return false
+	}
+	if j.scriptHit(now, OpDropUpdateFC) {
+		return true
+	}
+	if j.starving(now) {
+		return true
+	}
+	return j.prof.Rates.UpdateFCDrop > 0 && j.rng.Bool(j.prof.Rates.UpdateFCDrop)
+}
+
+// CorruptionPlan builds the plan equivalent to the retired
+// LinkConfig.ErrorRate knob: stochastic TLP corruption at the given
+// rate in both directions. It returns nil for rate 0 so callers can
+// assign the result unconditionally.
+func CorruptionPlan(rate float64) *Plan {
+	if rate <= 0 {
+		return nil
+	}
+	return &Plan{
+		Up:   Profile{Rates: Rates{TLPCorrupt: rate}},
+		Down: Profile{Rates: Rates{TLPCorrupt: rate}},
+	}
 }

@@ -24,6 +24,10 @@ type DDConfig struct {
 	RequestBytes int
 	// BufAddr is the DRAM address of dd's O_DIRECT user buffer.
 	BufAddr uint64
+	// Write flips the transfer direction to `dd of=/dev/disk`: the
+	// device DMA-reads the user buffer, so the data rides downstream
+	// read completions instead of upstream posted writes.
+	Write bool
 
 	// StartupOverhead models process start, open(2), and allocation —
 	// the fixed cost amortized by larger block sizes.
@@ -84,7 +88,8 @@ func (r DDResult) String() string {
 }
 
 // RunDD models `dd if=/dev/disk of=/dev/zero bs=<block> count=1
-// iflag=direct`: the block is split into block-layer requests, each
+// iflag=direct` (or, with cfg.Write, `dd if=/dev/zero of=/dev/disk
+// oflag=direct`): the block is split into block-layer requests, each
 // submitted to the disk as one DMA command; the task burns the
 // configured CPU overheads around the hardware interactions exactly
 // where a real kernel would.
@@ -117,7 +122,7 @@ func RunDD(t *Task, h *DiskHandle, cfg DDConfig) (DDResult, error) {
 		// Submission path.
 		t.Delay(cfg.PerRequestOverhead)
 		before := t.Now()
-		if err := h.ReadSectors(t, lba, uint32(sectors), cfg.BufAddr+(moved%(64<<20))); err != nil {
+		if err := h.Transfer(t, cfg.Write, lba, uint32(sectors), cfg.BufAddr+(moved%(64<<20))); err != nil {
 			// Count the failure and move on to the next request, as dd
 			// does: a single bad request must not hang or abort the run.
 			errored++

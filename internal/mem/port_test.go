@@ -212,9 +212,8 @@ func TestSendQueueCapacityAndOnFree(t *testing.T) {
 	if freed != 1 {
 		t.Errorf("onFree ran %d times, want 1 (only the full->not-full edge)", freed)
 	}
-	pushed, sent, refusals, maxDepth := q.Stats()
-	if pushed != 2 || sent != 2 || refusals != 1 || maxDepth != 2 {
-		t.Errorf("stats = %d %d %d %d", pushed, sent, refusals, maxDepth)
+	if st := q.Stats(); st.Pushed != 2 || st.Sent != 2 || st.Refused != 1 || st.MaxDepth != 2 {
+		t.Errorf("stats = %+v", st)
 	}
 }
 

@@ -113,10 +113,17 @@ func (q *SendQueue) RetryReceived() {
 	q.schedule()
 }
 
-// Stats returns (packets pushed, packets sent, pushes refused for lack
-// of space, high-water occupancy).
-func (q *SendQueue) Stats() (pushed, sent, refusals uint64, maxDepth int) {
-	return q.pushed, q.sent, q.refusals, q.maxDepth
+// QueueStats is a snapshot of a SendQueue's counters.
+type QueueStats struct {
+	Pushed   uint64 // packets accepted into the queue
+	Sent     uint64 // packets successfully passed on
+	Refused  uint64 // pushes refused for lack of space
+	MaxDepth int    // high-water occupancy
+}
+
+// Stats returns a snapshot of the queue counters.
+func (q *SendQueue) Stats() QueueStats {
+	return QueueStats{Pushed: q.pushed, Sent: q.sent, Refused: q.refusals, MaxDepth: q.maxDepth}
 }
 
 func (q *SendQueue) schedule() {

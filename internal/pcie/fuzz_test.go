@@ -27,6 +27,10 @@ func wireSeeds() []*PciePkt {
 	return []*PciePkt{
 		{Kind: KindAck, Seq: 41},
 		{Kind: KindNak, Seq: 42, Corrupted: true},
+		{Kind: KindInitFC1, FCCl: FCPosted, FCHdr: 16, FCData: 64},
+		{Kind: KindInitFC2, FCCl: FCNonPosted, FCHdr: 8},
+		{Kind: KindUpdateFC, FCCl: FCCpl, FCHdr: 1 << 40, FCData: 1 << 42},
+		{Kind: KindUpdateFC, FCCl: FCPosted, Corrupted: true},
 		{Kind: KindTLP, Seq: 1, TLP: read},
 		{Kind: KindTLP, Seq: 2, TLP: resp},
 		{Kind: KindTLP, Seq: 3, TLP: posted, Corrupted: true},
@@ -39,6 +43,9 @@ func wireSeeds() []*PciePkt {
 func pktWireEqual(a, b *PciePkt) bool {
 	if a.Kind != b.Kind || a.Seq != b.Seq || a.Corrupted != b.Corrupted {
 		return false
+	}
+	if a.Kind.isFC() {
+		return a.FCCl == b.FCCl && a.FCHdr == b.FCHdr && a.FCData == b.FCData
 	}
 	if a.Kind != KindTLP {
 		return true
@@ -69,7 +76,8 @@ func TestWireRoundtrip(t *testing.T) {
 // TestWireDecodeRejects: malformed inputs error instead of panicking or
 // decoding to nonsense.
 func TestWireDecodeRejects(t *testing.T) {
-	good := EncodeWire(wireSeeds()[2])
+	good := EncodeWire(wireSeeds()[6])
+	fc := EncodeWire(wireSeeds()[2])
 	cases := map[string][]byte{
 		"empty":         {},
 		"short DLLP":    good[:5],
@@ -79,6 +87,10 @@ func TestWireDecodeRejects(t *testing.T) {
 		"bad flags":     mutate(good, 1, 0x80),
 		"dllp trailing": append(EncodeWire(wireSeeds()[0]), 0),
 		"tlp trailing":  append(append([]byte(nil), good...), 0xee),
+		"fc bad class":  mutate(fc, 2, fcNumClasses),
+		"fc bad flags":  mutate(fc, 1, wireFlagPosted),
+		"fc short":      fc[:wireFCLen-1],
+		"fc trailing":   append(append([]byte(nil), fc...), 0),
 	}
 	for name, b := range cases {
 		if _, err := DecodeWire(b); err == nil {
@@ -91,6 +103,39 @@ func mutate(b []byte, off int, v byte) []byte {
 	c := append([]byte(nil), b...)
 	c[off] = v
 	return c
+}
+
+// FuzzDLLPDecode drives the same canonical-form invariant as
+// FuzzTLPDecode but with a corpus concentrated on the DLLP shapes —
+// ACK/NAK and the three flow-control kinds — so the fuzzer spends its
+// budget on the 10- and 19-byte encodings where the FC fields live.
+func FuzzDLLPDecode(f *testing.F) {
+	for _, p := range wireSeeds() {
+		if p.Kind != KindTLP {
+			f.Add(EncodeWire(p))
+		}
+	}
+	for cl := byte(0); cl < fcNumClasses; cl++ {
+		b := make([]byte, wireFCLen)
+		b[0] = byte(KindUpdateFC)
+		b[2] = cl
+		b[3] = 0xff
+		f.Add(b)
+	}
+	f.Add([]byte{byte(KindInitFC1), 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeWire(data)
+		if err != nil {
+			return
+		}
+		re := EncodeWire(p)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted non-canonical input:\n in  %x\n out %x", data, re)
+		}
+		if p.Kind.isFC() && p.FCCl >= fcNumClasses {
+			t.Fatalf("decoded out-of-range FC class %d", p.FCCl)
+		}
+	})
 }
 
 // FuzzTLPDecode drives the codec's central invariant: DecodeWire never

@@ -30,15 +30,13 @@ type LinkConfig struct {
 	MaxPayload int
 	// Overheads is the Table I byte-overhead model.
 	Overheads Overheads
-	// ErrorRate injects TLP corruption with the given probability per
-	// transmission attempt, exercising the NAK path. Zero for the
-	// validation experiments.
-	//
-	// Deprecated: ErrorRate is the original single-knob fault model,
-	// kept as an alias. When Fault is nil and ErrorRate is nonzero it
-	// is folded into an equivalent Plan (TLP corruption in both
-	// directions); when Fault is set, ErrorRate is ignored.
-	ErrorRate float64
+	// Credits selects transaction-layer credit-based flow control: the
+	// receive-side VC0 credit pool each interface advertises to its
+	// peer (see credit.go). The zero value means infinite credits —
+	// the legacy DLL-only link, bit-identical to the pre-FC simulator.
+	// Routers typically override their side's advertisement from real
+	// queue depths via Interface.AdvertiseCredits.
+	Credits CreditConfig
 	// Seed seeds the fault-injection generator.
 	Seed uint64
 	// Fault optionally attaches a deterministic fault-injection plan:
@@ -79,11 +77,8 @@ func (c *LinkConfig) applyDefaults() {
 	if c.Width < 1 || c.Width > 32 {
 		panic(fmt.Sprintf("pcie: link width %d out of range (1..32)", c.Width))
 	}
-	if c.Fault == nil && c.ErrorRate > 0 {
-		c.Fault = &fault.Plan{
-			Up:   fault.Profile{Rates: fault.Rates{TLPCorrupt: c.ErrorRate}},
-			Down: fault.Profile{Rates: fault.Rates{TLPCorrupt: c.ErrorRate}},
-		}
+	if err := c.Credits.Validate(); err != nil {
+		panic(err.Error())
 	}
 }
 
@@ -252,6 +247,9 @@ func (l *Link) markDead() {
 		i.freshQ = i.freshQ[:0]
 		i.replayQ = i.replayQ[:0]
 		i.ackPend, i.nakPend = false, false
+		if i.fc != nil {
+			i.fc.flushDead()
+		}
 		i.aer.ReportUncorrectable(pci.AERUncSurpriseDown)
 		i.notifyLocalRetry()
 	}
@@ -278,6 +276,32 @@ type LinkStats struct {
 	DownRefused    uint64 // local sends refused while the link was transiently down
 	DeadDiscards   uint64 // TLPs black-holed after the link was declared dead
 	FlushedTLPs    uint64 // unacknowledged TLPs flushed when the link died
+
+	// Flow-control counters; always zero on legacy (infinite-credit)
+	// links, where no FC machinery runs.
+	InitFCTx        uint64 // InitFC1/InitFC2 DLLPs sent
+	InitFCRx        uint64 // InitFC1/InitFC2 DLLPs received
+	UpdateFCTx      uint64 // UpdateFC DLLPs sent
+	UpdateFCRx      uint64 // UpdateFC DLLPs received
+	UpdateFCDropped uint64 // UpdateFC DLLPs lost to targeted fault injection
+	FCStallsP       uint64 // posted TLP sends refused for lack of credits
+	FCStallsNP      uint64 // non-posted TLP sends refused for lack of credits
+	FCStallsCpl     uint64 // completion sends refused for lack of credits
+	RxQueued        uint64 // TLPs queued at the receive transaction layer
+	RxRefused       uint64 // local-component refusals of queued TLPs (retried)
+	RxFlushed       uint64 // queued TLPs discarded when the link died
+}
+
+// FCStalls returns the credit-starvation refusals for one class.
+func (s LinkStats) FCStalls(cl FCClass) uint64 {
+	switch cl {
+	case FCPosted:
+		return s.FCStallsP
+	case FCNonPosted:
+		return s.FCStallsNP
+	default:
+		return s.FCStallsCpl
+	}
 }
 
 // ReplayRate returns the fraction of TLP transmissions that were
@@ -331,6 +355,10 @@ type Interface struct {
 	ackTmr        *sim.Event
 	ackArmed      bool
 
+	// fc is the transaction-layer flow-control state; nil on legacy
+	// (infinite-credit) links, where the DLL behaves exactly as before.
+	fc *fcState
+
 	rng   *sim.Rand
 	inj   *fault.Injector // nil on fault-free links
 	aer   *pci.AER        // AER capability of the attached component, if any
@@ -372,6 +400,12 @@ func newInterface(l *Link, name string, seed uint64) *Interface {
 	i.replayTmr = l.eng.NewEvent(name+".replayTimer", i.replayTimeout)
 	i.ackTmr = l.eng.NewEvent(name+".ackTimer", i.ackTimerFire)
 	i.registerStats()
+	if l.cfg.Credits.Finite() {
+		i.fc = newFCState(i, l.cfg.Credits)
+		i.fc.registerStats()
+		// Kick off the InitFC handshake as soon as the engine runs.
+		i.scheduleTx()
+	}
 	return i
 }
 
@@ -458,6 +492,20 @@ func (i *Interface) admit(tlp *mem.Packet) bool {
 		i.stats.DownRefused++
 		return false
 	}
+	// Transaction-layer gate: with finite credits, a TLP is admitted
+	// only when the peer has granted enough header+data credits for
+	// its class. Credits are charged exactly once, here — DLL replays
+	// retransmit against the same charge.
+	var fcClass FCClass
+	var fcData uint64
+	if i.fc != nil {
+		fcClass = FCClassOf(tlp)
+		fcData = fcDataCredits(tlpPayloadBytes(tlp))
+		if !i.fc.txReady(fcClass, fcData) {
+			i.fc.noteStall(fcClass, tlp)
+			return false
+		}
+	}
 	if len(i.replayBuf) >= i.link.cfg.ReplayBufferSize {
 		i.stats.Throttled++
 		if tr := i.tracer(); tr.On(trace.CatTLP) {
@@ -465,6 +513,9 @@ func (i *Interface) admit(tlp *mem.Packet) bool {
 				"throttle", tlp.ID, "replay buffer full")
 		}
 		return false
+	}
+	if i.fc != nil {
+		i.fc.consume(fcClass, fcData)
 	}
 	pp := &PciePkt{Kind: KindTLP, Seq: i.sendSeq, TLP: tlp, acceptedAt: i.link.eng.Now()}
 	// Snapshot the wire size now: by the time a replay reads it, the
@@ -499,9 +550,14 @@ func (o *ifaceSlave) RecvTimingReq(_ *mem.SlavePort, pkt *mem.Packet) bool {
 }
 
 // RecvRespRetry: the local component refused an inbound response
-// earlier and now has space. The TLP was dropped for replay, so the
-// notification needs no action — the replay timer redelivers.
-func (o *ifaceSlave) RecvRespRetry(*mem.SlavePort) {}
+// earlier and now has space. On an FC link the refused completion is
+// queued at the transaction layer, so drain it now; on a legacy link
+// the TLP was dropped for replay and the replay timer redelivers.
+func (o *ifaceSlave) RecvRespRetry(*mem.SlavePort) {
+	if fc := o.i().fc; fc != nil {
+		fc.drain()
+	}
+}
 
 // AddrRanges: a link is transparent; routing is done by the components.
 func (o *ifaceSlave) AddrRanges(*mem.SlavePort) mem.RangeList { return nil }
@@ -521,9 +577,14 @@ func (o *ifaceMaster) RecvTimingResp(_ *mem.MasterPort, pkt *mem.Packet) bool {
 	return true
 }
 
-// RecvReqRetry: inbound request delivery was refused earlier; replay
-// will redeliver, so nothing to do.
-func (o *ifaceMaster) RecvReqRetry(*mem.MasterPort) {}
+// RecvReqRetry: inbound request delivery was refused earlier. On an FC
+// link the refused request waits in the transaction-layer queue; on a
+// legacy link replay will redeliver, so nothing to do.
+func (o *ifaceMaster) RecvReqRetry(*mem.MasterPort) {
+	if fc := o.i().fc; fc != nil {
+		fc.drain()
+	}
+}
 
 // --- TX engine ------------------------------------------------------
 
@@ -534,7 +595,8 @@ func (i *Interface) scheduleTx() {
 	if i.txEv.Scheduled() {
 		return
 	}
-	if !i.ackPend && !i.nakPend && len(i.replayQ) == 0 && len(i.freshQ) == 0 {
+	if !i.ackPend && !i.nakPend && len(i.replayQ) == 0 && len(i.freshQ) == 0 &&
+		(i.fc == nil || !i.fc.dllpPending()) {
 		return
 	}
 	when := i.link.eng.Now()
@@ -554,6 +616,17 @@ func (i *Interface) txFire() {
 		return
 	}
 	switch {
+	case i.fc != nil && i.fc.initPending():
+		// The InitFC handshake outranks everything: no TLP may be
+		// admitted until both sides have exchanged credit pools.
+		pp := i.fc.nextInitDLLP()
+		i.stats.InitFCTx++
+		if tr := i.tracer(); tr.On(trace.CatDLLP) {
+			tr.Emit(trace.CatDLLP, uint64(eng.Now()), "pcie."+i.name,
+				"dllp-tx", pp.FCHdr, fmt.Sprintf("%v %v", pp.Kind, pp.FCCl))
+		}
+		pp.Corrupted = i.inj.CorruptDLLP(eng.Now())
+		i.transmit(pp)
 	case i.ackPend || i.nakPend:
 		var pp PciePkt
 		if i.nakPend {
@@ -574,6 +647,31 @@ func (i *Interface) txFire() {
 		// recovered by the ACK/replay timers, never replayed itself.
 		pp.Corrupted = i.inj.CorruptDLLP(eng.Now())
 		i.transmit(&pp)
+	case i.fc != nil && i.fc.updPending():
+		// Credit returns outrank TLPs so a congested wire cannot
+		// starve the peer of the very credits that would unclog it.
+		pp := i.fc.nextUpdDLLP()
+		i.stats.UpdateFCTx++
+		if tr := i.tracer(); tr.On(trace.CatDLLP) {
+			tr.Emit(trace.CatDLLP, uint64(eng.Now()), "pcie."+i.name,
+				"dllp-tx", pp.FCHdr, fmt.Sprintf("%v %v", pp.Kind, pp.FCCl))
+		}
+		if i.inj.DropUpdateFC(eng.Now()) {
+			// Targeted fault: the DLLP occupies the wire but never
+			// arrives. The bounded refresh timer re-advertises the
+			// same cumulative counts, so the credits are not lost for
+			// good.
+			i.stats.UpdateFCDropped++
+			i.busyUntil = eng.Now() + WireTime(i.link.cfg.Gen, i.link.cfg.Width, pp.WireBytes(i.link.cfg.Overheads))
+			i.fc.noteUpdDropped()
+			if tr := i.tracer(); tr.On(trace.CatFault) {
+				tr.Emit(trace.CatFault, uint64(eng.Now()), "pcie."+i.name,
+					"updatefc-drop", pp.FCHdr, pp.FCCl.String())
+			}
+		} else {
+			pp.Corrupted = i.inj.CorruptDLLP(eng.Now())
+			i.transmit(pp)
+		}
 	case len(i.replayQ) > 0:
 		pp := i.replayQ[0]
 		i.replayQ = i.replayQ[1:]
@@ -679,6 +777,9 @@ func (i *Interface) pause() {
 	eng.Deschedule(i.replayTmr)
 	eng.Deschedule(i.ackTmr)
 	i.ackArmed = false
+	if i.fc != nil {
+		i.fc.pause()
+	}
 }
 
 // resume restarts the interface after retraining: every unacknowledged
@@ -695,6 +796,9 @@ func (i *Interface) resume() {
 	}
 	if i.lastDelivered > 0 {
 		i.ackPend = true
+	}
+	if i.fc != nil {
+		i.fc.resume()
 	}
 	i.scheduleTx()
 	i.notifyLocalRetry()
@@ -733,6 +837,21 @@ func (i *Interface) receive(pp *PciePkt) {
 			i.stats.NaksRx++
 			i.processNak(pp.Seq)
 		}
+	case KindInitFC1, KindInitFC2, KindUpdateFC:
+		if i.fc == nil {
+			return // not in FC mode; cannot happen between matched ends
+		}
+		if pp.Corrupted {
+			i.stats.BadDLLPs++
+			i.aer.ReportCorrectable(pci.AERCorrBadDLLP)
+			if tr := i.tracer(); tr.On(trace.CatFault) {
+				tr.Emit(trace.CatFault, uint64(i.link.eng.Now()), "pcie."+i.name,
+					"bad-dllp", 0, fmt.Sprintf("%v %v", pp.Kind, pp.FCCl))
+			}
+			return
+		}
+		i.consecTimeouts = 0
+		i.fc.recvFC(pp)
 	case KindTLP:
 		i.receiveTLP(pp)
 	}
@@ -763,6 +882,22 @@ func (i *Interface) receiveTLP(pp *PciePkt) {
 			i.ackArmed = true
 			i.link.eng.ScheduleEventAfter(i.ackTmr, i.link.AckPeriod(), sim.PriorityTimer)
 		}
+		return
+	}
+	if i.fc != nil {
+		// Credit-based flow control: the sender could only transmit
+		// because this side had advertised room, so the DLL always
+		// accepts an in-sequence TLP — seq advances, the cumulative
+		// ACK covers it — and the transaction layer queues it until
+		// the local component takes it (releasing its credits).
+		// Refusal/retry survives only at that mem-port boundary.
+		i.lastDelivered = pp.Seq
+		i.recvSeq++
+		if !i.ackArmed {
+			i.ackArmed = true
+			i.link.eng.ScheduleEventAfter(i.ackTmr, i.link.AckPeriod(), sim.PriorityTimer)
+		}
+		i.fc.rxAccept(pp.TLP)
 		return
 	}
 	if !i.deliver(pp.TLP) {

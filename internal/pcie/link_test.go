@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"pciesim/internal/fault"
 	"pciesim/internal/mem"
 	"pciesim/internal/sim"
 	"pciesim/internal/testdev"
@@ -280,7 +281,7 @@ func TestLinkAcksAreBatched(t *testing.T) {
 
 func TestLinkErrorInjectionNakRecovery(t *testing.T) {
 	cfg := DefaultLinkConfig()
-	cfg.ErrorRate = 0.2
+	cfg.Fault = fault.CorruptionPlan(0.2)
 	cfg.Seed = 42
 	r := newLinkRig(cfg, 5*sim.Nanosecond, 0)
 	const n = 100
@@ -361,7 +362,7 @@ func TestLinkExactlyOnceProperty(t *testing.T) {
 		cfg.ReplayBufferSize = 1 + rng.Intn(6)
 		cfg.Width = []int{1, 2, 4, 8}[rng.Intn(4)]
 		if rng.Intn(2) == 0 {
-			cfg.ErrorRate = 0.1
+			cfg.Fault = fault.CorruptionPlan(0.1)
 			cfg.Seed = uint64(seed)
 		}
 		r := newLinkRig(cfg, sim.Tick(rng.Intn(200))*sim.Nanosecond, 0)

@@ -10,12 +10,16 @@ import (
 // PktKind distinguishes what a PciePkt carries.
 type PktKind uint8
 
-// Packet kinds: a transaction layer packet or one of the two data link
-// layer packet types the model implements.
+// Packet kinds: a transaction layer packet or one of the data link
+// layer packet types the model implements. The flow-control kinds
+// carry credit state for one FCClass (see credit.go).
 const (
 	KindTLP PktKind = iota
 	KindAck
 	KindNak
+	KindInitFC1
+	KindInitFC2
+	KindUpdateFC
 )
 
 // String implements fmt.Stringer.
@@ -27,9 +31,20 @@ func (k PktKind) String() string {
 		return "ACK"
 	case KindNak:
 		return "NAK"
+	case KindInitFC1:
+		return "InitFC1"
+	case KindInitFC2:
+		return "InitFC2"
+	case KindUpdateFC:
+		return "UpdateFC"
 	default:
 		return fmt.Sprintf("PktKind(%d)", uint8(k))
 	}
+}
+
+// isFC reports whether the kind is a flow-control DLLP.
+func (k PktKind) isFC() bool {
+	return k == KindInitFC1 || k == KindInitFC2 || k == KindUpdateFC
 }
 
 // PciePkt is the paper's pcie-pkt: "Since we transmit both DLLPs and
@@ -47,6 +62,14 @@ type PciePkt struct {
 	// Corrupted marks a TLP mangled in transit (error injection); the
 	// receiver's CRC check catches it and responds with a NAK.
 	Corrupted bool
+
+	// FCCl/FCHdr/FCData are the payload of the flow-control DLLP kinds
+	// (InitFC1/InitFC2/UpdateFC): the traffic class and the cumulative
+	// header and data credits granted for it, 0 encoding an infinite
+	// counter. Zero for every other kind.
+	FCCl   FCClass
+	FCHdr  uint64
+	FCData uint64
 
 	// acked marks a replay-buffer entry already released by an ACK so a
 	// queued retransmission of it is skipped.
@@ -99,6 +122,9 @@ func (p *PciePkt) WireBytes(o Overheads) int {
 func (p *PciePkt) String() string {
 	if p.Kind == KindTLP {
 		return fmt.Sprintf("%v seq=%d {%v}", p.Kind, p.Seq, p.TLP)
+	}
+	if p.Kind.isFC() {
+		return fmt.Sprintf("%v %v hdr=%d data=%d", p.Kind, p.FCCl, p.FCHdr, p.FCData)
 	}
 	return fmt.Sprintf("%v seq=%d", p.Kind, p.Seq)
 }

@@ -27,6 +27,12 @@ type RouterConfig struct {
 	// requester degrades instead of deadlocking. Honored by the root
 	// complex; switches forward and let the RC own the timeout.
 	CompletionTimeout sim.Tick
+	// Credits is the platform-wide flow-control configuration. On a
+	// link with finite credits, each of this router's ports advertises
+	// these credits capped at what its real BufferSize-deep queues can
+	// absorb (see Port.ConnectLink). The zero value advertises the
+	// queue depths alone.
+	Credits CreditConfig
 }
 
 func (c *RouterConfig) applyDefaults() {
@@ -93,20 +99,27 @@ func (p *Port) MasterPort() *mem.MasterPort { return p.master }
 func (p *Port) SlavePort() *mem.SlavePort { return p.slave }
 
 // ConnectLink wires a PCI-Express link's upstream end to this
-// (downstream-facing) port.
+// (downstream-facing) port. On an FC link the port advertises its
+// receiver credits from its real queue depths (capped further by the
+// router's configured Credits); on a legacy link the advertisement is
+// a no-op.
 func (p *Port) ConnectLink(l *Link) {
 	mem.Connect(p.master, l.Up().SlavePort())
 	mem.Connect(l.Up().MasterPort(), p.slave)
+	l.Up().AdvertiseCredits(p.advertCredits())
 }
 
-// QueueStats exposes the egress queue counters: (requests pushed, sent,
-// refused, high-water depth) and the same for responses.
-func (p *Port) QueueStats() (req, resp [4]uint64) {
-	a, b, c, d := p.reqQ.Stats()
-	req = [4]uint64{a, b, c, uint64(d)}
-	a, b, c, d = p.respQ.Stats()
-	resp = [4]uint64{a, b, c, uint64(d)}
-	return req, resp
+// advertCredits derives what this port can honestly advertise: the
+// configured platform credits, capped at its BufferSize-deep ingress
+// queues.
+func (p *Port) advertCredits() CreditConfig {
+	return MinCredits(p.r.cfg.Credits, CreditsForQueueDepth(p.r.cfg.BufferSize))
+}
+
+// QueueStats exposes the egress queue counters for the request and
+// response queues.
+func (p *Port) QueueStats() (req, resp mem.QueueStats) {
+	return p.reqQ.Stats(), p.respQ.Stats()
 }
 
 func (p *Port) windows() portWindows {
@@ -684,10 +697,12 @@ func NewSwitch(eng *sim.Engine, name string, host *pci.Host, cfg SwitchConfig) *
 func (s *Switch) UpstreamPort() *Port { return s.ports[0] }
 
 // ConnectUpstreamLink wires a link's downstream end to the switch's
-// upstream port.
+// upstream port, advertising the port's receiver credits on FC links
+// (see Port.ConnectLink).
 func (s *Switch) ConnectUpstreamLink(l *Link) {
 	mem.Connect(s.ports[0].master, l.Down().SlavePort())
 	mem.Connect(l.Down().MasterPort(), s.ports[0].slave)
+	l.Down().AdvertiseCredits(s.ports[0].advertCredits())
 }
 
 // DownstreamPort returns downstream port i (0-based).

@@ -207,8 +207,8 @@ func TestRootComplexBufferBackpressure(t *testing.T) {
 		t.Fatalf("%d completions, want 10 under backpressure", len(r.cpu.Completions))
 	}
 	req, _ := r.rc.RootPort(0).QueueStats()
-	if req[3] > 2 {
-		t.Errorf("port 0 request queue exceeded bound: depth %d", req[3])
+	if req.MaxDepth > 2 {
+		t.Errorf("port 0 request queue exceeded bound: depth %d", req.MaxDepth)
 	}
 }
 

@@ -15,11 +15,20 @@ import (
 //
 // Layout (little-endian):
 //
-//	off 0     kind: 0 TLP, 1 ACK, 2 NAK
+//	off 0     kind: 0 TLP, 1 ACK, 2 NAK, 3 InitFC1, 4 InitFC2, 5 UpdateFC
 //	off 1     flags: bit0 corrupted; TLP-only: bit1 posted, bit2 error,
 //	          bit3 payload present
+//
+// Flow-control DLLPs (kinds 3-5) then carry credit state:
+//
+//	off 2     FC class: 0 P, 1 NP, 2 Cpl
+//	off 3-10  cumulative header credits granted (0 = infinite)
+//	off 11-18 cumulative data credits granted (0 = infinite)
+//
+// and end at 19 bytes. ACK/NAK and TLPs instead continue:
+//
 //	off 2-9   sequence number
-//	DLLPs end here (10 bytes). TLPs continue:
+//	ACK/NAK end here (10 bytes). TLPs continue:
 //	off 10    mem command (ReadReq..WriteResp)
 //	off 11-18 packet ID
 //	off 19-26 address
@@ -34,6 +43,7 @@ import (
 
 const (
 	wireDLLPLen = 10
+	wireFCLen   = 19
 	wireTLPLen  = 35
 
 	wireFlagCorrupted = 1 << 0
@@ -53,6 +63,15 @@ func EncodeWire(p *PciePkt) []byte {
 	var flags byte
 	if p.Corrupted {
 		flags |= wireFlagCorrupted
+	}
+	if p.Kind.isFC() {
+		b := make([]byte, wireFCLen)
+		b[0] = byte(p.Kind)
+		b[1] = flags
+		b[2] = byte(p.FCCl)
+		binary.LittleEndian.PutUint64(b[3:], p.FCHdr)
+		binary.LittleEndian.PutUint64(b[11:], p.FCData)
+		return b
 	}
 	if p.Kind != KindTLP {
 		b := make([]byte, wireDLLPLen)
@@ -95,6 +114,24 @@ func DecodeWire(b []byte) (*PciePkt, error) {
 	}
 	kind := PktKind(b[0])
 	flags := b[1]
+	if kind.isFC() {
+		if flags&^wireFlagCorrupted != 0 {
+			return nil, fmt.Errorf("pcie: FC DLLP with TLP flags %#x", flags)
+		}
+		if len(b) != wireFCLen {
+			return nil, fmt.Errorf("pcie: FC DLLP is %d bytes, want %d", len(b), wireFCLen)
+		}
+		if b[2] >= fcNumClasses {
+			return nil, fmt.Errorf("pcie: FC DLLP with class %d", b[2])
+		}
+		return &PciePkt{
+			Kind:      kind,
+			Corrupted: flags&wireFlagCorrupted != 0,
+			FCCl:      FCClass(b[2]),
+			FCHdr:     binary.LittleEndian.Uint64(b[3:]),
+			FCData:    binary.LittleEndian.Uint64(b[11:]),
+		}, nil
+	}
 	seq := binary.LittleEndian.Uint64(b[2:])
 	if kind == KindAck || kind == KindNak {
 		if flags&^wireFlagCorrupted != 0 {

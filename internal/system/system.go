@@ -74,6 +74,18 @@ type Config struct {
 	NICLinkWidth int
 	// Gen selects the generation for every link.
 	Gen pcie.Generation
+	// PropDelay is the per-direction propagation delay of every link's
+	// physical medium. Zero (the baseline) models short electrical
+	// traces; the flow-control experiments raise it to emulate cabled
+	// or retimed links whose bandwidth-delay product the credit pools
+	// must cover.
+	PropDelay sim.Tick
+	// Credits enables VC0 credit-based flow control on every link with
+	// the given per-class limits. The zero value (all counters 0 =
+	// infinite) keeps the legacy refusal-only backpressure and is
+	// bit-identical to the pre-FC simulator. Receiver-side port buffers
+	// clamp the advertisement (see topo.Config.Credits).
+	Credits pcie.CreditConfig
 	// DiskLinkErrorRate injects TLP corruption on the disk link with
 	// the given per-transmission probability, exercising the NAK path
 	// under real workloads (0 for the validation experiments).
@@ -174,6 +186,8 @@ func (cfg Config) topoConfig() topo.Config {
 		PortBufferSize:     cfg.PortBufferSize,
 		ReplayBufferSize:   cfg.ReplayBufferSize,
 		Gen:                cfg.Gen,
+		PropDelay:          cfg.PropDelay,
+		Credits:            cfg.Credits,
 		Seed:               cfg.Seed,
 		CompletionTimeout:  cfg.CompletionTimeout,
 		DiskCmdTimeout:     cfg.DiskCmdTimeout,
@@ -258,6 +272,13 @@ func New(cfg Config) *System {
 // source of truth (the embedded build config mirrors it).
 func (s *System) RunDD(blockBytes uint64) (kernel.DDResult, error) {
 	return s.System.RunDD(blockBytes)
+}
+
+// RunDDWrite is RunDD in the write direction (`dd of=/dev/disk`): the
+// disk DMA-reads the user buffer, so the payload rides downstream read
+// completions.
+func (s *System) RunDDWrite(blockBytes uint64) (kernel.DDResult, error) {
+	return s.System.RunDDWrite(blockBytes)
 }
 
 // DiskUplinkStats returns the link-interface stats of the upstream

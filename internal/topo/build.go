@@ -50,6 +50,12 @@ type Config struct {
 	// Gen is the default link generation for links whose spec leaves
 	// Gen zero.
 	Gen pcie.Generation
+	// PropDelay is the per-direction propagation delay of every link's
+	// physical medium — zero for the baseline's short electrical traces,
+	// hundreds of nanoseconds for the cabled/retimed links of the
+	// future-system experiments, where it sets the bandwidth-delay
+	// product that flow-control credits must cover.
+	PropDelay sim.Tick
 	// Seed seeds fault injection.
 	Seed uint64
 	// NoP2P disables peer-to-peer turnaround in every switch: requests
@@ -57,6 +63,13 @@ type Config struct {
 	// reflect off it. The default (false) lets switches turn peer
 	// traffic around locally.
 	NoP2P bool
+	// Credits enables transaction-layer credit-based flow control on
+	// every link: each endpoint interface advertises this VC0 pool,
+	// and router-side interfaces advertise it capped at their real
+	// queue depths. The zero value keeps every link in the legacy
+	// infinite-credit mode (bit-identical to the pre-FC simulator).
+	// Per-link overrides live in the spec (LinkSpec.Credits).
+	Credits pcie.CreditConfig
 
 	// --- error containment & recovery ---
 
@@ -288,6 +301,7 @@ func Build(spec *Spec, cfg Config) (*System, error) {
 	rcCfg.Latency = cfg.RootComplexLatency
 	rcCfg.BufferSize = cfg.PortBufferSize
 	rcCfg.CompletionTimeout = cfg.CompletionTimeout
+	rcCfg.Credits = cfg.Credits
 	s.RC = pcie.NewRootComplex(eng, "rc", s.PCIHost, rcCfg)
 	// CPU-visible PCI windows route from the MemBus into the RC.
 	mem.Connect(s.MemBus.MasterPort("rc", mem.RangeList{
@@ -387,11 +401,12 @@ func (s *System) buildNode(port *pcie.Port, portAERName string, n *Node, cfg Con
 	lcfg := pcie.LinkConfig{
 		Gen:              n.Link.Gen,
 		Width:            n.Link.Width,
+		PropDelay:        cfg.PropDelay,
 		ReplayBufferSize: cfg.ReplayBufferSize,
 		MaxPayload:       cfg.IOCache.LineSize,
-		ErrorRate:        n.Link.ErrorRate,
 		Seed:             cfg.Seed,
 		Fault:            n.Link.Fault,
+		Credits:          cfg.Credits,
 	}
 	if lcfg.Gen == 0 {
 		lcfg.Gen = cfg.Gen
@@ -399,8 +414,22 @@ func (s *System) buildNode(port *pcie.Port, portAERName string, n *Node, cfg Con
 	if lcfg.Fault == nil {
 		lcfg.Fault = cfg.Faults[n.Link.Name]
 	}
+	if lcfg.Fault == nil {
+		// The spec-level stochastic-corruption knob, expressed as the
+		// equivalent fault plan (the LinkConfig.ErrorRate alias is gone).
+		lcfg.Fault = fault.CorruptionPlan(n.Link.ErrorRate)
+	}
+	if n.Link.Credits != nil {
+		lcfg.Credits = *n.Link.Credits
+	}
 	link := pcie.NewLink(s.Eng, n.Link.Name, lcfg)
 	port.ConnectLink(link)
+	if n.Link.Credits != nil {
+		// ConnectLink advertised the platform-wide credits capped at
+		// the port's queue depth; refine with the per-link override.
+		link.Up().AdvertiseCredits(pcie.MinCredits(*n.Link.Credits,
+			pcie.CreditsForQueueDepth(cfg.PortBufferSize)))
+	}
 	li := &LinkInst{Name: n.Link.Name, Node: n, Link: link}
 	s.Links = append(s.Links, li)
 	s.linkByName[li.Name] = li
@@ -421,8 +450,13 @@ func (s *System) buildNode(port *pcie.Port, portAERName string, n *Node, cfg Con
 		}
 		swCfg.Latency = cfg.SwitchLatency
 		swCfg.BufferSize = cfg.PortBufferSize
+		swCfg.Credits = cfg.Credits
 		sw := pcie.NewSwitch(s.Eng, n.Name, s.PCIHost, swCfg)
 		sw.ConnectUpstreamLink(link)
+		if n.Link.Credits != nil {
+			link.Down().AdvertiseCredits(pcie.MinCredits(*n.Link.Credits,
+				pcie.CreditsForQueueDepth(cfg.PortBufferSize)))
+		}
 		link.Down().SetAER(sw.UpstreamPort().AER())
 		addAER(n.Name+".upstream", sw.UpstreamPort().AER())
 		s.Switches = append(s.Switches, &SwitchInst{Name: n.Name, Node: n, Sw: sw})

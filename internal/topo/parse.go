@@ -8,6 +8,8 @@
 //	node  := kind attr* [ "(" spec ")" ] [ "*" INT ]
 //	attr  := ":x" INT        lane width
 //	       | ":g" INT        generation (1-3)
+//	       | ":c" INT        uniform flow-control credits (per class:
+//	                         INT headers, 4*INT data units)
 //	       | "@" NAME        explicit node name
 //	kind  := "switch" | "sw" | "disk" | "nic" | "testdev" | "td"
 //
@@ -169,8 +171,22 @@ func (p *parser) node(depth int) ([]*Node, error) {
 					return nil, fmt.Errorf("topo: explicit generation g0 at byte %d", p.pos)
 				}
 				n.Link.Gen = pcie.Generation(v)
+			case 'c':
+				p.pos++
+				v, err := p.number()
+				if err != nil {
+					return nil, err
+				}
+				// 0 on the wire means infinite; an explicit :c0 is more
+				// likely a typo than a request for legacy mode, so refuse
+				// it ("disable FC" is spelled by omitting the attribute).
+				if v == 0 {
+					return nil, fmt.Errorf("topo: explicit credits c0 at byte %d", p.pos)
+				}
+				c := pcie.UniformCredits(v)
+				n.Link.Credits = &c
 			default:
-				return nil, fmt.Errorf("topo: expected x or g after ':' at byte %d: %q", p.pos, p.rest())
+				return nil, fmt.Errorf("topo: expected x, g, or c after ':' at byte %d: %q", p.pos, p.rest())
 			}
 			continue
 		case '@':
@@ -350,7 +366,8 @@ func cloneNode(n *Node) *Node {
 }
 
 // String renders the spec in the text grammar. It is lossy for link
-// metadata (link names, error rates, fault plans), but the rendered
+// metadata (link names, error rates, fault plans, non-uniform credit
+// configurations), but the rendered
 // text always re-parses to a spec with the same structure, names,
 // widths, and generations.
 func (s *Spec) String() string {
@@ -374,6 +391,13 @@ func writePorts(b *strings.Builder, ports []*Node) {
 		}
 		if n.Link.Gen != 0 {
 			fmt.Fprintf(b, ":g%d", int(n.Link.Gen))
+		}
+		// Only the uniform shape is expressible in the grammar; other
+		// credit configs fall under the documented lossiness.
+		if c := n.Link.Credits; c != nil {
+			if u := c.PostedHdr; u > 0 && *c == pcie.UniformCredits(u) {
+				fmt.Fprintf(b, ":c%d", u)
+			}
 		}
 		if n.Name != "" {
 			fmt.Fprintf(b, "@%s", n.Name)

@@ -64,6 +64,18 @@ func (s *System) Boot() (*kernel.Topology, error) {
 // RunDD boots if necessary, then runs one dd block-read of blockBytes
 // against the first disk.
 func (s *System) RunDD(blockBytes uint64) (kernel.DDResult, error) {
+	return s.runDD(blockBytes, false)
+}
+
+// RunDDWrite is RunDD with the direction flipped (`dd of=/dev/disk`):
+// the disk DMA-reads the user buffer, so the payload travels in
+// downstream read completions and is throttled by Cpl credits rather
+// than Posted ones.
+func (s *System) RunDDWrite(blockBytes uint64) (kernel.DDResult, error) {
+	return s.runDD(blockBytes, true)
+}
+
+func (s *System) runDD(blockBytes uint64, write bool) (kernel.DDResult, error) {
 	if _, err := s.Boot(); err != nil {
 		return kernel.DDResult{}, err
 	}
@@ -72,6 +84,7 @@ func (s *System) RunDD(blockBytes uint64) (kernel.DDResult, error) {
 	}
 	cfg := s.Cfg.DD
 	cfg.BlockBytes = blockBytes
+	cfg.Write = write
 	h := s.DiskDriver.HandleFor(s.Disks[0].BDF)
 	var res kernel.DDResult
 	var runErr error

@@ -47,6 +47,13 @@ type LinkSpec struct {
 	// ErrorRate injects stochastic TLP corruption (legacy single-knob
 	// interface; Fault is the general mechanism).
 	ErrorRate float64 `json:"error_rate,omitempty"`
+	// Credits overrides the platform-wide credit configuration
+	// (Config.Credits) for this link: the VC0 flow-control pool both
+	// ends advertise, with router-side ends capped at their real queue
+	// depths. Nil inherits; a pointer to the zero value forces the
+	// legacy infinite-credit link. The text grammar's ":c N" attribute
+	// sets UniformCredits(N).
+	Credits *pcie.CreditConfig `json:"credits,omitempty"`
 	// Fault attaches a deterministic fault plan. Only settable from Go
 	// or through Config.Faults (keyed by link name).
 	Fault *fault.Plan `json:"-"`
@@ -183,6 +190,11 @@ func (s *Spec) Validate() error {
 		}
 		if n.Link.ErrorRate < 0 || n.Link.ErrorRate > 1 {
 			return fmt.Errorf("topo: node %q link error rate %g outside [0,1]", n.Name, n.Link.ErrorRate)
+		}
+		if n.Link.Credits != nil {
+			if err := n.Link.Credits.Validate(); err != nil {
+				return fmt.Errorf("topo: node %q link credits: %v", n.Name, err)
+			}
 		}
 		if n.Kind == KindSwitch {
 			if len(n.Ports) == 0 {

@@ -50,8 +50,22 @@ type MMIOProbeResult = kernel.MMIOProbeResult
 type Generation = pcie.Generation
 
 // LinkStats are the per-link-interface protocol counters (replays,
-// timeouts, ACK traffic).
+// timeouts, ACK traffic, flow-control stalls).
 type LinkStats = pcie.LinkStats
+
+// CreditConfig are per-class (Posted / Non-Posted / Completion) VC0
+// flow-control credit pools. The zero value means infinite credits —
+// the legacy refusal-only link. Assign one to Config.Credits (every
+// link) or to a topology node's LinkSpec.Credits (one link).
+type CreditConfig = pcie.CreditConfig
+
+// UniformCredits builds a CreditConfig with n header credits per class
+// and data credits for n 64-byte payloads.
+func UniformCredits(n int) CreditConfig { return pcie.UniformCredits(n) }
+
+// ParseCredits parses the CLI credit syntax: "" / "inf" for infinite,
+// a bare integer for UniformCredits, or "ph=8,ch=2"-style k=v pairs.
+func ParseCredits(s string) (CreditConfig, error) { return pcie.ParseCredits(s) }
 
 // PCI-Express generations.
 const (
