@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ddbench [-fig 9a|9b|9c|9d|err|fc|all] [-scale N] [-jobs N] [-csv] [-table1]
+//	ddbench [-fig 9a|9b|9c|9d|err|fc|degrade|all] [-scale N] [-jobs N] [-csv] [-table1]
 //
 // -scale divides the paper's 64-512 MiB block sizes (and dd's fixed
 // startup overhead) by N; 1 reproduces the full-size experiment, the
@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 9a, 9b, 9c, 9d, err, fc, scen or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 9a, 9b, 9c, 9d, err, fc, degrade, scen or all")
 	topoSpec := flag.String("topo", "", "sweep block sizes over an arbitrary topology: a canned scenario name or a spec like \"switch:x4(disk*8)\"")
 	scale := flag.Int("scale", 16, "divide the paper's block sizes by this factor")
 	jobs := flag.Int("jobs", 1, "parallel simulation runs (-1 = one per CPU); output is identical at any value")
@@ -96,7 +96,7 @@ func main() {
 	// order is the -fig all sequence and doubles as the list of valid
 	// figure names ("scen" is opt-in only: it is a scenario report, not
 	// a paper figure).
-	order := []string{"9a", "9b", "9c", "9d", "err", "fc"}
+	order := []string{"9a", "9b", "9c", "9d", "err", "fc", "degrade"}
 
 	selected := order
 	if *fig != "all" {
@@ -120,6 +120,10 @@ func main() {
 		}
 		if id == "fc" {
 			runFigFC(opt, *csv)
+			continue
+		}
+		if id == "degrade" {
+			runFigDegrade(opt, *csv)
 			continue
 		}
 		if id == "scen" {
@@ -152,6 +156,22 @@ func main() {
 // long-latency link with a shrinking completion-credit pool.
 func runFigFC(opt pciesim.Options, csv bool) {
 	result, err := pciesim.RunFigFC(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
+		os.Exit(1)
+	}
+	if csv {
+		fmt.Print(result.CSV())
+	} else {
+		fmt.Println(result.Format())
+	}
+}
+
+// runFigDegrade runs the adaptive-degradation staircase: dd on an x4
+// Gen2 disk link held at each (Gen, Width) ladder level, plus a run
+// that upgrade-retrains back to full speed mid-transfer.
+func runFigDegrade(opt pciesim.Options, csv bool) {
+	result, err := pciesim.RunFigDegrade(opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
 		os.Exit(1)

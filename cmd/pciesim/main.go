@@ -27,12 +27,25 @@
 //	pciesim -stats -trace trace.json
 //	pciesim -stats-out stats.json -stats-interval 100
 //
-// Monte-Carlo fault campaign: -campaign runs the dd workload K times
-// with a stochastically faulted disk link, one RNG seed per run, fanned
-// across -jobs workers, and reports the outcome distribution:
+// Robustness: -hotplug yanks the disk mid-transfer (arming Downstream
+// Port Containment and the kernel recovery driver), -dpc arms DPC
+// containment by itself, and -degrade arms adaptive link degradation
+// (sustained link errors downtrain the link; upgrade retrains climb
+// back with exponential backoff):
+//
+//	pciesim -hotplug at=1500,reinsert=500
+//	pciesim -hotplug at=1500            (permanent removal; slot abandoned)
+//	pciesim -errrate 0.02 -degrade
+//
+// Monte-Carlo campaigns: -campaign runs the dd workload K times across
+// -jobs workers and reports the outcome distribution. kind=fault (the
+// default) stochastically corrupts the disk link, one RNG seed per
+// run; kind=hotplug yanks the disk on K deterministic schedules, every
+// fourth one permanent:
 //
 //	pciesim -campaign seeds=32 -jobs -1
-//	pciesim -campaign seeds=64,rate=1e-2 -jobs 4
+//	pciesim -campaign kind=fault,seeds=64,rate=1e-2 -jobs 4
+//	pciesim -campaign kind=hotplug,seeds=16
 package main
 
 import (
@@ -48,33 +61,88 @@ import (
 	"pciesim/internal/sim"
 )
 
-// parseCampaign parses "-campaign seeds=K[,rate=R]".
-func parseCampaign(spec string) (seeds int, rate float64, err error) {
+// campaignKinds lists the valid -campaign kind= values.
+var campaignKinds = []string{"fault", "hotplug"}
+
+// parseCampaign parses "-campaign [kind=fault|hotplug,]seeds=K[,rate=R]".
+func parseCampaign(spec string) (kind string, seeds int, rate float64, err error) {
+	kind = "fault"
 	rate = 1e-3
+	rateSet := false
 	for _, kv := range strings.Split(spec, ",") {
 		k, v, ok := strings.Cut(kv, "=")
 		if !ok {
-			return 0, 0, fmt.Errorf("campaign: %q is not key=value", kv)
+			return "", 0, 0, fmt.Errorf("campaign: %q is not key=value (want kind=, seeds=, rate=)", kv)
 		}
 		switch k {
+		case "kind":
+			valid := false
+			for _, known := range campaignKinds {
+				if v == known {
+					valid = true
+				}
+			}
+			if !valid {
+				return "", 0, 0, fmt.Errorf("campaign: unknown kind %q (valid kinds: %s)",
+					v, strings.Join(campaignKinds, ", "))
+			}
+			kind = v
 		case "seeds":
 			seeds, err = strconv.Atoi(v)
 			if err != nil || seeds <= 0 {
-				return 0, 0, fmt.Errorf("campaign: seeds=%q must be a positive integer", v)
+				return "", 0, 0, fmt.Errorf("campaign: seeds=%q must be a positive integer", v)
 			}
 		case "rate":
 			rate, err = strconv.ParseFloat(v, 64)
 			if err != nil || rate < 0 || rate > 1 {
-				return 0, 0, fmt.Errorf("campaign: rate=%q must be a probability", v)
+				return "", 0, 0, fmt.Errorf("campaign: rate=%q must be a probability", v)
 			}
+			rateSet = true
 		default:
-			return 0, 0, fmt.Errorf("campaign: unknown key %q (want seeds=, rate=)", k)
+			return "", 0, 0, fmt.Errorf("campaign: unknown key %q (want kind=, seeds=, rate=)", k)
 		}
 	}
 	if seeds == 0 {
-		return 0, 0, fmt.Errorf("campaign: seeds=K is required")
+		return "", 0, 0, fmt.Errorf("campaign: seeds=K is required")
 	}
-	return seeds, rate, nil
+	if kind == "hotplug" && rateSet {
+		return "", 0, 0, fmt.Errorf("campaign: rate= only applies to kind=fault (hotplug schedules are deterministic)")
+	}
+	return kind, seeds, rate, nil
+}
+
+// parseHotplug parses "-hotplug at=US[,reinsert=US]" (microseconds of
+// simulated time; no reinsert means the removal is permanent).
+func parseHotplug(spec string) (pciesim.FaultHotplug, error) {
+	var h pciesim.FaultHotplug
+	seen := false
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return h, fmt.Errorf("hotplug: %q is not key=value (want at=, reinsert=)", kv)
+		}
+		switch k {
+		case "at":
+			us, err := strconv.Atoi(v)
+			if err != nil || us < 0 {
+				return h, fmt.Errorf("hotplug: at=%q must be a non-negative integer (us)", v)
+			}
+			h.RemoveAt = sim.Tick(us) * sim.Microsecond
+			seen = true
+		case "reinsert":
+			us, err := strconv.Atoi(v)
+			if err != nil || us <= 0 {
+				return h, fmt.Errorf("hotplug: reinsert=%q must be a positive integer (us)", v)
+			}
+			h.ReinsertAfter = sim.Tick(us) * sim.Microsecond
+		default:
+			return h, fmt.Errorf("hotplug: unknown key %q (want at=, reinsert=)", k)
+		}
+	}
+	if !seen {
+		return h, fmt.Errorf("hotplug: at=US is required")
+	}
+	return h, nil
 }
 
 func main() {
@@ -96,7 +164,10 @@ func main() {
 	downDur := flag.Int("downdur", 0, "link-down window length (us; 0 = down for good)")
 	retrain := flag.Int("retrain", 20, "retrain latency after a finite down window (us)")
 	cto := flag.Int("cto", 100, "root-complex completion timeout when faults are armed (us; 0 disables)")
-	campaignSpec := flag.String("campaign", "", "Monte-Carlo fault campaign: seeds=K[,rate=R] dd runs over distinct fault seeds")
+	hotplugSpec := flag.String("hotplug", "", "surprise-remove the disk: at=US[,reinsert=US] (arms DPC containment and the kernel recovery driver)")
+	dpc := flag.Bool("dpc", false, "arm Downstream Port Containment on every port plus the kernel DPC/hot-plug recovery driver")
+	degrade := flag.Bool("degrade", false, "arm adaptive link degradation: sustained link errors downtrain width/generation, upgrade retrains back off exponentially")
+	campaignSpec := flag.String("campaign", "", "Monte-Carlo campaign: [kind=fault|hotplug,]seeds=K[,rate=R] dd runs (fault: distinct RNG seeds; hotplug: deterministic removal schedules)")
 	jobs := flag.Int("jobs", 1, "parallel campaign runs (-1 = one per CPU); output is identical at any value")
 	creditSpec := flag.String("credits", "", "VC0 flow-control credits per link: empty/\"inf\" = legacy infinite, N = uniform, or k=v pairs (ph,pd,nh,nd,ch,cd)")
 	topoSpec := flag.String("topo", "", "arbitrary topology: a canned scenario (validation, fanout8, p2p) or a spec like \"switch:x4(disk*8)\"")
@@ -119,12 +190,12 @@ func main() {
 	}
 
 	if *campaignSpec != "" {
-		seeds, rate, err := parseCampaign(*campaignSpec)
+		kind, seeds, rate, err := parseCampaign(*campaignSpec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
 			os.Exit(2)
 		}
-		runCampaign(seeds, rate, *jobs, *blockMB, obs)
+		runCampaign(kind, seeds, rate, *jobs, *blockMB, obs)
 		return
 	}
 
@@ -165,7 +236,24 @@ func main() {
 		}}
 		plan.RetrainLatency = sim.Tick(*retrain) * sim.Microsecond
 	}
-	faulted := len(plan.Windows) > 0 || *errRate > 0 || *dllpRate > 0 || *dropRate > 0
+	if *hotplugSpec != "" {
+		h, err := parseHotplug(*hotplugSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
+			os.Exit(2)
+		}
+		plan.Hotplugs = []pciesim.FaultHotplug{h}
+		// A yanked card needs the full containment stack to keep the
+		// run terminating: DPC plus the recovery driver.
+		*dpc = true
+	}
+	cfg.EnableDPC = *dpc
+	if *degrade {
+		deg := pciesim.DefaultDegradeConfig()
+		cfg.Degrade = &deg
+	}
+	faulted := len(plan.Windows) > 0 || len(plan.Hotplugs) > 0 ||
+		*errRate > 0 || *dllpRate > 0 || *dropRate > 0
 	if faulted {
 		cfg.DiskLinkFault = plan
 		// Arm the containment timeouts so a dead link degrades the
@@ -227,6 +315,17 @@ func main() {
 	}
 	ctoFired, ctoLate := s.RC.CompletionTimeouts()
 	fmt.Printf("  root complex: completion timeouts=%d late completions dropped=%d\n", ctoFired, ctoLate)
+	if cfg.EnableDPC {
+		s.Eng.Run() // drain recovery polling before reading the outcome
+		triggers, recovered, abandoned := s.Recovery.Counts()
+		fmt.Printf("  dpc: triggers=%d recovered=%d abandoned=%d; disk removals=%d reinserts=%d\n",
+			triggers, recovered, abandoned, s.DiskLink.Removals(), s.DiskLink.Reinserts())
+	}
+	if cfg.Degrade != nil {
+		fmt.Printf("  degrade: downtrains=%d uptrains=%d level=%d (%v x%d)\n",
+			s.DiskLink.Downtrains(), s.DiskLink.Uptrains(), s.DiskLink.DegradeLevel(),
+			s.DiskLink.CurrentGen(), s.DiskLink.CurrentWidth())
+	}
 	if res.Errors > 0 {
 		fmt.Printf("  dd: %d of %d requests errored\n", res.Errors, res.Requests)
 	}
@@ -335,9 +434,10 @@ func runTopo(spec string, blockMB, gen int, credits pciesim.CreditConfig, p2p, r
 	}
 }
 
-// runCampaign runs the Monte-Carlo fault campaign and prints the
-// per-seed table plus the outcome distribution.
-func runCampaign(seeds int, rate float64, jobs, blockMB int, obs obscli.Flags) {
+// runCampaign runs a Monte-Carlo campaign (stochastic faults or
+// surprise hot-plug) and prints the per-seed table plus the outcome
+// distribution.
+func runCampaign(kind string, seeds int, rate float64, jobs, blockMB int, obs obscli.Flags) {
 	// Scale 16 with a pre-scaling block of 16x the requested size keeps
 	// the simulated block at blockMB MiB while dividing dd's fixed
 	// startup overhead, like the single-run path's proportional scaling.
@@ -365,6 +465,15 @@ func runCampaign(seeds int, rate float64, jobs, blockMB int, obs obscli.Flags) {
 			}
 			return f.Finish(sys.Eng)
 		}
+	}
+	if kind == "hotplug" {
+		res, err := pciesim.RunHotplugCampaign(seeds, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Format())
+		return
 	}
 	res, err := pciesim.RunFaultCampaign(seeds, rate, opt)
 	if err != nil {

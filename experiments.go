@@ -719,6 +719,319 @@ func (c CampaignResult) Format() string {
 	return b.String()
 }
 
+// DegradePoint is one scenario of the adaptive-degradation staircase.
+type DegradePoint struct {
+	Scenario string
+	Gbps     float64
+	Requests int
+	Errored  int
+	// Downtrains/Uptrains count the degradation and upgrade retrains
+	// the disk link took during the run.
+	Downtrains uint64
+	Uptrains   uint64
+	// Level, Gen and Width are the disk link's final ladder position.
+	Level  int
+	Gen    Generation
+	Width  int
+	ReqLat LatencySummary
+}
+
+// DegradeFigure is the adaptive-degradation sweep (`ddbench -fig
+// degrade`): dd throughput stepping down the (Gen, Width) ladder and
+// recovering through upgrade retrains.
+type DegradeFigure struct {
+	Title  string
+	Points []DegradePoint
+}
+
+// RunFigDegrade regenerates the degradation staircase on an x4 Gen2
+// disk link: the full link, each of the three ladder levels below it
+// (x2, x1, x1@Gen1) held by forced downtrains with upgrade retrains
+// pushed past the run, and a "recovered" scenario where the same fully
+// degraded link upgrade-retrains back to full speed early in the
+// transfer. Every scenario is deterministic — the downtrain schedule
+// is scripted, not stochastic.
+func RunFigDegrade(opt Options) (DegradeFigure, error) {
+	opt = opt.normalize()
+	bytes := opt.blockBytes(opt.BlockMB[len(opt.BlockMB)-1])
+	base := opt.scaledConfig(DefaultConfig())
+	// A wide disk link gives the ladder three steps: x4 -> x2 -> x1 ->
+	// x1 @ Gen1.
+	base.DiskLinkWidth = 4
+
+	// Hold each degraded level for the whole run: the first upgrade
+	// attempt lands far beyond any workload here.
+	hold := DefaultDegradeConfig()
+	hold.UpgradeBackoff = 10000 * sim.Millisecond
+	hold.MaxUpgradeBackoff = hold.UpgradeBackoff
+	// The recovering link retries quickly so the upgrade ladder
+	// completes early in the transfer.
+	recov := DefaultDegradeConfig()
+	recov.UpgradeBackoff = 50 * sim.Microsecond
+	recov.MaxUpgradeBackoff = 400 * sim.Microsecond
+
+	// Downtrains are scheduled right after boot, spaced wider than the
+	// retrain latency so none lands mid-retrain; boot is deterministic.
+	probe := New(base)
+	if _, err := probe.Boot(); err != nil {
+		return DegradeFigure{}, err
+	}
+	bootEnd := probe.Eng.Now()
+	downs := func(n int) []sim.Tick {
+		out := make([]sim.Tick, n)
+		for i := range out {
+			out[i] = bootEnd + sim.Tick(i+1)*50*sim.Microsecond
+		}
+		return out
+	}
+	scenarios := []struct {
+		label   string
+		degrade DegradeConfig
+		downs   int
+	}{
+		{"full", hold, 0},
+		{"down1", hold, 1},
+		{"down2", hold, 2},
+		{"down3", hold, 3},
+		{"recovered", recov, 3},
+	}
+
+	fig := DegradeFigure{Title: "dd through adaptive link degradation (x4 Gen2 disk link)"}
+	fig.Points = make([]DegradePoint, len(scenarios))
+	type outcome struct {
+		p   DegradePoint
+		sys *System
+	}
+	err := campaign.RunCollect(opt.jobs(), len(scenarios),
+		func(k int) (outcome, error) {
+			sc := scenarios[k]
+			cfg := base
+			deg := sc.degrade
+			cfg.Degrade = &deg
+			if sc.downs > 0 {
+				cfg.DiskLinkFault = &fault.Plan{Downtrains: downs(sc.downs)}
+			}
+			sys := New(cfg)
+			if opt.Observe != nil {
+				if err := opt.Observe(sys, sc.label); err != nil {
+					return outcome{}, err
+				}
+			}
+			res, err := sys.RunDD(bytes)
+			if err != nil {
+				return outcome{}, fmt.Errorf("figdegrade %s: %w", sc.label, err)
+			}
+			// Read the ladder position as dd finishes — draining the
+			// engine below fires the held upgrade timers and climbs the
+			// link back to level 0.
+			l := sys.DiskLink
+			p := DegradePoint{
+				Scenario:   sc.label,
+				Gbps:       res.ThroughputGbps(),
+				Requests:   res.Requests,
+				Errored:    res.Errors,
+				Downtrains: l.Downtrains(),
+				Uptrains:   l.Uptrains(),
+				Level:      l.DegradeLevel(),
+				Gen:        l.CurrentGen(),
+				Width:      l.CurrentWidth(),
+				ReqLat:     res.ReqLat,
+			}
+			sys.Eng.Run()
+			return outcome{p: p, sys: sys}, nil
+		},
+		func(k int, o outcome) error {
+			if opt.ObserveDone != nil {
+				if err := opt.ObserveDone(o.sys, scenarios[k].label); err != nil {
+					return err
+				}
+			}
+			fig.Points[k] = o.p
+			return nil
+		})
+	if err != nil {
+		return DegradeFigure{}, err
+	}
+	return fig, nil
+}
+
+// Format renders the degradation staircase as an aligned text table.
+func (f DegradeFigure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "figdegrade — %s\n", f.Title)
+	fmt.Fprintf(&b, "%-10s %8s %9s %6s %5s %6s %6s %6s %10s %10s\n",
+		"scenario", "gbps", "errored", "down", "up", "level", "gen", "width", "p50(us)", "p99(us)")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%-10s %8.3f %4d/%-4d %6d %5d %6d %6v %5dx %10.1f %10.1f\n",
+			p.Scenario, p.Gbps, p.Errored, p.Requests, p.Downtrains, p.Uptrains,
+			p.Level, p.Gen, p.Width, usOf(p.ReqLat.P50), usOf(p.ReqLat.P99))
+	}
+	return b.String()
+}
+
+// CSV renders the degradation staircase as comma-separated values.
+func (f DegradeFigure) CSV() string {
+	var b strings.Builder
+	b.WriteString("figure,scenario,gbps,requests,errored,downtrains,uptrains,level,gen,width,req_p50_us,req_p99_us\n")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "figdegrade,%s,%.4f,%d,%d,%d,%d,%d,%d,%d,%.2f,%.2f\n",
+			p.Scenario, p.Gbps, p.Requests, p.Errored, p.Downtrains, p.Uptrains,
+			p.Level, int(p.Gen), p.Width, usOf(p.ReqLat.P50), usOf(p.ReqLat.P99))
+	}
+	return b.String()
+}
+
+// HotplugPoint is one seed of a surprise hot-plug campaign.
+type HotplugPoint struct {
+	Scenario string
+	Gbps     float64
+	Requests int
+	Errored  int
+	// Permanent marks a removal with no re-insertion.
+	Permanent bool
+	Removals  uint64
+	Reinserts uint64
+	// DPC/kernel recovery outcome.
+	Triggers  uint64
+	Recovered uint64
+	Abandoned uint64
+	ReqLat    LatencySummary
+}
+
+// HotplugCampaignResult is a surprise hot-plug campaign: the same dd
+// workload run under K different removal/re-insertion schedules with
+// DPC containment and the kernel recovery driver armed.
+type HotplugCampaignResult struct {
+	Seeds  int
+	Points []HotplugPoint
+
+	// Distribution and outcome totals across seeds.
+	GbpsMin, GbpsMedian, GbpsMax float64
+	RecoveredRuns                int
+	AbandonedRuns                int
+	ErroredRuns                  int
+}
+
+// RunHotplugCampaign runs K dd workloads, each with the disk yanked at
+// a schedule-dependent instant mid-transfer; three of every four
+// schedules re-seat the card and must end recovered (the kernel driver
+// re-enables the slot and replays the boot-time configuration), the
+// fourth is a permanent removal that must end contained and abandoned.
+// Every run must complete — a single hung dd fails the campaign.
+func RunHotplugCampaign(seeds int, opt Options) (HotplugCampaignResult, error) {
+	if seeds <= 0 {
+		return HotplugCampaignResult{}, fmt.Errorf("hotplug campaign: seeds = %d", seeds)
+	}
+	opt = opt.normalize()
+	bytes := opt.blockBytes(opt.BlockMB[0])
+	base := opt.scaledConfig(DefaultConfig())
+	base.EnableDPC = true
+	base.CompletionTimeout = 100 * sim.Microsecond
+	base.DiskCmdTimeout = 2 * sim.Millisecond
+	base.DiskDMATimeout = 500 * sim.Microsecond
+
+	probe := New(base)
+	if _, err := probe.Boot(); err != nil {
+		return HotplugCampaignResult{}, err
+	}
+	streamStart := probe.Eng.Now() + base.DD.StartupOverhead
+
+	res := HotplugCampaignResult{Seeds: seeds, Points: make([]HotplugPoint, seeds)}
+	type outcome struct {
+		p   HotplugPoint
+		sys *System
+	}
+	err := campaign.RunCollect(opt.jobs(), seeds,
+		func(k int) (outcome, error) {
+			label := fmt.Sprintf("seed%03d", k)
+			// Deterministic per-seed schedule: the removal instant walks
+			// the transfer window, every fourth removal is permanent.
+			h := fault.Hotplug{
+				RemoveAt: streamStart + sim.Tick(k*613%1500)*sim.Microsecond,
+			}
+			permanent := k%4 == 3
+			if !permanent {
+				h.ReinsertAfter = sim.Tick(200+k*97%400) * sim.Microsecond
+			}
+			cfg := base
+			cfg.DiskLinkFault = &fault.Plan{Hotplugs: []fault.Hotplug{h}}
+			sys := New(cfg)
+			if opt.Observe != nil {
+				if err := opt.Observe(sys, label); err != nil {
+					return outcome{}, err
+				}
+			}
+			dd, err := sys.RunDD(bytes)
+			if err != nil {
+				return outcome{}, fmt.Errorf("hotplug campaign %s: %w", label, err)
+			}
+			sys.Eng.Run() // recovery polling and stragglers
+			triggers, recovered, abandoned := sys.Recovery.Counts()
+			return outcome{p: HotplugPoint{
+				Scenario:  label,
+				Gbps:      dd.ThroughputGbps(),
+				Requests:  dd.Requests,
+				Errored:   dd.Errors,
+				Permanent: permanent,
+				Removals:  sys.DiskLink.Removals(),
+				Reinserts: sys.DiskLink.Reinserts(),
+				Triggers:  triggers,
+				Recovered: recovered,
+				Abandoned: abandoned,
+				ReqLat:    dd.ReqLat,
+			}, sys: sys}, nil
+		},
+		func(k int, o outcome) error {
+			if opt.ObserveDone != nil {
+				if err := opt.ObserveDone(o.sys, fmt.Sprintf("seed%03d", k)); err != nil {
+					return err
+				}
+			}
+			res.Points[k] = o.p
+			return nil
+		})
+	if err != nil {
+		return HotplugCampaignResult{}, err
+	}
+
+	gbps := make([]float64, seeds)
+	for i, p := range res.Points {
+		gbps[i] = p.Gbps
+		if p.Recovered > 0 {
+			res.RecoveredRuns++
+		}
+		if p.Abandoned > 0 {
+			res.AbandonedRuns++
+		}
+		if p.Errored > 0 {
+			res.ErroredRuns++
+		}
+	}
+	sort.Float64s(gbps)
+	res.GbpsMin = gbps[0]
+	res.GbpsMedian = gbps[seeds/2]
+	res.GbpsMax = gbps[seeds-1]
+	return res, nil
+}
+
+// Format renders the hot-plug campaign as a per-seed table plus the
+// summary.
+func (c HotplugCampaignResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hotplug campaign — %d surprise-removal schedules on the disk link\n", c.Seeds)
+	fmt.Fprintf(&b, "%-10s %8s %9s %10s %8s %10s %9s %10s %10s\n",
+		"seed", "gbps", "errored", "permanent", "removals", "reinserts", "triggers", "recovered", "abandoned")
+	for _, p := range c.Points {
+		fmt.Fprintf(&b, "%-10s %8.3f %4d/%-4d %10v %8d %10d %9d %10d %10d\n",
+			p.Scenario, p.Gbps, p.Errored, p.Requests, p.Permanent,
+			p.Removals, p.Reinserts, p.Triggers, p.Recovered, p.Abandoned)
+	}
+	fmt.Fprintf(&b, "gbps min/median/max: %.3f / %.3f / %.3f\n", c.GbpsMin, c.GbpsMedian, c.GbpsMax)
+	fmt.Fprintf(&b, "recovered: %d/%d; abandoned: %d/%d; runs with errors: %d/%d; hung: 0\n",
+		c.RecoveredRuns, c.Seeds, c.AbandonedRuns, c.Seeds, c.ErroredRuns, c.Seeds)
+	return b.String()
+}
+
 // usOf converts a tick count (picoseconds) to microseconds for tables.
 func usOf(t sim.Tick) float64 { return float64(t) / 1e6 }
 

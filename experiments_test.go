@@ -287,6 +287,105 @@ func TestFigFCShape(t *testing.T) {
 	}
 }
 
+func TestFigDegradeShape(t *testing.T) {
+	fig, err := RunFigDegrade(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) != 5 {
+		t.Fatalf("%d scenarios, want full + 3 ladder levels + recovered", len(fig.Points))
+	}
+	byName := map[string]DegradePoint{}
+	for _, p := range fig.Points {
+		byName[p.Scenario] = p
+	}
+	full := byName["full"]
+	if full.Downtrains != 0 || full.Level != 0 || full.Errored != 0 || full.Gbps <= 0 {
+		t.Fatalf("full scenario not clean: %+v", full)
+	}
+
+	// The staircase: throughput steps down through the held ladder
+	// levels, and correctness never suffers — downtraining is a speed
+	// change, not an error path.
+	steps := []DegradePoint{full, byName["down1"], byName["down2"], byName["down3"]}
+	for i, p := range steps {
+		if p.Errored != 0 {
+			t.Errorf("%s: downtraining must not error requests: %+v", p.Scenario, p)
+		}
+		if uint64(i) != p.Downtrains || p.Level != i {
+			t.Errorf("%s: want %d downtrains holding level %d, got %d at level %d",
+				p.Scenario, i, i, p.Downtrains, p.Level)
+		}
+		if i > 0 && p.Gbps >= steps[i-1].Gbps {
+			t.Errorf("staircase not monotone: %s %.3f >= %s %.3f",
+				p.Scenario, p.Gbps, steps[i-1].Scenario, steps[i-1].Gbps)
+		}
+	}
+	// The ladder floor is x1 at Gen1.
+	d3 := byName["down3"]
+	if d3.Width != 1 || d3.Gen != Gen1 {
+		t.Errorf("down3 must sit at x1 Gen1, got %v x%d", d3.Gen, d3.Width)
+	}
+
+	// The recovering link climbs all the way back and beats the floor.
+	rec := byName["recovered"]
+	if rec.Uptrains != 3 || rec.Level != 0 {
+		t.Errorf("recovered must uptrain back to level 0: %+v", rec)
+	}
+	if rec.Width != 4 || rec.Gen != Gen2 {
+		t.Errorf("recovered must end at x4 Gen2, got %v x%d", rec.Gen, rec.Width)
+	}
+	if rec.Gbps <= d3.Gbps {
+		t.Errorf("recovered (%.3f) must beat the held floor (%.3f)", rec.Gbps, d3.Gbps)
+	}
+	if rec.Errored != 0 {
+		t.Errorf("upgrade retrains must not error requests: %+v", rec)
+	}
+
+	csv := fig.CSV()
+	if !strings.Contains(csv, "downtrains") || !strings.Contains(csv, "figdegrade,recovered,") {
+		t.Errorf("CSV missing expected columns/rows:\n%s", csv)
+	}
+	if out := fig.Format(); !strings.Contains(out, "scenario") {
+		t.Errorf("Format missing header:\n%s", out)
+	}
+}
+
+func TestHotplugCampaign(t *testing.T) {
+	const seeds = 8
+	c, err := RunHotplugCampaign(seeds, testOptions())
+	if err != nil {
+		t.Fatal(err) // a hung run surfaces here as a wedged-task error
+	}
+	if len(c.Points) != seeds {
+		t.Fatalf("%d points, want %d", len(c.Points), seeds)
+	}
+	for _, p := range c.Points {
+		if p.Removals != 1 {
+			t.Errorf("%s: want exactly one removal, got %d", p.Scenario, p.Removals)
+		}
+		if p.Triggers == 0 {
+			t.Errorf("%s: DPC never triggered", p.Scenario)
+		}
+		if p.Permanent {
+			if p.Reinserts != 0 || p.Abandoned == 0 || p.Recovered != 0 {
+				t.Errorf("%s: permanent removal must end abandoned: %+v", p.Scenario, p)
+			}
+		} else {
+			if p.Reinserts != 1 || p.Recovered == 0 {
+				t.Errorf("%s: re-seated card must end recovered: %+v", p.Scenario, p)
+			}
+		}
+	}
+	if c.RecoveredRuns != seeds-seeds/4 || c.AbandonedRuns != seeds/4 {
+		t.Errorf("want %d recovered / %d abandoned, got %d / %d",
+			seeds-seeds/4, seeds/4, c.RecoveredRuns, c.AbandonedRuns)
+	}
+	if out := c.Format(); !strings.Contains(out, "hung: 0") {
+		t.Errorf("Format missing summary:\n%s", out)
+	}
+}
+
 func TestFigErrShape(t *testing.T) {
 	fig, err := RunFigErr(testOptions())
 	if err != nil {

@@ -110,6 +110,20 @@ type Window struct {
 // Permanent reports whether the window takes the link down for good.
 func (w Window) Permanent() bool { return w.Duration == 0 }
 
+// Hotplug is a surprise hot-plug episode: the device below the link is
+// yanked at RemoveAt (slot presence drops, in-flight traffic is flushed
+// and contained), and — unless ReinsertAfter is zero — re-seated
+// ReinsertAfter later, after which the link retrains from scratch and
+// the kernel re-enumerates the sub-tree. ReinsertAfter 0 means the
+// device never returns.
+type Hotplug struct {
+	RemoveAt      sim.Tick
+	ReinsertAfter sim.Tick
+}
+
+// Permanent reports whether the removal is for good.
+func (h Hotplug) Permanent() bool { return h.ReinsertAfter == 0 }
+
 // Plan is the full fault model for one link.
 type Plan struct {
 	// Seed overrides the link's RNG seed when nonzero, so one plan
@@ -131,6 +145,14 @@ type Plan struct {
 	// without an intervening ACK/NAK — a requester-visible model of a
 	// partner that stopped responding. 0 disables detection.
 	DeadThreshold int
+	// Downtrains forces a one-step link degradation (width halved, or
+	// the next-lower generation at x1) at each listed tick, modeling
+	// lane failures the LTSSM negotiates around. Each downtrain takes
+	// the link through a DL-down/retrain cycle. Requires the link to
+	// have a DegradeConfig armed.
+	Downtrains []sim.Tick
+	// Hotplugs are surprise-removal episodes, sorted by RemoveAt.
+	Hotplugs []Hotplug
 }
 
 // Normalize sorts windows and scripts into schedule order and
@@ -172,6 +194,28 @@ func (p *Plan) Normalize() error {
 	if p.DeadThreshold < 0 {
 		return fmt.Errorf("fault: DeadThreshold %d is negative", p.DeadThreshold)
 	}
+	sort.Slice(p.Downtrains, func(a, b int) bool { return p.Downtrains[a] < p.Downtrains[b] })
+	for _, at := range p.Downtrains {
+		if at < 0 {
+			return fmt.Errorf("fault: downtrain at negative tick %v", at)
+		}
+	}
+	sort.SliceStable(p.Hotplugs, func(a, b int) bool { return p.Hotplugs[a].RemoveAt < p.Hotplugs[b].RemoveAt })
+	for k, h := range p.Hotplugs {
+		if h.RemoveAt < 0 || h.ReinsertAfter < 0 {
+			return fmt.Errorf("fault: hotplug event with negative time (remove %v, reinsert %v)", h.RemoveAt, h.ReinsertAfter)
+		}
+		if k == 0 {
+			continue
+		}
+		prev := p.Hotplugs[k-1]
+		if prev.Permanent() {
+			return fmt.Errorf("fault: hotplug at %v follows a permanent removal at %v", h.RemoveAt, prev.RemoveAt)
+		}
+		if h.RemoveAt < prev.RemoveAt+prev.ReinsertAfter+p.RetrainLatency {
+			return fmt.Errorf("fault: hotplug at %v overlaps the previous episode", h.RemoveAt)
+		}
+	}
 	return nil
 }
 
@@ -182,7 +226,8 @@ func (p *Plan) Active() bool {
 	}
 	return !p.Up.Rates.Zero() || !p.Down.Rates.Zero() ||
 		len(p.Up.Script) > 0 || len(p.Down.Script) > 0 ||
-		len(p.Windows) > 0 || p.DeadThreshold > 0
+		len(p.Windows) > 0 || p.DeadThreshold > 0 ||
+		len(p.Downtrains) > 0 || len(p.Hotplugs) > 0
 }
 
 // Injector evaluates one direction's Profile for a transmitting

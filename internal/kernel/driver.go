@@ -110,6 +110,11 @@ func (k *Kernel) CfgRead32(t *Task, bdf pci.BDF, reg int) uint32 {
 	return t.Read32(k.CfgAddr(bdf, reg))
 }
 
+// CfgWrite8 writes an 8-bit configuration register.
+func (k *Kernel) CfgWrite8(t *Task, bdf pci.BDF, reg int, v uint8) {
+	t.Write8(k.CfgAddr(bdf, reg), v)
+}
+
 // CfgWrite16 writes a 16-bit configuration register.
 func (k *Kernel) CfgWrite16(t *Task, bdf pci.BDF, reg int, v uint16) {
 	t.Write16(k.CfgAddr(bdf, reg), v)

@@ -62,6 +62,13 @@ type FoundDevice struct {
 	Subordinate uint8
 	Children    []*FoundDevice
 
+	// Saved bridge window registers, exactly as enumeration programmed
+	// them — the recovery driver replays these after a hot-plug reset
+	// wipes a bridge's configuration.
+	MemBase, MemLimit         uint16
+	IOBase, IOLimit           uint8
+	IOBaseUpper, IOLimitUpper uint16
+
 	// Endpoint-only fields.
 	IRQ int
 }
@@ -192,32 +199,36 @@ func (e *enumerator) scanBridge(d *FoundDevice) {
 	d.Secondary = sec
 	d.Subordinate = sub
 
-	// Program the decoded windows bottom-up.
+	// Program the decoded windows bottom-up, saving the programmed
+	// values for hot-plug config replay.
 	memEnd := alignUp(e.memCur, e.cfg.BridgeAlign)
 	if memEnd > memStart {
-		e.t.Write16(e.cfgAddr(bdf, pci.RegMemBase), uint16(memStart>>16)&0xfff0)
-		e.t.Write16(e.cfgAddr(bdf, pci.RegMemLimit), uint16((memEnd-1)>>16)&0xfff0)
+		d.MemBase = uint16(memStart>>16) & 0xfff0
+		d.MemLimit = uint16((memEnd-1)>>16) & 0xfff0
 		e.memCur = memEnd
 	} else {
 		// Closed window: base above limit.
-		e.t.Write16(e.cfgAddr(bdf, pci.RegMemBase), 0xfff0)
-		e.t.Write16(e.cfgAddr(bdf, pci.RegMemLimit), 0x0000)
+		d.MemBase, d.MemLimit = 0xfff0, 0x0000
 	}
+	e.t.Write16(e.cfgAddr(bdf, pci.RegMemBase), d.MemBase)
+	e.t.Write16(e.cfgAddr(bdf, pci.RegMemLimit), d.MemLimit)
 	ioEnd := alignUp(e.ioCur, e.cfg.IOAlign)
 	if ioEnd > ioStart {
 		// 32-bit I/O window: bits 15:12 in base/limit, 31:16 in the
 		// upper registers (§V-A's ARM platform layout).
-		e.t.Write8(e.cfgAddr(bdf, pci.RegIOBase), uint8(ioStart>>8)&0xf0)
-		e.t.Write8(e.cfgAddr(bdf, pci.RegIOLimit), uint8((ioEnd-1)>>8)&0xf0)
-		e.t.Write16(e.cfgAddr(bdf, pci.RegIOBaseUpper), uint16(ioStart>>16))
-		e.t.Write16(e.cfgAddr(bdf, pci.RegIOLimitUpper), uint16((ioEnd-1)>>16))
+		d.IOBase = uint8(ioStart>>8) & 0xf0
+		d.IOLimit = uint8((ioEnd-1)>>8) & 0xf0
+		d.IOBaseUpper = uint16(ioStart >> 16)
+		d.IOLimitUpper = uint16((ioEnd - 1) >> 16)
 		e.ioCur = ioEnd
 	} else {
-		e.t.Write8(e.cfgAddr(bdf, pci.RegIOBase), 0xf0)
-		e.t.Write8(e.cfgAddr(bdf, pci.RegIOLimit), 0x00)
-		e.t.Write16(e.cfgAddr(bdf, pci.RegIOBaseUpper), 0xffff)
-		e.t.Write16(e.cfgAddr(bdf, pci.RegIOLimitUpper), 0x0000)
+		d.IOBase, d.IOLimit = 0xf0, 0x00
+		d.IOBaseUpper, d.IOLimitUpper = 0xffff, 0x0000
 	}
+	e.t.Write8(e.cfgAddr(bdf, pci.RegIOBase), d.IOBase)
+	e.t.Write8(e.cfgAddr(bdf, pci.RegIOLimit), d.IOLimit)
+	e.t.Write16(e.cfgAddr(bdf, pci.RegIOBaseUpper), d.IOBaseUpper)
+	e.t.Write16(e.cfgAddr(bdf, pci.RegIOLimitUpper), d.IOLimitUpper)
 	// Forward transactions and let downstream devices master the bus.
 	e.t.Write16(e.cfgAddr(bdf, pci.RegCommand), pci.CmdMemEnable|pci.CmdIOEnable|pci.CmdBusMaster)
 }

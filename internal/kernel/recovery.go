@@ -1,0 +1,299 @@
+package kernel
+
+import (
+	"fmt"
+
+	"pciesim/internal/pci"
+	"pciesim/internal/sim"
+	"pciesim/internal/trace"
+)
+
+// DPCIRQ is the platform interrupt line the Downstream Port Containment
+// capability signals on. It sits below FirstIRQ, so it never collides
+// with the lines enumeration hands to endpoints.
+const DPCIRQ = 30
+
+// RecoveryConfig parameterizes the hot-plug/DPC recovery driver.
+type RecoveryConfig struct {
+	// QuiesceDelay is how long the handler lets in-flight containment
+	// drain before touching the port's registers.
+	QuiesceDelay sim.Tick
+	// PollInterval is the initial presence-detect poll period; it
+	// doubles on every empty poll up to MaxPollInterval.
+	PollInterval    sim.Tick
+	MaxPollInterval sim.Tick
+	// MaxAttempts bounds the presence polls before the driver abandons
+	// the slot (surprise removal with no re-insertion).
+	MaxAttempts int
+	// SettleDelay is the link-training allowance between seeing
+	// presence and releasing containment.
+	SettleDelay sim.Tick
+}
+
+func (c *RecoveryConfig) applyDefaults() {
+	if c.QuiesceDelay == 0 {
+		c.QuiesceDelay = 10 * sim.Microsecond
+	}
+	if c.PollInterval == 0 {
+		c.PollInterval = 100 * sim.Microsecond
+	}
+	if c.MaxPollInterval == 0 {
+		c.MaxPollInterval = 3200 * sim.Microsecond
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 10
+	}
+	if c.SettleDelay == 0 {
+		c.SettleDelay = 50 * sim.Microsecond
+	}
+}
+
+// RecoveryEvent is one pending DPC trigger awaiting kernel service.
+type RecoveryEvent struct {
+	Port   pci.BDF
+	Reason uint16
+}
+
+// RecoveryRecord is the log entry of one completed recovery attempt.
+type RecoveryRecord struct {
+	Port       pci.BDF
+	Reason     uint16
+	Recovered  bool
+	Attempts   int // presence polls performed
+	Start, End sim.Tick
+}
+
+// RecoveryManager is the kernel's containment-and-hot-plug service: it
+// arms DPC on every capable port at boot, fields the containment
+// interrupt, and runs the recovery state machine — quiesce, poll the
+// slot for re-insertion with exponential backoff, release containment,
+// and restore the sub-tree's configuration from the boot-time
+// enumeration state. Restoration replays saved register values; it
+// never re-allocates from the enumeration pools, so recovered devices
+// come back at their original addresses and the pools cannot exhaust.
+type RecoveryManager struct {
+	k   *Kernel
+	cfg RecoveryConfig
+
+	queue []RecoveryEvent
+	busy  map[pci.BDF]bool
+
+	records []RecoveryRecord
+
+	triggers  uint64
+	recovered uint64
+	abandoned uint64
+}
+
+// NewRecoveryManager creates the manager, registers the DPC interrupt
+// handler, and publishes the recovery counters.
+func NewRecoveryManager(k *Kernel, cfg RecoveryConfig) *RecoveryManager {
+	cfg.applyDefaults()
+	m := &RecoveryManager{k: k, cfg: cfg, busy: make(map[pci.BDF]bool)}
+	k.CPU.RegisterIRQ(DPCIRQ, m.irq)
+	reg := k.CPU.eng.Stats()
+	reg.CounterFunc("kernel.recovery.triggers", func() uint64 { return m.triggers })
+	reg.CounterFunc("kernel.recovery.recovered", func() uint64 { return m.recovered })
+	reg.CounterFunc("kernel.recovery.abandoned", func() uint64 { return m.abandoned })
+	return m
+}
+
+// Records returns the completed recovery log in service order.
+func (m *RecoveryManager) Records() []RecoveryRecord { return m.records }
+
+// Counts returns (triggers seen, recoveries completed, slots abandoned).
+func (m *RecoveryManager) Counts() (triggers, recovered, abandoned uint64) {
+	return m.triggers, m.recovered, m.abandoned
+}
+
+// Arm enables DPC triggering (fatal errors) and the containment
+// interrupt on every bridge that implements the capability. Runs in
+// task context after Boot; returns how many ports were armed.
+func (m *RecoveryManager) Arm(t *Task) int {
+	if m.k.Topo == nil {
+		return 0
+	}
+	armed := 0
+	for _, d := range m.k.Topo.All {
+		if !d.IsBridge {
+			continue
+		}
+		off := m.k.FindExtendedCapability(t, d.BDF, pci.ExtCapIDDPC)
+		if off == 0 {
+			continue
+		}
+		m.k.CfgWrite16(t, d.BDF, off+pci.DPCCtlOff, 0x1|pci.DPCCtlIntEn)
+		armed++
+	}
+	return armed
+}
+
+// Raise enqueues a containment trigger and fires the DPC interrupt.
+// The platform layer calls it from the port's OnTrigger hook, in
+// simulation (event) context.
+func (m *RecoveryManager) Raise(port pci.BDF, reason uint16) {
+	m.triggers++
+	m.queue = append(m.queue, RecoveryEvent{Port: port, Reason: reason})
+	m.k.CPU.TriggerIRQ(DPCIRQ)
+}
+
+// irq is the DPC interrupt top half: spawn a recovery task per pending
+// port. A port already being serviced swallows the duplicate trigger —
+// the running task re-reads the registers and sees the latest state.
+func (m *RecoveryManager) irq() {
+	for len(m.queue) > 0 {
+		ev := m.queue[0]
+		m.queue = m.queue[1:]
+		if m.busy[ev.Port] {
+			continue
+		}
+		m.busy[ev.Port] = true
+		m.k.CPU.Spawn(fmt.Sprintf("dpcrecover.%v", ev.Port), 0, func(t *Task) {
+			m.recover(t, ev)
+			delete(m.busy, ev.Port)
+		})
+	}
+}
+
+// recover is the per-port recovery state machine, running in task
+// context with timing configuration transactions throughout.
+func (m *RecoveryManager) recover(t *Task, ev RecoveryEvent) {
+	rec := RecoveryRecord{Port: ev.Port, Reason: ev.Reason, Start: t.Now()}
+	defer func() {
+		rec.End = t.Now()
+		m.records = append(m.records, rec)
+	}()
+
+	t.Delay(m.cfg.QuiesceDelay)
+
+	pcieOff := m.k.FindCapability(t, ev.Port, pci.CapIDPCIExpress)
+	dpcOff := m.k.FindExtendedCapability(t, ev.Port, pci.ExtCapIDDPC)
+	if pcieOff == 0 {
+		m.abandoned++
+		return
+	}
+	if dpcOff != 0 {
+		// Confirm the trigger and latch the hardware's reason over the
+		// one the interrupt carried.
+		st := m.k.CfgRead16(t, ev.Port, dpcOff+pci.DPCStatusOff)
+		if st&pci.DPCStatusTrigger != 0 {
+			rec.Reason = (st & pci.DPCStatusReasonMask) >> 1
+		}
+	}
+	// Acknowledge the slot events that accompanied the surprise-down.
+	m.k.CfgWrite16(t, ev.Port, pcieOff+pci.PCIeSlotStatusOffset,
+		pci.SlotStatusPDC|pci.SlotStatusDLLSC)
+
+	// Poll for re-insertion with exponential backoff.
+	present := false
+	backoff := m.cfg.PollInterval
+	for ; rec.Attempts < m.cfg.MaxAttempts; rec.Attempts++ {
+		st := m.k.CfgRead16(t, ev.Port, pcieOff+pci.PCIeSlotStatusOffset)
+		if st&pci.SlotStatusPDS != 0 {
+			present = true
+			break
+		}
+		t.Delay(backoff)
+		backoff *= 2
+		if backoff > m.cfg.MaxPollInterval {
+			backoff = m.cfg.MaxPollInterval
+		}
+	}
+	if !present {
+		// Nothing came back: leave containment engaged so the port
+		// keeps answering stray requests instantly, and give the slot
+		// up. A later re-insertion raises a fresh trigger via the
+		// slot's presence-detect interrupt path.
+		m.abandoned++
+		if tr := t.Tracer(); tr.On(trace.CatFault) {
+			tr.Emit(trace.CatFault, uint64(t.Now()), "kernel.recovery",
+				"abandon", 0, fmt.Sprintf("port %v: no re-insertion after %d polls", ev.Port, rec.Attempts))
+		}
+		return
+	}
+
+	// Let the link finish training, clear the re-insertion's slot
+	// events, then release containment (W1C on the sticky trigger).
+	t.Delay(m.cfg.SettleDelay)
+	m.k.CfgWrite16(t, ev.Port, pcieOff+pci.PCIeSlotStatusOffset,
+		pci.SlotStatusPDC|pci.SlotStatusDLLSC)
+	if dpcOff != 0 {
+		m.k.CfgWrite16(t, ev.Port, dpcOff+pci.DPCStatusOff,
+			pci.DPCStatusTrigger|pci.DPCStatusInterrupt)
+	}
+
+	// Restore the sub-tree below the port from the boot-time state.
+	ok := true
+	if bridge := m.findBridge(ev.Port); bridge != nil {
+		for _, child := range bridge.Children {
+			if !m.restore(t, child) {
+				ok = false
+			}
+		}
+	}
+	rec.Recovered = ok
+	if ok {
+		m.recovered++
+	} else {
+		m.abandoned++
+	}
+	if tr := t.Tracer(); tr.On(trace.CatFault) {
+		verdict := "recovered"
+		if !ok {
+			verdict = "restore failed"
+		}
+		tr.Emit(trace.CatFault, uint64(t.Now()), "kernel.recovery",
+			"recover", 0, fmt.Sprintf("port %v %s after %d polls", ev.Port, verdict, rec.Attempts))
+	}
+}
+
+// findBridge locates the enumerated bridge function at the port's BDF.
+func (m *RecoveryManager) findBridge(port pci.BDF) *FoundDevice {
+	if m.k.Topo == nil {
+		return nil
+	}
+	for _, d := range m.k.Topo.All {
+		if d.IsBridge && d.BDF == port {
+			return d
+		}
+	}
+	return nil
+}
+
+// restore replays one function's boot-time configuration — a hot-plug
+// reset wiped it — and recurses below bridges. It never allocates: the
+// saved BAR addresses, bus numbers, and windows are written back
+// verbatim, so the restored sub-tree decodes exactly as before.
+func (m *RecoveryManager) restore(t *Task, d *FoundDevice) bool {
+	vendor := m.k.CfgRead16(t, d.BDF, pci.RegVendorID)
+	if vendor != d.VendorID {
+		return false // absent or a different card: do not program it
+	}
+	if d.IsBridge {
+		m.k.CfgWrite8(t, d.BDF, pci.RegPrimaryBus, d.BDF.Bus)
+		m.k.CfgWrite8(t, d.BDF, pci.RegSecondaryBus, d.Secondary)
+		m.k.CfgWrite8(t, d.BDF, pci.RegSubordinateBus, d.Subordinate)
+		m.k.CfgWrite16(t, d.BDF, pci.RegMemBase, d.MemBase)
+		m.k.CfgWrite16(t, d.BDF, pci.RegMemLimit, d.MemLimit)
+		m.k.CfgWrite8(t, d.BDF, pci.RegIOBase, d.IOBase)
+		m.k.CfgWrite8(t, d.BDF, pci.RegIOLimit, d.IOLimit)
+		m.k.CfgWrite16(t, d.BDF, pci.RegIOBaseUpper, d.IOBaseUpper)
+		m.k.CfgWrite16(t, d.BDF, pci.RegIOLimitUpper, d.IOLimitUpper)
+		m.k.CfgWrite16(t, d.BDF, pci.RegCommand,
+			pci.CmdMemEnable|pci.CmdIOEnable|pci.CmdBusMaster)
+		ok := true
+		for _, c := range d.Children {
+			if !m.restore(t, c) {
+				ok = false
+			}
+		}
+		return ok
+	}
+	for _, b := range d.BARs {
+		m.k.CfgWrite32(t, d.BDF, pci.RegBAR0+4*b.Index, uint32(b.Addr))
+	}
+	m.k.CfgWrite8(t, d.BDF, pci.RegIntLine, uint8(d.IRQ))
+	m.k.CfgWrite16(t, d.BDF, pci.RegCommand,
+		pci.CmdMemEnable|pci.CmdIOEnable|pci.CmdBusMaster)
+	return true
+}

@@ -14,6 +14,7 @@ const (
 const (
 	ExtCapIDAER          = 0x0001
 	ExtCapIDSerialNumber = 0x0003
+	ExtCapIDDPC          = 0x001d
 )
 
 // PCI-Express device/port types, encoded in bits 7:4 of the PCI-Express
@@ -49,6 +50,50 @@ const (
 	PCIeRootStatusOffset = 0x20
 	pcieCapSize          = 0x24
 )
+
+// Slot Capabilities register bits (hot-plug).
+const (
+	SlotCapHotPlugSurprise = 1 << 5 // device may be removed without notice
+	SlotCapHotPlugCapable  = 1 << 6
+)
+
+// Slot Status register bits (hot-plug).
+const (
+	SlotStatusPDC   = 1 << 3 // Presence Detect Changed (W1C)
+	SlotStatusPDS   = 1 << 6 // Presence Detect State (RO)
+	SlotStatusDLLSC = 1 << 8 // Data Link Layer State Changed (W1C)
+)
+
+// SetSlotPresence updates a slot's Presence Detect State and latches
+// Presence Detect Changed; capOff is the PCI-Express capability offset
+// of a slot-implemented port.
+func SetSlotPresence(c *ConfigSpace, capOff int, present bool) {
+	st := c.Word(capOff + PCIeSlotStatusOffset)
+	was := st&SlotStatusPDS != 0
+	if present {
+		st |= SlotStatusPDS
+	} else {
+		st &^= SlotStatusPDS
+	}
+	if was != present {
+		st |= SlotStatusPDC
+	}
+	c.SetWord(capOff+PCIeSlotStatusOffset, st)
+}
+
+// SetSlotLinkStateChanged latches the Data Link Layer State Changed
+// bit in a slot's status register.
+func SetSlotLinkStateChanged(c *ConfigSpace, capOff int) {
+	c.SetWord(capOff+PCIeSlotStatusOffset,
+		c.Word(capOff+PCIeSlotStatusOffset)|SlotStatusDLLSC)
+}
+
+// SetLinkStatus rewrites the PCI-Express capability's Link Status
+// current speed/width fields — the port model calls it after a link
+// retrain changes the negotiated parameters.
+func SetLinkStatus(c *ConfigSpace, capOff int, speed, width uint8) {
+	c.SetWord(capOff+PCIeLinkStatusOffset, uint16(speed&0xf)|uint16(width&0x3f)<<4)
+}
 
 // capAllocBase is where capability structures are placed. 0x40 is the
 // first free byte after the standard header; the paper's NIC places its
@@ -171,7 +216,13 @@ func AddPCIeCap(c *ConfigSpace, cfg PCIeCapConfig) int {
 	c.SetWord(off+PCIeLinkStatusOffset, uint16(cfg.LinkSpeed&0xf)|uint16(cfg.LinkWidth&0x3f)<<4)
 
 	if size > PCIeSlotCapOffset {
+		// Slots are surprise-hot-plug capable; PDC and DLLSC in the
+		// status register are W1C, and Presence Detect State is set by
+		// the port model when a device is seated.
+		c.SetDword(off+PCIeSlotCapOffset, SlotCapHotPlugSurprise|SlotCapHotPlugCapable)
 		c.MakeWritable(off+PCIeSlotCtlOffset, 2)
+		c.SetW1CMask(off+PCIeSlotStatusOffset, uint8(SlotStatusPDC))
+		c.SetW1CMask(off+PCIeSlotStatusOffset+1, uint8(SlotStatusDLLSC>>8))
 	}
 	if size > PCIeRootCtlOffset {
 		c.MakeWritable(off+PCIeRootCtlOffset, 2)

@@ -1,0 +1,186 @@
+package pci
+
+// Downstream Port Containment (DPC), PCI-Express extended capability
+// 0x1D. A downstream port with DPC enabled reacts to a fatal error on
+// its link (surprise-down, error containment trigger) by disabling the
+// link and *containing* the failure: the port synthesizes error
+// completions for in-flight non-posted requests and discards posted
+// writes, so the failure never hangs the fabric above it. Software
+// observes the trigger through the DPC Status register, services the
+// sub-tree, and releases containment by clearing the sticky Trigger
+// Status bit (write-1-to-clear).
+//
+// The capability models the registers a Linux-class DPC driver
+// touches: the control word (trigger enable + interrupt enable), the
+// status word (trigger status, trigger reason, interrupt status) and
+// the error source ID. The containment data path itself lives in the
+// owning port model (internal/pcie's router), which consults Enabled()
+// and drives Trigger/OnRelease.
+
+// Offsets within the DPC capability structure.
+const (
+	DPCCapOff    = 0x04 // DPC Capability register (16-bit, RO)
+	DPCCtlOff    = 0x06 // DPC Control register (16-bit)
+	DPCStatusOff = 0x08 // DPC Status register (16-bit)
+	DPCSourceOff = 0x0a // DPC Error Source ID (16-bit, RO)
+	dpcCapSize   = 0x0c
+)
+
+// DPC Control register bits.
+const (
+	// DPCCtlTriggerEnMask are the trigger-enable bits: 00 disabled, 01
+	// enabled for fatal errors, 10 enabled for non-fatal and fatal.
+	DPCCtlTriggerEnMask = 0x0003
+	// DPCCtlIntEn enables the DPC interrupt on trigger.
+	DPCCtlIntEn = 1 << 3
+)
+
+// DPC Status register bits.
+const (
+	// DPCStatusTrigger is the sticky containment bit; write-1-to-clear
+	// releases containment.
+	DPCStatusTrigger = 1 << 0
+	// DPCStatusReasonMask holds the trigger reason (bits 2:1).
+	DPCStatusReasonMask = 0x0006
+	// DPCStatusInterrupt is the interrupt status bit (W1C).
+	DPCStatusInterrupt = 1 << 3
+)
+
+// DPC trigger reasons (the value stored in DPCStatusReasonMask).
+const (
+	DPCReasonUnmasked uint16 = 0 // unmasked uncorrectable error
+	DPCReasonNonFatal uint16 = 1 // ERR_NONFATAL received
+	DPCReasonFatal    uint16 = 2 // ERR_FATAL received (surprise-down)
+)
+
+// DPC is the capability handle held by the owning port model. All
+// methods are nil-safe so ports without DPC pay a single branch.
+type DPC struct {
+	cs  *ConfigSpace
+	off int
+
+	contained bool
+	triggers  uint64
+	releases  uint64
+
+	// OnTrigger, if set, is invoked when containment engages, after
+	// the status registers are latched — the port uses it to raise the
+	// DPC interrupt toward software.
+	OnTrigger func(reason uint16)
+	// OnRelease, if set, is invoked when software clears the sticky
+	// Trigger Status bit — the port uses it to exit containment.
+	OnRelease func()
+}
+
+// AddDPC appends a DPC extended capability and returns its handle. The
+// configuration-space write hook is chained, not replaced, so owners
+// that already react to writes (bridge window caching) keep working.
+func AddDPC(c *ConfigSpace) *DPC {
+	off := AddExtendedCapability(c, ExtCapIDDPC, 1, dpcCapSize)
+	c.SetWord(off+DPCCapOff, 0)
+	c.SetWriteMask(off+DPCCtlOff, DPCCtlTriggerEnMask|DPCCtlIntEn)
+	c.SetW1CMask(off+DPCStatusOff, uint8(DPCStatusTrigger|DPCStatusInterrupt))
+	d := &DPC{cs: c, off: off}
+	prev := c.OnWrite
+	c.OnWrite = func(offset, size int, value uint32) {
+		if prev != nil {
+			prev(offset, size, value)
+		}
+		d.onWrite(offset, size)
+	}
+	return d
+}
+
+// Offset returns the capability's configuration-space offset.
+func (d *DPC) Offset() int {
+	if d == nil {
+		return 0
+	}
+	return d.off
+}
+
+// Enabled reports whether software has armed DPC triggering.
+func (d *DPC) Enabled() bool {
+	if d == nil {
+		return false
+	}
+	return d.cs.Word(d.off+DPCCtlOff)&DPCCtlTriggerEnMask != 0
+}
+
+// InterruptEnabled reports whether the DPC interrupt is armed.
+func (d *DPC) InterruptEnabled() bool {
+	if d == nil {
+		return false
+	}
+	return d.cs.Word(d.off+DPCCtlOff)&DPCCtlIntEn != 0
+}
+
+// Contained reports whether the port is currently in containment.
+func (d *DPC) Contained() bool { return d != nil && d.contained }
+
+// Triggers returns how many times containment engaged.
+func (d *DPC) Triggers() uint64 {
+	if d == nil {
+		return 0
+	}
+	return d.triggers
+}
+
+// Releases returns how many times software released containment.
+func (d *DPC) Releases() uint64 {
+	if d == nil {
+		return 0
+	}
+	return d.releases
+}
+
+// Reason returns the latched trigger reason.
+func (d *DPC) Reason() uint16 {
+	if d == nil {
+		return 0
+	}
+	return (d.cs.Word(d.off+DPCStatusOff) & DPCStatusReasonMask) >> 1
+}
+
+// Trigger engages containment: the sticky Trigger Status bit, the
+// reason and the error source are latched, and the interrupt status
+// bit is set if armed. Returns false (and does nothing) when DPC is
+// absent, not enabled by software, or already triggered.
+func (d *DPC) Trigger(reason uint16, source BDF) bool {
+	if d == nil || !d.Enabled() || d.contained {
+		return false
+	}
+	d.contained = true
+	d.triggers++
+	st := uint16(DPCStatusTrigger) | (reason<<1)&DPCStatusReasonMask
+	if d.InterruptEnabled() {
+		st |= DPCStatusInterrupt
+	}
+	d.cs.SetWord(d.off+DPCStatusOff, st)
+	d.cs.SetWord(d.off+DPCSourceOff,
+		uint16(source.Bus)<<8|uint16(source.Dev&0x1f)<<3|uint16(source.Func&0x7))
+	if d.OnTrigger != nil {
+		d.OnTrigger(reason)
+	}
+	return true
+}
+
+// onWrite watches configuration writes for the W1C release of the
+// sticky Trigger Status bit.
+func (d *DPC) onWrite(offset, size int) {
+	if !d.contained {
+		return
+	}
+	so := d.off + DPCStatusOff
+	if offset > so || offset+size <= so {
+		return // the low status byte holds both W1C bits
+	}
+	if d.cs.Word(so)&DPCStatusTrigger != 0 {
+		return
+	}
+	d.contained = false
+	d.releases++
+	if d.OnRelease != nil {
+		d.OnRelease()
+	}
+}

@@ -26,6 +26,102 @@ func fuzzSpace() *ConfigSpace {
 	return c
 }
 
+// fuzzPortSpace builds a downstream switch port the way the topology
+// builder does: type-1 header, PCI-Express capability with slot
+// registers, and the DPC extended capability — the exact surface the
+// kernel recovery driver decodes.
+func fuzzPortSpace() (*ConfigSpace, *DPC, int) {
+	c := NewType1Space("fuzzport", Ident{
+		VendorID:  VendorIntel,
+		DeviceID:  DeviceWildcatPort0,
+		ClassCode: ClassBridgePCI,
+	})
+	capOff := AddPCIeCap(c, PCIeCapConfig{
+		PortType: PCIePortSwitchDownstream, LinkSpeed: LinkSpeedGen2, LinkWidth: 4,
+		SlotImplemented: true,
+	})
+	d := AddDPC(c)
+	return c, d, capOff
+}
+
+// FuzzDPCCapDecode round-trips the DPC and slot hot-plug registers
+// through arbitrary config-space traffic: whatever software writes,
+// the capability must stay decodable, trigger state must only change
+// through the architected paths (Trigger and the W1C status clear),
+// and presence detect must stay hardware-owned.
+func FuzzDPCCapDecode(f *testing.F) {
+	f.Add(uint16(0), byte(2), uint32(DPCCtlTriggerEnMask|DPCCtlIntEn), byte(2), false)
+	f.Add(uint16(DPCStatusOff), byte(2), uint32(DPCStatusTrigger|DPCStatusInterrupt), byte(0), true)
+	f.Add(uint16(DPCSourceOff), byte(4), uint32(0xffffffff), byte(1), false)
+	f.Add(uint16(0x300), byte(1), uint32(0xff), byte(2), true)
+	f.Fuzz(func(t *testing.T, off uint16, sizeSel byte, wval uint32, reasonSel byte, present bool) {
+		c, d, capOff := fuzzPortSpace()
+		// The extended-capability walk the kernel performs must land on
+		// the handle's offset.
+		dpcOff := 0
+		for off, hops := extCapBase, 0; off != 0 && hops < 64; hops++ {
+			hdr := c.ConfigRead(off, 4)
+			if hdr == 0 || hdr == InvalidData {
+				break
+			}
+			if uint16(hdr) == ExtCapIDDPC {
+				dpcOff = off
+				break
+			}
+			off = int(hdr >> 20)
+		}
+		if dpcOff == 0 || dpcOff != d.Offset() {
+			t.Fatalf("DPC capability not findable: walk=%#x handle=%#x", dpcOff, d.Offset())
+		}
+
+		// Arm DPC the way the recovery driver does, then trigger.
+		c.ConfigWrite(dpcOff+DPCCtlOff, 2, uint32(DPCCtlTriggerEnMask|DPCCtlIntEn))
+		reason := uint16(reasonSel) % 3
+		src := NewBDF(3, uint8(off)%32, uint8(sizeSel)%8)
+		if !d.Trigger(reason, src) {
+			t.Fatal("armed DPC must trigger")
+		}
+		if !d.Contained() || d.Reason() != reason {
+			t.Fatalf("trigger did not latch: contained=%v reason=%d want %d",
+				d.Contained(), d.Reason(), reason)
+		}
+		SetSlotPresence(c, capOff, present)
+
+		// One arbitrary aligned write anywhere in the space.
+		size := []int{1, 2, 4}[int(sizeSel)%3]
+		offset := int(off) % ConfigSpaceSize
+		offset &^= size - 1
+		c.ConfigWrite(offset, size, wval)
+
+		// The write may only have released containment by clearing the
+		// sticky Trigger bit through the W1C path.
+		trigBit := c.ConfigRead(dpcOff+DPCStatusOff, 2)&DPCStatusTrigger != 0
+		if d.Contained() != trigBit {
+			t.Fatalf("containment state %v disagrees with Trigger Status bit %v",
+				d.Contained(), trigBit)
+		}
+		// Presence Detect State is hardware-owned: no software write
+		// moves it.
+		pds := c.ConfigRead(capOff+PCIeSlotStatusOffset, 2)&SlotStatusPDS != 0
+		if pds != present {
+			t.Fatalf("software write moved PDS to %v, hardware set %v", pds, present)
+		}
+
+		// The architected release always works: W1C both status bits.
+		c.ConfigWrite(dpcOff+DPCStatusOff, 2, uint32(DPCStatusTrigger|DPCStatusInterrupt))
+		if d.Contained() {
+			t.Fatal("W1C of Trigger Status must release containment")
+		}
+		if d.Triggers() != 1 {
+			t.Fatalf("triggers = %d, want exactly 1", d.Triggers())
+		}
+		// Reads stay stable after the dust settles.
+		if a, b := c.ConfigRead(dpcOff+DPCCapOff, 4), c.ConfigRead(dpcOff+DPCCapOff, 4); a != b {
+			t.Fatalf("DPC cap read not stable: %#x then %#x", a, b)
+		}
+	})
+}
+
 // FuzzConfigSpaceRead drives arbitrary (but contract-respecting)
 // config-space accesses: any aligned 1/2/4-byte access anywhere in the
 // 4 KiB space must not panic, reads must be stable, a dword read must

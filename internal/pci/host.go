@@ -67,6 +67,15 @@ func (h *Host) Register(bdf BDF, dev ConfigAccessor) {
 	h.devices[bdf] = dev
 }
 
+// Unregister removes a function from the ECAM decode — the electrical
+// consequence of a surprise removal. Subsequent configuration reads of
+// the BDF return all-ones and writes are dropped, exactly like any
+// absent function. Unregistering an absent BDF is a no-op so removal
+// paths can be idempotent.
+func (h *Host) Unregister(bdf BDF) {
+	delete(h.devices, bdf)
+}
+
 // Lookup returns the function registered at bdf, if any.
 func (h *Host) Lookup(bdf BDF) (ConfigAccessor, bool) {
 	d, ok := h.devices[bdf]

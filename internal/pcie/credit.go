@@ -780,20 +780,60 @@ func (fc *fcState) pause() {
 	fc.i.link.eng.Deschedule(fc.refreshTmr)
 }
 
-// resume restarts FC after retrain: finish the init handshake if it
-// never completed, and re-advertise current grants so a peer that lost
-// UpdateFCs during the window resynchronizes.
+// resume re-initializes FC after a retrain. Per the spec's DL_Down
+// rule, flow control restarts from scratch on every link-down: both
+// sides forget the old cumulative counts and re-run the
+// InitFC1/InitFC2 handshake. The subtlety is that TL state survives
+// the window — TLPs may still sit in this side's RX queues (holding
+// credits) and unACKed TLPs in the local replay buffer will replay
+// into the peer's pools — so the new epoch's counters are rebuilt to
+// account for them exactly:
+//
+//   - receive side: the full pool is re-granted (granted = advert),
+//     exactly as at first init; space taken by still-queued TLPs is
+//     charged to the peer's rebuilt consumed counts instead;
+//   - transmit side: consumed restarts at the credits of our TLPs
+//     already held in the peer's RX queues plus those in our replay
+//     buffer the peer has not delivered yet (they will replay into
+//     the new grant); limits and the init state machine reset.
+//
+// Both interfaces re-init inside the same goUp event, with no traffic
+// in between, so each side reads a stable view of its peer.
 func (fc *fcState) resume() {
-	if !fc.init2Seen {
-		for cl := range fc.pendInit1 {
-			fc.pendInit1[cl] = true
-		}
+	peer := fc.i.peer
+	// --- transmit side: forget the peer's old cumulative counts.
+	fc.peerSeen = [fcNumClasses]bool{}
+	fc.peerAll = false
+	fc.init2Seen = false
+	fc.txInf = [fcNumClasses][2]bool{}
+	fc.txLimit = [fcNumClasses]fcPair{}
+	var consumed [fcNumClasses]fcPair
+	if peer.fc != nil {
+		consumed = peer.fc.held
 	}
+	for _, pp := range fc.i.replayBuf {
+		if pp.Seq < peer.recvSeq {
+			// Already delivered into the peer's TL queues (counted in
+			// peer held, or drained and thus occupying no space); its
+			// replay will be discarded as a stale duplicate.
+			continue
+		}
+		cl := FCClassOf(pp.TLP)
+		consumed[cl].hdr++
+		consumed[cl].data += fcDataCredits(tlpPayloadBytes(pp.TLP))
+	}
+	fc.consumed = consumed
+	// --- receive side: re-grant the full pool, as at first init.
 	for cl := FCClass(0); cl < fcNumClasses; cl++ {
-		if fc.advertFinite(cl) {
-			fc.pendUpd[cl] = true
-		}
+		fc.granted[cl] = fc.advert[cl]
 	}
+	// --- handshake: restart from InitFC1.
+	for cl := range fc.pendInit1 {
+		fc.pendInit1[cl] = true
+	}
+	fc.pendInit2 = [fcNumClasses]bool{}
+	fc.pendUpd = [fcNumClasses]bool{}
+	fc.refreshLeft = 0
 }
 
 // flushDead discards the transaction-layer RX queues when the link is

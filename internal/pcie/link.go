@@ -43,6 +43,11 @@ type LinkConfig struct {
 	// per-direction corruption/drop rates and scripts, plus surprise
 	// link-down windows. Nil means a fault-free link.
 	Fault *fault.Plan
+	// Degrade arms adaptive link degradation (see degrade.go): sustained
+	// error windows make a retrain come back at a reduced Gen/Width,
+	// with periodic upgrade retrains on exponential backoff. Nil
+	// disables degradation entirely.
+	Degrade *DegradeConfig
 }
 
 // DefaultLinkConfig returns the paper's baseline: Gen2 x1, replay
@@ -107,6 +112,60 @@ type Link struct {
 	planActive bool
 	state      linkState
 	retrains   uint64
+
+	// deg is the adaptive-degradation ladder; nil when unarmed.
+	deg *degradeState
+
+	// removed distinguishes a surprise-removed (re-insertable) link
+	// from one declared permanently dead.
+	removed   bool
+	removals  uint64
+	reinserts uint64
+
+	// notify reports link lifecycle transitions to subscribers: the
+	// port above, the port below, and the topology layer.
+	notify []func(LinkNotice)
+}
+
+// LinkNotice is a link lifecycle transition reported to the component
+// wired above the link.
+type LinkNotice int
+
+const (
+	// NoticeRetrained: the link came back up, possibly at a new
+	// Gen/Width (read CurrentGen/CurrentWidth).
+	NoticeRetrained LinkNotice = iota
+	// NoticeDead: the link was declared permanently down.
+	NoticeDead
+	// NoticeRemoved: the downstream device was surprise-removed.
+	NoticeRemoved
+	// NoticeReinserted: the device was re-seated; retraining started.
+	NoticeReinserted
+)
+
+func (n LinkNotice) String() string {
+	switch n {
+	case NoticeRetrained:
+		return "retrained"
+	case NoticeDead:
+		return "dead"
+	case NoticeRemoved:
+		return "removed"
+	case NoticeReinserted:
+		return "reinserted"
+	}
+	return fmt.Sprintf("notice(%d)", int(n))
+}
+
+// SetNotify subscribes a lifecycle callback. Multiple subscribers are
+// supported (the ports at both ends plus the topology layer); they are
+// invoked in subscription order.
+func (l *Link) SetNotify(fn func(LinkNotice)) { l.notify = append(l.notify, fn) }
+
+func (l *Link) notifyAll(n LinkNotice) {
+	for _, fn := range l.notify {
+		fn(n)
+	}
 }
 
 // NewLink creates a link.
@@ -125,6 +184,14 @@ func NewLink(eng *sim.Engine, name string, cfg LinkConfig) *Link {
 	l.down = newInterface(l, name+".down", seed*2+2)
 	l.up.peer = l.down
 	l.down.peer = l.up
+	if cfg.Degrade == nil && l.plan != nil && len(l.plan.Downtrains) > 0 {
+		// A plan that forces downtrains implies the default policy.
+		d := DefaultDegradeConfig()
+		l.cfg.Degrade = &d
+	}
+	if l.cfg.Degrade != nil {
+		l.deg = newDegradeState(l, *l.cfg.Degrade)
+	}
 	if l.plan != nil {
 		l.up.inj = fault.NewInjector(l.plan.Up, l.up.rng)
 		l.down.inj = fault.NewInjector(l.plan.Down, l.down.rng)
@@ -135,8 +202,37 @@ func NewLink(eng *sim.Engine, name string, cfg LinkConfig) *Link {
 			w := w
 			eng.ScheduleAt(name+".linkdown", w.At, sim.PriorityTimer, func() { l.goDown(w) })
 		}
+		for _, at := range l.plan.Downtrains {
+			if at < eng.Now() {
+				continue
+			}
+			eng.ScheduleAt(name+".downtrain", at, sim.PriorityTimer, l.forceDowntrain)
+		}
+		if len(l.plan.Hotplugs) > 0 {
+			l.registerHotplugStats()
+			for _, h := range l.plan.Hotplugs {
+				if h.RemoveAt < eng.Now() {
+					continue
+				}
+				h := h
+				eng.ScheduleAt(name+".hotplug-remove", h.RemoveAt, sim.PriorityTimer, l.SurpriseRemove)
+				if !h.Permanent() {
+					eng.ScheduleAt(name+".hotplug-reinsert", h.RemoveAt+h.ReinsertAfter,
+						sim.PriorityTimer, l.Reinsert)
+				}
+			}
+		}
 	}
 	return l
+}
+
+// registerHotplugStats publishes the hotplug counters; called only when
+// the plan schedules hot-plug events, so unarmed dumps are unchanged.
+func (l *Link) registerHotplugStats() {
+	r := l.eng.Stats()
+	pfx := "pcie." + l.name + ".hotplug."
+	r.CounterFunc(pfx+"removals", func() uint64 { return l.removals })
+	r.CounterFunc(pfx+"reinserts", func() uint64 { return l.reinserts })
 }
 
 // Up returns the interface to wire to the upstream component.
@@ -211,11 +307,16 @@ func (l *Link) goDown(w fault.Window) {
 
 // goUp completes retraining. DLL state (sequence numbers, replay
 // buffers) survives the window — the link resumes by replaying every
-// unacknowledged TLP, preserving exactly-once delivery.
+// unacknowledged TLP, preserving exactly-once delivery. A pending
+// degradation/upgrade target is applied first, so the resumed link
+// runs at the new Gen/Width. Per the spec's DL_Down rule, the FC
+// InitFC1/InitFC2 handshake re-runs from scratch after every down
+// (Interface.resume → fcState.resume).
 func (l *Link) goUp() {
 	if l.state != linkDown {
 		return
 	}
+	l.applyPendingLevel()
 	l.state = linkUp
 	l.retrains++
 	if tr := l.eng.Tracer(); tr.On(trace.CatFault) {
@@ -223,6 +324,8 @@ func (l *Link) goUp() {
 	}
 	l.up.resume()
 	l.down.resume()
+	l.scheduleUpgrade()
+	l.notifyAll(NoticeRetrained)
 }
 
 // markDead declares the link permanently down: buffers are flushed,
@@ -234,10 +337,22 @@ func (l *Link) markDead() {
 		return
 	}
 	l.state = linkDead
+	l.removed = false
 	if tr := l.eng.Tracer(); tr.On(trace.CatFault) {
 		tr.Emit(trace.CatFault, uint64(l.eng.Now()), "pcie."+l.name, "link-dead", 0,
 			fmt.Sprintf("flushing up=%d down=%d unacked TLPs",
 				len(l.up.replayBuf), len(l.down.replayBuf)))
+	}
+	l.flushBothEnds()
+	l.notifyAll(NoticeDead)
+}
+
+// flushBothEnds flushes DLL and transaction-layer state on both
+// interfaces after the link stopped carrying traffic for good (dead or
+// surprise-removed).
+func (l *Link) flushBothEnds() {
+	if l.deg != nil {
+		l.eng.Deschedule(l.deg.upgradeTmr)
 	}
 	for _, i := range []*Interface{l.up, l.down} {
 		i.pause()
@@ -253,6 +368,80 @@ func (l *Link) markDead() {
 		i.aer.ReportUncorrectable(pci.AERUncSurpriseDown)
 		i.notifyLocalRetry()
 	}
+}
+
+// SurpriseRemove yanks the device below the link out of its slot:
+// traffic in flight is lost, both ends flush, and the link behaves
+// like a dead link (admitted TLPs are black-holed) until Reinsert.
+func (l *Link) SurpriseRemove() {
+	if l.state == linkDead {
+		return
+	}
+	l.state = linkDead
+	l.removed = true
+	l.removals++
+	if tr := l.eng.Tracer(); tr.On(trace.CatFault) {
+		tr.Emit(trace.CatFault, uint64(l.eng.Now()), "pcie."+l.name, "surprise-remove", 0,
+			fmt.Sprintf("flushing up=%d down=%d unacked TLPs",
+				len(l.up.replayBuf), len(l.down.replayBuf)))
+	}
+	l.flushBothEnds()
+	l.notifyAll(NoticeRemoved)
+}
+
+// Reinsert re-seats a surprise-removed device. Both ends reset their
+// DLL from scratch (sequence numbers, queues, FC handshake) and the
+// link retrains, carrying traffic again after the retrain latency.
+func (l *Link) Reinsert() {
+	if l.state != linkDead || !l.removed {
+		return
+	}
+	l.removed = false
+	l.reinserts++
+	if tr := l.eng.Tracer(); tr.On(trace.CatFault) {
+		tr.Emit(trace.CatFault, uint64(l.eng.Now()), "pcie."+l.name, "reinsert", 0, "")
+	}
+	l.up.resetDLL()
+	l.down.resetDLL()
+	l.state = linkDown
+	l.notifyAll(NoticeReinserted)
+	l.eng.Schedule(l.name+".hotplug-retrain", l.retrainLatency(), l.goUp)
+}
+
+// retrainLatency is the LTSSM recovery time for hotplug retrains: the
+// plan's RetrainLatency, or a 20 µs default when the plan leaves it
+// zero (a hotplug retrain is a full from-scratch negotiation and is
+// never instantaneous).
+func (l *Link) retrainLatency() sim.Tick {
+	if l.plan != nil && l.plan.RetrainLatency > 0 {
+		return l.plan.RetrainLatency
+	}
+	return 20 * sim.Microsecond
+}
+
+// Removed reports whether the link's device is currently surprise-
+// removed.
+func (l *Link) Removed() bool { return l.state == linkDead && l.removed }
+
+// Removals returns how many surprise removals the link has seen.
+func (l *Link) Removals() uint64 { return l.removals }
+
+// Reinserts returns how many re-insertions the link has seen.
+func (l *Link) Reinserts() uint64 { return l.reinserts }
+
+// resetDLL returns an interface to its power-on DLL state for a
+// hotplug retrain: fresh sequence numbers, empty queues, and (on FC
+// links) a from-scratch credit handshake once the link comes up.
+func (i *Interface) resetDLL() {
+	i.sendSeq, i.recvSeq = 1, 1
+	i.lastDelivered = 0
+	i.replayBuf = i.replayBuf[:0]
+	i.freshQ = i.freshQ[:0]
+	i.replayQ = i.replayQ[:0]
+	i.ackPend, i.nakPend = false, false
+	i.busyUntil = 0
+	i.consecTimeouts = 0
+	i.bufGauge.Set(0)
 }
 
 // LinkStats counts per-interface protocol events.
@@ -819,6 +1008,7 @@ func (i *Interface) receive(pp *PciePkt) {
 			// (for ACKs) or replay timer (for NAKs) regenerates it.
 			i.stats.BadDLLPs++
 			i.aer.ReportCorrectable(pci.AERCorrBadDLLP)
+			i.link.noteLinkError()
 			if tr := i.tracer(); tr.On(trace.CatFault) {
 				tr.Emit(trace.CatFault, uint64(i.link.eng.Now()), "pcie."+i.name,
 					"bad-dllp", 0, fmt.Sprintf("%v seq=%d", pp.Kind, pp.Seq))
@@ -844,6 +1034,7 @@ func (i *Interface) receive(pp *PciePkt) {
 		if pp.Corrupted {
 			i.stats.BadDLLPs++
 			i.aer.ReportCorrectable(pci.AERCorrBadDLLP)
+			i.link.noteLinkError()
 			if tr := i.tracer(); tr.On(trace.CatFault) {
 				tr.Emit(trace.CatFault, uint64(i.link.eng.Now()), "pcie."+i.name,
 					"bad-dllp", 0, fmt.Sprintf("%v %v", pp.Kind, pp.FCCl))
@@ -862,6 +1053,7 @@ func (i *Interface) receiveTLP(pp *PciePkt) {
 		// CRC check failed: discard and NAK the last good sequence.
 		i.stats.CRCErrors++
 		i.aer.ReportCorrectable(pci.AERCorrReceiverError | pci.AERCorrBadTLP)
+		i.link.noteLinkError()
 		if tr := i.tracer(); tr.On(trace.CatFault) {
 			tr.Emit(trace.CatFault, uint64(i.link.eng.Now()), "pcie."+i.name,
 				"crc-error", pp.TLP.ID, fmt.Sprintf("seq=%d nak=%d", pp.Seq, i.recvSeq-1))
@@ -1013,6 +1205,12 @@ func (i *Interface) replayTimeout() {
 	if tr := i.tracer(); tr.On(trace.CatFault) {
 		tr.Emit(trace.CatFault, uint64(i.link.eng.Now()), "pcie."+i.name,
 			"replay-timeout", 0, fmt.Sprintf("unacked=%d", len(i.replayBuf)))
+	}
+	i.link.noteLinkError()
+	if i.link.state != linkUp {
+		// The timeout tipped the degradation window: the link is
+		// retraining and resume will restart the replay machinery.
+		return
 	}
 	if th := i.link.deadThreshold(); th > 0 {
 		i.consecTimeouts++

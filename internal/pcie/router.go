@@ -33,6 +33,16 @@ type RouterConfig struct {
 	// absorb (see Port.ConnectLink). The zero value advertises the
 	// queue depths alone.
 	Credits CreditConfig
+	// EnableDPC adds a Downstream Port Containment extended capability
+	// to every slot-implemented port (root ports, switch downstream
+	// ports). When software arms the capability, a surprise-down or
+	// surprise removal below the port triggers containment: in-flight
+	// non-posted requests into the dead sub-tree get synthesized error
+	// completions immediately instead of waiting out the completion
+	// timeout, posted writes are discarded and counted, and new
+	// requests are answered at the port until software releases the
+	// trigger. Off by default so existing platforms are bit-identical.
+	EnableDPC bool
 }
 
 func (c *RouterConfig) applyDefaults() {
@@ -76,6 +86,15 @@ type Port struct {
 	// for the root complex upstream port, which has no VP2P).
 	aer *pci.AER
 
+	// dpc/npt implement Downstream Port Containment on downstream-
+	// facing slot ports; both nil unless RouterConfig.EnableDPC.
+	dpc *pci.DPC
+	npt *npTracker
+
+	// pcieCapOff caches the VP2P's PCI-Express capability offset for
+	// slot/link status updates (0 when absent).
+	pcieCapOff int
+
 	// Stats.
 	reqIn, respIn, aborts uint64
 }
@@ -107,6 +126,7 @@ func (p *Port) ConnectLink(l *Link) {
 	mem.Connect(p.master, l.Up().SlavePort())
 	mem.Connect(l.Up().MasterPort(), p.slave)
 	l.Up().AdvertiseCredits(p.advertCredits())
+	p.watchLink(l, true)
 }
 
 // advertCredits derives what this port can honestly advertise: the
@@ -114,6 +134,253 @@ func (p *Port) ConnectLink(l *Link) {
 // queues.
 func (p *Port) advertCredits() CreditConfig {
 	return MinCredits(p.r.cfg.Credits, CreditsForQueueDepth(p.r.cfg.BufferSize))
+}
+
+// watchLink mirrors the link's lifecycle into the port's configuration
+// space (Link Status speed/width, slot presence and state-change bits)
+// and, on downstream ports with DPC armed, triggers containment on a
+// surprise-down. slot says whether the VP2P's PCI-Express capability
+// implements the slot registers (switch upstream ports do not).
+func (p *Port) watchLink(l *Link, slot bool) {
+	if p.vp2p == nil {
+		return
+	}
+	if p.pcieCapOff == 0 {
+		p.pcieCapOff = pci.FindCapability(p.vp2p, pci.CapIDPCIExpress)
+	}
+	capOff := p.pcieCapOff
+	if capOff == 0 {
+		return
+	}
+	if slot {
+		// The device below the slot is seated at wiring time. Raw set:
+		// the boot-time seating predates software, so no PDC latch.
+		st := p.vp2p.Word(capOff + pci.PCIeSlotStatusOffset)
+		p.vp2p.SetWord(capOff+pci.PCIeSlotStatusOffset, st|pci.SlotStatusPDS)
+	}
+	l.SetNotify(func(n LinkNotice) {
+		switch n {
+		case NoticeRetrained:
+			pci.SetLinkStatus(p.vp2p, capOff, uint8(l.CurrentGen()), uint8(l.CurrentWidth()))
+			if slot {
+				pci.SetSlotLinkStateChanged(p.vp2p, capOff)
+			}
+		case NoticeDead:
+			if slot {
+				pci.SetSlotLinkStateChanged(p.vp2p, capOff)
+			}
+			p.triggerDPC(pci.DPCReasonFatal)
+		case NoticeRemoved:
+			if slot {
+				pci.SetSlotPresence(p.vp2p, capOff, false)
+				pci.SetSlotLinkStateChanged(p.vp2p, capOff)
+			}
+			p.triggerDPC(pci.DPCReasonFatal)
+		case NoticeReinserted:
+			if slot {
+				pci.SetSlotPresence(p.vp2p, capOff, true)
+				pci.SetSlotLinkStateChanged(p.vp2p, capOff)
+			}
+		}
+	})
+}
+
+// DPC returns the port's Downstream Port Containment capability handle
+// (nil unless RouterConfig.EnableDPC). The platform layer hooks its
+// OnTrigger to raise the containment interrupt toward software.
+func (p *Port) DPC() *pci.DPC { return p.dpc }
+
+// armDPC attaches the DPC capability and its containment tracker to a
+// downstream-facing slot port. Stats appear only on armed platforms so
+// unarmed dumps stay byte-identical.
+func (p *Port) armDPC() {
+	p.dpc = pci.AddDPC(p.vp2p)
+	p.npt = newNPTracker(p)
+	t := p.npt
+	reg := p.r.eng.Stats()
+	reg.CounterFunc(p.name+".dpc.triggers", func() uint64 { return p.dpc.Triggers() })
+	reg.CounterFunc(p.name+".dpc.releases", func() uint64 { return p.dpc.Releases() })
+	reg.CounterFunc(p.name+".dpc.np_synth", func() uint64 { return t.synth })
+	reg.CounterFunc(p.name+".dpc.posted_discarded", func() uint64 { return t.postedDiscarded })
+	reg.CounterFunc(p.name+".dpc.late", func() uint64 { return t.late })
+}
+
+// triggerDPC engages containment after a fatal error below the port:
+// the capability latches trigger status (a no-op unless software armed
+// it), then every in-flight non-posted request into the sub-tree is
+// answered with a synthesized error completion so no requester above
+// the break ever hangs.
+func (p *Port) triggerDPC(reason uint16) {
+	if p.dpc == nil || p.dpc.Contained() {
+		return
+	}
+	_, sec, _ := pci.BridgeBusNumbers(p.vp2p)
+	if !p.dpc.Trigger(reason, pci.NewBDF(sec, 0, 0)) {
+		return
+	}
+	if tr := p.r.eng.Tracer(); tr.On(trace.CatFault) {
+		tr.Emit(trace.CatFault, uint64(p.r.eng.Now()), p.name, "dpc-trigger", 0,
+			fmt.Sprintf("reason=%d containing %d in-flight non-posted requests",
+				reason, len(p.npt.byID)))
+	}
+	p.npt.flushAll()
+}
+
+// npTracker follows every non-posted request forwarded out one DPC-
+// capable downstream port, mirroring the root complex's ctoTracker: an
+// error completion is pre-built at track time (the live request may be
+// converted in place by a completer before the sub-tree dies), matched
+// completions retire entries, and a containment trigger answers every
+// outstanding entry at once. Tombstones swallow genuine completions
+// that race the synthesized ones.
+type npTracker struct {
+	p     *Port
+	order []*npEntry // FIFO; leading done entries pruned lazily
+	byID  map[uint64]*npEntry
+	// answered holds IDs whose error completion containment
+	// synthesized; a genuine completion with that ID must be dropped.
+	answered map[uint64]struct{}
+	// flushQ holds entries awaiting synthesis while the ingress
+	// response queue is full; drainEv retries.
+	flushQ  []*npEntry
+	drainEv *sim.Event
+
+	synth           uint64 // error completions synthesized
+	postedDiscarded uint64 // posted writes discarded while contained
+	late            uint64 // genuine completions dropped after synthesis
+}
+
+type npEntry struct {
+	id      uint64
+	errResp *mem.Packet
+	in      *Port // ingress port: the synthesized completion's way back
+	done    bool
+}
+
+func newNPTracker(p *Port) *npTracker {
+	t := &npTracker{
+		p:        p,
+		byID:     make(map[uint64]*npEntry),
+		answered: make(map[uint64]struct{}),
+	}
+	t.drainEv = p.r.eng.NewEvent(p.name+".dpcDrain", t.drain)
+	return t
+}
+
+// track records a non-posted request forwarded out the port.
+func (t *npTracker) track(pkt *mem.Packet, in *Port) {
+	for len(t.order) > 0 && t.order[0].done {
+		t.order = t.order[1:]
+	}
+	e := &npEntry{id: pkt.ID, errResp: pkt.MakeErrorResponse(), in: in}
+	t.order = append(t.order, e)
+	t.byID[pkt.ID] = e
+}
+
+// observe matches an inbound completion; false means the completion is
+// late (containment already answered it) and must be swallowed.
+func (t *npTracker) observe(id uint64) bool {
+	if _, dead := t.answered[id]; dead {
+		delete(t.answered, id)
+		t.late++
+		if tr := t.p.r.eng.Tracer(); tr.On(trace.CatFault) {
+			tr.Emit(trace.CatFault, uint64(t.p.r.eng.Now()), t.p.name,
+				"dpc-late-completion", id, "dropped; containment already answered")
+		}
+		return false
+	}
+	if e, ok := t.byID[id]; ok {
+		e.done = true
+		delete(t.byID, id)
+	}
+	return true
+}
+
+// cancel retires an entry someone else answered (the root complex
+// completion timeout) without tombstoning it here.
+func (t *npTracker) cancel(id uint64) {
+	if e, ok := t.byID[id]; ok {
+		e.done = true
+		delete(t.byID, id)
+	}
+}
+
+// flushAll answers every outstanding non-posted request with its
+// pre-built error completion, routed back through its ingress port.
+func (t *npTracker) flushAll() {
+	for _, e := range t.order {
+		if e.done {
+			continue
+		}
+		e.done = true
+		delete(t.byID, e.id)
+		t.answered[e.id] = struct{}{}
+		if t.p.r.cto != nil {
+			// Containment owns the answer; the completion timeout must
+			// not fire a duplicate later.
+			t.p.r.cto.cancel(e.id)
+		}
+		t.flushQ = append(t.flushQ, e)
+	}
+	t.order = t.order[:0]
+	t.drain()
+}
+
+// drain pushes queued synthesized completions, retrying while ingress
+// response queues are full (they always drain: they end at requesters).
+func (t *npTracker) drain() {
+	eng := t.p.r.eng
+	for len(t.flushQ) > 0 {
+		e := t.flushQ[0]
+		if e.in.respQ.Full() {
+			eng.ScheduleEventAfter(t.drainEv, t.p.r.cfg.Latency+1, sim.PriorityTimer)
+			return
+		}
+		t.flushQ = t.flushQ[1:]
+		t.synth++
+		if tr := eng.Tracer(); tr.On(trace.CatFault) {
+			tr.Emit(trace.CatFault, uint64(eng.Now()), t.p.name,
+				"dpc-synth", e.id, "synthesizing error completion for contained request")
+		}
+		e.in.respQ.Push(e.errResp, eng.Now()+t.p.r.cfg.Latency)
+	}
+}
+
+// containedAbort answers a request routed at a contained port: posted
+// writes are discarded and counted, non-posted requests complete with
+// an error in place through the ingress port, like a master abort.
+func (p *Port) containedAbort(in *Port, pkt *mem.Packet) bool {
+	t := p.npt
+	eng := p.r.eng
+	if pkt.Posted {
+		t.postedDiscarded++
+		if tr := eng.Tracer(); tr.On(trace.CatFault) {
+			tr.Emit(trace.CatFault, uint64(eng.Now()), p.name,
+				"dpc-posted-discard", pkt.ID, "")
+		}
+		pkt.Release()
+		return true
+	}
+	if in.respQ.Full() {
+		in.abortRetryPending = true
+		return false
+	}
+	t.synth++
+	if tr := eng.Tracer(); tr.On(trace.CatFault) {
+		tr.Emit(trace.CatFault, uint64(eng.Now()), p.name,
+			"dpc-abort", pkt.ID, "port contained; completing with error")
+	}
+	if pkt.Cmd == mem.ReadReq {
+		if pkt.Data == nil {
+			pkt.Data = make([]byte, pkt.Size)
+		}
+		for i := range pkt.Data {
+			pkt.Data[i] = 0xff
+		}
+	}
+	pkt.Error = true
+	in.respQ.Push(pkt.MakeResponse(), eng.Now()+p.r.cfg.Latency)
+	return true
 }
 
 // QueueStats exposes the egress queue counters for the request and
@@ -289,6 +556,15 @@ func (t *ctoTracker) observe(id uint64) bool {
 	return true
 }
 
+// cancel retires an entry another mechanism (DPC containment) already
+// answered, without recording a completion latency or a tombstone.
+func (t *ctoTracker) cancel(id uint64) {
+	if e, ok := t.byID[id]; ok {
+		e.done = true
+		delete(t.byID, id)
+	}
+}
+
 // fire expires every overdue entry, synthesizing error completions
 // through the upstream response queue, then re-arms for the next
 // deadline.
@@ -316,6 +592,11 @@ func (t *ctoTracker) fire() {
 		delete(t.byID, e.id)
 		t.timedOut[e.id] = struct{}{}
 		t.fired++
+		if e.dst.npt != nil {
+			// The timeout owns the answer now; containment must not
+			// synthesize a duplicate if the port triggers later.
+			e.dst.npt.cancel(e.id)
+		}
 		// Latch the offending request's packet ID in the AER header
 		// log so software can name the exact TLP that timed out.
 		e.dst.aer.ReportUncorrectableTLP(pci.AERUncCompletionTimeout, e.id)
@@ -471,6 +752,11 @@ func (o *portSlave) RecvTimingReq(_ *mem.SlavePort, pkt *mem.Packet) bool {
 		// data, as a real fabric does for unclaimed addresses.
 		return p.masterAbort(pkt)
 	}
+	if dst.dpc.Contained() {
+		// The sub-tree below dst is contained: answer at the port
+		// instead of forwarding into the dead link.
+		return dst.containedAbort(p, pkt)
+	}
 	if dst.reqQ.Full() {
 		addWaiter(&dst.reqWaiters, p)
 		return false
@@ -478,6 +764,9 @@ func (o *portSlave) RecvTimingReq(_ *mem.SlavePort, pkt *mem.Packet) bool {
 	p.reqIn++
 	if r.cto != nil && p.index == 0 && dst.index != 0 && !pkt.Posted {
 		r.cto.track(pkt, dst)
+	}
+	if dst.npt != nil && !pkt.Posted {
+		dst.npt.track(pkt, p)
 	}
 	dst.reqQ.Push(pkt, r.eng.Now()+r.cfg.Latency)
 	return true
@@ -520,6 +809,11 @@ func (o *portMaster) p() *Port { return (*Port)(o) }
 func (o *portMaster) RecvTimingResp(_ *mem.MasterPort, pkt *mem.Packet) bool {
 	p := o.p()
 	r := p.r
+	if p.npt != nil && !p.npt.observe(pkt.ID) {
+		// Late completion for a request DPC containment already
+		// answered: swallow it before it reaches the requester twice.
+		return true
+	}
 	if r.cto != nil && p.index != 0 && !r.cto.observe(pkt.ID) {
 		// Late completion for a request the timeout already answered:
 		// swallow it here, before it can reach the requester twice.
@@ -589,6 +883,9 @@ func NewRootComplex(eng *sim.Engine, name string, host *pci.Host, cfg RootComple
 		})
 		port := rc.addPort(fmt.Sprintf("%s.rootport%d", name, i), vp2p)
 		port.aer = pci.AddAER(vp2p)
+		if cfg.EnableDPC {
+			port.armDPC()
+		}
 		host.Register(pci.NewBDF(0, uint8(i), 0), vp2p)
 	}
 	if cfg.CompletionTimeout > 0 {
@@ -687,6 +984,9 @@ func NewSwitch(eng *sim.Engine, name string, host *pci.Host, cfg SwitchConfig) *
 		})
 		downPort := sw.addPort(fmt.Sprintf("%s.downport%d", name, i), down)
 		downPort.aer = pci.AddAER(down)
+		if cfg.EnableDPC {
+			downPort.armDPC()
+		}
 		host.Register(pci.NewBDF(cfg.InternalBus, uint8(i), 0), down)
 	}
 	return sw
@@ -703,6 +1003,7 @@ func (s *Switch) ConnectUpstreamLink(l *Link) {
 	mem.Connect(s.ports[0].master, l.Down().SlavePort())
 	mem.Connect(l.Down().MasterPort(), s.ports[0].slave)
 	l.Down().AdvertiseCredits(s.ports[0].advertCredits())
+	s.ports[0].watchLink(l, false)
 }
 
 // DownstreamPort returns downstream port i (0-based).

@@ -123,6 +123,16 @@ type Config struct {
 	// capability becomes enableable, and the e1000e probe lands on MSI
 	// instead of the legacy INTx fallback.
 	EnableMSI bool
+	// EnableDPC adds Downstream Port Containment to every slot, creates
+	// the kernel's recovery manager, and arms containment at boot — the
+	// prerequisite for surviving surprise hot-plug (topo.Config.EnableDPC).
+	EnableDPC bool
+	// Recovery tunes the DPC/hot-plug recovery driver; zero-value
+	// fields take defaults. Only meaningful with EnableDPC.
+	Recovery kernel.RecoveryConfig
+	// Degrade arms adaptive link degradation on every link
+	// (topo.Config.Degrade). Nil leaves it off.
+	Degrade *pcie.DegradeConfig
 
 	// --- substrate ---
 
@@ -193,6 +203,9 @@ func (cfg Config) topoConfig() topo.Config {
 		DiskCmdTimeout:     cfg.DiskCmdTimeout,
 		DiskDMATimeout:     cfg.DiskDMATimeout,
 		EnableMSI:          cfg.EnableMSI,
+		EnableDPC:          cfg.EnableDPC,
+		Recovery:           cfg.Recovery,
+		Degrade:            cfg.Degrade,
 
 		MemBusFrontend: cfg.MemBusFrontend,
 		MemBusResponse: cfg.MemBusResponse,

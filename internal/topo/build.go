@@ -89,6 +89,21 @@ type Config struct {
 	// EnableMSI adds the MSI doorbell frame and makes NIC MSI
 	// enableable.
 	EnableMSI bool
+	// EnableDPC adds the Downstream Port Containment extended
+	// capability to every slot-implemented fabric port, instantiates
+	// the kernel recovery manager, and arms containment at boot. Off by
+	// default: existing platforms stay bit-identical.
+	EnableDPC bool
+	// Recovery tunes the kernel's DPC/hot-plug recovery driver
+	// (zero-value fields take defaults). Only meaningful with EnableDPC.
+	Recovery kernel.RecoveryConfig
+	// Degrade arms adaptive link degradation on every link: sustained
+	// error windows retrain the link at reduced width/generation, with
+	// exponential-backoff upgrade retrains back toward the configured
+	// level. Nil leaves degradation off (links with scheduled Downtrain
+	// faults still self-arm the default policy). Per-link overrides
+	// live in the spec (LinkSpec.Degrade).
+	Degrade *pcie.DegradeConfig
 
 	// --- substrate ---
 
@@ -234,8 +249,22 @@ type System struct {
 	DiskDriver *kernel.DiskDriver
 	NICDriver  *kernel.E1000eDriver
 
-	linkByName map[string]*LinkInst
-	booted     bool
+	// Recovery is the kernel's DPC/hot-plug service, nil unless
+	// Cfg.EnableDPC.
+	Recovery *kernel.RecoveryManager
+
+	linkByName   map[string]*LinkInst
+	dpcPorts     []dpcPort
+	hotplugSaved map[pci.BDF]pci.ConfigAccessor
+	booted       bool
+}
+
+// dpcPort pairs a containment-capable fabric port with its BDF, so the
+// recovery manager's interrupt hook can be wired after the kernel
+// exists.
+type dpcPort struct {
+	port *pcie.Port
+	bdf  pci.BDF
 }
 
 // Build normalizes the spec, plans bus numbers, and assembles the
@@ -255,8 +284,9 @@ func Build(spec *Spec, cfg Config) (*System, error) {
 	eng := sim.NewEngine()
 	s := &System{
 		Spec: spec, Cfg: cfg, Plan: plan, Eng: eng,
-		PktPool:    mem.NewPool(),
-		linkByName: map[string]*LinkInst{},
+		PktPool:      mem.NewPool(),
+		linkByName:   map[string]*LinkInst{},
+		hotplugSaved: map[pci.BDF]pci.ConfigAccessor{},
 	}
 
 	// --- buses and memory ---
@@ -302,6 +332,7 @@ func Build(spec *Spec, cfg Config) (*System, error) {
 	rcCfg.BufferSize = cfg.PortBufferSize
 	rcCfg.CompletionTimeout = cfg.CompletionTimeout
 	rcCfg.Credits = cfg.Credits
+	rcCfg.EnableDPC = cfg.EnableDPC
 	s.RC = pcie.NewRootComplex(eng, "rc", s.PCIHost, rcCfg)
 	// CPU-visible PCI windows route from the MemBus into the RC.
 	mem.Connect(s.MemBus.MasterPort("rc", mem.RangeList{
@@ -332,7 +363,8 @@ func Build(spec *Spec, cfg Config) (*System, error) {
 		if n == nil {
 			continue
 		}
-		if err := s.buildNode(s.RC.RootPort(i), fmt.Sprintf("rc.rootport%d", i), n, cfg, plan, addAER); err != nil {
+		if err := s.buildNode(s.RC.RootPort(i), fmt.Sprintf("rc.rootport%d", i),
+			pci.NewBDF(0, uint8(i), 0), n, cfg, plan, addAER); err != nil {
 			return nil, err
 		}
 	}
@@ -390,14 +422,28 @@ func Build(spec *Spec, cfg Config) (*System, error) {
 	s.NICDriver = &kernel.E1000eDriver{}
 	s.Kernel.RegisterDriver(s.DiskDriver)
 	s.Kernel.RegisterDriver(s.NICDriver)
+
+	// DPC: route every port's containment trigger into the kernel's
+	// recovery service as the DPC interrupt.
+	if cfg.EnableDPC {
+		s.Recovery = kernel.NewRecoveryManager(s.Kernel, cfg.Recovery)
+		for _, dp := range s.dpcPorts {
+			dp := dp
+			if d := dp.port.DPC(); d != nil {
+				d.OnTrigger = func(reason uint16) { s.Recovery.Raise(dp.bdf, reason) }
+			}
+		}
+	}
 	return s, nil
 }
 
 // buildNode instantiates the link from port down to node n and the
 // subtree below it. port is the already-created fabric port (root port
-// or switch downstream port) and portAER its stats name.
-func (s *System) buildNode(port *pcie.Port, portAERName string, n *Node, cfg Config,
-	plan *Plan, addAER func(string, *pci.AER)) error {
+// or switch downstream port), portAER its stats name, and portBDF the
+// address its virtual bridge occupies (the recovery driver services
+// containment by that address).
+func (s *System) buildNode(port *pcie.Port, portAERName string, portBDF pci.BDF,
+	n *Node, cfg Config, plan *Plan, addAER func(string, *pci.AER)) error {
 	lcfg := pcie.LinkConfig{
 		Gen:              n.Link.Gen,
 		Width:            n.Link.Width,
@@ -407,6 +453,10 @@ func (s *System) buildNode(port *pcie.Port, portAERName string, n *Node, cfg Con
 		Seed:             cfg.Seed,
 		Fault:            n.Link.Fault,
 		Credits:          cfg.Credits,
+		Degrade:          cfg.Degrade,
+	}
+	if n.Link.Degrade != nil {
+		lcfg.Degrade = n.Link.Degrade
 	}
 	if lcfg.Gen == 0 {
 		lcfg.Gen = cfg.Gen
@@ -433,6 +483,35 @@ func (s *System) buildNode(port *pcie.Port, portAERName string, n *Node, cfg Con
 	li := &LinkInst{Name: n.Link.Name, Node: n, Link: link}
 	s.Links = append(s.Links, li)
 	s.linkByName[li.Name] = li
+	if cfg.EnableDPC {
+		s.dpcPorts = append(s.dpcPorts, dpcPort{port: port, bdf: portBDF})
+	}
+	// Surprise hot-plug: removing this link takes the whole sub-tree
+	// below it off the bus — its config spaces stop decoding (all-ones
+	// reads, exactly like an empty slot) until re-insertion puts them
+	// back at power-on defaults. The kernel's recovery driver then
+	// replays the boot-time configuration.
+	subtree := subtreeBDFs(n, plan)
+	link.SetNotify(func(notice pcie.LinkNotice) {
+		switch notice {
+		case pcie.NoticeRemoved:
+			for _, bdf := range subtree {
+				if acc, ok := s.PCIHost.Lookup(bdf); ok {
+					s.hotplugSaved[bdf] = acc
+				}
+				s.PCIHost.Unregister(bdf)
+			}
+		case pcie.NoticeReinserted:
+			for _, bdf := range subtree {
+				acc, ok := s.hotplugSaved[bdf]
+				if !ok {
+					continue
+				}
+				powerOnReset(acc)
+				s.PCIHost.Register(bdf, acc)
+			}
+		}
+	})
 
 	// AER: each link interface reports into the function at its end —
 	// the fabric port above, the switch/endpoint below.
@@ -451,6 +530,7 @@ func (s *System) buildNode(port *pcie.Port, portAERName string, n *Node, cfg Con
 		swCfg.Latency = cfg.SwitchLatency
 		swCfg.BufferSize = cfg.PortBufferSize
 		swCfg.Credits = cfg.Credits
+		swCfg.EnableDPC = cfg.EnableDPC
 		sw := pcie.NewSwitch(s.Eng, n.Name, s.PCIHost, swCfg)
 		sw.ConnectUpstreamLink(link)
 		if n.Link.Credits != nil {
@@ -465,7 +545,8 @@ func (s *System) buildNode(port *pcie.Port, portAERName string, n *Node, cfg Con
 				continue
 			}
 			name := fmt.Sprintf("%s.downstream%d", n.Name, j)
-			if err := s.buildNode(sw.DownstreamPort(j), name, child, cfg, plan, addAER); err != nil {
+			if err := s.buildNode(sw.DownstreamPort(j), name,
+				pci.NewBDF(b.Internal, uint8(j), 0), child, cfg, plan, addAER); err != nil {
 				return err
 			}
 		}
@@ -524,6 +605,60 @@ func (s *System) buildNode(port *pcie.Port, portAERName string, n *Node, cfg Con
 		return fmt.Errorf("topo: unknown node kind %q", n.Kind)
 	}
 	return nil
+}
+
+// subtreeBDFs lists every configuration-space address the sub-tree
+// rooted at n occupies — the switch virtual bridges and the endpoint
+// functions — in DFS order, from the pre-computed bus plan.
+func subtreeBDFs(n *Node, plan *Plan) []pci.BDF {
+	var out []pci.BDF
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.Kind == KindSwitch {
+			b := plan.SwitchBus[n]
+			out = append(out, pci.NewBDF(b.Upstream, 0, 0))
+			for j, c := range n.Ports {
+				out = append(out, pci.NewBDF(b.Internal, uint8(j), 0))
+				rec(c)
+			}
+			return
+		}
+		out = append(out, plan.EndpointBDF[n])
+	}
+	rec(n)
+	return out
+}
+
+// powerOnReset puts a re-inserted function's software-visible state
+// back at power-on defaults: decoding disabled, BARs and interrupt
+// line cleared, bridge bus numbers zeroed and windows closed. Writes
+// go through ConfigWrite so write masks and model hooks apply, exactly
+// as if the hardware had been reset. The kernel's recovery driver is
+// what makes the device usable again — it replays the boot-time
+// configuration after releasing containment.
+func powerOnReset(acc pci.ConfigAccessor) {
+	acc.ConfigWrite(pci.RegCommand, 2, 0)
+	hdr := uint8(acc.ConfigRead(pci.RegHeaderType, 1))
+	if hdr&pci.HeaderTypeTypeMask == pci.HeaderType1 {
+		acc.ConfigWrite(pci.RegPrimaryBus, 1, 0)
+		acc.ConfigWrite(pci.RegSecondaryBus, 1, 0)
+		acc.ConfigWrite(pci.RegSubordinateBus, 1, 0)
+		// Closed windows: base above limit, so nothing decodes.
+		acc.ConfigWrite(pci.RegMemBase, 2, 0xfff0)
+		acc.ConfigWrite(pci.RegMemLimit, 2, 0)
+		acc.ConfigWrite(pci.RegIOBase, 1, 0xf0)
+		acc.ConfigWrite(pci.RegIOLimit, 1, 0)
+		acc.ConfigWrite(pci.RegIOBaseUpper, 2, 0xffff)
+		acc.ConfigWrite(pci.RegIOLimitUpper, 2, 0)
+		return
+	}
+	for i := 0; i < 6; i++ {
+		acc.ConfigWrite(pci.RegBAR0+4*i, 4, 0)
+	}
+	acc.ConfigWrite(pci.RegIntLine, 1, 0)
 }
 
 // LinkByName returns the named link instance, or nil.

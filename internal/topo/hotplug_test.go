@@ -1,0 +1,205 @@
+package topo
+
+import (
+	"testing"
+
+	"pciesim/internal/fault"
+	"pciesim/internal/pcie"
+	"pciesim/internal/sim"
+)
+
+// hotplugConfig arms containment the way a hot-plug exploration run
+// would: DPC on every slot, the driver command watchdog, and the RC
+// completion timeout as the backstop.
+func hotplugConfig() Config {
+	cfg := DefaultConfig()
+	cfg.EnableDPC = true
+	cfg.CompletionTimeout = 100 * sim.Microsecond
+	cfg.DiskCmdTimeout = 2 * sim.Millisecond
+	cfg.DiskDMATimeout = 500 * sim.Microsecond
+	return cfg
+}
+
+// bootTick measures when boot finishes on a throwaway identical system
+// (boot is deterministic), so fault plans can be pinned mid-workload.
+func bootTick(t *testing.T, cfg Config) sim.Tick {
+	t.Helper()
+	s, err := Build(Validation(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	return s.Eng.Now()
+}
+
+// TestSurpriseRemovalRecovery is the end-to-end hot-plug story: the
+// disk is yanked mid-dd, DPC contains the dead sub-tree (dd degrades
+// but keeps making progress), the card is re-seated, the kernel's
+// recovery driver re-enables the slot and replays the boot-time
+// configuration, and a follow-up dd runs completely clean.
+func TestSurpriseRemovalRecovery(t *testing.T) {
+	cfg := hotplugConfig()
+	removeAt := bootTick(t, cfg) + cfg.DD.StartupOverhead + sim.Millisecond
+	cfg.Faults = map[string]*fault.Plan{
+		"disklink": {Hotplugs: []fault.Hotplug{
+			{RemoveAt: removeAt, ReinsertAfter: 500 * sim.Microsecond},
+		}},
+	}
+	s, err := Build(Validation(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunDD(2 << 20)
+	if err != nil {
+		t.Fatalf("dd must complete across a surprise removal, got: %v", err)
+	}
+	if res.Requests != 16 {
+		t.Errorf("dd must attempt all 16 requests, got %d", res.Requests)
+	}
+	if res.Errors == 0 || res.Errors == res.Requests {
+		t.Errorf("want a mix of clean and errored requests, got %d/%d errored",
+			res.Errors, res.Requests)
+	}
+
+	li := s.LinkByName("disklink")
+	if li.Link.Removals() != 1 || li.Link.Reinserts() != 1 {
+		t.Errorf("link saw %d removals / %d reinserts, want 1/1",
+			li.Link.Removals(), li.Link.Reinserts())
+	}
+	triggers, recovered, abandoned := s.Recovery.Counts()
+	if triggers == 0 {
+		t.Error("DPC never triggered")
+	}
+	if recovered == 0 {
+		t.Errorf("recovery never completed (triggers=%d abandoned=%d)", triggers, abandoned)
+	}
+
+	// The recovered device must be fully functional: the replayed
+	// configuration routes exactly as the boot-time one did.
+	res2, err := s.RunDD(2 << 20)
+	if err != nil {
+		t.Fatalf("post-recovery dd: %v", err)
+	}
+	if res2.Errors != 0 {
+		t.Errorf("post-recovery dd must be clean, got %d/%d errored",
+			res2.Errors, res2.Requests)
+	}
+	s.Eng.Run()
+	if !s.Eng.Drained() {
+		t.Fatal("event queue not drained")
+	}
+}
+
+// TestPermanentRemovalAbandoned: a card that never comes back must
+// leave the port contained (answering stray requests instantly), the
+// recovery driver reporting the slot abandoned, and dd degraded but
+// finished — never wedged.
+func TestPermanentRemovalAbandoned(t *testing.T) {
+	cfg := hotplugConfig()
+	removeAt := bootTick(t, cfg) + cfg.DD.StartupOverhead + sim.Millisecond
+	cfg.Faults = map[string]*fault.Plan{
+		"disklink": {Hotplugs: []fault.Hotplug{{RemoveAt: removeAt}}},
+	}
+	s, err := Build(Validation(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunDD(2 << 20)
+	if err != nil {
+		t.Fatalf("dd must complete on a permanently removed disk, got: %v", err)
+	}
+	if res.Requests != 16 {
+		t.Errorf("dd must still attempt all 16 requests, got %d", res.Requests)
+	}
+	if res.Errors == 0 {
+		t.Error("want errored requests after permanent removal")
+	}
+	s.Eng.Run()
+	if !s.Eng.Drained() {
+		t.Fatal("event queue not drained")
+	}
+	_, recovered, abandoned := s.Recovery.Counts()
+	if abandoned == 0 {
+		t.Error("recovery must abandon the slot")
+	}
+	if recovered != 0 {
+		t.Errorf("nothing should have recovered, got %d", recovered)
+	}
+	if !li(t, s, "disklink").Link.Removed() {
+		t.Error("link must still be removed")
+	}
+}
+
+// TestSurpriseRemovalStarvedCreditsSiblingsSurvive is the deadlock
+// regression the flow-control layer must never reintroduce: with a
+// single credit per class on every link, a surprise-removed disk's
+// stranded TLPs must not wedge its sibling behind the shared switch.
+// DPC containment answers the dead sub-tree's traffic, the credits
+// drain back, and the sibling's dd finishes clean.
+func TestSurpriseRemovalStarvedCreditsSiblingsSurvive(t *testing.T) {
+	spec := &Spec{Name: "siblings", RootPorts: []*Node{
+		{
+			Kind: KindSwitch, Name: "switch",
+			Link: LinkSpec{Name: "uplink", Width: 4},
+			Ports: []*Node{
+				{Kind: KindDisk, Name: "disk0", Link: LinkSpec{Name: "d0link", Width: 1}},
+				{Kind: KindDisk, Name: "disk1", Link: LinkSpec{Name: "d1link", Width: 1}},
+			},
+		},
+	}}
+	cfg := hotplugConfig()
+	cfg.Credits = pcie.UniformCredits(1)
+
+	// Boot an identical probe system to pin the removal mid-stream.
+	probe, err := Build(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probe.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	removeAt := probe.Eng.Now() + cfg.DD.StartupOverhead + 500*sim.Microsecond
+
+	cfg.Faults = map[string]*fault.Plan{
+		"d0link": {Hotplugs: []fault.Hotplug{{RemoveAt: removeAt}}}, // permanent
+	}
+	s, err := Build(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunDDAll(1 << 20)
+	if err != nil {
+		t.Fatalf("dd-all must complete with a removed sibling, got: %v", err)
+	}
+	if res.PerDisk[0].Errors == 0 {
+		t.Error("removed disk0 must see errored requests")
+	}
+	if res.PerDisk[1].Errors != 0 {
+		t.Errorf("sibling disk1 must run clean, got %d/%d errored",
+			res.PerDisk[1].Errors, res.PerDisk[1].Requests)
+	}
+	if res.PerDisk[1].Requests == 0 || res.PerDisk[1].Bytes == 0 {
+		t.Error("sibling disk1 made no progress")
+	}
+	s.Eng.Run()
+	if !s.Eng.Drained() {
+		t.Fatal("event queue not drained")
+	}
+	if !li(t, s, "d0link").Link.Removed() {
+		t.Error("d0link must still be removed")
+	}
+	if li(t, s, "d1link").Link.Dead() {
+		t.Error("sibling link must stay alive")
+	}
+}
+
+func li(t *testing.T, s *System, name string) *LinkInst {
+	t.Helper()
+	l := s.LinkByName(name)
+	if l == nil {
+		t.Fatalf("no link %q", name)
+	}
+	return l
+}

@@ -27,6 +27,9 @@ func (s *System) Boot() (*kernel.Topology, error) {
 	var bootErr error
 	t := s.CPU.Spawn("boot", 0, func(t *kernel.Task) {
 		bootErr = s.Kernel.Boot(t)
+		if bootErr == nil && s.Recovery != nil {
+			s.Recovery.Arm(t)
+		}
 	})
 	s.runTask(t)
 	if bootErr != nil {

@@ -54,6 +54,9 @@ type LinkSpec struct {
 	// legacy infinite-credit link. The text grammar's ":c N" attribute
 	// sets UniformCredits(N).
 	Credits *pcie.CreditConfig `json:"credits,omitempty"`
+	// Degrade overrides the platform-wide adaptive-degradation policy
+	// (Config.Degrade) for this link. Nil inherits.
+	Degrade *pcie.DegradeConfig `json:"degrade,omitempty"`
 	// Fault attaches a deterministic fault plan. Only settable from Go
 	// or through Config.Faults (keyed by link name).
 	Fault *fault.Plan `json:"-"`

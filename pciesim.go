@@ -108,6 +108,29 @@ type FaultWindow = fault.Window
 // FaultEvent is one scripted injection (the Nth matching packet).
 type FaultEvent = fault.Event
 
+// FaultHotplug is one surprise-removal episode: the card is yanked at
+// RemoveAt and — unless ReinsertAfter is zero (permanent) — re-seated
+// ReinsertAfter later. Assign to FaultPlan.Hotplugs.
+type FaultHotplug = fault.Hotplug
+
+// DegradeConfig arms adaptive link degradation: sustained error
+// windows retrain the link at reduced width/generation, with
+// exponential-backoff upgrade retrains back toward the configured
+// level. Assign to Config.Degrade (every link) or a topology node's
+// LinkSpec.Degrade (one link).
+type DegradeConfig = pcie.DegradeConfig
+
+// DefaultDegradeConfig returns the calibrated degradation policy.
+func DefaultDegradeConfig() DegradeConfig { return pcie.DefaultDegradeConfig() }
+
+// RecoveryConfig tunes the kernel's DPC/hot-plug recovery driver
+// (Config.Recovery); zero-value fields take defaults.
+type RecoveryConfig = kernel.RecoveryConfig
+
+// RecoveryRecord is one completed recovery attempt in the kernel
+// recovery driver's log (System.Recovery.Records()).
+type RecoveryRecord = kernel.RecoveryRecord
+
 // AERRecord is one entry of the kernel AER service handler's log.
 type AERRecord = kernel.AERRecord
 
