@@ -3,6 +3,7 @@ package pciesim
 import (
 	"fmt"
 	"testing"
+	"time"
 )
 
 // The benchmark harness regenerates every table and figure of the
@@ -175,8 +176,12 @@ func BenchmarkAblationPostedWrites(b *testing.B) {
 // trace layers against the instrumented-but-idle baseline: "sampled"
 // arms the periodic counter sampler, "tracemasked" installs a tracer
 // with every category off (the guard cost), "traced" records every
-// category. The first two are required to stay within noise (~5%) of
-// the baseline; "traced" shows the price of full event capture.
+// category, "spansarmed" turns on the per-segment latency attribution
+// without a tracer (histogram observes only), and "profiled" arms the
+// engine self-profiler. The first two are required to stay within
+// noise (~5%) of the baseline, "spansarmed" within 10% (asserted by
+// TestArmedSpanOverheadBudget); "traced" shows the price of full
+// event capture.
 func BenchmarkObservabilityOverhead(b *testing.B) {
 	variants := []struct {
 		name string
@@ -186,6 +191,8 @@ func BenchmarkObservabilityOverhead(b *testing.B) {
 		{"sampled", func(s *System) { s.Eng.SampleEvery(10 * Microsecond) }},
 		{"tracemasked", func(s *System) { s.Eng.SetTracer(NewTracer(0)) }},
 		{"traced", func(s *System) { s.Eng.SetTracer(NewTracer(TraceAll)) }},
+		{"spansarmed", func(s *System) { s.Eng.ArmSpans() }},
+		{"profiled", func(s *System) { s.Eng.Profile() }},
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
@@ -203,6 +210,48 @@ func BenchmarkObservabilityOverhead(b *testing.B) {
 			}
 			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 		})
+	}
+}
+
+// TestArmedSpanOverheadBudget asserts the span-attribution budget:
+// arming spans (the BenchmarkSimulatorEventRate workload with
+// ArmSpans on) must cost at most 10% of the bare event rate. Runs are
+// interleaved and the fastest of several is compared on each side, so
+// host scheduling noise cancels rather than accumulates.
+func TestArmedSpanOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	run := func(armed bool) time.Duration {
+		cfg := DefaultConfig()
+		cfg.DD.StartupOverhead /= 64
+		s := New(cfg)
+		if armed {
+			s.Eng.ArmSpans()
+		}
+		start := time.Now()
+		if _, err := s.RunDD(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	// Warm both paths, then interleave timed runs.
+	run(false)
+	run(true)
+	best := func(d, n time.Duration) time.Duration {
+		if n < d {
+			return n
+		}
+		return d
+	}
+	base, armed := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < 5; i++ {
+		base = best(base, run(false))
+		armed = best(armed, run(true))
+	}
+	if float64(armed) > float64(base)*1.10 {
+		t.Errorf("armed span tracing costs %.1f%% (base %v, armed %v), budget is 10%%",
+			(float64(armed)/float64(base)-1)*100, base, armed)
 	}
 }
 

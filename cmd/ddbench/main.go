@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ddbench [-fig 9a|9b|9c|9d|err|fc|degrade|all] [-scale N] [-jobs N] [-csv] [-table1]
+//	ddbench [-fig 9a|9b|9c|9d|err|fc|degrade|lat|all] [-scale N] [-jobs N] [-csv] [-table1]
 //
 // -scale divides the paper's 64-512 MiB block sizes (and dd's fixed
 // startup overhead) by N; 1 reproduces the full-size experiment, the
@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 9a, 9b, 9c, 9d, err, fc, degrade, scen or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 9a, 9b, 9c, 9d, err, fc, degrade, lat, scen or all")
 	topoSpec := flag.String("topo", "", "sweep block sizes over an arbitrary topology: a canned scenario name or a spec like \"switch:x4(disk*8)\"")
 	scale := flag.Int("scale", 16, "divide the paper's block sizes by this factor")
 	jobs := flag.Int("jobs", 1, "parallel simulation runs (-1 = one per CPU); output is identical at any value")
@@ -100,14 +100,15 @@ func main() {
 
 	selected := order
 	if *fig != "all" {
-		valid := *fig == "scen"
+		// "scen" and "lat" are opt-in only: reports, not paper figures.
+		valid := *fig == "scen" || *fig == "lat"
 		for _, id := range order {
 			if *fig == id {
 				valid = true
 			}
 		}
 		if !valid {
-			fmt.Fprintf(os.Stderr, "ddbench: unknown figure %q; valid names: %s, scen, all\n",
+			fmt.Fprintf(os.Stderr, "ddbench: unknown figure %q; valid names: %s, lat, scen, all\n",
 				*fig, strings.Join(order, ", "))
 			os.Exit(2)
 		}
@@ -116,6 +117,10 @@ func main() {
 	for _, id := range selected {
 		if id == "err" {
 			runFigErr(opt, *csv)
+			continue
+		}
+		if id == "lat" {
+			runFigLat(opt, *csv)
 			continue
 		}
 		if id == "fc" {
@@ -149,6 +154,22 @@ func main() {
 		} else {
 			fmt.Println(result.Format())
 		}
+	}
+}
+
+// runFigLat runs the latency-attribution comparison: the same dd
+// write with healthy and credit-starved links, spans armed, reporting
+// where each microsecond went per segment.
+func runFigLat(opt pciesim.Options, csv bool) {
+	result, err := pciesim.RunFigLat(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
+		os.Exit(1)
+	}
+	if csv {
+		fmt.Print(result.CSV())
+	} else {
+		fmt.Println(result.Format())
 	}
 }
 

@@ -22,10 +22,15 @@
 // Observability: -stats prints the counter/histogram summary, -stats-out
 // dumps it as JSON (or CSV), and -trace records per-packet lifecycle
 // events — `-trace trace.json` writes a Chrome trace openable in
-// Perfetto:
+// Perfetto, with the "span" category adding per-TLP duration tracks
+// (queue wait, credit stalls, wire time, completion turnaround).
+// -stats-stream emits sampler snapshots as NDJSON while the run is
+// going, and -prof prints the engine self-profile (per-event fire
+// counts and wall-clock) after the run:
 //
-//	pciesim -stats -trace trace.json
+//	pciesim -stats -trace trace.json -prof
 //	pciesim -stats-out stats.json -stats-interval 100
+//	pciesim -stats-stream stream.ndjson
 //
 // Robustness: -hotplug yanks the disk mid-transfer (arming Downstream
 // Port Containment and the kernel recovery driver), -dpc arms DPC

@@ -598,6 +598,168 @@ func (f FCFigure) CSV() string {
 	return b.String()
 }
 
+// LatAttr is one run's per-segment latency attribution: for every
+// instrumented segment, the total simulated time TLPs spent in it
+// (the seg.* histogram sums), plus the per-segment share of the total.
+type LatAttr struct {
+	Label string
+	Gbps  float64
+	// SegTicks maps segment name ("wire", "fc-stall", ...) to the
+	// summed ticks attributed to it.
+	SegTicks map[string]uint64
+	// Total is the sum over all segments.
+	Total uint64
+}
+
+// Share returns the fraction (0..1) of the run's attributed time spent
+// in the named segment.
+func (a LatAttr) Share(seg string) float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return float64(a.SegTicks[seg]) / float64(a.Total)
+}
+
+// LatFigure is the latency-attribution comparison (`ddbench -fig lat`):
+// where does a microsecond go on a healthy link versus a
+// credit-starved one.
+type LatFigure struct {
+	Title    string
+	BlockMB  int
+	Baseline LatAttr
+	Starved  LatAttr
+}
+
+// latStarvedCredits is the completion header-credit pool of the
+// starved run: small enough that completions queue for credits on the
+// long link, but not so small that throughput collapses entirely.
+const latStarvedCredits = 2
+
+// RunFigLat runs the same dd write twice over the long
+// (figFCPropDelay) fabric — once with the legacy infinite-credit links
+// and once with the completion header-credit pool capped at
+// latStarvedCredits — with span attribution armed, and reports how
+// the per-segment latency attribution shifts. On the healthy link the
+// time lives in wire/PropDelay and completion turnaround; starving
+// the credits moves it into fc-stall. This is the "where does a
+// microsecond go" figure: the same question the paper's breakdown
+// answers, asked of the simulator's own attribution machinery.
+func RunFigLat(opt Options) (LatFigure, error) {
+	opt = opt.normalize()
+	mb := opt.BlockMB[0]
+	bytes := opt.blockBytes(mb)
+
+	fig := LatFigure{Title: "per-segment latency attribution, healthy vs credit-starved", BlockMB: mb}
+	runs := []struct {
+		label   string
+		credits int
+		out     *LatAttr
+	}{
+		{"baseline", 0, &fig.Baseline},
+		{fmt.Sprintf("fc=%d", latStarvedCredits), latStarvedCredits, &fig.Starved},
+	}
+	type outcome struct {
+		a   LatAttr
+		sys *System
+	}
+	err := campaign.RunCollect(opt.jobs(), len(runs),
+		func(k int) (outcome, error) {
+			cfg := opt.scaledConfig(DefaultConfig())
+			cfg.PropDelay = figFCPropDelay
+			if runs[k].credits > 0 {
+				cfg.Credits = pcie.CreditConfig{CplHdr: runs[k].credits}
+			}
+			sys := New(cfg)
+			// Attribution needs only the seg.* histograms, not span
+			// trace events, so arm spans directly; an Observe hook may
+			// still install a tracer on top.
+			sys.Eng.ArmSpans()
+			label := fmt.Sprintf("lat-%s@%dMB", runs[k].label, mb)
+			if opt.Observe != nil {
+				if err := opt.Observe(sys, label); err != nil {
+					return outcome{}, err
+				}
+			}
+			res, err := sys.RunDDWrite(bytes)
+			if err != nil {
+				return outcome{}, fmt.Errorf("figlat %s: %w", runs[k].label, err)
+			}
+			a := LatAttr{Label: runs[k].label, Gbps: res.ThroughputGbps(), SegTicks: make(map[string]uint64)}
+			reg := sys.Eng.Stats()
+			for _, name := range reg.HistogramNames() {
+				if !strings.HasPrefix(name, "seg.") {
+					continue
+				}
+				sum := reg.FindHistogram(name).Sum()
+				a.SegTicks[strings.TrimPrefix(name, "seg.")] = sum
+				a.Total += sum
+			}
+			return outcome{a: a, sys: sys}, nil
+		},
+		func(k int, o outcome) error {
+			if opt.ObserveDone != nil {
+				label := fmt.Sprintf("lat-%s@%dMB", runs[k].label, mb)
+				if err := opt.ObserveDone(o.sys, label); err != nil {
+					return err
+				}
+			}
+			*runs[k].out = o.a
+			return nil
+		})
+	if err != nil {
+		return LatFigure{}, err
+	}
+	return fig, nil
+}
+
+// segNames returns the union of both runs' segment names, sorted.
+func (f LatFigure) segNames() []string {
+	seen := make(map[string]bool)
+	for _, a := range []LatAttr{f.Baseline, f.Starved} {
+		for n := range a.SegTicks {
+			seen[n] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Format renders the attribution comparison as an aligned text table.
+func (f LatFigure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "figlat — %s (%d MB blocks)\n", f.Title, f.BlockMB)
+	fmt.Fprintf(&b, "%-16s %14s %7s %14s %7s\n",
+		"segment", "base(us)", "base%", "starved(us)", "strv%")
+	for _, n := range f.segNames() {
+		fmt.Fprintf(&b, "%-16s %14.1f %6.1f%% %14.1f %6.1f%%\n",
+			n,
+			usOf(sim.Tick(f.Baseline.SegTicks[n])), 100*f.Baseline.Share(n),
+			usOf(sim.Tick(f.Starved.SegTicks[n])), 100*f.Starved.Share(n))
+	}
+	fmt.Fprintf(&b, "%-16s %14.1f %7s %14.1f\n", "total",
+		usOf(sim.Tick(f.Baseline.Total)), "", usOf(sim.Tick(f.Starved.Total)))
+	fmt.Fprintf(&b, "throughput: baseline %.3f Gbps, starved %.3f Gbps\n",
+		f.Baseline.Gbps, f.Starved.Gbps)
+	return b.String()
+}
+
+// CSV renders the attribution comparison as comma-separated values.
+func (f LatFigure) CSV() string {
+	var b strings.Builder
+	b.WriteString("figure,segment,baseline_us,baseline_share,starved_us,starved_share\n")
+	for _, n := range f.segNames() {
+		fmt.Fprintf(&b, "figlat,%s,%.2f,%.4f,%.2f,%.4f\n",
+			n,
+			usOf(sim.Tick(f.Baseline.SegTicks[n])), f.Baseline.Share(n),
+			usOf(sim.Tick(f.Starved.SegTicks[n])), f.Starved.Share(n))
+	}
+	return b.String()
+}
+
 // CampaignResult is a Monte-Carlo fault campaign: the same faulted dd
 // workload run under K different injection seeds, with the
 // error-recovery outcome distribution across seeds.

@@ -48,6 +48,7 @@ func New(eng *sim.Engine, name string, cfg Config) *Bridge {
 	b.reqQ = mem.NewSendQueue(eng, name+".reqq", cfg.ReqDepth, func(p *mem.Packet) bool {
 		return b.master.SendTimingReq(p)
 	})
+	b.reqQ.Segment("bridge-q")
 	b.reqQ.OnFree(func() {
 		if b.reqRetryPending {
 			b.reqRetryPending = false
@@ -57,6 +58,7 @@ func New(eng *sim.Engine, name string, cfg Config) *Bridge {
 	b.respQ = mem.NewSendQueue(eng, name+".respq", cfg.RespDepth, func(p *mem.Packet) bool {
 		return b.slave.SendTimingResp(p)
 	})
+	b.respQ.Segment("bridge-q")
 	b.respQ.OnFree(func() {
 		if b.respRetryPending {
 			b.respRetryPending = false

@@ -79,6 +79,10 @@ type DMAEngine struct {
 
 	transferLat *stats.Histogram
 	chunkLat    *stats.Histogram
+	// chunkSeg is the dma-chunk attribution histogram, resolved lazily
+	// when spans are armed (nil until then, so unarmed dumps are
+	// unchanged).
+	chunkSeg *stats.Histogram
 }
 
 // NewDMAEngine creates an engine with the given chunk (cache line)
@@ -289,6 +293,15 @@ func (d *DMAEngine) RecvTimingResp(_ *mem.MasterPort, pkt *mem.Packet) bool {
 		d.chunkLat.Observe(uint64(d.eng.Now() - issuedAt))
 		if tr := d.eng.Tracer(); tr.On(trace.CatDMA) {
 			tr.Emit(trace.CatDMA, uint64(d.eng.Now()), d.name, "chunk-done", pkt.ID, "")
+		}
+		if d.eng.SpansOn() {
+			if d.chunkSeg == nil {
+				d.chunkSeg = d.eng.Seg("dma-chunk")
+			}
+			d.chunkSeg.Observe(uint64(d.eng.Now() - issuedAt))
+			if tr := d.eng.Tracer(); tr.On(trace.CatSpan) {
+				tr.Span(uint64(issuedAt), uint64(d.eng.Now()), d.name, "dma-chunk", pkt.ID, "")
+			}
 		}
 	} else if d.Timeout > 0 {
 		// A straggler for a transfer the timeout already aborted:

@@ -5,6 +5,7 @@ import (
 
 	"pciesim/internal/sim"
 	"pciesim/internal/stats"
+	"pciesim/internal/trace"
 )
 
 // SendQueue is a bounded FIFO of packets that become eligible to leave
@@ -44,6 +45,11 @@ type SendQueue struct {
 	// and queueing-delay histogram (push to successful send, ticks).
 	depth *stats.Gauge
 	wait  *stats.Histogram
+
+	// Span attribution (Segment): the latency segment this queue's
+	// waits charge to, nil until spans are armed and a segment named.
+	segName string
+	seg     *stats.Histogram
 }
 
 type sendEntry struct {
@@ -72,6 +78,27 @@ func NewSendQueue(eng *sim.Engine, name string, capacity int, send func(*Packet)
 
 // OnFree registers the space-freed hook.
 func (q *SendQueue) OnFree(fn func()) { q.onFree = fn }
+
+// Segment names the latency-attribution segment this queue's waits
+// belong to ("switch-arb", "xbar-q", "bridge-q"). When the engine has
+// spans armed (sim.Engine.ArmSpans), each packet's push-to-send wait
+// is observed into the shared seg.<name> histogram and bracketed with
+// begin/end trace spans under trace.CatSpan. With spans unarmed the
+// per-packet cost is one nil check — no histogram is registered, so
+// dumps stay byte-identical.
+func (q *SendQueue) Segment(name string) {
+	q.segName = name
+}
+
+// segHist resolves the segment histogram lazily: arming happens after
+// construction (obscli arms a freshly built platform), so the first
+// armed send registers it.
+func (q *SendQueue) segHist() *stats.Histogram {
+	if q.seg == nil {
+		q.seg = q.eng.Seg(q.segName)
+	}
+	return q.seg
+}
 
 // Len returns the current occupancy.
 func (q *SendQueue) Len() int { return len(q.entries) }
@@ -157,6 +184,12 @@ func (q *SendQueue) trySend() {
 	wasFull := q.Full()
 	q.sent++
 	q.wait.Observe(uint64(q.eng.Now() - head.pushedAt))
+	if q.segName != "" && q.eng.SpansOn() {
+		q.segHist().Observe(uint64(q.eng.Now() - head.pushedAt))
+		if tr := q.eng.Tracer(); tr.On(trace.CatSpan) {
+			tr.Span(uint64(head.pushedAt), uint64(q.eng.Now()), q.name, q.segName, head.pkt.ID, "")
+		}
+	}
 	copy(q.entries, q.entries[1:])
 	q.entries[len(q.entries)-1] = sendEntry{}
 	q.entries = q.entries[:len(q.entries)-1]

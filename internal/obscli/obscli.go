@@ -1,10 +1,12 @@
 // Package obscli is the shared command-line plumbing for the
 // observability layer: every tool that runs a simulation registers the
-// same -stats / -stats-out / -stats-interval / -trace / -trace-out
-// flags, arms the engine before the run, and writes the dumps after.
+// same -stats / -stats-out / -stats-interval / -stats-stream / -trace
+// / -trace-out / -prof flags, arms the engine before the run, and
+// writes the dumps after.
 package obscli
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -15,6 +17,12 @@ import (
 	"pciesim/internal/trace"
 )
 
+// defaultStreamInterval is the sampling period (simulated
+// microseconds) -stats-stream falls back to when -stats-interval was
+// not given: a stream with nothing flowing through it would be a
+// surprise.
+const defaultStreamInterval = 100
+
 // Flags holds the observability options of one command invocation.
 type Flags struct {
 	// Stats prints a human-readable stats summary to stdout at the end
@@ -24,9 +32,13 @@ type Flags struct {
 	// the path ends in .csv.
 	StatsOut string
 	// StatsInterval enables periodic counter sampling at this period
-	// (microseconds of simulated time); the series appears in the JSON
-	// dump.
+	// (microseconds of simulated time); the series appears in both the
+	// JSON and CSV dumps.
 	StatsInterval int
+	// StatsStream streams each sampler snapshot to a file as one NDJSON
+	// line while the run is going ("-" for stdout). Implies periodic
+	// sampling at the default interval when -stats-interval is unset.
+	StatsStream string
 	// Trace selects trace categories ("tlp,fault", "all"). As a
 	// shorthand, a path ending in .json means "all categories, Chrome
 	// trace to that file" — `-trace trace.json` is the common case.
@@ -35,8 +47,13 @@ type Flags struct {
 	// the path ends in .json (open it in Perfetto), text otherwise.
 	// Empty with -trace set writes text to stdout.
 	TraceOut string
+	// Prof arms the engine self-profiler and prints its per-event table
+	// (counts, same-tick re-schedules, wall-clock) after the run.
+	Prof bool
 
-	tracer *trace.Tracer
+	tracer     *trace.Tracer
+	streamFile *os.File
+	streamBuf  *bufio.Writer
 }
 
 // Register installs the flags on the given FlagSet (flag.CommandLine
@@ -44,12 +61,15 @@ type Flags struct {
 func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&f.Stats, "stats", false, "print a stats summary (counters, queue depths, latency histograms) after the run")
 	fs.StringVar(&f.StatsOut, "stats-out", "", "write the stats dump to this file (.csv for CSV, JSON otherwise)")
-	fs.IntVar(&f.StatsInterval, "stats-interval", 0, "sample counters every N microseconds of simulated time (0 disables; series lands in the JSON dump)")
-	fs.StringVar(&f.Trace, "trace", "", `trace categories ("tlp,dllp,dma,irq,fault,config" or "all"); a .json path means all categories to that Chrome trace file`)
+	fs.IntVar(&f.StatsInterval, "stats-interval", 0, "sample counters every N microseconds of simulated time (0 disables; series lands in the JSON and CSV dumps)")
+	fs.StringVar(&f.StatsStream, "stats-stream", "", `stream sampler snapshots to this file as NDJSON while the run is going ("-" for stdout); implies -stats-interval 100 when unset`)
+	fs.StringVar(&f.Trace, "trace", "", `trace categories ("tlp,dllp,dma,irq,fault,config,span" or "all"); a .json path means all categories to that Chrome trace file`)
 	fs.StringVar(&f.TraceOut, "trace-out", "", "write the trace to this file (.json for Chrome/Perfetto trace_event format, text otherwise)")
+	fs.BoolVar(&f.Prof, "prof", false, "profile the engine itself: per-event counts, same-tick re-schedules, and wall-clock, printed after the run")
 }
 
-// Arm installs the tracer and sampler on the engine before the run.
+// Arm installs the tracer, sampler, stream, profiler, and span
+// attribution on the engine before the run.
 func (f *Flags) Arm(eng *sim.Engine) error {
 	if f.Trace != "" {
 		spec := f.Trace
@@ -66,22 +86,46 @@ func (f *Flags) Arm(eng *sim.Engine) error {
 		}
 		f.tracer = trace.New(mask)
 		eng.SetTracer(f.tracer)
+		if mask&trace.CatSpan != 0 {
+			// Span events need the components' span accounting on.
+			eng.ArmSpans()
+		}
+	}
+	if f.StatsStream != "" && f.StatsInterval == 0 {
+		f.StatsInterval = defaultStreamInterval
 	}
 	if f.StatsInterval > 0 {
 		eng.SampleEvery(sim.Tick(f.StatsInterval) * sim.Microsecond)
+	}
+	if f.StatsStream != "" {
+		w := io.Writer(os.Stdout)
+		if f.StatsStream != "-" {
+			file, err := os.Create(f.StatsStream)
+			if err != nil {
+				return fmt.Errorf("stats stream: %w", err)
+			}
+			f.streamFile = file
+			f.streamBuf = bufio.NewWriter(file)
+			w = f.streamBuf
+		}
+		eng.Stats().Sampler().StreamTo(w)
+	}
+	if f.Prof {
+		eng.Profile()
 	}
 	return nil
 }
 
 // Enabled reports whether any output will be produced by Finish.
 func (f *Flags) Enabled() bool {
-	return f.Stats || f.StatsOut != "" || f.tracer != nil
+	return f.Stats || f.StatsOut != "" || f.tracer != nil || f.Prof || f.streamFile != nil
 }
 
 // Active reports whether any observability flag was given — callable
 // before Arm, unlike Enabled.
 func (f *Flags) Active() bool {
-	return f.Stats || f.StatsOut != "" || f.StatsInterval > 0 || f.Trace != ""
+	return f.Stats || f.StatsOut != "" || f.StatsInterval > 0 || f.Trace != "" ||
+		f.StatsStream != "" || f.Prof
 }
 
 // ForRun returns an independent copy of the flags with every output
@@ -93,8 +137,13 @@ func (f *Flags) Active() bool {
 func (f Flags) ForRun(label string) *Flags {
 	c := f
 	c.tracer = nil
+	c.streamFile = nil
+	c.streamBuf = nil
 	c.StatsOut = suffixPath(c.StatsOut, label)
 	c.TraceOut = suffixPath(c.TraceOut, label)
+	if c.StatsStream != "" && c.StatsStream != "-" {
+		c.StatsStream = suffixPath(c.StatsStream, label)
+	}
 	if strings.HasSuffix(c.Trace, ".json") {
 		c.Trace = suffixPath(c.Trace, label)
 	}
@@ -120,6 +169,21 @@ func suffixPath(path, label string) string {
 func (f *Flags) Finish(eng *sim.Engine) error {
 	now := uint64(eng.Now())
 	r := eng.Stats()
+	if f.streamFile != nil {
+		sampler := r.Sampler()
+		if err := f.streamBuf.Flush(); err != nil {
+			return fmt.Errorf("stats stream: %w", err)
+		}
+		if err := f.streamFile.Close(); err != nil {
+			return fmt.Errorf("stats stream: %w", err)
+		}
+		f.streamFile, f.streamBuf = nil, nil
+		if sampler != nil {
+			if err := sampler.StreamErr(); err != nil {
+				return fmt.Errorf("stats stream: %w", err)
+			}
+		}
+	}
 	if f.StatsOut != "" {
 		if err := writeFile(f.StatsOut, func(w io.Writer) error {
 			if strings.HasSuffix(f.StatsOut, ".csv") {
@@ -134,6 +198,14 @@ func (f *Flags) Finish(eng *sim.Engine) error {
 		fmt.Println()
 		if err := r.WriteText(os.Stdout, now); err != nil {
 			return err
+		}
+	}
+	if f.Prof {
+		if prof := eng.Prof(); prof != nil {
+			fmt.Println()
+			if err := prof.WriteTable(os.Stdout, 20, true); err != nil {
+				return err
+			}
 		}
 	}
 	if f.tracer != nil {

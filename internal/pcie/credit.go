@@ -297,6 +297,9 @@ type fcState struct {
 	// meaningful only while stalled (a stall can begin at tick 0).
 	stalled    [fcNumClasses]bool
 	stallSince [fcNumClasses]sim.Tick
+	// stallID remembers the TLP that opened the episode, keying the
+	// fc-stall attribution span.
+	stallID [fcNumClasses]uint64
 
 	// --- receive side (the pool we advertise) ---
 
@@ -468,6 +471,7 @@ func (fc *fcState) noteStall(cl FCClass, tlp *mem.Packet) {
 	if !fc.stalled[cl] {
 		fc.stalled[cl] = true
 		fc.stallSince[cl] = now
+		fc.stallID[cl] = tlp.ID
 	}
 	if tr := fc.i.tracer(); tr.On(trace.CatTLP) {
 		tr.Emit(trace.CatTLP, uint64(now), "pcie."+fc.i.name, "fc-stall", tlp.ID, cl.String())
@@ -482,6 +486,9 @@ func (fc *fcState) wake() {
 	for cl := FCClass(0); cl < fcNumClasses; cl++ {
 		if fc.stalled[cl] && fc.txReady(cl, 0) {
 			fc.stallHist[cl].Observe(uint64(now - fc.stallSince[cl]))
+			if eng := fc.i.link.eng; eng.SpansOn() {
+				fc.i.spanObserve(&fc.i.fcStallSeg, "fc-stall", fc.stallSince[cl], fc.stallID[cl])
+			}
 			fc.stalled[cl] = false
 			woke = true
 		}

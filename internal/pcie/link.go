@@ -571,6 +571,13 @@ type Interface struct {
 	bufGauge *stats.Gauge
 	ackLat   *stats.Histogram
 
+	// Latency-attribution segment histograms (seg.txq-wait,
+	// seg.replay-wait, seg.wire, seg.fc-stall), resolved lazily on
+	// first observation: spans are armed after construction, and
+	// registering only when armed keeps unarmed stats dumps
+	// byte-identical.
+	txqSeg, replaySeg, wireSeg, fcStallSeg *stats.Histogram
+
 	// consecTimeouts counts replay-timer expirations since the last
 	// ACK/NAK, for the plan's DeadThreshold surprise-down detection.
 	consecTimeouts int
@@ -641,6 +648,20 @@ func (i *Interface) registerStats() {
 // tracer returns the engine's tracer; nil (a no-op) when tracing is off.
 func (i *Interface) tracer() *trace.Tracer { return i.link.eng.Tracer() }
 
+// spanObserve charges one completed attribution segment ending now:
+// the shared seg.<name> histogram, plus a begin/end trace span when
+// the tracer records CatSpan. Call only when spans are armed.
+func (i *Interface) spanObserve(seg **stats.Histogram, name string, begin sim.Tick, id uint64) {
+	if *seg == nil {
+		*seg = i.link.eng.Seg(name)
+	}
+	now := i.link.eng.Now()
+	(*seg).Observe(uint64(now - begin))
+	if tr := i.tracer(); tr.On(trace.CatSpan) {
+		tr.Span(uint64(begin), uint64(now), "pcie."+i.name, name, id, "")
+	}
+}
+
 // SlavePort returns the port the local component's master (request)
 // side connects to.
 func (i *Interface) SlavePort() *mem.SlavePort { return i.slave }
@@ -706,7 +727,8 @@ func (i *Interface) admit(tlp *mem.Packet) bool {
 	if i.fc != nil {
 		i.fc.consume(fcClass, fcData)
 	}
-	pp := &PciePkt{Kind: KindTLP, Seq: i.sendSeq, TLP: tlp, acceptedAt: i.link.eng.Now()}
+	pp := &PciePkt{Kind: KindTLP, Seq: i.sendSeq, TLP: tlp,
+		acceptedAt: i.link.eng.Now(), queuedAt: i.link.eng.Now()}
 	// Snapshot the wire size now: by the time a replay reads it, the
 	// wrapped packet may have been turned into its response and recycled.
 	pp.wire = i.link.cfg.Overheads.TLPWireBytes(pp.PayloadBytes())
@@ -876,6 +898,9 @@ func (i *Interface) txFire() {
 			tr.Emit(trace.CatTLP, uint64(eng.Now()), "pcie."+i.name,
 				"replay", pp.TLP.ID, fmt.Sprintf("seq=%d", pp.Seq))
 		}
+		if eng.SpansOn() {
+			i.spanObserve(&i.replaySeg, "replay-wait", pp.queuedAt, pp.TLP.ID)
+		}
 		i.transmitTLP(pp)
 	case len(i.freshQ) > 0:
 		pp := i.freshQ[0]
@@ -888,6 +913,9 @@ func (i *Interface) txFire() {
 		if tr := i.tracer(); tr.On(trace.CatTLP) {
 			tr.Emit(trace.CatTLP, uint64(eng.Now()), "pcie."+i.name,
 				"tx", pp.TLP.ID, fmt.Sprintf("seq=%d", pp.Seq))
+		}
+		if eng.SpansOn() {
+			i.spanObserve(&i.txqSeg, "txq-wait", pp.queuedAt, pp.TLP.ID)
 		}
 		i.transmitTLP(pp)
 	}
@@ -933,9 +961,16 @@ func (i *Interface) transmit(pp *PciePkt) {
 	// retransmission while this copy is still in flight. Snapshots are
 	// recycled through a per-interface free list once received — the
 	// receiver never retains them (it keeps only the wrapped TLP).
+	// txStart is captured for the wire attribution segment
+	// (serialization + propagation); the capture rides the closure that
+	// exists anyway, so unarmed runs pay nothing extra.
 	cp := i.getFlight()
 	*cp = *pp
+	txStart := eng.Now()
 	eng.ScheduleAt(i.deliverName, arrive, sim.PriorityDelivery, func() {
+		if eng.SpansOn() && cp.Kind == KindTLP && cp.TLP != nil {
+			i.spanObserve(&i.wireSeg, "wire", txStart, cp.TLP.ID)
+		}
 		i.peer.receive(cp)
 		i.putFlight(cp)
 	})
@@ -1225,8 +1260,10 @@ func (i *Interface) replayTimeout() {
 
 func (i *Interface) startReplay() {
 	i.replayQ = append(i.replayQ[:0], i.replayBuf...)
+	now := i.link.eng.Now()
 	for _, pp := range i.replayQ {
 		pp.replayed = true
+		pp.queuedAt = now
 	}
 	i.scheduleTx()
 }

@@ -79,6 +79,10 @@ type PciePkt struct {
 	// acceptedAt stamps when the TLP entered the replay buffer, for the
 	// accept-to-ACK latency histogram.
 	acceptedAt sim.Tick
+	// queuedAt stamps when the TLP last entered a transmit queue
+	// (freshQ at admission, replayQ at startReplay), the begin mark of
+	// the txq-wait / replay-wait attribution segments.
+	queuedAt sim.Tick
 	// wire snapshots the TLP's wire size at admission. Replays read the
 	// snapshot, not the live mem.Packet: the wrapped TLP may since have
 	// been delivered, mutated into its response, and recycled through

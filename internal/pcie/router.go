@@ -488,6 +488,10 @@ type ctoTracker struct {
 	// lat is the request-tracked-to-completion latency histogram for
 	// requests that did complete in time.
 	lat *stats.Histogram
+	// seg is the cpl-turnaround attribution histogram, resolved lazily
+	// when spans are armed (nil until then, so unarmed dumps are
+	// unchanged).
+	seg *stats.Histogram
 }
 
 type ctoEntry struct {
@@ -552,6 +556,15 @@ func (t *ctoTracker) observe(id uint64) bool {
 		e.done = true
 		delete(t.byID, id)
 		t.lat.Observe(uint64(t.r.eng.Now() - e.trackedAt))
+		if eng := t.r.eng; eng.SpansOn() {
+			if t.seg == nil {
+				t.seg = eng.Seg("cpl-turnaround")
+			}
+			t.seg.Observe(uint64(eng.Now() - e.trackedAt))
+			if tr := eng.Tracer(); tr.On(trace.CatSpan) {
+				tr.Span(uint64(e.trackedAt), uint64(eng.Now()), t.r.name, "cpl-turnaround", id, "")
+			}
+		}
 	}
 	return true
 }
@@ -622,10 +635,12 @@ func (r *router) addPort(name string, vp2p *pci.ConfigSpace) *Port {
 	p.reqQ = mem.NewSendQueue(r.eng, name+".reqq", r.cfg.BufferSize, func(pk *mem.Packet) bool {
 		return p.master.SendTimingReq(pk)
 	})
+	p.reqQ.Segment("switch-arb")
 	p.reqQ.OnFree(func() { p.wakeWaiters(&p.reqWaiters, true) })
 	p.respQ = mem.NewSendQueue(r.eng, name+".respq", r.cfg.BufferSize, func(pk *mem.Packet) bool {
 		return p.slave.SendTimingResp(pk)
 	})
+	p.respQ.Segment("switch-arb")
 	p.respQ.OnFree(func() {
 		p.wakeWaiters(&p.respWaiters, false)
 		if p.abortRetryPending {

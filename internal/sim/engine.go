@@ -28,11 +28,15 @@ type Engine struct {
 	freeEvents *Event
 	recycled   uint64
 
-	// Observability (see observe.go). stats is created lazily;
-	// tracer may stay nil (trace methods are nil-safe). The sampler
-	// fields drive periodic stats snapshots from the run loops.
+	// Observability (see observe.go, prof.go). stats is created
+	// lazily; tracer may stay nil (trace methods are nil-safe). The
+	// sampler fields drive periodic stats snapshots from the run
+	// loops. prof is the opt-in self-profiler; spansOn arms causal
+	// span attribution (segment histograms + begin/end trace spans).
 	stats        *stats.Registry
 	tracer       *trace.Tracer
+	prof         *Profiler
+	spansOn      bool
 	lastPacketID uint64
 	sampleEvery  Tick
 	nextSample   Tick
@@ -69,6 +73,9 @@ func (e *Engine) ScheduleEvent(ev *Event, when Tick, prio Priority) {
 	}
 	if when < e.now {
 		panic(fmt.Sprintf("sim: event %q scheduled for %s, before now (%s)", ev.name, when, e.now))
+	}
+	if e.prof != nil && e.running && when == e.now {
+		e.prof.noteSameTick(ev.name)
 	}
 	ev.when = when
 	ev.prio = prio
@@ -182,7 +189,11 @@ func (e *Engine) RunUntil(limit Tick) uint64 {
 		}
 		fired++
 		e.fired++
-		next.fn()
+		if e.prof != nil {
+			e.fireProfiled(next)
+		} else {
+			next.fn()
+		}
 		if next.oneShot && next.idx < 0 {
 			e.recycle(next)
 		}
@@ -222,7 +233,11 @@ func (e *Engine) RunWhile(cond func() bool) uint64 {
 		}
 		fired++
 		e.fired++
-		next.fn()
+		if e.prof != nil {
+			e.fireProfiled(next)
+		} else {
+			next.fn()
+		}
 		if next.oneShot && next.idx < 0 {
 			e.recycle(next)
 		}

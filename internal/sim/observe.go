@@ -13,15 +13,43 @@ import (
 // Stats returns the engine's metrics registry, creating it lazily.
 // Components resolve their counters/histograms once at construction
 // and keep the pointers; registry lookups never appear on hot paths.
+//
+// The engine registers its own internals — events fired, queue depth,
+// one-shot recycles — as closure-backed counters, so the kernel that
+// drives every component shows up in dumps and sampler series right
+// alongside them.
 func (e *Engine) Stats() *stats.Registry {
 	if e.stats == nil {
 		e.stats = stats.NewRegistry()
+		e.stats.CounterFunc("sim.fired", func() uint64 { return e.fired })
+		e.stats.CounterFunc("sim.pending", func() uint64 { return uint64(e.queue.len()) })
+		e.stats.CounterFunc("sim.recycled", func() uint64 { return e.recycled })
 	}
 	return e.stats
 }
 
 // SetTracer installs the event tracer (nil disables tracing).
 func (e *Engine) SetTracer(t *trace.Tracer) { e.tracer = t }
+
+// ArmSpans turns on causal span attribution: instrumented components
+// start observing per-segment latency into seg.* histograms (and, if
+// the tracer records trace.CatSpan, emitting begin/end span events).
+// Arming is one-way and meant to happen before workloads run; the
+// seg.* histograms are registered only on first observation, so an
+// unarmed run's stats dump stays byte-identical to pre-span builds.
+func (e *Engine) ArmSpans() { e.spansOn = true }
+
+// SpansOn reports whether span attribution is armed. Instrumented
+// components guard their segment accounting with it, so the unarmed
+// hot path pays one bool test and zero allocations.
+func (e *Engine) SpansOn() bool { return e.spansOn }
+
+// Seg returns the latency-attribution histogram for the named segment
+// ("fc-stall", "wire", ...), registered as "seg.<name>" on first use.
+// Call only when SpansOn; cache the pointer where emission is hot.
+func (e *Engine) Seg(name string) *stats.Histogram {
+	return e.Stats().Histogram("seg." + name)
+}
 
 // Tracer returns the installed tracer. It may be nil; *trace.Tracer's
 // methods are nil-safe, so callers guard emission with Tracer().On(cat).

@@ -139,6 +139,27 @@ func (r *Registry) WriteCSV(w io.Writer, tick uint64) error {
 			return err
 		}
 	}
+	// The sampler time series, one row per (metric, sample): metrics
+	// sorted by name, samples in grid order (sorting the rendered rows
+	// would order ticks lexically).
+	if s := r.sampler; s != nil && len(s.ticks) > 0 {
+		names := make([]string, 0, len(s.series))
+		for n := range s.series {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			vals := s.series[n]
+			for i, t := range s.ticks {
+				if i >= len(vals) {
+					break
+				}
+				if _, err := fmt.Fprintf(w, "series,%s,%d,%d\n", n, t, vals[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
 	_, err := fmt.Fprintf(w, "meta,tick,value,%d\n", tick)
 	return err
 }

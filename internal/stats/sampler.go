@@ -1,5 +1,10 @@
 package stats
 
+import (
+	"encoding/json"
+	"io"
+)
+
 // Sampler records periodic snapshots of selected counters and gauges
 // so a run's stats dump carries time series, not only end-of-run
 // totals. The engine drives it: sim.Engine.SampleEvery calls Sample
@@ -10,6 +15,8 @@ type Sampler struct {
 	interval uint64
 	ticks    []uint64
 	series   map[string][]uint64
+	stream   io.Writer
+	streamEr error
 }
 
 // NewSampler attaches a sampler with the given tick interval to the
@@ -29,6 +36,23 @@ func (r *Registry) Sampler() *Sampler { return r.sampler }
 // Interval returns the sampling interval in ticks.
 func (s *Sampler) Interval() uint64 { return s.interval }
 
+// StreamTo mirrors every subsequent sample to w as one compact NDJSON
+// line {"tick":...,"values":{...}} — the incremental telemetry feed a
+// consumer can tail while the run is still going, instead of waiting
+// for the end-of-run dump. Write errors are sticky: streaming stops
+// and StreamErr reports the first one. nil detaches the stream.
+func (s *Sampler) StreamTo(w io.Writer) { s.stream = w }
+
+// StreamErr returns the first streaming write error, nil if none.
+func (s *Sampler) StreamErr() error { return s.streamEr }
+
+// streamSample is the NDJSON wire form of one snapshot. Map keys are
+// sorted by encoding/json, so the feed is deterministic.
+type streamSample struct {
+	Tick   uint64            `json:"tick"`
+	Values map[string]uint64 `json:"values"`
+}
+
 // Sample snapshots every counter, counter-func, and gauge in the
 // registry at the given tick.
 func (r *Registry) Sample(tick uint64) {
@@ -45,6 +69,21 @@ func (r *Registry) Sample(tick uint64) {
 	}
 	for n, g := range r.gauges {
 		s.series[n] = append(s.series[n], uint64(g.v))
+	}
+	if s.stream != nil && s.streamEr == nil {
+		out := streamSample{Tick: tick, Values: make(map[string]uint64, len(s.series))}
+		for n, vals := range s.series {
+			out.Values[n] = vals[len(vals)-1]
+		}
+		b, err := json.Marshal(out)
+		if err == nil {
+			b = append(b, '\n')
+			_, err = s.stream.Write(b)
+		}
+		if err != nil {
+			s.streamEr = err
+			s.stream = nil
+		}
 	}
 }
 

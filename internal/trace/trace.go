@@ -40,6 +40,10 @@ const (
 	CatFault
 	// CatConfig covers PCI configuration-space accesses.
 	CatConfig
+	// CatSpan covers begin/end duration spans: the named segments
+	// (tx-queue wait, fc-stall, wire, replay, switch arbitration,
+	// completion turnaround) a TLP's latency decomposes into.
+	CatSpan
 
 	// CatAll enables every category.
 	CatAll Category = 1<<iota - 1
@@ -55,6 +59,17 @@ var catNames = []struct {
 	{CatIRQ, "irq"},
 	{CatFault, "fault"},
 	{CatConfig, "config"},
+	{CatSpan, "span"},
+}
+
+// CategoryNames lists the parseable category names in declaration
+// order, plus "all" — the vocabulary ParseCategories accepts.
+func CategoryNames() []string {
+	names := make([]string, 0, len(catNames)+1)
+	for _, cn := range catNames {
+		names = append(names, cn.name)
+	}
+	return append(names, "all")
 }
 
 // String names the set, e.g. "tlp|fault".
@@ -93,7 +108,8 @@ func ParseCategories(s string) (Category, error) {
 			}
 		}
 		if !found {
-			return 0, fmt.Errorf("trace: unknown category %q (have tlp, dllp, dma, irq, fault, config, all)", part)
+			return 0, fmt.Errorf("trace: unknown category %q; valid names: %s",
+				part, strings.Join(CategoryNames(), ", "))
 		}
 	}
 	return c, nil
@@ -107,6 +123,7 @@ type Event struct {
 	Name   string   // event name, e.g. "replay"
 	ID     uint64   // packet/transfer ID, 0 if not applicable
 	Detail string   // free-form extra context, may be empty
+	Phase  byte     // 0 = instant, 'b' = span begin, 'e' = span end
 }
 
 // Tracer records events for the enabled categories. The zero value
@@ -132,7 +149,58 @@ func (t *Tracer) Emit(cat Category, tick uint64, comp, name string, id uint64, d
 	if t == nil || t.mask&cat == 0 {
 		return
 	}
-	t.events = append(t.events, Event{tick, cat, comp, name, id, detail})
+	t.events = append(t.events, Event{tick, cat, comp, name, id, detail, 0})
+}
+
+// Begin opens a duration span (CatSpan). The span is keyed by
+// (name, id): End with the same pair closes it. Spans of distinct
+// packets overlap freely — they render as async nestable tracks in
+// Perfetto, paired by id. Call only under On(CatSpan).
+func (t *Tracer) Begin(tick uint64, comp, name string, id uint64, detail string) {
+	if t == nil || t.mask&CatSpan == 0 {
+		return
+	}
+	t.events = append(t.events, Event{tick, CatSpan, comp, name, id, detail, 'b'})
+}
+
+// End closes the duration span opened by Begin with the same
+// (name, id). Call only under On(CatSpan).
+func (t *Tracer) End(tick uint64, comp, name string, id uint64, detail string) {
+	if t == nil || t.mask&CatSpan == 0 {
+		return
+	}
+	t.events = append(t.events, Event{tick, CatSpan, comp, name, id, detail, 'e'})
+}
+
+// Span records one completed duration span as a begin/end pair. It is
+// the form instrumentation sites use: the pair is emitted at segment
+// completion with the recorded begin tick, so every emitted span is
+// closed by construction — begins and ends stay balanced under any
+// fault path (flushed queues, dead links, dropped packets simply
+// produce no span). Perfetto orders events by timestamp on import, so
+// the out-of-emission-order begin renders correctly. Call only under
+// On(CatSpan).
+func (t *Tracer) Span(beginTick, endTick uint64, comp, name string, id uint64, detail string) {
+	if t == nil || t.mask&CatSpan == 0 {
+		return
+	}
+	t.events = append(t.events,
+		Event{beginTick, CatSpan, comp, name, id, detail, 'b'},
+		Event{endTick, CatSpan, comp, name, id, "", 'e'})
+}
+
+// SpanBalance returns the number of span begins and ends recorded —
+// equal counts in a quiesced run mean every span was closed.
+func (t *Tracer) SpanBalance() (begins, ends int) {
+	for _, e := range t.Events() {
+		switch e.Phase {
+		case 'b':
+			begins++
+		case 'e':
+			ends++
+		}
+	}
+	return begins, ends
 }
 
 // Len returns the number of recorded events.
@@ -173,7 +241,10 @@ func (t *Tracer) WriteText(w io.Writer) error {
 
 // WriteChromeJSON emits the run as Chrome trace_event JSON (the format
 // chrome://tracing and Perfetto open). Each emitting component becomes
-// a named thread under pid 1; events are instant events ("ph":"i")
+// a named thread under pid 1; instant events render as "ph":"i" and
+// duration spans as async nestable "ph":"b"/"e" pairs keyed by packet
+// ID, so spans of different in-flight TLPs nest and overlap correctly
+// instead of mispairing on one thread's begin/end stack. Events are
 // stamped in microseconds with packet ID and detail in args. Thread
 // IDs are assigned by sorted component name, so two identical runs
 // emit byte-identical files.
@@ -215,9 +286,17 @@ func (t *Tracer) WriteChromeJSON(w io.Writer) error {
 	for _, e := range t.Events() {
 		// Ticks are picoseconds; trace_event ts is microseconds.
 		ts := float64(e.Tick) / 1e6
-		line := fmt.Sprintf(
-			`{"name":%q,"cat":%q,"ph":"i","s":"t","pid":1,"tid":%d,"ts":%.6f,"args":{"id":%d,"detail":%q}}`,
-			e.Name, e.Cat.String(), comps[e.Comp], ts, e.ID, e.Detail)
+		var line string
+		switch e.Phase {
+		case 'b', 'e':
+			line = fmt.Sprintf(
+				`{"name":%q,"cat":%q,"ph":%q,"id":%d,"pid":1,"tid":%d,"ts":%.6f,"args":{"detail":%q}}`,
+				e.Name, e.Cat.String(), string(e.Phase), e.ID, comps[e.Comp], ts, e.Detail)
+		default:
+			line = fmt.Sprintf(
+				`{"name":%q,"cat":%q,"ph":"i","s":"t","pid":1,"tid":%d,"ts":%.6f,"args":{"id":%d,"detail":%q}}`,
+				e.Name, e.Cat.String(), comps[e.Comp], ts, e.ID, e.Detail)
+		}
 		if err := emit(line); err != nil {
 			return err
 		}

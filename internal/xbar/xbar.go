@@ -87,6 +87,7 @@ func (x *XBar) SlavePort(name string) *mem.SlavePort {
 	in.respQ = mem.NewSendQueue(x.eng, in.port.Name()+".respq", x.cfg.QueueDepth, func(p *mem.Packet) bool {
 		return in.port.SendTimingResp(p)
 	})
+	in.respQ.Segment("xbar-q")
 	in.respQ.OnFree(func() { in.freeWaiter() })
 	x.ingress = append(x.ingress, in)
 	return in.port
@@ -108,6 +109,7 @@ func (x *XBar) MasterPort(name string, ranges mem.RangeList) *mem.MasterPort {
 	out.reqQ = mem.NewSendQueue(x.eng, out.port.Name()+".reqq", x.cfg.QueueDepth, func(p *mem.Packet) bool {
 		return out.port.SendTimingReq(p)
 	})
+	out.reqQ.Segment("xbar-q")
 	out.reqQ.OnFree(func() { out.freeWaiter() })
 	x.egress = append(x.egress, out)
 	return out.port

@@ -165,6 +165,7 @@ const (
 	TraceIRQ    = trace.CatIRQ
 	TraceFault  = trace.CatFault
 	TraceConfig = trace.CatConfig
+	TraceSpan   = trace.CatSpan
 	TraceAll    = trace.CatAll
 )
 
@@ -174,6 +175,15 @@ func NewTracer(mask TraceCategory) *Tracer { return trace.New(mask) }
 // ParseTraceCategories parses a comma-separated category list
 // ("tlp,fault") or "all".
 func ParseTraceCategories(s string) (TraceCategory, error) { return trace.ParseCategories(s) }
+
+// TraceCategoryNames lists the parseable category names.
+func TraceCategoryNames() []string { return trace.CategoryNames() }
+
+// Profiler is the engine self-profiler: per-event-name fire counts,
+// same-tick re-schedule counts, and wall-clock attribution. Arm one
+// with System.Eng.Profile() before the run; counts are deterministic,
+// wall-clock is host-dependent.
+type Profiler = sim.Profiler
 
 // --- arbitrary topologies (DESIGN.md §10) ---
 
