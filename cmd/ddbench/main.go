@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ddbench [-fig 9a|9b|9c|9d|err|fc|degrade|lat|all] [-scale N] [-jobs N] [-csv] [-table1]
+//	ddbench [-fig 9a|9b|9c|9d|err|fc|degrade|lat|scen|wl|all] [-scale N] [-jobs N] [-csv] [-table1]
 //
 // -scale divides the paper's 64-512 MiB block sizes (and dd's fixed
 // startup overhead) by N; 1 reproduces the full-size experiment, the
@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 9a, 9b, 9c, 9d, err, fc, degrade, lat, scen or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 9a, 9b, 9c, 9d, err, fc, degrade, lat, scen, wl or all")
 	topoSpec := flag.String("topo", "", "sweep block sizes over an arbitrary topology: a canned scenario name or a spec like \"switch:x4(disk*8)\"")
 	scale := flag.Int("scale", 16, "divide the paper's block sizes by this factor")
 	jobs := flag.Int("jobs", 1, "parallel simulation runs (-1 = one per CPU); output is identical at any value")
@@ -100,15 +100,16 @@ func main() {
 
 	selected := order
 	if *fig != "all" {
-		// "scen" and "lat" are opt-in only: reports, not paper figures.
-		valid := *fig == "scen" || *fig == "lat"
+		// "scen", "lat" and "wl" are opt-in only: reports, not paper
+		// figures.
+		valid := *fig == "scen" || *fig == "lat" || *fig == "wl"
 		for _, id := range order {
 			if *fig == id {
 				valid = true
 			}
 		}
 		if !valid {
-			fmt.Fprintf(os.Stderr, "ddbench: unknown figure %q; valid names: %s, lat, scen, all\n",
+			fmt.Fprintf(os.Stderr, "ddbench: unknown figure %q; valid names: %s, lat, scen, wl, all\n",
 				*fig, strings.Join(order, ", "))
 			os.Exit(2)
 		}
@@ -121,6 +122,10 @@ func main() {
 		}
 		if id == "lat" {
 			runFigLat(opt, *csv)
+			continue
+		}
+		if id == "wl" {
+			runFigWL(opt, *csv)
 			continue
 		}
 		if id == "fc" {
@@ -162,6 +167,22 @@ func main() {
 // where each microsecond went per segment.
 func runFigLat(opt pciesim.Options, csv bool) {
 	result, err := pciesim.RunFigLat(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
+		os.Exit(1)
+	}
+	if csv {
+		fmt.Print(result.CSV())
+	} else {
+		fmt.Println(result.Format())
+	}
+}
+
+// runFigWL runs the workload-engine figure: Poisson vs bursty NIC
+// receive traffic at equal offered load, the random-read contention
+// matrix, and the trace capture/replay byte-identity check.
+func runFigWL(opt pciesim.Options, csv bool) {
+	result, err := pciesim.RunFigWL(opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ddbench: %v\n", err)
 		os.Exit(1)

@@ -51,6 +51,18 @@
 //	pciesim -campaign seeds=32 -jobs -1
 //	pciesim -campaign kind=fault,seeds=64,rate=1e-2 -jobs 4
 //	pciesim -campaign kind=hotplug,seeds=16
+//
+// Workload engines: -workload replaces the dd run with a seeded
+// synthetic traffic engine (arrival process × op kind) fanned across
+// every matching endpoint of the topology (-topo, default
+// "validation"); -wl-capture writes the materialized schedule as a
+// replayable trace, and -trace-in re-executes a captured trace —
+// byte-identically, so a capture run and its replay produce the same
+// -stats-out dump:
+//
+//	pciesim -workload bursty-rx -wl-capture wl.trace -stats-out a.json
+//	pciesim -trace-in wl.trace -stats-out b.json   (cmp a.json b.json)
+//	pciesim -workload poisson-read -topo "switch:x4(disk*4)" -wl-ops 200
 package main
 
 import (
@@ -176,6 +188,14 @@ func main() {
 	jobs := flag.Int("jobs", 1, "parallel campaign runs (-1 = one per CPU); output is identical at any value")
 	creditSpec := flag.String("credits", "", "VC0 flow-control credits per link: empty/\"inf\" = legacy infinite, N = uniform, or k=v pairs (ph,pd,nh,nd,ch,cd)")
 	topoSpec := flag.String("topo", "", "arbitrary topology: a canned scenario (validation, fanout8, p2p) or a spec like \"switch:x4(disk*8)\"")
+	workloadSpec := flag.String("workload", "", "run a synthetic workload engine instead of dd: arrival-op (e.g. poisson-rx, bursty-read), fanned across every matching endpoint of the topology")
+	traceIn := flag.String("trace-in", "", "replay a captured workload trace file instead of running dd")
+	wlCapture := flag.String("wl-capture", "", "with -workload: write the materialized schedule to this file as a replayable trace")
+	wlOps := flag.Int("wl-ops", 300, "with -workload: operations per flow")
+	wlGap := flag.Int("wl-gap", 12, "with -workload: mean inter-arrival gap per flow (us)")
+	wlLen := flag.Int("wl-len", 0, "with -workload: bytes per operation (0 = 1500 for rx/tx frames, 4096 for read/write)")
+	wlBurst := flag.Int("wl-burst", 16, "with -workload bursty-*: operations per burst")
+	wlSeed := flag.Uint64("wl-seed", 1, "with -workload: RNG seed (flow i uses seed+i; runs replay bit-identically)")
 	p2p := flag.Bool("p2p", false, "with -topo: run the peer-to-peer DMA workload instead of dd")
 	reflect := flag.Bool("reflect", false, "with -topo: disable switch-level P2P turnaround (peer traffic reflects off the root complex)")
 	dumpTopo := flag.Bool("dump-topo", false, "with -topo: print the lspci-style enumeration dump and exit")
@@ -187,6 +207,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *workloadSpec != "" || *traceIn != "" {
+		if *workloadSpec != "" && *traceIn != "" {
+			fmt.Fprintf(os.Stderr, "pciesim: -workload and -trace-in are mutually exclusive\n")
+			os.Exit(2)
+		}
+		if *wlCapture != "" && *workloadSpec == "" {
+			fmt.Fprintf(os.Stderr, "pciesim: -wl-capture requires -workload (a replayed trace is already a file)\n")
+			os.Exit(2)
+		}
+		wl := wlOptions{
+			engine: *workloadSpec, traceIn: *traceIn, capture: *wlCapture,
+			ops: *wlOps, gapUs: *wlGap, length: *wlLen, burst: *wlBurst, seed: *wlSeed,
+		}
+		runWorkload(*topoSpec, *gen, credits, wl, obs)
+		return
 	}
 
 	if *topoSpec != "" {
@@ -433,6 +470,152 @@ func runTopo(spec string, blockMB, gen int, credits pciesim.CreditConfig, p2p, r
 	if quiet {
 		fmt.Println("  all links clean")
 	}
+	if err := obs.Finish(s.Eng); err != nil {
+		fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// wlOptions bundles the -workload / -trace-in flag values.
+type wlOptions struct {
+	engine  string // synthetic engine name ("" when replaying)
+	traceIn string // trace file to replay ("" when synthesizing)
+	capture string // file to write the materialized trace to
+	ops     int
+	gapUs   int
+	length  int
+	burst   int
+	seed    uint64
+}
+
+// runWorkload executes a synthetic workload engine or a captured trace
+// against a topology platform (default "validation"). Synthesis and
+// replay share this single path, so capturing a run and re-feeding the
+// trace produces a byte-identical stats dump.
+func runWorkload(topoSpec string, gen int, credits pciesim.CreditConfig, wl wlOptions, obs obscli.Flags) {
+	if topoSpec == "" {
+		topoSpec = "validation"
+	}
+	ts := pciesim.CannedTopo(topoSpec)
+	if ts == nil {
+		var err error
+		ts, err = pciesim.ParseTopo(topoSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	cfg := pciesim.DefaultTopoConfig()
+	cfg.Gen = pciesim.Generation(gen)
+	cfg.Credits = credits
+	cfg.EnableMSI = true // workload NIC flows exercise the MSI path
+	s, err := pciesim.BuildTopo(ts, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
+		os.Exit(2)
+	}
+	if err := obs.Arm(s.Eng); err != nil {
+		fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
+		os.Exit(2)
+	}
+
+	var tr *pciesim.WorkloadTrace
+	if wl.traceIn != "" {
+		f, err := os.Open(wl.traceIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
+			os.Exit(2)
+		}
+		tr, err = pciesim.ParseWorkloadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pciesim: %s: %v\n", wl.traceIn, err)
+			os.Exit(2)
+		}
+		fmt.Printf("replaying %s: %d ops\n", wl.traceIn, len(tr.Ops))
+	} else {
+		eng, err := pciesim.ParseWorkloadEngine(wl.engine)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
+			os.Exit(2)
+		}
+		// Fan the engine across every endpoint its op kind can drive:
+		// rx/tx over the NICs, read/write over the disks.
+		var endpoints []string
+		length := wl.length
+		if eng.Op == pciesim.WorkloadOpRx || eng.Op == pciesim.WorkloadOpTx {
+			for _, n := range s.NICs {
+				endpoints = append(endpoints, n.Name)
+			}
+			if length == 0 {
+				length = 1500
+			}
+		} else {
+			for _, d := range s.Disks {
+				endpoints = append(endpoints, d.Name)
+			}
+			if length == 0 {
+				length = 4096
+			}
+		}
+		if len(endpoints) == 0 {
+			fmt.Fprintf(os.Stderr, "pciesim: topology %q has no endpoint for workload %s\n",
+				topoSpec, wl.engine)
+			os.Exit(2)
+		}
+		flows := make([]pciesim.WorkloadFlowSpec, len(endpoints))
+		for i := range flows {
+			flows[i] = pciesim.WorkloadFlowSpec{
+				Endpoint: endpoints[i],
+				Op:       eng.Op,
+				Arrival:  eng.Arrival,
+				Ops:      wl.ops,
+				Len:      length,
+				MeanGap:  sim.Tick(wl.gapUs) * sim.Microsecond,
+				BurstLen: wl.burst,
+				Seed:     wl.seed + uint64(i),
+			}
+		}
+		tr, err = pciesim.SynthesizeWorkload(flows)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("workload %s: %d ops across %d flows\n", wl.engine, len(tr.Ops), len(flows))
+		if wl.capture != "" {
+			f, err := os.Create(wl.capture)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
+				os.Exit(2)
+			}
+			if err := tr.Encode(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pciesim: %s: %v\n", wl.capture, err)
+				os.Exit(2)
+			}
+			fmt.Printf("captured trace to %s\n", wl.capture)
+		}
+	}
+
+	res, err := pciesim.RunWorkload(s, tr, pciesim.WorkloadRunConfig{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pciesim: workload: %v\n", err)
+		os.Exit(1)
+	}
+	s.Eng.Run() // drain stragglers so the stats dump is a fixed point
+	for _, f := range res.Flows {
+		fmt.Printf("wl %v\n", f)
+	}
+	agg := 0.0
+	for _, f := range res.Flows {
+		agg += f.GoodputGbps()
+	}
+	fmt.Printf("aggregate: %.3f Gb/s, fairness spread %.3f\n", agg, res.FairnessSpread())
+	fmt.Printf("simulated %v in %d events\n", s.Eng.Now(), s.Eng.Fired())
 	if err := obs.Finish(s.Eng); err != nil {
 		fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
 		os.Exit(1)

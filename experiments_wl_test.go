@@ -1,0 +1,73 @@
+package pciesim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFigWLShape pins the workload figure's asserted shape: at equal
+// offered load the bursty generator's tail is far worse than the
+// Poisson one's, the captured trace replays byte-identically, and the
+// contention matrix shares the fabric within tight fairness bounds.
+func TestFigWLShape(t *testing.T) {
+	fig, err := RunFigWL(Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) != 2 {
+		t.Fatalf("got %d arrival points, want 2", len(fig.Points))
+	}
+	poisson, bursty := fig.Points[0], fig.Points[1]
+	if poisson.Label != "poisson" || bursty.Label != "bursty" {
+		t.Fatalf("point order: %q, %q", poisson.Label, bursty.Label)
+	}
+	for _, p := range fig.Points {
+		if p.Ops != wlFrames || p.Dropped != 0 {
+			t.Errorf("%s: %d ops, %d dropped; want %d/0", p.Label, p.Ops, p.Dropped, wlFrames)
+		}
+	}
+	// The point of the comparison: same mean rate, very different tail.
+	if bursty.Lat.P99 < 2*poisson.Lat.P99 {
+		t.Errorf("bursty p99 %v is not >> poisson p99 %v", bursty.Lat.P99, poisson.Lat.P99)
+	}
+	// Equal offered load implies comparable goodput (within 15%).
+	ratio := bursty.GoodputGbps / poisson.GoodputGbps
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("goodput ratio %.3f: offered loads are not equal", ratio)
+	}
+
+	if len(fig.Matrix) != 3 {
+		t.Fatalf("got %d matrix rows, want 3", len(fig.Matrix))
+	}
+	prevAgg := 0.0
+	for _, m := range fig.Matrix {
+		if m.Fairness > 1.3 {
+			t.Errorf("%d flows: fairness spread %.3f exceeds 1.3", m.Flows, m.Fairness)
+		}
+		if m.AggregateGbps <= prevAgg {
+			t.Errorf("%d flows: aggregate %.3f Gb/s did not grow past %.3f", m.Flows, m.AggregateGbps, prevAgg)
+		}
+		prevAgg = m.AggregateGbps
+	}
+
+	if !fig.ReplayIdentical {
+		t.Error("replaying the captured Poisson trace did not reproduce the stats dump byte-for-byte")
+	}
+}
+
+// TestFigWLParallelEquivalence: the workload figure is deterministic in
+// every field at any worker count — the generators materialize the
+// schedule up front, so fanning runs across workers changes nothing.
+func TestFigWLParallelEquivalence(t *testing.T) {
+	serial, err := RunFigWL(Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunFigWL(Options{Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("figure differs between jobs=1 and jobs=4:\n%+v\n%+v", serial, parallel)
+	}
+}

@@ -56,6 +56,11 @@ type NICConfig struct {
 	// the device as posted message writes through the fabric instead
 	// of the legacy INTx callback.
 	MSICapable bool
+	// RxFIFO is the internal receive FIFO depth in frames: arriving
+	// frames queue here while the DMA engine drains them into the RX
+	// ring, and overflow is dropped (InjectRxFrame returns false).
+	// Zero takes the default.
+	RxFIFO int
 }
 
 // DefaultNICConfig returns an 82574-like configuration.
@@ -65,6 +70,7 @@ func DefaultNICConfig() NICConfig {
 		ChunkSize:  64,
 		BARSize:    128 * 1024,
 		WireBps:    1e9,
+		RxFIFO:     32,
 	}
 }
 
@@ -101,15 +107,26 @@ type NIC struct {
 	txBusy     bool
 	txdoneName string // precomputed "<nic>.txdone" event name
 
+	rxQ    []int // lengths of frames waiting in the internal RX FIFO
+	rxBusy bool
+
 	// OnInterrupt is the legacy INTx line.
 	OnInterrupt func()
 	// OnTransmit observes frames leaving the model (frame payloads are
 	// not simulated; the length is).
 	OnTransmit func(length int)
+	// OnReceive observes frames landing in host memory, once per
+	// delivered frame in arrival order, at the tick the payload DMA
+	// completes (just before the RX interrupt is raised).
+	OnReceive func(length int)
+	// OnRxDiscard observes frames the device accepted into its FIFO
+	// but could not deliver (RX ring unprogrammed, DMA failure).
+	OnRxDiscard func(length int)
 
 	// Stats.
 	txFrames, txBytes uint64
 	rxFrames          uint64
+	rxDropped         uint64
 }
 
 // NewNIC builds the device and its §IV configuration space.
@@ -183,6 +200,12 @@ func (n *NIC) Stats() (txFrames, txBytes, rxFrames uint64) {
 	return n.txFrames, n.txBytes, n.rxFrames
 }
 
+// RxStats returns (frames delivered to host memory, frames dropped —
+// FIFO overflow, unprogrammed ring, or failed DMA).
+func (n *NIC) RxStats() (delivered, dropped uint64) {
+	return n.rxFrames, n.rxDropped
+}
+
 // nicPIO adapts NIC to mem.SlaveOwner.
 type nicPIO NIC
 
@@ -253,8 +276,13 @@ func (n *NIC) regWrite(off int, v uint32) {
 		return
 	}
 	n.regs[off] = v
-	if off == NICRegTDT {
+	switch off {
+	case NICRegTDT:
 		n.pumpTx()
+	case NICRegRDT, NICRegRDLEN:
+		// Returned descriptors (or a freshly programmed ring) may
+		// unblock queued frames.
+		n.pumpRx()
 	}
 }
 
@@ -316,32 +344,87 @@ func (n *NIC) transmitFrame(length int) {
 	})
 }
 
-// InjectRxFrame models an arriving frame: it is DMA-written into the
-// next receive buffer (the driver model pre-programs the RX ring) and
-// raises an RX interrupt.
-func (n *NIC) InjectRxFrame(length int) {
-	head := n.regs[NICRegRDH]
-	ringLen := n.regs[NICRegRDLEN] / NICDescSize
-	if ringLen == 0 || (head+1)%ringLen == n.regs[NICRegRDT] {
-		return // no RX resources; frame dropped
+// InjectRxFrame models an arriving frame: it enters the device's
+// internal receive FIFO and is DMA-written into the next receive
+// buffer (the driver model pre-programs the RX ring and returns
+// descriptors through RDT), raising an RX interrupt per delivery. The
+// return value reports acceptance: false means the FIFO overflowed and
+// the frame was dropped on the wire.
+func (n *NIC) InjectRxFrame(length int) bool {
+	depth := n.cfg.RxFIFO
+	if depth <= 0 {
+		depth = 32
 	}
-	base := uint64(n.regs[NICRegRDBAH])<<32 | uint64(n.regs[NICRegRDBAL])
-	descAddr := base + uint64(head)*NICDescSize
-	descBuf := make([]byte, NICDescSize)
-	n.dma.Read(descAddr, NICDescSize, descBuf, func(ok bool) {
-		if !ok {
-			return
+	if len(n.rxQ) >= depth {
+		n.rxDropped++
+		return false
+	}
+	n.rxQ = append(n.rxQ, length)
+	n.pumpRx()
+	return true
+}
+
+// pumpRx drains the receive FIFO into the RX ring one frame at a time:
+// fetch the head descriptor by DMA, DMA-write the payload to its
+// buffer, advance RDH, interrupt, repeat. Frames queue while the ring
+// is out of descriptors (RDH == RDT) and are discarded while the ring
+// is unprogrammed, like a NIC whose receiver is disabled.
+func (n *NIC) pumpRx() {
+	for !n.rxBusy && len(n.rxQ) > 0 {
+		ringLen := n.regs[NICRegRDLEN] / NICDescSize
+		if ringLen == 0 {
+			length := n.rxQ[0]
+			n.rxQ = n.rxQ[1:]
+			n.rxDropped++
+			if n.OnRxDiscard != nil {
+				n.OnRxDiscard(length)
+			}
+			continue
 		}
-		bufAddr := binary.LittleEndian.Uint64(descBuf)
-		n.dma.Write(bufAddr, length, nil, func(ok bool) {
+		head, tail := n.regs[NICRegRDH], n.regs[NICRegRDT]
+		if head == tail {
+			return // no descriptors available; wait for an RDT write
+		}
+		length := n.rxQ[0]
+		n.rxQ = n.rxQ[1:]
+		n.rxBusy = true
+		base := uint64(n.regs[NICRegRDBAH])<<32 | uint64(n.regs[NICRegRDBAL])
+		descAddr := base + uint64(head)*NICDescSize
+		descBuf := make([]byte, NICDescSize)
+		n.dma.Read(descAddr, NICDescSize, descBuf, func(ok bool) {
 			if !ok {
+				n.rxDiscard(length)
 				return
 			}
-			n.rxFrames++
-			n.regs[NICRegRDH] = (head + 1) % ringLen
-			n.raise(NICIntRx)
+			bufAddr := binary.LittleEndian.Uint64(descBuf)
+			n.dma.Write(bufAddr, length, nil, func(ok bool) {
+				if !ok {
+					n.rxDiscard(length)
+					return
+				}
+				n.rxFrames++
+				n.regs[NICRegRDH] = (head + 1) % ringLen
+				n.rxBusy = false
+				if n.OnReceive != nil {
+					n.OnReceive(length)
+				}
+				n.raise(NICIntRx)
+				n.pumpRx()
+			})
 		})
-	})
+		return
+	}
+}
+
+// rxDiscard accounts a frame lost after FIFO acceptance (failed DMA)
+// and restarts the pump.
+func (n *NIC) rxDiscard(length int) {
+	n.rxBusy = false
+	n.rxDropped++
+	if n.OnRxDiscard != nil {
+		n.OnRxDiscard(length)
+	}
+	n.pumpRx()
 }
 
 func (n *NIC) raise(cause uint32) {

@@ -42,6 +42,12 @@ type NICHandle struct {
 	// LinkSpeed/LinkWidth are read from the PCIe capability.
 	LinkSpeed uint8
 	LinkWidth uint8
+	// IntDone is this device's private interrupt waiter: the ISR
+	// signals it on every interrupt, whatever the cause, so per-device
+	// RX/TX paths on multi-NIC fabrics do not cross-wake each other
+	// the way the driver-wide TxDone does. Readers disambiguate causes
+	// through ICR.
+	IntDone *Waiter
 	// Caps records which capability IDs the walk found, in the order
 	// probed.
 	Caps []uint8
@@ -95,9 +101,11 @@ func (d *E1000eDriver) Probe(t *Task, k *Kernel, dev *FoundDevice) error {
 	if d.TxDone == nil {
 		d.TxDone = NewWaiter("e1000e.txdone")
 	}
+	h.IntDone = NewWaiter("e1000e." + dev.BDF.String() + ".intdone")
 	isr := func() {
 		d.InterruptCount++
 		d.TxDone.Signal()
+		h.IntDone.Signal()
 	}
 	if k.TryEnableMSIX(t, dev.BDF) {
 		h.IntMode = IntModeMSIX

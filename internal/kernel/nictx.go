@@ -94,3 +94,29 @@ func (d *E1000eDriver) RunNICTx(t *Task, cfg NICTxConfig) (NICTxResult, error) {
 		Elapsed: t.Now() - start,
 	}, nil
 }
+
+// SetupNICTxRing programs one NIC's transmit ring and unmasks the TX
+// interrupt — the one-time half of RunNICTx, for callers that pace
+// their own frames (the workload executor).
+func SetupNICTxRing(t *Task, h *NICHandle, ringAddr uint64, entries int) {
+	t.Write32(h.BAR0+devices.NICRegTDBAL, uint32(ringAddr))
+	t.Write32(h.BAR0+devices.NICRegTDBAH, uint32(ringAddr>>32))
+	t.Write32(h.BAR0+devices.NICRegTDLEN, uint32(entries*devices.NICDescSize))
+	t.Write32(h.BAR0+devices.NICRegIMS, devices.NICIntTxDone)
+}
+
+// SendNICFrame submits one frame through an already-programmed TX ring
+// and waits for its completion interrupt on the handle's private
+// waiter (safe with concurrent flows on other NICs, unlike the
+// driver-wide TxDone). It returns the next tail index.
+func SendNICFrame(t *Task, h *NICHandle, ringAddr uint64, entries int, tail uint32, bufAddr uint64, frameLen int) uint32 {
+	slot := ringAddr + uint64(tail)*devices.NICDescSize
+	t.Write32(slot, uint32(bufAddr))
+	t.Write32(slot+4, uint32(bufAddr>>32))
+	t.Write32(slot+8, uint32(frameLen))
+	tail = (tail + 1) % uint32(entries)
+	t.Write32(h.BAR0+devices.NICRegTDT, tail)
+	t.Wait(h.IntDone)
+	t.Read32(h.BAR0 + devices.NICRegICR) // read-to-clear
+	return tail
+}

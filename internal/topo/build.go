@@ -666,6 +666,39 @@ func (s *System) LinkByName(name string) *LinkInst {
 	return s.linkByName[name]
 }
 
+// DiskByName returns the named disk endpoint, or nil.
+func (s *System) DiskByName(name string) *DiskInst {
+	for _, d := range s.Disks {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// NICByName returns the named NIC endpoint, or nil.
+func (s *System) NICByName(name string) *NICInst {
+	for _, n := range s.NICs {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// EndpointNames lists every disk and NIC endpoint name in topology
+// (bus) order — the names a workload trace may reference.
+func (s *System) EndpointNames() []string {
+	out := make([]string, 0, len(s.Disks)+len(s.NICs))
+	for _, d := range s.Disks {
+		out = append(out, d.Name)
+	}
+	for _, n := range s.NICs {
+		out = append(out, n.Name)
+	}
+	return out
+}
+
 // Turnarounds sums switch-level peer-to-peer turnarounds across the
 // fabric.
 func (s *System) Turnarounds() uint64 {

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"pciesim/internal/sim"
+)
+
+// ArrivalKind selects the inter-arrival process of a synthetic flow.
+type ArrivalKind int
+
+// Arrival processes. Poisson draws exponential gaps from the flow's
+// seed; Bursty is a deterministic ON/OFF train — BurstLen back-to-back
+// ops spaced BurstGap apart, then silence until the next burst — with
+// the burst period fixed at BurstLen*MeanGap so its offered load is
+// exactly the Poisson flow's at the same MeanGap.
+const (
+	ArrivalPoisson ArrivalKind = iota
+	ArrivalBursty
+)
+
+var arrivalNames = [...]string{"poisson", "bursty"}
+
+// String implements fmt.Stringer.
+func (k ArrivalKind) String() string {
+	if int(k) < len(arrivalNames) {
+		return arrivalNames[k]
+	}
+	return fmt.Sprintf("ArrivalKind(%d)", int(k))
+}
+
+// FlowSpec describes one synthetic flow to materialize.
+type FlowSpec struct {
+	// Endpoint names the topology node the flow drives (a disk for
+	// Read/Write ops, a NIC for Rx/Tx).
+	Endpoint string
+	// Op is the operation kind every record of this flow carries.
+	Op OpKind
+	// Arrival selects the inter-arrival process.
+	Arrival ArrivalKind
+	// Ops is the record count.
+	Ops int
+	// Len is bytes per op (frame length for NIC ops, request bytes for
+	// block ops).
+	Len int
+	// MeanGap is the mean inter-arrival time; 1/MeanGap is the offered
+	// op rate.
+	MeanGap sim.Tick
+	// BurstLen and BurstGap shape ArrivalBursty: BurstLen ops per
+	// burst, BurstGap apart. Defaults: 16 and MeanGap/8.
+	BurstLen int
+	BurstGap sim.Tick
+	// Seed seeds the flow's private RNG (gap draws, block addresses).
+	Seed uint64
+	// AddrSectors bounds random block addresses: LBAs are drawn
+	// uniformly from [0, AddrSectors). Zero defaults to 1<<20.
+	AddrSectors uint64
+}
+
+// Engine is a named generator preset: an (arrival, op) pair, the unit
+// the CLI's -workload flag selects.
+type Engine struct {
+	Arrival ArrivalKind
+	Op      OpKind
+}
+
+// String renders the engine's CLI name ("poisson-rx").
+func (e Engine) String() string { return e.Arrival.String() + "-" + e.Op.String() }
+
+// EngineNames lists the valid -workload engine names, in a stable
+// order.
+func EngineNames() []string {
+	var out []string
+	for _, a := range arrivalNames {
+		for _, o := range opNames {
+			out = append(out, a+"-"+o)
+		}
+	}
+	return out
+}
+
+// ParseEngine resolves "<arrival>-<op>" ("poisson-rx", "bursty-read").
+// Unknown names error with the full valid-name list.
+func ParseEngine(s string) (Engine, error) {
+	arrival, op, ok := strings.Cut(s, "-")
+	if ok {
+		for ai, an := range arrivalNames {
+			if arrival != an {
+				continue
+			}
+			if k, found := parseOpKind(op); found {
+				return Engine{Arrival: ArrivalKind(ai), Op: k}, nil
+			}
+		}
+	}
+	return Engine{}, fmt.Errorf("workload: unknown engine %q (valid engines: %s)",
+		s, strings.Join(EngineNames(), ", "))
+}
+
+// Synthesize materializes the flows into one merged Trace: every gap
+// and address is drawn here, once, so the executor (and any replay of
+// the encoded trace) runs from identical inputs. The result is
+// deterministic in the specs alone — same specs, same bytes, at any
+// worker count.
+func Synthesize(flows []FlowSpec) (*Trace, error) {
+	tr := &Trace{Version: TraceVersion}
+	seen := map[string]OpKind{}
+	for i, f := range flows {
+		if f.Endpoint == "" {
+			return nil, fmt.Errorf("workload: flow %d: endpoint required", i)
+		}
+		if prev, dup := seen[f.Endpoint]; dup {
+			return nil, fmt.Errorf("workload: flow %d: endpoint %q already carries a %v flow",
+				i, f.Endpoint, prev)
+		}
+		seen[f.Endpoint] = f.Op
+		ops, err := f.materialize()
+		if err != nil {
+			return nil, fmt.Errorf("workload: flow %d (%s): %v", i, f.Endpoint, err)
+		}
+		tr.Ops = append(tr.Ops, ops...)
+	}
+	// Merge to global tick order; stable sort keeps flow-spec order on
+	// ties, so the merge itself is deterministic.
+	sort.SliceStable(tr.Ops, func(a, b int) bool { return tr.Ops[a].At < tr.Ops[b].At })
+	if err := tr.validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// materialize draws one flow's schedule.
+func (f FlowSpec) materialize() ([]Op, error) {
+	if f.Ops <= 0 {
+		return nil, fmt.Errorf("ops must be positive")
+	}
+	if f.Len <= 0 {
+		return nil, fmt.Errorf("length must be positive")
+	}
+	if f.MeanGap <= 0 {
+		return nil, fmt.Errorf("mean gap must be positive")
+	}
+	burstLen := f.BurstLen
+	if burstLen <= 0 {
+		burstLen = 16
+	}
+	burstGap := f.BurstGap
+	if burstGap == 0 {
+		burstGap = f.MeanGap / 8
+	}
+	if f.Arrival == ArrivalBursty && sim.Tick(burstLen-1)*burstGap >= sim.Tick(burstLen)*f.MeanGap {
+		return nil, fmt.Errorf("burst of %d x %v does not fit a %v mean gap", burstLen, burstGap, f.MeanGap)
+	}
+	addrSectors := f.AddrSectors
+	if addrSectors == 0 {
+		addrSectors = 1 << 20
+	}
+	rnd := sim.NewRand(f.Seed)
+	ops := make([]Op, 0, f.Ops)
+	var at sim.Tick
+	for i := 0; i < f.Ops; i++ {
+		switch f.Arrival {
+		case ArrivalPoisson:
+			// Exponential gap with mean MeanGap; 1-u is in (0,1] so the
+			// log argument never hits zero.
+			u := rnd.Float64()
+			at += sim.Tick(-math.Log(1-u) * float64(f.MeanGap))
+		case ArrivalBursty:
+			// Deterministic ON/OFF train: op i of burst k arrives at
+			// k*BurstLen*MeanGap + i*BurstGap.
+			burst, pos := i/burstLen, i%burstLen
+			at = sim.Tick(burst)*sim.Tick(burstLen)*f.MeanGap + sim.Tick(pos)*burstGap
+		default:
+			return nil, fmt.Errorf("unknown arrival process %v", f.Arrival)
+		}
+		op := Op{Kind: f.Op, At: at, Endpoint: f.Endpoint, Len: f.Len}
+		if f.Op == OpRead || f.Op == OpWrite {
+			op.Addr = rnd.Uint64() % addrSectors
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}

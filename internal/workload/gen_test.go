@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"pciesim/internal/sim"
+)
+
+func testFlows(arrival ArrivalKind) []FlowSpec {
+	return []FlowSpec{
+		{Endpoint: "nic", Op: OpRx, Arrival: arrival, Ops: 200,
+			Len: 1500, MeanGap: 10 * sim.Microsecond, Seed: 3},
+		{Endpoint: "disk0", Op: OpRead, Arrival: arrival, Ops: 100,
+			Len: 4096, MeanGap: 20 * sim.Microsecond, Seed: 4},
+	}
+}
+
+// TestSynthesizeDeterministic: materialization is a pure function of
+// the flow specs — repeated calls yield byte-identical traces.
+func TestSynthesizeDeterministic(t *testing.T) {
+	for _, arrival := range []ArrivalKind{ArrivalPoisson, ArrivalBursty} {
+		var first string
+		for i := 0; i < 3; i++ {
+			tr, err := Synthesize(testFlows(arrival))
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc := tr.EncodeString()
+			if i == 0 {
+				first = enc
+				continue
+			}
+			if enc != first {
+				t.Fatalf("%v: synthesis %d differs from the first", arrival, i)
+			}
+		}
+	}
+}
+
+// TestSynthesizeSeedSensitivity: a different seed must move the Poisson
+// arrivals (otherwise the seed is dead weight).
+func TestSynthesizeSeedSensitivity(t *testing.T) {
+	a := testFlows(ArrivalPoisson)
+	b := testFlows(ArrivalPoisson)
+	b[0].Seed++
+	ta, err := Synthesize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := Synthesize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.EncodeString() == tb.EncodeString() {
+		t.Fatal("changing the seed did not change the Poisson schedule")
+	}
+}
+
+// TestEqualOfferedLoad: at the same MeanGap the bursty generator must
+// offer the same mean rate as Poisson — its whole point is moving
+// variance, not load. The last arrival of n ops sits near (n-1)*gap.
+func TestEqualOfferedLoad(t *testing.T) {
+	const ops, gap = 400, 10 * sim.Microsecond
+	span := func(arrival ArrivalKind) sim.Tick {
+		tr, err := Synthesize([]FlowSpec{{
+			Endpoint: "nic", Op: OpRx, Arrival: arrival,
+			Ops: ops, Len: 1500, MeanGap: gap, Seed: 9,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Ops[len(tr.Ops)-1].At
+	}
+	ideal := sim.Tick(ops-1) * gap
+	for _, arrival := range []ArrivalKind{ArrivalPoisson, ArrivalBursty} {
+		got := span(arrival)
+		ratio := float64(got) / float64(ideal)
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("%v: schedule span %v is %.2fx the ideal %v (offered load drifted)",
+				arrival, got, ratio, ideal)
+		}
+	}
+}
+
+func TestSynthesizeRejectsDuplicateEndpoints(t *testing.T) {
+	flows := testFlows(ArrivalPoisson)
+	flows[1].Endpoint = flows[0].Endpoint
+	flows[1].Op = flows[0].Op
+	if _, err := Synthesize(flows); err == nil {
+		t.Fatal("duplicate endpoint accepted")
+	}
+}
+
+// TestParseEngine: every advertised name parses back to itself, and an
+// unknown name errors with the complete valid-name list.
+func TestParseEngine(t *testing.T) {
+	for _, name := range EngineNames() {
+		e, err := ParseEngine(name)
+		if err != nil {
+			t.Fatalf("ParseEngine(%q): %v", name, err)
+		}
+		if got := e.String(); got != name {
+			t.Fatalf("ParseEngine(%q).String() = %q", name, got)
+		}
+	}
+	_, err := ParseEngine("warp-speed")
+	if err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	for _, name := range EngineNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("unknown-engine error %q omits valid name %q", err, name)
+		}
+	}
+}

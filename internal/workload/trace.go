@@ -1,0 +1,301 @@
+// Package workload is the pluggable traffic-engine layer: seeded
+// synthetic generators (Poisson and bursty ON/OFF arrival processes)
+// that materialize concrete operation schedules, a versioned replayable
+// trace format so any synthetic run can be captured and re-fed
+// byte-identically, and a contention-matrix runner that pins flows to
+// the endpoints of an arbitrary topology and reports per-flow goodput
+// and latency.
+//
+// The key design decision is that generation and execution are
+// separate: a generator only *materializes* a Trace (absolute ticks,
+// addresses, lengths), and the executor only ever runs a Trace. A
+// captured synthetic run and its replay therefore drive the simulator
+// with bit-identical inputs, so the stats dumps match byte-for-byte by
+// construction.
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pciesim/internal/sim"
+)
+
+// TraceVersion is the current trace format version; Parse accepts only
+// this version.
+const TraceVersion = 1
+
+// traceMagic is the first token of the text form's header line.
+const traceMagic = "pciesim-wltrace"
+
+// maxTraceTick bounds trace timestamps to 63 bits so every tick is
+// representable in both wire forms (the JSON form carries int64) and
+// delta accumulation can never wrap sim.Tick's unsigned range.
+const maxTraceTick = sim.Tick(1<<63 - 1)
+
+// OpKind is the operation class of one trace record.
+type OpKind int
+
+// Operation kinds. Rx injects a frame into a NIC's receive ring, Tx
+// transmits one through its descriptor ring, Read/Write are block
+// transfers against a disk endpoint.
+const (
+	OpRx OpKind = iota
+	OpTx
+	OpRead
+	OpWrite
+)
+
+// opNames maps kinds to their wire spelling, in OpKind order.
+var opNames = [...]string{"rx", "tx", "read", "write"}
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	if int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// parseOpKind resolves a wire spelling.
+func parseOpKind(s string) (OpKind, bool) {
+	for i, n := range opNames {
+		if s == n {
+			return OpKind(i), true
+		}
+	}
+	return 0, false
+}
+
+// Op is one scheduled operation: at tick At (relative to workload
+// start) issue a Kind transfer of Len bytes against Endpoint. Addr is
+// the sector LBA for block ops and unused (zero) for NIC ops.
+type Op struct {
+	Kind     OpKind
+	At       sim.Tick
+	Endpoint string
+	Addr     uint64
+	Len      int
+}
+
+// Trace is a materialized operation schedule. Ops are sorted by At
+// (ties keep file/generation order).
+type Trace struct {
+	Version int
+	Ops     []Op
+}
+
+// jsonTrace is the JSON wire form.
+type jsonTrace struct {
+	Version int      `json:"version"`
+	Ops     []jsonOp `json:"ops"`
+}
+
+type jsonOp struct {
+	Op       string `json:"op"`
+	At       int64  `json:"at"`
+	Endpoint string `json:"endpoint"`
+	Addr     uint64 `json:"addr"`
+	Len      int    `json:"len"`
+}
+
+// validate checks the invariants both parsers and Synthesize must
+// guarantee: known kinds, positive lengths, space-free endpoint names,
+// non-negative ticks in global order.
+func (tr *Trace) validate() error {
+	if tr.Version != TraceVersion {
+		return fmt.Errorf("workload: unsupported trace version %d (have %d)", tr.Version, TraceVersion)
+	}
+	var prev sim.Tick
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		if int(op.Kind) >= len(opNames) || op.Kind < 0 {
+			return fmt.Errorf("workload: op %d: unknown kind %d", i, int(op.Kind))
+		}
+		if op.Endpoint == "" || strings.ContainsAny(op.Endpoint, " \t\n\r#") {
+			return fmt.Errorf("workload: op %d: bad endpoint %q", i, op.Endpoint)
+		}
+		if op.Len <= 0 {
+			return fmt.Errorf("workload: op %d: length %d must be positive", i, op.Len)
+		}
+		if op.At > maxTraceTick {
+			return fmt.Errorf("workload: op %d: tick %d exceeds the format's 63-bit range", i, op.At)
+		}
+		if op.At < prev {
+			return fmt.Errorf("workload: op %d: tick %d goes backwards (previous %d)",
+				i, op.At, prev)
+		}
+		prev = op.At
+	}
+	return nil
+}
+
+// Parse reads a trace in either wire form: the line-based text format
+// (header "pciesim-wltrace v1", then one "<op> @tick|+delta <endpoint>
+// <addr> <len>" line per record, # comments) or, when the input starts
+// with "{", the JSON form. It validates structure and ordering, so a
+// parsed trace is always safe to Encode and to execute.
+func Parse(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	if first[0] == '{' {
+		return parseJSON(br)
+	}
+	return parseText(br)
+}
+
+// ParseString is Parse over an in-memory trace.
+func ParseString(s string) (*Trace, error) { return Parse(strings.NewReader(s)) }
+
+func parseJSON(r io.Reader) (*Trace, error) {
+	var jt jsonTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jt); err != nil {
+		return nil, fmt.Errorf("workload: bad JSON trace: %v", err)
+	}
+	tr := &Trace{Version: jt.Version, Ops: make([]Op, 0, len(jt.Ops))}
+	for i, jo := range jt.Ops {
+		kind, ok := parseOpKind(jo.Op)
+		if !ok {
+			return nil, fmt.Errorf("workload: op %d: unknown op %q", i, jo.Op)
+		}
+		tr.Ops = append(tr.Ops, Op{
+			Kind: kind, At: sim.Tick(jo.At), Endpoint: jo.Endpoint,
+			Addr: jo.Addr, Len: jo.Len,
+		})
+	}
+	if err := tr.validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+func parseText(r *bufio.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	headerSeen := false
+	tr := &Trace{Version: TraceVersion}
+	var prev sim.Tick
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if !headerSeen {
+			if len(fields) != 2 || fields[0] != traceMagic {
+				return nil, fmt.Errorf("workload: line %d: missing %q header", lineNo, traceMagic)
+			}
+			v, err := strconv.Atoi(strings.TrimPrefix(fields[1], "v"))
+			if err != nil || v != TraceVersion {
+				return nil, fmt.Errorf("workload: line %d: unsupported trace version %q", lineNo, fields[1])
+			}
+			headerSeen = true
+			continue
+		}
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("workload: line %d: want 5 fields (op time endpoint addr len), have %d",
+				lineNo, len(fields))
+		}
+		kind, ok := parseOpKind(fields[0])
+		if !ok {
+			return nil, fmt.Errorf("workload: line %d: unknown op %q", lineNo, fields[0])
+		}
+		at, err := parseTime(fields[1], prev)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %v", lineNo, err)
+		}
+		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[3], "0x"), addrBase(fields[3]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad addr %q", lineNo, fields[3])
+		}
+		length, err := strconv.Atoi(fields[4])
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad length %q", lineNo, fields[4])
+		}
+		tr.Ops = append(tr.Ops, Op{Kind: kind, At: at, Endpoint: fields[2], Addr: addr, Len: length})
+		prev = at
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: %v", err)
+	}
+	if !headerSeen {
+		return nil, fmt.Errorf("workload: empty trace (no %q header)", traceMagic)
+	}
+	if err := tr.validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// parseTime parses the time field: "@N" is an absolute tick, "+N" a
+// delta from the previous record's tick.
+func parseTime(s string, prev sim.Tick) (sim.Tick, error) {
+	if len(s) < 2 {
+		return 0, fmt.Errorf("bad time %q (want @tick or +delta)", s)
+	}
+	n, err := strconv.ParseUint(s[1:], 10, 63)
+	if err != nil {
+		return 0, fmt.Errorf("bad time %q: %v", s, err)
+	}
+	switch s[0] {
+	case '@':
+		return sim.Tick(n), nil
+	case '+':
+		if sim.Tick(n) > maxTraceTick-prev {
+			return 0, fmt.Errorf("bad time %q: delta overflows the 63-bit tick range", s)
+		}
+		return prev + sim.Tick(n), nil
+	}
+	return 0, fmt.Errorf("bad time %q (want @tick or +delta)", s)
+}
+
+func addrBase(s string) int {
+	if strings.HasPrefix(s, "0x") {
+		return 16
+	}
+	return 10
+}
+
+// Encode writes the canonical text form: absolute @ticks, decimal
+// addresses, one op per line. Parse(Encode(tr)) reproduces tr exactly.
+func (tr *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s v%d\n", traceMagic, TraceVersion)
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		fmt.Fprintf(bw, "%s @%d %s %d %d\n", op.Kind, uint64(op.At), op.Endpoint, op.Addr, op.Len)
+	}
+	return bw.Flush()
+}
+
+// EncodeString returns the canonical text form.
+func (tr *Trace) EncodeString() string {
+	var sb strings.Builder
+	tr.Encode(&sb)
+	return sb.String()
+}
+
+// EncodeJSON writes the JSON wire form.
+func (tr *Trace) EncodeJSON(w io.Writer) error {
+	jt := jsonTrace{Version: tr.Version, Ops: make([]jsonOp, 0, len(tr.Ops))}
+	for i := range tr.Ops {
+		op := &tr.Ops[i]
+		jt.Ops = append(jt.Ops, jsonOp{
+			Op: op.Kind.String(), At: int64(op.At), Endpoint: op.Endpoint,
+			Addr: op.Addr, Len: op.Len,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(jt)
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleText is a well-formed trace exercising both time forms,
+// comments, and every op kind.
+const sampleText = `pciesim-wltrace v1
+# NIC receive burst, then block ops
+rx @0 nic 0 1500
+rx +1500 nic 0 1500
+tx @5000 nic 4096 1500
+read @10000 disk0 8192 4096
+write +2500 disk0 16384 4096
+`
+
+func TestParseEncodeRoundTrip(t *testing.T) {
+	tr, err := ParseString(sampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Ops) != 5 {
+		t.Fatalf("got %d ops, want 5", len(tr.Ops))
+	}
+	if tr.Ops[1].At != 1500 {
+		t.Fatalf("delta form: got At=%d, want 1500", tr.Ops[1].At)
+	}
+	if tr.Ops[4].At != 12500 {
+		t.Fatalf("delta after absolute: got At=%d, want 12500", tr.Ops[4].At)
+	}
+	enc := tr.EncodeString()
+	tr2, err := ParseString(enc)
+	if err != nil {
+		t.Fatalf("re-parse of canonical encoding: %v", err)
+	}
+	if tr2.EncodeString() != enc {
+		t.Fatal("canonical encoding is not a fixed point")
+	}
+}
+
+func TestParseJSONRoundTrip(t *testing.T) {
+	tr, err := ParseString(sampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tr.EncodeJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := ParseString(b.String())
+	if err != nil {
+		t.Fatalf("JSON re-parse: %v", err)
+	}
+	if tr2.EncodeString() != tr.EncodeString() {
+		t.Fatal("JSON round trip changed the trace")
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"missing header", "rx @0 nic 0 1500\n"},
+		{"bad version", "pciesim-wltrace v9\nrx @0 nic 0 1500\n"},
+		{"unknown op", "pciesim-wltrace v1\nfoo @0 nic 0 1500\n"},
+		{"zero length", "pciesim-wltrace v1\nrx @0 nic 0 0\n"},
+		{"time regression", "pciesim-wltrace v1\nrx @100 nic 0 1500\nrx @50 nic 0 1500\n"},
+		{"field count", "pciesim-wltrace v1\nrx @0 nic 0\n"},
+		{"bare tick", "pciesim-wltrace v1\nrx 0 nic 0 1500\n"},
+		{"bad json", "{\"version\":1,\"ops\":[{\"op\":\"zap\",\"at\":0,\"endpoint\":\"nic\",\"len\":1}]}"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseString(tc.in); err == nil {
+			t.Errorf("%s: parse accepted %q", tc.name, tc.in)
+		}
+	}
+}
+
+// FuzzWorkloadTrace hammers the trace codec with hostile input: any
+// input that parses must encode canonically and re-parse to the same
+// canonical form, and nothing may panic.
+func FuzzWorkloadTrace(f *testing.F) {
+	f.Add(sampleText)
+	f.Add("pciesim-wltrace v1\n")
+	f.Add("pciesim-wltrace v1\n# only comments\n")
+	f.Add("pciesim-wltrace v1\nrx @0 nic 18446744073709551615 1\n")
+	f.Add("{\"version\":1,\"ops\":[{\"op\":\"read\",\"at\":7,\"endpoint\":\"disk0\",\"addr\":512,\"len\":4096}]}")
+	f.Add("pciesim-wltrace v1\nwrite +9223372036854775807 d 0 1\nwrite +1 d 0 1\n")
+	f.Add("{")
+	f.Add("pciesim-wltrace")
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := ParseString(s)
+		if err != nil {
+			return // rejecting hostile input is fine; panicking is not
+		}
+		enc := tr.EncodeString()
+		tr2, err := ParseString(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to re-parse: %v\ninput: %q\nencoded: %q", err, s, enc)
+		}
+		if got := tr2.EncodeString(); got != enc {
+			t.Fatalf("encode/parse/encode not a fixed point:\nfirst:  %q\nsecond: %q", enc, got)
+		}
+	})
+}

@@ -18,6 +18,8 @@
 package pciesim
 
 import (
+	"io"
+
 	"pciesim/internal/fault"
 	"pciesim/internal/kernel"
 	"pciesim/internal/pcie"
@@ -27,6 +29,7 @@ import (
 	"pciesim/internal/system"
 	"pciesim/internal/topo"
 	"pciesim/internal/trace"
+	"pciesim/internal/workload"
 )
 
 // Config is the full platform configuration. Obtain a calibrated
@@ -219,6 +222,65 @@ func DefaultTopoConfig() TopoConfig { return topo.DefaultConfig() }
 
 // BuildTopo assembles a platform from a topology spec.
 func BuildTopo(spec *TopoSpec, cfg TopoConfig) (*TopoSystem, error) { return topo.Build(spec, cfg) }
+
+// --- workload engines (DESIGN.md §14) ---
+
+// WorkloadTrace is a versioned, replayable operation schedule: either
+// parsed from the text/JSON trace format or materialized by the
+// synthetic generators. Executing the same trace on the same platform
+// configuration reproduces the stats dump byte-for-byte.
+type WorkloadTrace = workload.Trace
+
+// WorkloadOp is one trace record (op, tick, endpoint, addr, len).
+type WorkloadOp = workload.Op
+
+// WorkloadFlowSpec describes one synthetic flow for SynthesizeWorkload.
+type WorkloadFlowSpec = workload.FlowSpec
+
+// WorkloadRunConfig tunes the workload executor.
+type WorkloadRunConfig = workload.RunConfig
+
+// WorkloadResult reports a workload run's per-flow goodput and latency.
+type WorkloadResult = workload.Result
+
+// WorkloadFlowResult is one flow of a WorkloadResult.
+type WorkloadFlowResult = workload.FlowResult
+
+// WorkloadEngine is a named generator preset (arrival process + op
+// kind), the unit pciesim's -workload flag selects.
+type WorkloadEngine = workload.Engine
+
+// Workload arrival processes and op kinds.
+const (
+	WorkloadPoisson = workload.ArrivalPoisson
+	WorkloadBursty  = workload.ArrivalBursty
+	WorkloadOpRx    = workload.OpRx
+	WorkloadOpTx    = workload.OpTx
+	WorkloadOpRead  = workload.OpRead
+	WorkloadOpWrite = workload.OpWrite
+)
+
+// ParseWorkloadTrace parses a trace in either wire form (text or JSON).
+func ParseWorkloadTrace(r io.Reader) (*WorkloadTrace, error) { return workload.Parse(r) }
+
+// SynthesizeWorkload materializes seeded synthetic flows into a trace;
+// the result is deterministic in the specs alone.
+func SynthesizeWorkload(flows []WorkloadFlowSpec) (*WorkloadTrace, error) {
+	return workload.Synthesize(flows)
+}
+
+// RunWorkload executes a trace against a topology platform.
+func RunWorkload(sys *TopoSystem, tr *WorkloadTrace, cfg WorkloadRunConfig) (WorkloadResult, error) {
+	return workload.Run(sys, tr, cfg)
+}
+
+// ParseWorkloadEngine resolves a "-workload" engine name
+// ("poisson-rx", "bursty-read"); unknown names error with the full
+// valid-name list.
+func ParseWorkloadEngine(s string) (WorkloadEngine, error) { return workload.ParseEngine(s) }
+
+// WorkloadEngineNames lists the valid engine names.
+func WorkloadEngineNames() []string { return workload.EngineNames() }
 
 // DefaultConfig returns the paper's validated baseline configuration.
 func DefaultConfig() Config { return system.DefaultConfig() }
