@@ -186,6 +186,7 @@ func main() {
 	degrade := flag.Bool("degrade", false, "arm adaptive link degradation: sustained link errors downtrain width/generation, upgrade retrains back off exponentially")
 	campaignSpec := flag.String("campaign", "", "Monte-Carlo campaign: [kind=fault|hotplug,]seeds=K[,rate=R] dd runs (fault: distinct RNG seeds; hotplug: deterministic removal schedules)")
 	jobs := flag.Int("jobs", 1, "parallel campaign runs (-1 = one per CPU); output is identical at any value")
+	par := flag.Int("par", 0, "timing domains for the conservative parallel engine (0 or 1 = serial); output is identical at any value")
 	creditSpec := flag.String("credits", "", "VC0 flow-control credits per link: empty/\"inf\" = legacy infinite, N = uniform, or k=v pairs (ph,pd,nh,nd,ch,cd)")
 	topoSpec := flag.String("topo", "", "arbitrary topology: a canned scenario (validation, fanout8, p2p) or a spec like \"switch:x4(disk*8)\"")
 	workloadSpec := flag.String("workload", "", "run a synthetic workload engine instead of dd: arrival-op (e.g. poisson-rx, bursty-read), fanned across every matching endpoint of the topology")
@@ -222,12 +223,12 @@ func main() {
 			engine: *workloadSpec, traceIn: *traceIn, capture: *wlCapture,
 			ops: *wlOps, gapUs: *wlGap, length: *wlLen, burst: *wlBurst, seed: *wlSeed,
 		}
-		runWorkload(*topoSpec, *gen, credits, wl, obs)
+		runWorkload(*topoSpec, *gen, *par, credits, wl, obs)
 		return
 	}
 
 	if *topoSpec != "" {
-		runTopo(*topoSpec, *blockMB, *gen, credits, *p2p, *reflect, *dumpTopo, obs)
+		runTopo(*topoSpec, *blockMB, *gen, *par, credits, *p2p, *reflect, *dumpTopo, obs)
 		return
 	}
 
@@ -237,7 +238,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
 			os.Exit(2)
 		}
-		runCampaign(kind, seeds, rate, *jobs, *blockMB, obs)
+		runCampaign(kind, seeds, rate, *jobs, *par, *blockMB, obs)
 		return
 	}
 
@@ -255,6 +256,7 @@ func main() {
 	cfg.EnableMSI = *msi
 	cfg.Disk.PostedWrites = *posted
 	cfg.Credits = credits
+	cfg.Domains = *par
 
 	for _, r := range []struct {
 		name string
@@ -324,7 +326,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("dd: %v\n", res)
-	fmt.Printf("simulated %v in %d events\n", s.Eng.Now(), s.Eng.Fired())
+	fmt.Printf("simulated %v in %d events\n", s.Eng.Now(), s.Eng.TotalFired())
 
 	fmt.Println("\nlink protocol statistics (upstream direction):")
 	for _, l := range []struct {
@@ -391,7 +393,7 @@ func main() {
 
 // runTopo builds an arbitrary topology from a canned scenario name or
 // a spec string and runs dd on every disk (or the P2P workload).
-func runTopo(spec string, blockMB, gen int, credits pciesim.CreditConfig, p2p, reflect, dump bool, obs obscli.Flags) {
+func runTopo(spec string, blockMB, gen, par int, credits pciesim.CreditConfig, p2p, reflect, dump bool, obs obscli.Flags) {
 	ts := pciesim.CannedTopo(spec)
 	if ts == nil {
 		var err error
@@ -405,6 +407,7 @@ func runTopo(spec string, blockMB, gen int, credits pciesim.CreditConfig, p2p, r
 	cfg.Gen = pciesim.Generation(gen)
 	cfg.Credits = credits
 	cfg.NoP2P = reflect
+	cfg.Domains = par
 	cfg.DD.StartupOverhead = cfg.DD.StartupOverhead * sim.Tick(blockMB) / 64
 	s, err := pciesim.BuildTopo(ts, cfg)
 	if err != nil {
@@ -452,7 +455,7 @@ func runTopo(spec string, blockMB, gen int, credits pciesim.CreditConfig, p2p, r
 		fmt.Printf("aggregate: %.3f Gb/s, fairness spread %.3f (sectors at first exit: %v)\n",
 			res.AggregateThroughputGbps(), res.FairnessSpread(), res.SectorsAtFirstExit)
 	}
-	fmt.Printf("simulated %v in %d events\n", s.Eng.Now(), s.Eng.Fired())
+	fmt.Printf("simulated %v in %d events\n", s.Eng.Now(), s.Eng.TotalFired())
 
 	fmt.Println("\nerror containment:")
 	quiet := true
@@ -492,7 +495,7 @@ type wlOptions struct {
 // against a topology platform (default "validation"). Synthesis and
 // replay share this single path, so capturing a run and re-feeding the
 // trace produces a byte-identical stats dump.
-func runWorkload(topoSpec string, gen int, credits pciesim.CreditConfig, wl wlOptions, obs obscli.Flags) {
+func runWorkload(topoSpec string, gen, par int, credits pciesim.CreditConfig, wl wlOptions, obs obscli.Flags) {
 	if topoSpec == "" {
 		topoSpec = "validation"
 	}
@@ -509,6 +512,7 @@ func runWorkload(topoSpec string, gen int, credits pciesim.CreditConfig, wl wlOp
 	cfg.Gen = pciesim.Generation(gen)
 	cfg.Credits = credits
 	cfg.EnableMSI = true // workload NIC flows exercise the MSI path
+	cfg.Domains = par
 	s, err := pciesim.BuildTopo(ts, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
@@ -615,7 +619,7 @@ func runWorkload(topoSpec string, gen int, credits pciesim.CreditConfig, wl wlOp
 		agg += f.GoodputGbps()
 	}
 	fmt.Printf("aggregate: %.3f Gb/s, fairness spread %.3f\n", agg, res.FairnessSpread())
-	fmt.Printf("simulated %v in %d events\n", s.Eng.Now(), s.Eng.Fired())
+	fmt.Printf("simulated %v in %d events\n", s.Eng.Now(), s.Eng.TotalFired())
 	if err := obs.Finish(s.Eng); err != nil {
 		fmt.Fprintf(os.Stderr, "pciesim: %v\n", err)
 		os.Exit(1)
@@ -625,33 +629,33 @@ func runWorkload(topoSpec string, gen int, credits pciesim.CreditConfig, wl wlOp
 // runCampaign runs a Monte-Carlo campaign (stochastic faults or
 // surprise hot-plug) and prints the per-seed table plus the outcome
 // distribution.
-func runCampaign(kind string, seeds int, rate float64, jobs, blockMB int, obs obscli.Flags) {
+func runCampaign(kind string, seeds int, rate float64, jobs, par, blockMB int, obs obscli.Flags) {
 	// Scale 16 with a pre-scaling block of 16x the requested size keeps
 	// the simulated block at blockMB MiB while dividing dd's fixed
 	// startup overhead, like the single-run path's proportional scaling.
-	opt := pciesim.Options{Scale: 16, BlockMB: []int{blockMB * 16}, Jobs: jobs}
+	opt := pciesim.Options{Scale: 16, BlockMB: []int{blockMB * 16}, Jobs: jobs, Par: par}
 	if obs.Active() {
 		var mu sync.Mutex
-		armed := make(map[*pciesim.System]*obscli.Flags)
-		opt.Observe = func(sys *pciesim.System, label string) error {
+		armed := make(map[*sim.Engine]*obscli.Flags)
+		opt.Observe = func(eng *sim.Engine, label string) error {
 			f := obs.ForRun(label)
-			if err := f.Arm(sys.Eng); err != nil {
+			if err := f.Arm(eng); err != nil {
 				return err
 			}
 			mu.Lock()
-			armed[sys] = f
+			armed[eng] = f
 			mu.Unlock()
 			return nil
 		}
-		opt.ObserveDone = func(sys *pciesim.System, label string) error {
+		opt.ObserveDone = func(eng *sim.Engine, label string) error {
 			mu.Lock()
-			f := armed[sys]
-			delete(armed, sys)
+			f := armed[eng]
+			delete(armed, eng)
 			mu.Unlock()
 			if f.Stats {
 				fmt.Printf("--- stats: %s ---\n", label)
 			}
-			return f.Finish(sys.Eng)
+			return f.Finish(eng)
 		}
 	}
 	if kind == "hotplug" {

@@ -28,17 +28,26 @@ type Options struct {
 	// run still owns a single-threaded engine, so results are
 	// byte-identical at any job count.
 	Jobs int
-	// Observe, when set, is called on each freshly built platform before
-	// its workload runs — the hook for installing tracers and samplers.
-	// The label identifies the run ("x8@512MB", "dead"). With Jobs > 1
-	// it is called concurrently from worker goroutines: it must only
-	// touch the platform it is handed. A non-nil error aborts the sweep.
-	Observe func(sys *System, label string) error
+	// Observe, when set, is called with each freshly built platform's
+	// root engine before its workload runs — the hook for installing
+	// tracers and samplers. It serves both the hardwired platform and
+	// the generic topology builder's scenario runs, which is why it
+	// receives the engine rather than a platform type. The label
+	// identifies the run ("x8@512MB", "dead"). With Jobs > 1 it is
+	// called concurrently from worker goroutines: it must only touch
+	// the engine it is handed. A non-nil error aborts the sweep.
+	Observe func(eng *sim.Engine, label string) error
 	// ObserveDone, when set, is called after the run's workload (and any
 	// straggler drain) completes, before the platform is discarded. It
 	// is always called serially, in sweep submission order, whatever
 	// Jobs is — the safe place for printing and file output.
-	ObserveDone func(sys *System, label string) error
+	ObserveDone func(eng *sim.Engine, label string) error
+	// Par requests the conservative parallel engine with this many
+	// timing domains per simulation (the -par flag). 0 and 1 keep the
+	// serial engine. Unlike Jobs — which fans independent runs across
+	// CPUs — Par parallelizes within one simulation; results stay
+	// byte-identical to serial at any value.
+	Par int
 }
 
 // DefaultOptions returns the 16x-scaled workload.
@@ -65,6 +74,7 @@ func (o Options) jobs() int {
 
 func (o Options) scaledConfig(base Config) Config {
 	base.DD.StartupOverhead /= sim.Tick(o.Scale)
+	base.Domains = o.Par
 	return base
 }
 
@@ -126,7 +136,7 @@ func runSweeps(specs []sweepSpec, opt Options) ([]Series, error) {
 			sys := New(specs[si].cfg)
 			runLabel := fmt.Sprintf("%s@%dMB", specs[si].label, mb)
 			if opt.Observe != nil {
-				if err := opt.Observe(sys, runLabel); err != nil {
+				if err := opt.Observe(sys.Eng, runLabel); err != nil {
 					return outcome{}, err
 				}
 			}
@@ -160,7 +170,7 @@ func runSweeps(specs []sweepSpec, opt Options) ([]Series, error) {
 		},
 		func(k int, o outcome) error {
 			if opt.ObserveDone != nil {
-				if err := opt.ObserveDone(o.sys, o.label); err != nil {
+				if err := opt.ObserveDone(o.sys.Eng, o.label); err != nil {
 					return err
 				}
 			}
@@ -404,7 +414,7 @@ func RunFigErr(opt Options) (ErrFigure, error) {
 			cfg.DiskLinkFault = sc.plan
 			sys := New(cfg)
 			if opt.Observe != nil {
-				if err := opt.Observe(sys, sc.label); err != nil {
+				if err := opt.Observe(sys.Eng, sc.label); err != nil {
 					return outcome{}, err
 				}
 			}
@@ -417,7 +427,7 @@ func RunFigErr(opt Options) (ErrFigure, error) {
 		},
 		func(k int, o outcome) error {
 			if opt.ObserveDone != nil {
-				if err := opt.ObserveDone(o.sys, scenarios[k].label); err != nil {
+				if err := opt.ObserveDone(o.sys.Eng, scenarios[k].label); err != nil {
 					return err
 				}
 			}
@@ -535,7 +545,7 @@ func RunFigFC(opt Options) (FCFigure, error) {
 			sys := New(cfg)
 			label := fmt.Sprintf("fc=%d@%dMB", credits, mb)
 			if opt.Observe != nil {
-				if err := opt.Observe(sys, label); err != nil {
+				if err := opt.Observe(sys.Eng, label); err != nil {
 					return outcome{}, err
 				}
 			}
@@ -559,7 +569,7 @@ func RunFigFC(opt Options) (FCFigure, error) {
 		func(k int, o outcome) error {
 			if opt.ObserveDone != nil {
 				label := fmt.Sprintf("fc=%d@%dMB", sweep[k], mb)
-				if err := opt.ObserveDone(o.sys, label); err != nil {
+				if err := opt.ObserveDone(o.sys.Eng, label); err != nil {
 					return err
 				}
 			}
@@ -676,7 +686,7 @@ func RunFigLat(opt Options) (LatFigure, error) {
 			sys.Eng.ArmSpans()
 			label := fmt.Sprintf("lat-%s@%dMB", runs[k].label, mb)
 			if opt.Observe != nil {
-				if err := opt.Observe(sys, label); err != nil {
+				if err := opt.Observe(sys.Eng, label); err != nil {
 					return outcome{}, err
 				}
 			}
@@ -699,7 +709,7 @@ func RunFigLat(opt Options) (LatFigure, error) {
 		func(k int, o outcome) error {
 			if opt.ObserveDone != nil {
 				label := fmt.Sprintf("lat-%s@%dMB", runs[k].label, mb)
-				if err := opt.ObserveDone(o.sys, label); err != nil {
+				if err := opt.ObserveDone(o.sys.Eng, label); err != nil {
 					return err
 				}
 			}
@@ -820,7 +830,7 @@ func RunFaultCampaign(seeds int, rate float64, opt Options) (CampaignResult, err
 			}
 			sys := New(cfg)
 			if opt.Observe != nil {
-				if err := opt.Observe(sys, label); err != nil {
+				if err := opt.Observe(sys.Eng, label); err != nil {
 					return outcome{}, err
 				}
 			}
@@ -834,7 +844,7 @@ func RunFaultCampaign(seeds int, rate float64, opt Options) (CampaignResult, err
 		func(k int, o outcome) error {
 			if opt.ObserveDone != nil {
 				label := fmt.Sprintf("seed%03d", k)
-				if err := opt.ObserveDone(o.sys, label); err != nil {
+				if err := opt.ObserveDone(o.sys.Eng, label); err != nil {
 					return err
 				}
 			}
@@ -975,7 +985,7 @@ func RunFigDegrade(opt Options) (DegradeFigure, error) {
 			}
 			sys := New(cfg)
 			if opt.Observe != nil {
-				if err := opt.Observe(sys, sc.label); err != nil {
+				if err := opt.Observe(sys.Eng, sc.label); err != nil {
 					return outcome{}, err
 				}
 			}
@@ -1004,7 +1014,7 @@ func RunFigDegrade(opt Options) (DegradeFigure, error) {
 		},
 		func(k int, o outcome) error {
 			if opt.ObserveDone != nil {
-				if err := opt.ObserveDone(o.sys, scenarios[k].label); err != nil {
+				if err := opt.ObserveDone(o.sys.Eng, scenarios[k].label); err != nil {
 					return err
 				}
 			}
@@ -1119,7 +1129,7 @@ func RunHotplugCampaign(seeds int, opt Options) (HotplugCampaignResult, error) {
 			cfg.DiskLinkFault = &fault.Plan{Hotplugs: []fault.Hotplug{h}}
 			sys := New(cfg)
 			if opt.Observe != nil {
-				if err := opt.Observe(sys, label); err != nil {
+				if err := opt.Observe(sys.Eng, label); err != nil {
 					return outcome{}, err
 				}
 			}
@@ -1145,7 +1155,7 @@ func RunHotplugCampaign(seeds int, opt Options) (HotplugCampaignResult, error) {
 		},
 		func(k int, o outcome) error {
 			if opt.ObserveDone != nil {
-				if err := opt.ObserveDone(o.sys, fmt.Sprintf("seed%03d", k)); err != nil {
+				if err := opt.ObserveDone(o.sys.Eng, fmt.Sprintf("seed%03d", k)); err != nil {
 					return err
 				}
 			}

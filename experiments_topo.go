@@ -43,9 +43,12 @@ func (r ScenarioReport) CSV() string {
 }
 
 // scenarioRun is one independent simulation of the scenario campaign.
+// run returns the measured rows plus the run's root engine so the
+// campaign loop can invoke the ObserveDone hook on it; Observe itself
+// fires inside run, right after the platform is built.
 type scenarioRun struct {
 	label string
-	run   func() ([]ScenarioRow, error)
+	run   func() ([]ScenarioRow, *sim.Engine, error)
 }
 
 // scaledTopoConfig mirrors Options.scaledConfig for the topology-build
@@ -53,6 +56,7 @@ type scenarioRun struct {
 func (o Options) scaledTopoConfig() topo.Config {
 	cfg := topo.DefaultConfig()
 	cfg.DD.StartupOverhead /= sim.Tick(o.Scale)
+	cfg.Domains = o.Par
 	return cfg
 }
 
@@ -79,20 +83,37 @@ func RunTopoSweep(spec string, opt Options) (Figure, error) {
 	cfg := opt.scaledTopoConfig()
 	nb := len(opt.BlockMB)
 	points := make([]Point, nb)
+	type outcome struct {
+		p     Point
+		eng   *sim.Engine
+		label string
+	}
 	err := campaign.RunCollect(opt.jobs(), nb,
-		func(k int) (Point, error) {
+		func(k int) (outcome, error) {
 			sys, err := topo.Build(ts, cfg)
 			if err != nil {
-				return Point{}, err
+				return outcome{}, err
+			}
+			label := fmt.Sprintf("%s@%dMB", ts.Name, opt.BlockMB[k])
+			if opt.Observe != nil {
+				if err := opt.Observe(sys.Eng, label); err != nil {
+					return outcome{}, err
+				}
 			}
 			res, err := sys.RunDDAll(opt.blockBytes(opt.BlockMB[k]))
 			if err != nil {
-				return Point{}, fmt.Errorf("%s @%dMB: %w", ts.Name, opt.BlockMB[k], err)
+				return outcome{}, fmt.Errorf("%s @%dMB: %w", ts.Name, opt.BlockMB[k], err)
 			}
-			return Point{X: opt.BlockMB[k], Gbps: res.AggregateThroughputGbps()}, nil
+			p := Point{X: opt.BlockMB[k], Gbps: res.AggregateThroughputGbps()}
+			return outcome{p: p, eng: sys.Eng, label: label}, nil
 		},
-		func(k int, p Point) error {
-			points[k] = p
+		func(k int, o outcome) error {
+			if opt.ObserveDone != nil {
+				if err := opt.ObserveDone(o.eng, o.label); err != nil {
+					return err
+				}
+			}
+			points[k] = o.p
 			return nil
 		})
 	if err != nil {
@@ -133,79 +154,99 @@ func RunScenarios(names []string, opt Options) (ScenarioReport, error) {
 
 	blockBytes := opt.blockBytes(64)
 	cfg := opt.scaledTopoConfig()
+	// observe fires the Options.Observe hook for a freshly built
+	// scenario platform; label matches the scenarioRun's.
+	observe := func(sys *topo.System, label string) error {
+		if opt.Observe == nil {
+			return nil
+		}
+		return opt.Observe(sys.Eng, label)
+	}
 
 	var runs []scenarioRun
 	if selected("validation") {
-		runs = append(runs, scenarioRun{label: "validation", run: func() ([]ScenarioRow, error) {
+		runs = append(runs, scenarioRun{label: "validation", run: func() ([]ScenarioRow, *sim.Engine, error) {
 			sys, err := topo.Build(topo.Validation(), cfg)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
+			}
+			if err := observe(sys, "validation"); err != nil {
+				return nil, nil, err
 			}
 			res, err := sys.RunDD(blockBytes)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			return []ScenarioRow{
 				{"validation", "dd_throughput", res.ThroughputGbps(), "Gb/s"},
 				{"validation", "dd_p50_latency", res.ReqLat.P50.Seconds() * 1e6, "us"},
-			}, nil
+			}, sys.Eng, nil
 		}})
 	}
 	if selected("fanout8") {
 		runs = append(runs,
-			scenarioRun{label: "fanout8", run: func() ([]ScenarioRow, error) {
+			scenarioRun{label: "fanout8", run: func() ([]ScenarioRow, *sim.Engine, error) {
 				sys, err := topo.Build(topo.Fanout8(), cfg)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
+				}
+				if err := observe(sys, "fanout8"); err != nil {
+					return nil, nil, err
 				}
 				res, err := sys.RunDDAll(blockBytes)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				return []ScenarioRow{
 					{"fanout8", "aggregate_throughput", res.AggregateThroughputGbps(), "Gb/s"},
 					{"fanout8", "fairness_spread", res.FairnessSpread(), "max/min"},
 					{"fanout8", "disks", float64(len(res.PerDisk)), "count"},
-				}, nil
+				}, sys.Eng, nil
 			}},
-			scenarioRun{label: "fanout1", run: func() ([]ScenarioRow, error) {
+			scenarioRun{label: "fanout1", run: func() ([]ScenarioRow, *sim.Engine, error) {
 				spec, err := topo.Parse("switch:x4(disk)")
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				sys, err := topo.Build(spec, cfg)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
+				}
+				if err := observe(sys, "fanout1"); err != nil {
+					return nil, nil, err
 				}
 				res, err := sys.RunDD(blockBytes)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				return []ScenarioRow{
 					{"fanout8", "single_disk_baseline", res.ThroughputGbps(), "Gb/s"},
-				}, nil
+				}, sys.Eng, nil
 			}},
 		)
 	}
 	if selected("p2p") {
-		p2pRun := func(scenario string, noP2P bool) func() ([]ScenarioRow, error) {
-			return func() ([]ScenarioRow, error) {
+		p2pRun := func(scenario string, noP2P bool) func() ([]ScenarioRow, *sim.Engine, error) {
+			return func() ([]ScenarioRow, *sim.Engine, error) {
 				c := cfg
 				c.NoP2P = noP2P
 				sys, err := topo.Build(topo.P2P(), c)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
+				}
+				if err := observe(sys, scenario); err != nil {
+					return nil, nil, err
 				}
 				res, err := sys.RunP2P(64, 4)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				return []ScenarioRow{
 					{scenario, "p50_cmd_latency", res.CmdLat.P50.Seconds() * 1e6, "us"},
 					{scenario, "throughput", res.ThroughputGbps(), "Gb/s"},
 					{scenario, "switch_turnarounds", float64(sys.Turnarounds()), "count"},
 					{scenario, "rc_reflections", float64(sys.Reflections()), "count"},
-				}, nil
+				}, sys.Eng, nil
 			}
 		}
 		runs = append(runs,
@@ -217,17 +258,26 @@ func RunScenarios(names []string, opt Options) (ScenarioReport, error) {
 		return ScenarioReport{}, fmt.Errorf("no known scenario in %v (have %v)", names, topo.CannedNames())
 	}
 
+	type outcome struct {
+		rows []ScenarioRow
+		eng  *sim.Engine
+	}
 	results := make([][]ScenarioRow, len(runs))
 	err := campaign.RunCollect(opt.jobs(), len(runs),
-		func(k int) ([]ScenarioRow, error) {
-			rows, err := runs[k].run()
+		func(k int) (outcome, error) {
+			rows, eng, err := runs[k].run()
 			if err != nil {
-				return nil, fmt.Errorf("scenario %s: %w", runs[k].label, err)
+				return outcome{}, fmt.Errorf("scenario %s: %w", runs[k].label, err)
 			}
-			return rows, nil
+			return outcome{rows: rows, eng: eng}, nil
 		},
-		func(k int, rows []ScenarioRow) error {
-			results[k] = rows
+		func(k int, o outcome) error {
+			if opt.ObserveDone != nil {
+				if err := opt.ObserveDone(o.eng, runs[k].label); err != nil {
+					return err
+				}
+			}
+			results[k] = o.rows
 			return nil
 		})
 	if err != nil {

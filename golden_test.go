@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"pciesim/internal/sim"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata/golden stats dumps")
@@ -20,18 +22,20 @@ var updateGolden = flag.Bool("update", false, "rewrite testdata/golden stats dum
 // packet taking a different path, a leak — shows up as a diff.
 var goldenCases = []struct {
 	name string
-	run  func() (*System, error)
+	run  func(domains int) (*System, error)
 }{
-	{"dd-baseline", func() (*System, error) {
+	{"dd-baseline", func(domains int) (*System, error) {
 		cfg := DefaultConfig()
 		cfg.DD.StartupOverhead /= 16
+		cfg.Domains = domains
 		sys := New(cfg)
 		_, err := sys.RunDD(4 << 20)
 		return sys, err
 	}},
-	{"dd-faulted", func() (*System, error) {
+	{"dd-faulted", func(domains int) (*System, error) {
 		cfg := DefaultConfig()
 		cfg.DD.StartupOverhead /= 16
+		cfg.Domains = domains
 		rates := FaultRates{TLPCorrupt: 1e-3, DLLPCorrupt: 1e-3, Drop: 5e-4}
 		cfg.DiskLinkFault = &FaultPlan{
 			Seed: 7,
@@ -48,11 +52,12 @@ var goldenCases = []struct {
 		sys.Eng.Run() // drain stragglers, like the error sweep does
 		return sys, nil
 	}},
-	{"sweep-x8", func() (*System, error) {
+	{"sweep-x8", func(domains int) (*System, error) {
 		// The congested Fig 9(b) point: x8 links overrun the DRAM drain
 		// rate, so replays and timeouts are part of the pinned state.
 		cfg := DefaultConfig()
 		cfg.DD.StartupOverhead /= 16
+		cfg.Domains = domains
 		cfg.UplinkWidth = 8
 		cfg.DiskLinkWidth = 8
 		sys := New(cfg)
@@ -68,7 +73,7 @@ var goldenCases = []struct {
 func TestGoldenDumps(t *testing.T) {
 	for _, tc := range goldenCases {
 		t.Run(tc.name, func(t *testing.T) {
-			sys, err := tc.run()
+			sys, err := tc.run(0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -98,6 +103,36 @@ func TestGoldenDumps(t *testing.T) {
 	}
 }
 
+// TestGoldenDumpsParallel re-runs every golden case on the 4-domain
+// conservative parallel engine and compares against the same pinned
+// serial dumps: the parallel engine's contract is byte-identical
+// observable behavior, so it gets no golden files of its own. (The
+// faulted case pins the disk subtree and partitions the rest; the
+// fallback path is part of what this pins down.)
+func TestGoldenDumpsParallel(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys, err := tc.run(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := sys.Eng.Stats().WriteJSON(&buf, uint64(sys.Eng.Now())); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", tc.name+".json")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run TestGoldenDumps with -update first)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("-par 4 stats dump differs from the serial golden %s;\n got %d bytes, want %d\n%s",
+					path, buf.Len(), len(want), firstDiff(buf.Bytes(), want))
+			}
+		})
+	}
+}
+
 // firstDiff locates the first divergent line for a readable failure.
 func firstDiff(got, want []byte) string {
 	g, w := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
@@ -120,9 +155,9 @@ func TestParallelEquivalence(t *testing.T) {
 			Scale:   256,
 			BlockMB: []int{64, 128},
 			Jobs:    jobs,
-			ObserveDone: func(sys *System, label string) error {
+			ObserveDone: func(eng *sim.Engine, label string) error {
 				var buf bytes.Buffer
-				if err := sys.Eng.Stats().WriteJSON(&buf, uint64(sys.Eng.Now())); err != nil {
+				if err := eng.Stats().WriteJSON(&buf, uint64(eng.Now())); err != nil {
 					return err
 				}
 				dumps[label] = buf.Bytes()

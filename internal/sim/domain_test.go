@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// ringModel runs the same lockstep ring workload either on one serial
+// engine or across nDom timing domains, and returns each node's
+// event log plus the total events fired. Every node keeps a local
+// self-rescheduling timer and periodically sends a message to the next
+// node with a fixed latency; because all nodes advance in lockstep,
+// the sends collide on the full (when, prio, sched) key at their
+// receivers — exactly the tie the static ord key must resolve
+// identically on the serial heap and in the coordinator's inbox drain.
+func ringModel(t *testing.T, nodes int, nDom int, horizon Tick) (logs [][]string, fired uint64) {
+	t.Helper()
+	const (
+		localStep = 7
+		sendStep  = 35
+		latency   = 150 // >= quantum, so CrossSchedule always satisfies the lookahead
+		quantum   = 100
+	)
+
+	engines := make([]*Engine, nDom)
+	for i := range engines {
+		engines[i] = NewEngine()
+	}
+	if nDom > 1 {
+		NewCoordinator(quantum, engines...)
+	}
+	engOf := func(node int) *Engine { return engines[node*nDom/nodes] }
+
+	logs = make([][]string, nodes)
+	var local func(node int)
+	local = func(node int) {
+		e := engOf(node)
+		logs[node] = append(logs[node], fmt.Sprintf("local@%d", e.Now()))
+		if e.Now()+localStep <= horizon {
+			e.Schedule("local", localStep, func() { local(node) })
+		}
+	}
+	var send func(node int)
+	recv := func(node, from int) {
+		logs[node] = append(logs[node], fmt.Sprintf("recv%d@%d", from, engOf(node).Now()))
+	}
+	send = func(node int) {
+		e := engOf(node)
+		next := (node + 1) % nodes
+		when := e.Now() + latency
+		if when <= horizon {
+			// The sender's 1-based index is its static ord, used by both
+			// paths so simultaneous arrivals order identically.
+			if ne := engOf(next); ne != e {
+				e.CrossSchedule(ne, "msg", when, PriorityDefault, uint64(node)+1, func() { recv(next, node) })
+			} else {
+				e.ScheduleAtOrd("msg", when, PriorityDefault, uint64(node)+1, func() { recv(next, node) })
+			}
+		}
+		if e.Now()+sendStep <= horizon {
+			e.Schedule("send", sendStep, func() { send(node) })
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		i := i
+		engOf(i).ScheduleAt("start", 0, PriorityDefault, func() { local(i); send(i) })
+	}
+	fired = engines[0].RunUntil(horizon)
+	return logs, fired
+}
+
+// TestCoordinatorMatchesSerial is the engine-level determinism check:
+// the ring workload's per-node logs and total fired count must be
+// identical whether it runs on one engine or split 2 or 4 ways.
+func TestCoordinatorMatchesSerial(t *testing.T) {
+	const nodes, horizon = 8, 5000
+	wantLogs, wantFired := ringModel(t, nodes, 1, horizon)
+	for _, nDom := range []int{2, 4} {
+		gotLogs, gotFired := ringModel(t, nodes, nDom, horizon)
+		if gotFired != wantFired {
+			t.Errorf("domains=%d: fired %d events, serial fired %d", nDom, gotFired, wantFired)
+		}
+		if !reflect.DeepEqual(gotLogs, wantLogs) {
+			for i := range wantLogs {
+				if !reflect.DeepEqual(gotLogs[i], wantLogs[i]) {
+					t.Errorf("domains=%d: node %d log diverges:\n got %v\nwant %v", nDom, i, gotLogs[i], wantLogs[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestCoordinatorFiredAccounting: the run's return value must equal the
+// sum of the per-domain Fired counters.
+func TestCoordinatorFiredAccounting(t *testing.T) {
+	_, _ = ringModel(t, 4, 1, 2000) // warm the helper's serial path
+	engines := []*Engine{NewEngine(), NewEngine()}
+	NewCoordinator(100, engines...)
+	engines[0].Schedule("a", 10, func() {})
+	engines[1].ScheduleAt("b", 20, PriorityDefault, func() {})
+	engines[1].ScheduleAt("c", 400, PriorityDefault, func() {})
+	total := engines[0].RunUntil(MaxTick)
+	if total != 3 {
+		t.Fatalf("RunUntil returned %d, want 3", total)
+	}
+	if sum := engines[0].Fired() + engines[1].Fired(); sum != total {
+		t.Fatalf("per-domain fired sum %d != returned total %d", sum, total)
+	}
+}
+
+// TestCoordinatorRunWhile: the condition is evaluated on the root
+// domain, and worker events ordered after the stopping event must stay
+// queued — RunWhile never runs the world past the stop point.
+func TestCoordinatorRunWhile(t *testing.T) {
+	engines := []*Engine{NewEngine(), NewEngine()}
+	NewCoordinator(100, engines...)
+	done := false
+	engines[0].ScheduleAt("stopper", 500, PriorityDefault, func() { done = true })
+	var lateFired bool
+	engines[1].ScheduleAt("early", 400, PriorityDefault, func() {})
+	engines[1].ScheduleAt("late", 30000, PriorityDefault, func() { lateFired = true })
+	fired := engines[0].RunWhile(func() bool { return !done })
+	if !done {
+		t.Fatal("condition never flipped")
+	}
+	if lateFired {
+		t.Error("worker event past the stop point fired")
+	}
+	if engines[1].Pending() != 1 {
+		t.Errorf("worker should still hold the late event, pending=%d", engines[1].Pending())
+	}
+	if fired != 2 {
+		t.Errorf("fired %d events, want 2 (early + stopper)", fired)
+	}
+}
+
+// TestCoordinatorLookaheadViolationPanics: scheduling a cross-domain
+// event inside the current window is a partitioning bug, not a runtime
+// condition.
+func TestCoordinatorLookaheadViolationPanics(t *testing.T) {
+	engines := []*Engine{NewEngine(), NewEngine()}
+	NewCoordinator(100, engines...)
+	engines[0].Schedule("bad", 10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("CrossSchedule inside the window did not panic")
+			}
+		}()
+		engines[0].CrossSchedule(engines[1], "too-soon", engines[0].Now()+1, PriorityDefault, 0, func() {})
+	})
+	engines[0].RunUntil(MaxTick)
+}
+
+// TestCoordinatorNonRootRunPanics: only the coordinator may drive a
+// non-root domain.
+func TestCoordinatorNonRootRunPanics(t *testing.T) {
+	engines := []*Engine{NewEngine(), NewEngine()}
+	NewCoordinator(100, engines...)
+	defer func() {
+		if recover() == nil {
+			t.Error("RunUntil on a non-root domain did not panic")
+		}
+	}()
+	engines[1].RunUntil(MaxTick)
+}
+
+// TestCoordinatorRejectsBadSetup covers the constructor's contract.
+func TestCoordinatorRejectsBadSetup(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("zero quantum", func() { NewCoordinator(0, NewEngine(), NewEngine()) })
+	expectPanic("single domain", func() { NewCoordinator(1, NewEngine()) })
+	expectPanic("double bind", func() {
+		e1, e2 := NewEngine(), NewEngine()
+		NewCoordinator(1, e1, e2)
+		NewCoordinator(1, e1, NewEngine())
+	})
+	expectPanic("foreign coordinator", func() {
+		a1, a2 := NewEngine(), NewEngine()
+		b1, b2 := NewEngine(), NewEngine()
+		NewCoordinator(1, a1, a2)
+		NewCoordinator(1, b1, b2)
+		a1.Schedule("x", 5, func() { a1.CrossSchedule(b2, "cross", 500, PriorityDefault, 0, func() {}) })
+		a1.RunUntil(MaxTick)
+	})
+}
+
+// TestOrdBreaksFullTies: two events colliding on (when, prio, sched)
+// fire in ord order regardless of insertion order — the serial side of
+// the cross-domain tie-resolution contract.
+func TestOrdBreaksFullTies(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.ScheduleAtOrd("second", 100, PriorityDefault, 9, func() { order = append(order, 9) })
+	e.ScheduleAtOrd("first", 100, PriorityDefault, 3, func() { order = append(order, 3) })
+	e.ScheduleAt("zeroth", 100, PriorityDefault, func() { order = append(order, 0) }) // ord 0
+	e.Run()
+	if want := []int{0, 3, 9}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("fired in order %v, want %v", order, want)
+	}
+}
+
+// TestDomainEnginesVisibility: DomainEngines is root-only and nil on
+// serial engines.
+func TestDomainEnginesVisibility(t *testing.T) {
+	if NewEngine().DomainEngines() != nil {
+		t.Error("serial engine reports domain engines")
+	}
+	engines := []*Engine{NewEngine(), NewEngine(), NewEngine()}
+	NewCoordinator(50, engines...)
+	if got := engines[0].DomainEngines(); len(got) != 3 {
+		t.Errorf("root reports %d domains, want 3", len(got))
+	}
+	if engines[1].DomainEngines() != nil {
+		t.Error("non-root domain reports domain engines")
+	}
+}

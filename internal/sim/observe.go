@@ -22,7 +22,19 @@ func (e *Engine) Stats() *stats.Registry {
 	if e.stats == nil {
 		e.stats = stats.NewRegistry()
 		e.stats.CounterFunc("sim.fired", func() uint64 { return e.fired })
-		e.stats.CounterFunc("sim.pending", func() uint64 { return uint64(e.queue.len()) })
+		e.stats.CounterFunc("sim.pending", func() uint64 {
+			n := uint64(e.queue.len())
+			if e.dom != nil {
+				// Events ferried across a domain boundary but not yet
+				// drained into the heap are still pending: counting
+				// them keeps the merged parallel total identical to
+				// the serial queue depth.
+				e.dom.mu.Lock()
+				n += uint64(len(e.dom.inbox))
+				e.dom.mu.Unlock()
+			}
+			return n
+		})
 		e.stats.CounterFunc("sim.recycled", func() uint64 { return e.recycled })
 	}
 	return e.stats

@@ -152,6 +152,14 @@ type Config struct {
 
 	IRQLatency sim.Tick
 	DD         kernel.DDConfig
+
+	// --- parallel engine ---
+
+	// Domains requests the conservative parallel engine with this many
+	// timing domains (topo.Config.Domains). 0 or 1 keeps the serial
+	// engine; configurations the parallel engine cannot express fall
+	// back to serial.
+	Domains int
 }
 
 // DefaultConfig is the calibrated baseline configuration; every
@@ -221,6 +229,8 @@ func (cfg Config) topoConfig() topo.Config {
 
 		IRQLatency: cfg.IRQLatency,
 		DD:         cfg.DD,
+
+		Domains: cfg.Domains,
 	}
 }
 

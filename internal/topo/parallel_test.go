@@ -1,0 +1,253 @@
+package topo
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pciesim/internal/fault"
+	"pciesim/internal/pcie"
+	"pciesim/internal/sim"
+)
+
+// statsDump runs the workload appropriate for the spec (dd on every
+// disk when it has any, the NIC transmit loop when it only has NICs,
+// plain boot otherwise) and returns the full stats registry as JSON.
+func statsDump(t *testing.T, spec *Spec, cfg Config) []byte {
+	t.Helper()
+	sys, err := Build(spec, cfg)
+	if err != nil {
+		t.Fatalf("build (domains=%d): %v\nspec: %s", cfg.Domains, err, spec)
+	}
+	disks, nics := 0, 0
+	spec.walk(func(n *Node) {
+		switch n.Kind {
+		case KindDisk:
+			disks++
+		case KindNIC:
+			nics++
+		}
+	})
+	switch {
+	case disks > 0:
+		if _, err := sys.RunDDAll(256 << 10); err != nil {
+			t.Fatalf("dd (domains=%d): %v\nspec: %s", cfg.Domains, err, spec)
+		}
+	case nics > 0:
+		if _, err := sys.RunNICTx(16, 1500); err != nil {
+			t.Fatalf("nictx (domains=%d): %v\nspec: %s", cfg.Domains, err, spec)
+		}
+	default:
+		if _, err := sys.Boot(); err != nil {
+			t.Fatalf("boot (domains=%d): %v\nspec: %s", cfg.Domains, err, spec)
+		}
+	}
+	sys.Eng.Run() // drain stragglers so the dump covers a quiesced world
+	var buf bytes.Buffer
+	if err := sys.Eng.Stats().WriteJSON(&buf, uint64(sys.Eng.Now())); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// firstLineDiff locates the first divergent line for a readable failure.
+func firstLineDiff(got, want []byte) string {
+	g, w := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if !bytes.Equal(g[i], w[i]) {
+			return fmt.Sprintf("first diff at line %d:\n got: %s\nwant: %s", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("dumps diverge in length: %d vs %d lines", len(g), len(w))
+}
+
+// TestParallelStatsMatchSerial is the partitioning property test: for
+// seeded random topologies, the full stats dump of a -par N run must be
+// byte-identical to the serial run's — clean, with a fault plan pinning
+// one subtree, and under starved flow-control credits.
+func TestParallelStatsMatchSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs dozens of full simulations")
+	}
+	rng := rand.New(rand.NewSource(20260809))
+	for i := 0; i < 8; i++ {
+		spec := randomSpec(rng)
+		if err := spec.Normalize(); err != nil {
+			t.Fatalf("random spec did not normalize: %v", err)
+		}
+		variants := []struct {
+			name   string
+			mutate func(*Config)
+		}{
+			{"clean", func(*Config) {}},
+			{"faulted", func(cfg *Config) {
+				// Pin the first endpoint's subtree with a corruption plan;
+				// the rest of the fabric stays splittable.
+				var name string
+				spec.walk(func(n *Node) {
+					if name == "" && n.Kind != KindSwitch {
+						name = n.Link.Name
+					}
+				})
+				if name == "" {
+					return
+				}
+				cfg.Faults = map[string]*fault.Plan{name: fault.CorruptionPlan(5e-4)}
+			}},
+			{"starved", func(cfg *Config) {
+				cfg.Credits = pcie.CreditConfig{PostedHdr: 1, NonPostedHdr: 1, CplHdr: 2}
+			}},
+		}
+		for _, v := range variants {
+			t.Run(fmt.Sprintf("seed20260809-%02d-%s", i, v.name), func(t *testing.T) {
+				base := DefaultConfig()
+				base.DD.StartupOverhead /= 64
+				v.mutate(&base)
+				want := statsDump(t, spec, base)
+				for _, domains := range []int{2, 4} {
+					cfg := base
+					cfg.Domains = domains
+					got := statsDump(t, spec, cfg)
+					if !bytes.Equal(got, want) {
+						t.Errorf("-par %d dump differs from serial:\n%s\nspec: %s",
+							domains, firstLineDiff(got, want), spec)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelCannedScenarios pins the canned fabrics explicitly: the
+// contended fanout8 tree (lockstep-symmetric disks are the hardest
+// tie-ordering case) and the validation platform.
+func TestParallelCannedScenarios(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec func() *Spec
+	}{
+		{"validation", Validation},
+		{"fanout8", Fanout8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := DefaultConfig()
+			base.DD.StartupOverhead /= 64
+			want := statsDump(t, tc.spec(), base)
+			for _, domains := range []int{2, 3, 4} {
+				cfg := base
+				cfg.Domains = domains
+				got := statsDump(t, tc.spec(), cfg)
+				if !bytes.Equal(got, want) {
+					t.Errorf("-par %d dump differs from serial:\n%s", domains, firstLineDiff(got, want))
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionShapes pins the automatic partitioner's decisions on
+// the canned fanout8 tree and the documented serial fallbacks.
+func TestPartitionShapes(t *testing.T) {
+	build := func(mutate func(*Config)) *System {
+		cfg := DefaultConfig()
+		cfg.Domains = 4
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		sys, err := Build(Fanout8(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+
+	if got := build(nil).Domains(); got != 4 {
+		t.Errorf("fanout8 -par 4: %d domains, want 4", got)
+	}
+	if got := build(func(cfg *Config) { cfg.Domains = 2 }).Domains(); got != 2 {
+		t.Errorf("fanout8 -par 2: %d domains, want 2", got)
+	}
+	if got := build(func(cfg *Config) { cfg.Domains = 3 }).Domains(); got != 3 {
+		t.Errorf("fanout8 -par 3: %d domains, want 3", got)
+	}
+
+	// A fault plan pins one disk; the other seven still split.
+	faulted := build(func(cfg *Config) {
+		cfg.Faults = map[string]*fault.Plan{"disk0.link": fault.CorruptionPlan(1e-3)}
+	})
+	if got := faulted.Domains(); got != 4 {
+		t.Errorf("faulted fanout8 -par 4: %d domains, want 4 (unpinned disks still split)", got)
+	}
+
+	// Platform-wide degradation, DPC, and zero IRQ latency fall back to
+	// the serial engine.
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"degrade", func(cfg *Config) { cfg.Degrade = &pcie.DegradeConfig{} }},
+		{"dpc", func(cfg *Config) { cfg.EnableDPC = true }},
+		{"zero-irq-latency", func(cfg *Config) { cfg.IRQLatency = 0 }},
+	} {
+		if got := build(tc.mutate).Domains(); got != 1 {
+			t.Errorf("%s: %d domains, want serial fallback (1)", tc.name, got)
+		}
+	}
+}
+
+// TestExplicitDomainAnnotations covers the ":d" grammar end to end:
+// valid placements build with the requested domain count, out-of-range
+// and pinned placements are build errors.
+func TestExplicitDomainAnnotations(t *testing.T) {
+	parse := func(s string) *Spec {
+		spec, err := Parse(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return spec
+	}
+
+	cfg := DefaultConfig()
+	cfg.Domains = 3
+	sys, err := Build(parse("switch:x4(disk:d1,disk:d2,disk)"), cfg)
+	if err != nil {
+		t.Fatalf("explicit domains: %v", err)
+	}
+	if got := sys.Domains(); got != 3 {
+		t.Errorf("explicit :d build has %d domains, want 3", got)
+	}
+
+	// Out of range for -par 2.
+	cfg.Domains = 2
+	if _, err := Build(parse("switch:x4(disk:d1,disk:d2,disk)"), cfg); err == nil {
+		t.Error("domain index beyond -par built without error")
+	}
+
+	// A pinned (faulted) node may not be placed outside the root domain.
+	cfg.Domains = 3
+	cfg.Faults = map[string]*fault.Plan{"disk0.link": fault.CorruptionPlan(1e-3)}
+	spec := parse("switch:x4(disk:d1,disk:d2,disk)")
+	if _, err := Build(spec, cfg); err == nil {
+		t.Error("faulted node pinned to a worker domain built without error")
+	}
+
+	// sim build tag sanity: quantum must be positive on any split build.
+	cfg = DefaultConfig()
+	cfg.Domains = 2
+	p, err := partitionSpec(mustNormal(t, Fanout8()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.domains > 1 && p.quantum < sim.Tick(1) {
+		t.Errorf("split partition has non-positive quantum %d", p.quantum)
+	}
+}
+
+func mustNormal(t *testing.T, s *Spec) *Spec {
+	t.Helper()
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
